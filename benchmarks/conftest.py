@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures from
+a live run of the reproduced system, prints the rows next to the
+paper's reported values, and records machine-readable numbers in
+``benchmark.extra_info``.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a result block (visible with -s; always flushed)."""
+    print("\n" + text, flush=True)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

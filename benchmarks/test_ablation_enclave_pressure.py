@@ -1,0 +1,161 @@
+"""Ablations A6/A7: the two SGX cost cliffs the paper flags.
+
+Section 5: "enclaves running Intel SGX perform near to the native
+speed of a processor **if no external communications or interrupts
+(e.g., asynchronous exits in SGX) are incurred**" — and enclave memory
+beyond the EPC pays EWB/ELDB paging.  Two sweeps:
+
+* A6 — working set vs EPC size: cycles per touch jump once the heap
+  stops fitting in the resident frames (paging thrash);
+* A7 — interrupt (AEX) rate vs overhead on a fixed in-enclave
+  workload: near-native when quiescent, degrading with interrupts.
+"""
+
+from conftest import emit
+
+from repro.cost import DEFAULT_MODEL, format_count, format_table
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.sgx import EnclaveProgram, SgxPlatform
+from repro.sgx.epc import PAGE_SIZE
+
+EPC_FRAMES = 24          # small EPC so the cliff is visible
+WORKING_SETS = [4, 8, 12, 16, 24, 32]
+AEX_RATES = [0.0, 1e-6, 1e-5, 1e-4, 1e-3]
+SCAN_ROUNDS = 4
+BURN_UNITS = 5_000_000
+
+
+class ScanProgram(EnclaveProgram):
+    def prepare(self, n_pages: int) -> int:
+        self.ctx.alloc(n_pages * PAGE_SIZE)
+        return self.ctx.heap_page_count
+
+    def scan(self, rounds: int) -> int:
+        touched = 0
+        for _ in range(rounds):
+            for page in range(self.ctx.heap_page_count):
+                self.ctx.write_heap(page, b"\x5a" * 16)
+                touched += 1
+        return touched
+
+
+class BusyProgram(EnclaveProgram):
+    def burn(self, units: int) -> None:
+        from repro.cost import context as cost_context
+
+        cost_context.charge_normal(units)
+
+
+def run_paging_sweep():
+    points = []
+    for working_set in WORKING_SETS:
+        platform = SgxPlatform(
+            f"ws{working_set}",
+            rng=Rng(b"a6", str(working_set)),
+            epc_frames=EPC_FRAMES,
+            epc_paging=True,
+        )
+        author = generate_rsa_keypair(512, Rng(b"a6-author"))
+        enclave = platform.load_enclave(ScanProgram(), author_key=author)
+        enclave.ecall("prepare", working_set)
+        platform.epc.evictions = 0
+        platform.epc.reloads = 0
+        before = platform.accountant.snapshot()
+        touched = enclave.ecall("scan", SCAN_ROUNDS)
+        delta = platform.accountant.delta(before)
+        total = delta[enclave.domain]
+        cycles_per_touch = DEFAULT_MODEL.cycles(
+            total.sgx_instructions, total.normal_instructions
+        ) / touched
+        points.append(
+            {
+                "ws": working_set,
+                "cycles_per_touch": cycles_per_touch,
+                "evictions": platform.epc.evictions,
+                "reloads": platform.epc.reloads,
+            }
+        )
+    return points
+
+
+def run_aex_sweep():
+    points = []
+    for rate in AEX_RATES:
+        platform = SgxPlatform(
+            f"aex{rate}", rng=Rng(b"a7", str(rate)), interrupt_rate=rate
+        )
+        author = generate_rsa_keypair(512, Rng(b"a7-author"))
+        enclave = platform.load_enclave(BusyProgram(), author_key=author)
+        before = platform.accountant.snapshot()
+        enclave.ecall("burn", BURN_UNITS)
+        delta = platform.accountant.delta(before)[enclave.domain]
+        cycles = DEFAULT_MODEL.cycles(
+            delta.sgx_instructions, delta.normal_instructions
+        )
+        points.append({"rate": rate, "cycles": cycles, "aex_pairs": (delta.sgx_instructions - 2) // 2})
+    return points
+
+
+def test_ablation_a6_epc_working_set(once, benchmark):
+    points = once(run_paging_sweep)
+    rows = [
+        [
+            p["ws"],
+            f"{p['cycles_per_touch']:.0f}",
+            p["evictions"],
+            p["reloads"],
+        ]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["heap pages", "cycles/touch", "evictions", "reloads"],
+            rows,
+            title=f"Ablation A6 — working set vs EPC ({EPC_FRAMES} frames)",
+        )
+    )
+    for p in points:
+        benchmark.extra_info[f"ws{p['ws']}"] = p["cycles_per_touch"]
+
+    by_ws = {p["ws"]: p for p in points}
+    fits = [p for p in points if by_ws[p["ws"]]["evictions"] == 0]
+    thrashes = [p for p in points if p["evictions"] > 0]
+    assert fits and thrashes, "sweep must cross the EPC boundary"
+    # The cliff: thrashing touches cost several times more.
+    cheap = max(p["cycles_per_touch"] for p in fits)
+    expensive = max(p["cycles_per_touch"] for p in thrashes)
+    assert expensive > 3 * cheap
+    # Monotone once past the cliff: bigger working sets, no cheaper.
+    t = [p["cycles_per_touch"] for p in thrashes]
+    assert t[-1] >= t[0] * 0.8
+
+
+def test_ablation_a7_interrupt_rate(once, benchmark):
+    points = once(run_aex_sweep)
+    base = points[0]["cycles"]
+    rows = [
+        [
+            f"{p['rate']:.0e}",
+            format_count(p["cycles"]),
+            p["aex_pairs"],
+            f"{p['cycles'] / base - 1:+.1%}",
+        ]
+        for p in points
+    ]
+    emit(
+        format_table(
+            ["AEX per instr", "cycles", "AEX events", "overhead vs quiescent"],
+            rows,
+            title="Ablation A7 — asynchronous-exit rate on a fixed "
+            f"{format_count(BURN_UNITS)}-instruction enclave workload",
+        )
+    )
+    for p in points:
+        benchmark.extra_info[f"rate{p['rate']}"] = p["cycles"]
+
+    cycles = [p["cycles"] for p in points]
+    assert all(b >= a for a, b in zip(cycles, cycles[1:]))
+    # Quiescent ~ native; heavy interruption is markedly worse.
+    assert cycles[0] * 1.5 < cycles[-1]
+    assert points[1]["cycles"] / cycles[0] < 1.05  # rare interrupts ~ free

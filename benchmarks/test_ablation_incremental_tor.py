@@ -1,0 +1,105 @@
+"""Ablation A4: the interim deployment's security/anonymity tradeoff.
+
+Paper open issue: "incremental deployment raises new issues, such as
+finding an interim solution that balances security and privacy with
+performance and efficiency."  We sweep the SGX-verified fraction and
+compare client policies:
+
+* attack exposure (P[tampering exit], P[bad-apple correlation]) falls
+  with the SGX fraction only if clients *use* the information;
+* REQUIRE_SGX zeroes exposure immediately but shrinks the anonymity
+  set (guard/exit pools) and costs availability at low fractions;
+* PREFER_SGX is the interim sweet spot: exposure drops to zero as soon
+  as any SGX exits exist, with no availability loss.
+"""
+
+from conftest import emit
+
+from repro.cost import format_table
+from repro.tor.incremental import ClientPolicy, simulate
+
+FRACTIONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+N_RELAYS = 30
+N_EXITS = 10
+N_MALICIOUS = 3
+TRIALS = 1500
+
+
+def run_sweep():
+    table = {}
+    for policy in ClientPolicy:
+        for fraction in FRACTIONS:
+            table[(policy, fraction)] = simulate(
+                n_relays=N_RELAYS,
+                n_exits=N_EXITS,
+                n_malicious=N_MALICIOUS,
+                sgx_fraction=fraction,
+                policy=policy,
+                trials=TRIALS,
+            )
+    return table
+
+
+def test_ablation_incremental_deployment(once, benchmark):
+    table = once(run_sweep)
+
+    rows = []
+    for policy in ClientPolicy:
+        for fraction in FRACTIONS:
+            stats = table[(policy, fraction)]
+            rows.append(
+                [
+                    policy.value,
+                    f"{fraction:.0%}",
+                    f"{stats.p_tamper:.3f}",
+                    f"{stats.p_bad_apple:.4f}",
+                    stats.exit_pool_size,
+                    f"{stats.availability:.0%}",
+                ]
+            )
+            benchmark.extra_info[f"{policy.value}@{fraction}"] = stats.p_tamper
+    emit(
+        format_table(
+            [
+                "client policy",
+                "SGX fraction",
+                "P(tamper exit)",
+                "P(bad apple)",
+                "exit pool",
+                "circuits built",
+            ],
+            rows,
+            title=(
+                "Ablation A4 — incremental SGX deployment "
+                f"({N_RELAYS} relays, {N_EXITS} exits, {N_MALICIOUS} malicious)"
+            ),
+        )
+    )
+
+    any_policy = {f: table[(ClientPolicy.ANY, f)] for f in FRACTIONS}
+    prefer = {f: table[(ClientPolicy.PREFER_SGX, f)] for f in FRACTIONS}
+    require = {f: table[(ClientPolicy.REQUIRE_SGX, f)] for f in FRACTIONS}
+
+    # Legacy clients gain nothing from deployment they ignore:
+    baseline = N_MALICIOUS / N_EXITS
+    for fraction in FRACTIONS:
+        assert abs(any_policy[fraction].p_tamper - baseline) < 0.1
+
+    # PREFER_SGX: exposure collapses once SGX exits exist, and
+    # availability never suffers.
+    assert prefer[0.0].p_tamper > 0.15
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        assert prefer[fraction].p_tamper == 0.0
+        assert prefer[fraction].availability == 1.0
+
+    # REQUIRE_SGX: always zero exposure; at fraction 0 no circuit can
+    # be built at all, and the anonymity set tracks the SGX subset.
+    assert require[0.0].availability == 0.0
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        assert require[fraction].p_tamper == 0.0
+        assert require[fraction].exit_pool_size <= prefer[1.0].exit_pool_size
+    assert require[0.25].exit_pool_size < require[1.0].exit_pool_size
+
+    # The anonymity cost: the strict policy's pools are smaller than
+    # the legacy pools until deployment completes.
+    assert require[0.5].guard_pool_size < any_policy[0.5].guard_pool_size

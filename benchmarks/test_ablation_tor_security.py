@@ -1,0 +1,101 @@
+"""Ablation A3: Tor attack surface across SGX deployment phases.
+
+The security argument of Section 3.2, quantified: run the same
+malicious-volunteer workload (a tampering exit + a snooping relay)
+against each deployment phase and count what the attacker achieves.
+"""
+
+from conftest import emit
+
+from repro.cost import format_table
+from repro.errors import TorError
+from repro.tor.deployment import TorDeployment, TorDeploymentConfig
+
+MALICIOUS = {"or1": "tamper", "or2": "snoop"}
+N_RELAYS = 6
+N_EXITS = 3  # or1, or2, or3 are exits
+
+
+def evaluate_phase(phase: int):
+    deployment = TorDeployment(
+        TorDeploymentConfig(
+            phase=phase,
+            n_relays=N_RELAYS,
+            n_exits=N_EXITS,
+            malicious=dict(MALICIOUS),
+            seed=b"ablation-tor",
+        )
+    )
+    admitted = sorted(
+        name
+        for name, handle in deployment.relays.items()
+        if handle.malicious
+        and (
+            (phase < 3 and any(handle.admitted_by.values()))
+            or (phase >= 3 and name in (deployment.dht.members() if deployment.dht else []))
+        )
+    )
+
+    # Can the attacker's exit tamper with a real client flow?
+    tamper_success = False
+    try:
+        result = deployment.run_client_request(
+            forced_path=["or5", "or6", "or1"]
+        )
+        tamper_success = not result["intact"]
+    except TorError:
+        tamper_success = False  # cannot even route through it
+
+    # Does honest traffic survive?
+    honest = deployment.run_client_request(forced_path=["or5", "or6", "or3"])
+
+    return {
+        "phase": phase,
+        "malicious_admitted": admitted,
+        "tamper_success": tamper_success,
+        "honest_intact": honest["intact"],
+    }
+
+
+def test_ablation_tor_attacks_by_phase(once, benchmark):
+    results = once(lambda: [evaluate_phase(p) for p in (0, 1, 2, 3)])
+
+    labels = {
+        0: "legacy",
+        1: "SGX directories",
+        2: "+ SGX ORs",
+        3: "fully SGX (DHT)",
+    }
+    rows = []
+    for entry in results:
+        rows.append(
+            [
+                f"{entry['phase']} ({labels[entry['phase']]})",
+                ", ".join(entry["malicious_admitted"]) or "none",
+                "YES" if entry["tamper_success"] else "no",
+                "yes" if entry["honest_intact"] else "NO",
+            ]
+        )
+        benchmark.extra_info[f"phase{entry['phase']}_tamper"] = entry[
+            "tamper_success"
+        ]
+    emit(
+        format_table(
+            ["phase", "malicious relays admitted", "tamper attack works", "honest traffic ok"],
+            rows,
+            title="Ablation A3 — attack surface per SGX deployment phase",
+        )
+    )
+
+    by_phase = {entry["phase"]: entry for entry in results}
+    # Phases 0-1: the modified volunteer gets in and the attack lands.
+    assert by_phase[0]["malicious_admitted"] == ["or1", "or2"]
+    assert by_phase[0]["tamper_success"]
+    assert by_phase[1]["tamper_success"]
+    # Phases 2-3: attestation keeps modified relays out entirely.
+    assert by_phase[2]["malicious_admitted"] == []
+    assert not by_phase[2]["tamper_success"]
+    assert by_phase[3]["malicious_admitted"] == []
+    assert not by_phase[3]["tamper_success"]
+    # Honest traffic works everywhere.
+    assert all(entry["honest_intact"] for entry in results)

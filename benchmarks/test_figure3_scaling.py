@@ -1,0 +1,38 @@
+"""Figure 3: controller CPU cycles vs AS count, w/ and w/o SGX.
+
+Paper: both curves grow superlinearly with topology complexity and the
+SGX curve sits ~90% above native across the sweep.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_figure3, run_figure3
+
+SWEEP = [5, 10, 15, 20, 25, 30]
+
+
+def test_figure3_controller_scaling(once, benchmark):
+    series = once(run_figure3, SWEEP)
+    emit(format_figure3(series))
+
+    for point in series:
+        benchmark.extra_info[f"n{point['n']}_native"] = point["native"]
+        benchmark.extra_info[f"n{point['n']}_sgx"] = point["sgx"]
+
+    # Shape 1: monotone, superlinear growth.
+    natives = [p["native"] for p in series]
+    sgxs = [p["sgx"] for p in series]
+    assert all(b > a for a, b in zip(natives, natives[1:]))
+    assert all(b > a for a, b in zip(sgxs, sgxs[1:]))
+    assert natives[-1] / natives[0] > SWEEP[-1] / SWEEP[0]
+
+    # Shape 2: consistently above native; in the paper's band from
+    # mid-scale (tiny topologies amplify fixed per-connection costs).
+    for point in series:
+        overhead = point["sgx"] / point["native"] - 1
+        assert overhead > 0.5, point
+        if point["n"] >= 15:
+            assert overhead < 1.3, point
+
+    final = series[-1]
+    assert 0.6 < final["sgx"] / final["native"] - 1 < 1.2  # paper ~0.9

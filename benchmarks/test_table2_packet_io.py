@@ -1,0 +1,29 @@
+"""Table 2: instructions for packet transmission from inside an enclave.
+
+Paper: 1 packet = 6 SGX(U) + 13K (97K with crypto); 100 packets = 204
+SGX(U) + 136K (972K with crypto); batching amortizes ~10x.
+"""
+
+from conftest import emit
+
+from repro.experiments import TABLE2_PAPER, format_table2, run_table2
+
+
+def test_table2_packet_io(once, benchmark):
+    results = once(run_table2)
+    emit(format_table2(results))
+
+    for key, counter in results.items():
+        paper_sgx, paper_normal = TABLE2_PAPER[key]
+        benchmark.extra_info[str(key)] = counter.normal_instructions
+        assert counter.sgx_instructions == paper_sgx, key
+        assert abs(counter.normal_instructions - paper_normal) / paper_normal < 0.05, key
+
+    per_packet_single = results[(1, False)].normal_instructions
+    per_packet_batched = results[(100, False)].normal_instructions / 100
+    amortization = per_packet_single / per_packet_batched
+    emit(
+        f"amortization: {per_packet_single:.0f} -> {per_packet_batched:.0f} "
+        f"normal instructions/packet ({amortization:.1f}x; paper ~9.6x)"
+    )
+    assert amortization > 5

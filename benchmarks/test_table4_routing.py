@@ -1,0 +1,56 @@
+"""Table 4: costs of SDN-based inter-domain routing (30 ASes).
+
+Paper: inter-domain 74M -> 135M normal instructions (+82%, 1448
+SGX(U)); AS-local avg 13M -> 24M (+69%, 42 SGX(U)); steady state,
+launch and attestation excluded.
+"""
+
+from conftest import emit
+
+from repro.experiments import TABLE4_PAPER, format_table4, run_table4
+from repro.routing.bgp import DistributedBgpSimulator
+
+N_ASES = 30
+
+
+def test_table4_routing_costs(once, benchmark):
+    sgx, native = once(run_table4, N_ASES)
+    emit(format_table4(sgx, native))
+
+    # Correctness first: both deployments computed identical routes,
+    # matching the independent distributed-BGP oracle (the paper's
+    # GNS3 validation step).
+    assert sgx.routes == native.routes
+    oracle = DistributedBgpSimulator(sgx.policies)
+    oracle.run()
+    for asn in sgx.topology.asns:
+        assert sgx.routes[asn] == oracle.best_routes(asn)
+
+    aslc_native = sum(
+        c.normal_instructions for c in native.as_steady.values()
+    ) / len(native.as_steady)
+    aslc_sgx = sum(c.normal_instructions for c in sgx.as_steady.values()) / len(
+        sgx.as_steady
+    )
+    idc_overhead = (
+        sgx.controller_steady.normal_instructions
+        / native.controller_steady.normal_instructions
+        - 1
+    )
+    aslc_overhead = aslc_sgx / aslc_native - 1
+    benchmark.extra_info.update(
+        {
+            "idc_native": native.controller_steady.normal_instructions,
+            "idc_sgx": sgx.controller_steady.normal_instructions,
+            "idc_overhead": idc_overhead,
+            "aslc_overhead": aslc_overhead,
+        }
+    )
+
+    # Magnitudes within 2x of the paper; overheads in the paper's band.
+    assert 0.5 < native.controller_steady.normal_instructions / TABLE4_PAPER["idc_native"] < 2.0
+    assert 0.5 < sgx.controller_steady.normal_instructions / TABLE4_PAPER["idc_sgx"] < 2.0
+    assert 0.5 < aslc_native / TABLE4_PAPER["aslc_native"] < 2.0
+    assert 0.5 < aslc_sgx / TABLE4_PAPER["aslc_sgx"] < 2.0
+    assert 0.5 < idc_overhead < 1.2       # paper: 0.82
+    assert 0.4 < aslc_overhead < 1.1      # paper: 0.69

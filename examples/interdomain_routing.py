@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Case study 1: privacy-preserving SDN inter-domain routing (§3.1).
+
+Builds a random 12-AS topology with Gao-Rexford business
+relationships, runs the full SGX deployment — AS-local controller
+enclaves ship their private BGP-like policies to the inter-domain
+controller enclave over mutually attested channels; the controller
+computes everyone's routes and returns each AS only its own — then:
+
+* cross-checks the routes against an independent distributed BGP
+  simulator (the paper validated with GNS3);
+* runs a *policy verification predicate*: AS 'a' promised its customer
+  'b' to prefer b's route — b verifies the promise with a single bit,
+  learning nothing else (the SPIDeR-style check, in-enclave);
+* compares steady-state instruction counts with the native baseline
+  (the Table 4 experiment at small scale).
+
+Run:  python examples/interdomain_routing.py
+"""
+
+from repro.cost import format_count
+from repro.routing import (
+    DistributedBgpSimulator,
+    Predicate,
+    PredicateKind,
+    run_native_routing,
+    run_sgx_routing,
+)
+
+N_ASES = 12
+SEED = b"example-routing"
+
+
+def main() -> None:
+    # Probe run (native) to discover a true promise to verify.
+    probe = run_native_routing(n_ases=N_ASES, seed=SEED)
+    subject = probe.topology.asns[-1]
+    some_route = next(iter(probe.routes[subject].values()))
+    partner = some_route.learned_from
+    predicate = Predicate(
+        predicate_id="peering-promise-1",
+        kind=PredicateKind.PREFERS_VIA,
+        subject=subject,
+        partner=partner,
+        prefix=some_route.prefix,
+    )
+    print(
+        f"registered agreement: does AS{subject} prefer the route to "
+        f"{some_route.prefix} via AS{partner}?"
+    )
+
+    print(f"\nbuilding SGX deployment: {N_ASES} ASes + inter-domain controller ...")
+    sgx = run_sgx_routing(
+        n_ases=N_ASES,
+        seed=SEED,
+        predicates=[(subject, predicate), (partner, predicate)],
+        queries=[(subject, predicate.predicate_id)],
+    )
+    print(f"  attested sessions: {sgx.attestations // 2} (mutual, so {sgx.attestations} quotes)")
+    print(f"  simulated time: {sgx.sim_time:.2f}s")
+
+    # Every AS got exactly its own routes; show one.
+    example_as = sgx.topology.asns[0]
+    routes = sgx.routes[example_as]
+    print(f"\nAS{example_as} received {len(routes)} routes, e.g.:")
+    for prefix, route in list(sorted(routes.items()))[:3]:
+        print(f"  {prefix:<16} via AS-path {'-'.join(map(str, route.path))}")
+
+    # GNS3-style validation with the independent oracle.
+    oracle = DistributedBgpSimulator(sgx.policies)
+    oracle.run()
+    mismatches = sum(
+        1 for asn in sgx.topology.asns if sgx.routes[asn] != oracle.best_routes(asn)
+    )
+    print(f"\noracle cross-check: {mismatches} mismatching ASes (expect 0)")
+
+    answer = sgx.predicate_results[subject][predicate.predicate_id]
+    print(f"predicate answer delivered to AS{subject}: {answer} (one bit, nothing more)")
+
+    # The cost story.
+    native = run_native_routing(n_ases=N_ASES, seed=SEED)
+    sgx_n = sgx.controller_steady.normal_instructions
+    native_n = native.controller_steady.normal_instructions
+    print(
+        f"\ninter-domain controller steady state: "
+        f"{format_count(native_n)} native vs {format_count(sgx_n)} with SGX "
+        f"(+{sgx_n / native_n - 1:.0%}; the paper measured +82% at 30 ASes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Case study 3: secure in-network functions over TLS (§3.3).
+
+A client talks TLS to a web server through a chain of two middleboxes.
+Without key provisioning the boxes forward opaque ciphertext; after
+the client attests each box's enclave and hands over the session keys,
+the boxes run DPI *inside their enclaves* — the host never sees
+plaintext — and a blocking rule can kill a flow mid-stream.  A
+tampered middlebox build fails attestation and never gets keys.
+
+Run:  python examples/middlebox_dpi.py
+"""
+
+from repro.middlebox.scenarios import MiddleboxScenario
+
+RULES = [
+    ("pii-leak", b"SSN=", "alert"),
+    ("malware-dl", b"EICAR-TEST", "block"),
+]
+
+
+def main() -> None:
+    print("=== unilateral inspection (enterprise outbound) ===")
+    scenario = MiddleboxScenario(n_middleboxes=2, rules=RULES)
+    result = scenario.run(
+        [
+            b"POST /form name=alice SSN=123-45-6789",
+            b"GET /weather",
+        ]
+    )
+    print(f"replies: {[r[:30] for r in result.replies]}")
+    print(f"middlebox enclaves attested by the client: {result.attestations}")
+    print(f"keys provisioned to: {result.provisioned}")
+    for name, stats in result.stats.items():
+        print(
+            f"  {name}: {stats['inspected']} records inspected in-enclave, "
+            f"{stats['alerts']} alerts, {stats['opaque']} opaque (handshake)"
+        )
+
+    print("\n=== blocking rule kills the flow ===")
+    scenario = MiddleboxScenario(n_middleboxes=1, rules=RULES)
+    result = scenario.run(
+        [b"hello", b"download EICAR-TEST now", b"this never arrives"]
+    )
+    print(f"delivered before the block: {result.replies}")
+    print(f"flow blocked: {result.blocked}")
+
+    print("\n=== tampered middlebox build gets nothing ===")
+    scenario = MiddleboxScenario(n_middleboxes=1, tampered_boxes=(0,))
+    result = scenario.run([b"confidential report"])
+    print(f"attestation failures: {result.attestation_failures}")
+    print(f"traffic still delivered: {result.replies}")
+    print(
+        f"records the rogue box could read: "
+        f"{result.stats['mbox0']['inspected']} "
+        f"(all {result.stats['mbox0']['opaque']} transits stayed opaque)"
+    )
+
+    print("\n=== bilateral consent (both endpoints must agree) ===")
+    scenario = MiddleboxScenario(n_middleboxes=1, rules=RULES, bilateral=True)
+    result = scenario.run([b"SSN=000-00-0000"])
+    consents = scenario.middleboxes[0].enclave.ecall("flow_consents", "client")
+    print(f"consents recorded in-enclave: {consents}")
+    print(f"alerts: {result.stats['mbox0']['alerts']} (inspection active only after both)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Case study 2: SGX-enabled Tor (§3.2).
+
+Runs the same malicious-volunteer attack — a relay whose owner
+modified the exit code to tamper with plaintext — against three
+deployment stages:
+
+* legacy Tor: the volunteer is admitted and the attack lands;
+* incremental SGX ORs: the modified relay fails remote attestation at
+  registration and never enters the consensus;
+* fully SGX: no directory authorities at all — membership lives in a
+  Chord DHT gated on attestation.
+
+Run:  python examples/tor_anonymity.py
+"""
+
+from repro.tor.deployment import TorDeployment, TorDeploymentConfig
+
+MALICIOUS = {"or1": "tamper"}
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 60 - len(text)))
+
+
+def main() -> None:
+    banner("Phase 0: legacy Tor (no SGX)")
+    legacy = TorDeployment(
+        TorDeploymentConfig(phase=0, n_relays=6, n_exits=2, malicious=MALICIOUS)
+    )
+    print("admission of the tampered volunteer:", legacy.relays["or1"].admitted_by)
+    attack = legacy.run_client_request(forced_path=["or4", "or5", "or1"])
+    print(f"circuit {' -> '.join(attack['path'])}")
+    print(f"client received: {attack['reply'][:40]!r}...")
+    print(f"content intact: {attack['intact']}  <-- one bad apple is enough")
+
+    banner("Phase 2: SGX onion routers + SGX directories")
+    sgx = TorDeployment(
+        TorDeploymentConfig(phase=2, n_relays=5, n_exits=2, malicious=MALICIOUS)
+    )
+    print("rejected at attestation:", sgx.rejected_registrations)
+    consensus = sgx.fetch_consensus()
+    print("consensus relays:", [entry.nickname for entry in consensus.routers()])
+    print(
+        f"client attested {sgx.client_attestations} directory authorities "
+        "while fetching the consensus (Table 3)"
+    )
+    clean = sgx.run_client_request()
+    print(f"circuit {' -> '.join(clean['path'])}: intact = {clean['intact']}")
+
+    banner("Phase 3: fully SGX, directory-less (Chord DHT)")
+    full = TorDeployment(
+        TorDeploymentConfig(phase=3, n_relays=6, n_exits=2, malicious=MALICIOUS)
+    )
+    print("DHT members:", full.dht.members())
+    print("rejected joins:", full.dht.rejected_joins)
+    result = full.run_client_request()
+    print(f"circuit {' -> '.join(result['path'])}: intact = {result['intact']}")
+    print(
+        f"descriptor lookups: {full.dht.lookups}, "
+        f"avg {full.dht.lookup_hops / max(1, full.dht.lookups):.1f} Chord hops"
+    )
+    print(
+        "\nno directory authorities were required — membership checking "
+        "is done by hardware through SGX, as the paper proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

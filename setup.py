@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel``
+package, so PEP 660 editable installs cannot build; ``pip install -e .
+--no-build-isolation --no-use-pep517`` falls back to ``setup.py
+develop``, which this shim provides.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

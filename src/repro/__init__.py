@@ -1,0 +1,43 @@
+"""Reproduction of "A First Step Towards Leveraging Commodity Trusted
+Execution Environments for Network Applications" (HotNets 2015).
+
+The package is organized as a set of substrates and applications:
+
+- :mod:`repro.cost` -- instruction/cycle cost accounting (the paper's
+  evaluation methodology: 10K cycles per user-mode SGX instruction, a
+  measured cycles-per-instruction factor for normal instructions).
+- :mod:`repro.crypto` -- from-scratch crypto used by the prototype
+  (AES, DH-1024, SHA-256/HMAC, RSA, Schnorr, an EPID-style group
+  signature for quoting).
+- :mod:`repro.sgx` -- a functional Intel SGX emulator in the spirit of
+  OpenSGX: enclaves, EPC, measurement, EREPORT/EGETKEY, quoting
+  enclave, local and remote attestation.
+- :mod:`repro.net` -- a deterministic discrete-event network simulator
+  with hosts, links, streams, and secure record channels.
+- :mod:`repro.core` -- the paper's generalized contribution: network
+  endpoints whose trust is rooted in enclave measurement, connected by
+  attestation-bootstrapped secure channels.
+- :mod:`repro.routing`, :mod:`repro.tor`, :mod:`repro.middlebox` -- the
+  three case-study applications from Section 3.
+"""
+
+__version__ = "0.1.0"
+
+from repro.errors import (
+    ReproError,
+    CryptoError,
+    SgxError,
+    AttestationError,
+    NetworkError,
+    ProtocolError,
+)
+
+__all__ = [
+    "ReproError",
+    "CryptoError",
+    "SgxError",
+    "AttestationError",
+    "NetworkError",
+    "ProtocolError",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro table1          # remote-attestation instruction counts
+    python -m repro table2          # enclave packet-I/O costs
+    python -m repro table3          # attestations per design (live runs)
+    python -m repro table4          # routing cost, 30 ASes
+    python -m repro figure3         # controller scaling sweep
+    python -m repro all             # everything above, in order
+
+Ablations and the full statistical harness live under ``benchmarks/``
+(``pytest benchmarks/ --benchmark-only -s``); this CLI is the quick,
+dependency-free way to see the reproduction next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import experiments
+
+
+def _table1() -> None:
+    print(experiments.format_table1(experiments.run_table1()))
+
+
+def _table2() -> None:
+    print(experiments.format_table2(experiments.run_table2()))
+
+
+def _table3() -> None:
+    print(experiments.format_table3(experiments.run_table3()))
+
+
+def _table4(n_ases: int) -> None:
+    sgx, native = experiments.run_table4(n_ases=n_ases)
+    print(experiments.format_table4(sgx, native))
+
+
+def _figure3() -> None:
+    print(experiments.format_figure3(experiments.run_figure3()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the evaluation of 'A First Step Towards Leveraging "
+            "Commodity TEEs for Network Applications' (HotNets 2015)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "table4", "figure3", "all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--ases",
+        type=int,
+        default=30,
+        help="AS count for table4 (default: 30, as in the paper)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = {
+        "table1": _table1,
+        "table2": _table2,
+        "table3": _table3,
+        "table4": lambda: _table4(args.ases),
+        "figure3": _figure3,
+    }
+    selected = list(jobs) if args.experiment == "all" else [args.experiment]
+    for name in selected:
+        start = time.time()
+        jobs[name]()
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

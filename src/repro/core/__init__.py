@@ -1,0 +1,28 @@
+"""The paper's generalized contribution: network endpoints whose trust
+is rooted in enclave measurement, talking over attestation-bootstrapped
+secure channels, with software identity certified by open publishers.
+"""
+
+from repro.core.app import FRAME_ATTEST, FRAME_RECORD, SecureApplicationProgram
+from repro.core.endpoint import EnclaveNode
+from repro.core.identity import (
+    ReleaseCertificate,
+    SoftwareIdentityRegistry,
+    SoftwarePublisher,
+)
+from repro.core.service import AttestedServer, AttestedSession, open_attested_session
+from repro.core.trust import TrustAnchor
+
+__all__ = [
+    "SecureApplicationProgram",
+    "FRAME_ATTEST",
+    "FRAME_RECORD",
+    "EnclaveNode",
+    "ReleaseCertificate",
+    "SoftwarePublisher",
+    "SoftwareIdentityRegistry",
+    "AttestedServer",
+    "AttestedSession",
+    "open_attested_session",
+    "TrustAnchor",
+]

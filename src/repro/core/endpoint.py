@@ -1,0 +1,75 @@
+"""An SGX-enabled network node: one simulated host + one platform."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cost import CostAccountant
+from repro.cost.model import CostModel
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import RsaPrivateKey
+from repro.net.network import Host, Network
+from repro.net.sim import Simulator
+from repro.sgx.enclave import Enclave
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.quoting import AttestationAuthority
+from repro.sgx.runtime import EnclaveProgram
+from repro.sgx.sigstruct import SigStruct
+
+__all__ = ["EnclaveNode"]
+
+
+class EnclaveNode:
+    """A host on the simulated network with an SGX platform attached.
+
+    ``authority=None`` models a legacy, non-SGX machine: it still has a
+    host on the network but cannot quote (useful for the incremental-
+    deployment Tor experiments).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        authority: Optional[AttestationAuthority],
+        rng: Optional[Rng] = None,
+        model: Optional[CostModel] = None,
+        accountant: Optional[CostAccountant] = None,
+    ) -> None:
+        self.network = network
+        self.name = name
+        self.host: Host = network.add_host(name)
+        self.platform = SgxPlatform(
+            name,
+            authority,
+            rng=rng if rng is not None else Rng(name, "node"),
+            accountant=accountant,
+            model=model,
+        )
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    @property
+    def accountant(self) -> CostAccountant:
+        return self.platform.accountant
+
+    @property
+    def sgx_enabled(self) -> bool:
+        return self.platform.quoting_enclave is not None
+
+    def load(
+        self,
+        program: EnclaveProgram,
+        author_key: Optional[RsaPrivateKey] = None,
+        sigstruct: Optional[SigStruct] = None,
+        name: Optional[str] = None,
+    ) -> Enclave:
+        """Load an enclave program on this node's platform."""
+        return self.platform.load_enclave(
+            program, author_key=author_key, sigstruct=sigstruct, name=name
+        )
+
+    def __repr__(self) -> str:
+        return f"<EnclaveNode {self.name!r} sgx={self.sgx_enabled}>"

@@ -1,0 +1,161 @@
+"""Software identity for open, shared code (paper Section 4).
+
+The paper observes that for open-source projects (Tor, a shared
+inter-domain controller) *anyone* can validate the code, build it
+deterministically, and derive the enclave measurement; a publisher
+(e.g. "the Tor foundation") then signs release certificates that bind
+a human-readable release name to the measurement.  Verifiers pin the
+set of certified measurements instead of trusting operators.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Type
+
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import (
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_rsa_keypair,
+    rsa_sign,
+    rsa_verify,
+)
+from repro.errors import AttestationError
+from repro.sgx.measurement import measure_program
+from repro.wire import Reader, Writer
+
+__all__ = ["ReleaseCertificate", "SoftwarePublisher", "SoftwareIdentityRegistry"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReleaseCertificate:
+    """A publisher-signed (name, version, measurement) binding."""
+
+    name: str
+    version: str
+    mrenclave: bytes
+    publisher: RsaPublicKey
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return (
+            Writer()
+            .string(self.name)
+            .string(self.version)
+            .raw(self.mrenclave)
+            .getvalue()
+        )
+
+    def verify(self, publisher: Optional[RsaPublicKey] = None) -> None:
+        """Check the signature (against a pinned publisher if given)."""
+        key = publisher if publisher is not None else self.publisher
+        if publisher is not None and publisher != self.publisher:
+            raise AttestationError("certificate names a different publisher")
+        if not rsa_verify(key, self.signed_body(), self.signature):
+            raise AttestationError(f"release certificate for '{self.name}' invalid")
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .raw(self.signed_body())
+            .varint(self.publisher.n)
+            .varint(self.publisher.e)
+            .varbytes(self.signature)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ReleaseCertificate":
+        reader = Reader(data)
+        name = reader.string()
+        version = reader.string()
+        mrenclave = reader.raw(32)
+        n = reader.varint()
+        e = reader.varint()
+        signature = reader.varbytes()
+        return cls(
+            name=name,
+            version=version,
+            mrenclave=mrenclave,
+            publisher=RsaPublicKey(n=n, e=e),
+            signature=signature,
+        )
+
+
+class SoftwarePublisher:
+    """The body that certifies legitimate builds (e.g. the Tor foundation)."""
+
+    def __init__(self, name: str, rng: Rng, key_bits: int = 512) -> None:
+        self.name = name
+        self._key: RsaPrivateKey = generate_rsa_keypair(key_bits, rng.fork("publisher"))
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self._key.public_key()
+
+    def certify_measurement(
+        self, release_name: str, version: str, mrenclave: bytes
+    ) -> ReleaseCertificate:
+        """Sign a measurement derived out-of-band."""
+        if len(mrenclave) != 32:
+            raise AttestationError("measurement must be 32 bytes")
+        body = (
+            Writer().string(release_name).string(version).raw(mrenclave).getvalue()
+        )
+        return ReleaseCertificate(
+            name=release_name,
+            version=version,
+            mrenclave=mrenclave,
+            publisher=self.public_key,
+            signature=rsa_sign(self._key, body),
+        )
+
+    def certify_program(
+        self, release_name: str, program_class: Type, version: str = "1"
+    ) -> ReleaseCertificate:
+        """Deterministic-build path: measure the source, then certify.
+
+        ``version`` is the *release label* on the certificate; the
+        measurement depends only on the program source.
+        """
+        return self.certify_measurement(
+            release_name, version, measure_program(program_class)
+        )
+
+
+class SoftwareIdentityRegistry:
+    """A verifier's local store of certified releases.
+
+    Certificates are verified against the pinned publisher key on
+    insertion; :meth:`measurements` feeds attestation policies.
+    """
+
+    def __init__(self, publisher_key: RsaPublicKey) -> None:
+        self._publisher = publisher_key
+        self._by_name: Dict[str, List[ReleaseCertificate]] = {}
+
+    def add(self, certificate: ReleaseCertificate) -> None:
+        certificate.verify(self._publisher)
+        self._by_name.setdefault(certificate.name, []).append(certificate)
+
+    def measurements(self, release_name: str) -> FrozenSet[bytes]:
+        """Every certified MRENCLAVE for a release name."""
+        certs = self._by_name.get(release_name, [])
+        if not certs:
+            raise AttestationError(f"no certified releases named '{release_name}'")
+        return frozenset(c.mrenclave for c in certs)
+
+    def releases(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def revoke_version(self, release_name: str, version: str) -> int:
+        """Drop a bad release (e.g. after a key compromise); returns count."""
+        certs = self._by_name.get(release_name, [])
+        keep = [c for c in certs if c.version != version]
+        removed = len(certs) - len(keep)
+        if keep:
+            self._by_name[release_name] = keep
+        else:
+            self._by_name.pop(release_name, None)
+        return removed

@@ -1,0 +1,173 @@
+"""Untrusted pumps connecting attested enclaves over the network.
+
+The enclave side of a connection lives in
+:class:`~repro.core.app.SecureApplicationProgram`; these helpers are
+the *untrusted* glue that accepts streams, shuttles opaque frames into
+``session_handle`` and ships whatever ``collect_outgoing`` drains.
+They see only ciphertext after the handshake.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from repro.errors import AttestationError, NetworkError
+from repro.net.transport import StreamListener, StreamSocket, connect
+from repro.sgx.attestation import AttestationConfig, IdentityPolicy
+from repro.sgx.enclave import Enclave
+from repro.sgx.quoting import QuoteVerificationInfo
+
+from repro.core.endpoint import EnclaveNode
+
+__all__ = ["AttestedServer", "AttestedSession", "open_attested_session"]
+
+_session_counter = itertools.count(1)
+
+
+def _pump(conn: StreamSocket, enclave: Enclave, session_id: str) -> Generator:
+    """Forward frames between a stream and an enclave session."""
+    while True:
+        message = yield conn.recv_message()
+        if message is None:  # peer closed
+            enclave.ecall("session_close", session_id)
+            return
+        reply = enclave.ecall("session_handle", session_id, message)
+        if reply is not None:
+            conn.send_message(reply)
+        for frame in enclave.ecall("collect_outgoing", session_id):
+            conn.send_message(frame)
+
+
+class AttestedServer:
+    """Listens on a port and runs one enclave session per connection.
+
+    After every handled message the server drains *every* session's
+    outbox, not just the active one: enclave applications often react
+    to one peer's message by pushing to others (e.g. the inter-domain
+    controller distributing routes once the last policy arrives).
+    """
+
+    def __init__(self, node: EnclaveNode, enclave: Enclave, port: int) -> None:
+        self.node = node
+        self.enclave = enclave
+        self.port = port
+        self.listener = StreamListener(node.host, port)
+        self.sessions_accepted = 0
+        self._conns: dict = {}
+        node.sim.spawn(self._accept_loop(), f"attested-server:{node.name}:{port}")
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self.listener.accept()
+            session_id = f"{self.node.name}:{self.port}#{next(_session_counter)}"
+            self.sessions_accepted += 1
+            self.enclave.ecall("session_accept", session_id)
+            self._conns[session_id] = conn
+            self.node.sim.spawn(
+                self._server_pump(conn, session_id),
+                f"pump:{session_id}",
+            )
+
+    def _server_pump(self, conn: StreamSocket, session_id: str) -> Generator:
+        from repro.errors import ReproError
+
+        while True:
+            message = yield conn.recv_message()
+            if message is None:
+                self._conns.pop(session_id, None)
+                self.enclave.ecall("session_close", session_id)
+                return
+            try:
+                reply = self.enclave.ecall("session_handle", session_id, message)
+            except ReproError:
+                # Attestation or protocol failure: refuse the peer and
+                # keep serving others (e.g. a tampered relay knocking).
+                self._conns.pop(session_id, None)
+                self.enclave.ecall("session_close", session_id)
+                conn.close()
+                return
+            if reply is not None:
+                conn.send_message(reply)
+            self.flush_all()
+
+    def flush_all(self) -> int:
+        """Drain the outboxes of sessions that actually have data."""
+        shipped = 0
+        for sid in self.enclave.ecall("pending_sessions"):
+            conn = self._conns.get(sid)
+            if conn is None:
+                continue
+            for frame in self.enclave.ecall("collect_outgoing", sid):
+                conn.send_message(frame)
+                shipped += 1
+        return shipped
+
+
+class AttestedSession:
+    """Client-side handle to an established attested session."""
+
+    def __init__(self, conn: StreamSocket, enclave: Enclave, session_id: str) -> None:
+        self.conn = conn
+        self.enclave = enclave
+        self.session_id = session_id
+
+    def flush(self) -> int:
+        """Ship queued encrypted frames; returns how many were sent."""
+        frames = self.enclave.ecall("collect_outgoing", self.session_id)
+        for frame in frames:
+            self.conn.send_message(frame)
+        return len(frames)
+
+    @property
+    def established(self) -> bool:
+        return self.enclave.ecall("session_established", self.session_id)
+
+    def peer_identity(self):
+        return self.enclave.ecall("session_peer", self.session_id)
+
+    def close(self) -> None:
+        self.conn.close()
+        self.enclave.ecall("session_close", self.session_id)
+
+
+def open_attested_session(
+    node: EnclaveNode,
+    enclave: Enclave,
+    dst: str,
+    dst_port: int,
+    verification_info: Optional[QuoteVerificationInfo] = None,
+    policy: Optional[IdentityPolicy] = None,
+    config: AttestationConfig = AttestationConfig(),
+    handshake_timeout: float = 30.0,
+) -> Generator:
+    """Sub-generator: connect, attest, return an :class:`AttestedSession`.
+
+    Usage inside a simulator process::
+
+        session = yield from open_attested_session(node, enclave, "peer", 443)
+    """
+    conn = yield from connect(node.host, dst, dst_port)
+    session_id = f"{node.name}->{dst}:{dst_port}#{next(_session_counter)}"
+    first = enclave.ecall(
+        "session_connect", session_id, verification_info, policy, config
+    )
+    conn.send_message(first)
+
+    while not enclave.ecall("session_established", session_id):
+        try:
+            message = yield conn.recv_message(timeout=handshake_timeout)
+        except NetworkError as exc:
+            raise AttestationError(
+                f"attestation handshake with {dst} timed out"
+            ) from exc
+        if message is None:
+            raise AttestationError(f"{dst} closed during attestation")
+        reply = enclave.ecall("session_handle", session_id, message)
+        if reply is not None:
+            conn.send_message(reply)
+
+    session = AttestedSession(conn, enclave, session_id)
+    session.flush()  # anything queued inside _on_session_established
+    node.sim.spawn(_pump(conn, enclave, session_id), f"pump:{session_id}")
+    return session

@@ -1,0 +1,45 @@
+"""Trust anchoring: from certified releases to attestation policies."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sgx.attestation import IdentityPolicy
+from repro.sgx.quoting import AttestationAuthority, QuoteVerificationInfo
+
+from repro.core.identity import SoftwareIdentityRegistry
+
+__all__ = ["TrustAnchor"]
+
+
+class TrustAnchor:
+    """Everything a verifier pins: the attestation service's group key
+    and the publisher-certified software measurements.
+
+    This packages the paper's Section 4 model: "anyone who obtains the
+    valid code and the open private attestation key from the open
+    project" can verify remote instances.
+    """
+
+    def __init__(
+        self,
+        authority: AttestationAuthority,
+        registry: SoftwareIdentityRegistry,
+    ) -> None:
+        self._authority = authority
+        self._registry = registry
+
+    @property
+    def verification_info(self) -> QuoteVerificationInfo:
+        """Fresh info (group key + current revocation list)."""
+        return self._authority.verification_info()
+
+    def policy_for(self, release_name: str, min_isv_svn: int = 0) -> IdentityPolicy:
+        """Accept exactly the certified builds of ``release_name``."""
+        return IdentityPolicy(
+            allowed_mrenclaves=self._registry.measurements(release_name),
+            min_isv_svn=min_isv_svn,
+        )
+
+    def registry(self) -> SoftwareIdentityRegistry:
+        return self._registry

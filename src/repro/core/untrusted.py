@@ -1,0 +1,112 @@
+"""Attested sessions for endpoints that do not own an enclave.
+
+A legacy machine (no SGX) can still *verify* remote enclaves: quote
+verification needs only the attestation authority's group public key.
+This module gives such hosts a client-side attested session compatible
+with :class:`~repro.core.app.SecureApplicationProgram` servers — used
+by non-SGX Tor clients fetching consensus from SGX directories, and by
+TLS endpoints provisioning keys to middlebox enclaves.
+
+The trust asymmetry is real and intended: the untrusted client proves
+nothing about itself (no mutual attestation), so this path only suits
+protocols where the *server's* integrity is what matters.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.app import FRAME_ATTEST, FRAME_RECORD
+from repro.crypto.drbg import Rng
+from repro.errors import AttestationError, ProtocolError
+from repro.net.channel import SecureRecordChannel
+from repro.net.network import Host
+from repro.net.transport import StreamSocket, connect
+from repro.sgx.attestation import AttestationConfig, ChallengerAttestor, IdentityPolicy
+from repro.sgx.measurement import EnclaveIdentity
+from repro.sgx.quoting import QuoteVerificationInfo
+
+__all__ = ["UntrustedAttestedSession", "open_untrusted_session"]
+
+
+class UntrustedAttestedSession:
+    """Host-side handle: channel keys live in this process's memory.
+
+    (That is exactly the paper's point about unilateral designs: the
+    *server* enclave is protected; the legacy client is only as safe
+    as its own host.)
+    """
+
+    def __init__(
+        self,
+        conn: StreamSocket,
+        channel: SecureRecordChannel,
+        peer_identity: EnclaveIdentity,
+    ) -> None:
+        self.conn = conn
+        self._channel = channel
+        self.peer_identity = peer_identity
+
+    def send(self, payload: bytes) -> None:
+        """Encrypt and ship one application message."""
+        record = self._channel.protect(payload)
+        self.conn.send_message(bytes([FRAME_RECORD]) + record)
+
+    def recv(self, timeout: Optional[float] = 30.0) -> Generator:
+        """Sub-generator: the next decrypted application message."""
+        message = yield self.conn.recv_message(timeout=timeout)
+        if message is None:
+            raise ProtocolError("peer closed the attested session")
+        if not message or message[0] != FRAME_RECORD:
+            raise ProtocolError("unexpected frame during secure phase")
+        return self._channel.open(message[1:])
+
+    def request(self, payload: bytes, timeout: Optional[float] = 30.0) -> Generator:
+        """Sub-generator: send one message, await one reply."""
+        self.send(payload)
+        reply = yield from self.recv(timeout=timeout)
+        return reply
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def open_untrusted_session(
+    host: Host,
+    dst: str,
+    dst_port: int,
+    verification_info: QuoteVerificationInfo,
+    policy: IdentityPolicy,
+    rng: Rng,
+    timeout: float = 30.0,
+) -> Generator:
+    """Sub-generator: connect, attest the server enclave, return a
+    :class:`UntrustedAttestedSession`."""
+    challenger = ChallengerAttestor(
+        ctx=None,
+        verification_info=verification_info,
+        policy=policy,
+        config=AttestationConfig(with_dh=True, mutual=False),
+        rng=rng,
+    )
+    conn = yield from connect(host, dst, dst_port)
+    conn.send_message(bytes([FRAME_ATTEST]) + challenger.start())
+
+    while not challenger.complete:
+        message = yield conn.recv_message(timeout=timeout)
+        if message is None:
+            raise AttestationError(f"{dst} closed during attestation")
+        if not message or message[0] != FRAME_ATTEST:
+            raise ProtocolError("unexpected frame during attestation")
+        body = message[1:]
+        if challenger.session_keys is None:
+            confirm = challenger.handle_quote_response(body)
+            if confirm is not None:
+                conn.send_message(bytes([FRAME_ATTEST]) + confirm)
+        else:
+            challenger.handle_finish(body)
+
+    keys = challenger.session_keys
+    assert keys is not None and challenger.peer_identity is not None
+    channel = SecureRecordChannel(keys, "initiator")
+    return UntrustedAttestedSession(conn, channel, challenger.peer_identity)

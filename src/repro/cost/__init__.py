@@ -1,0 +1,27 @@
+"""Cost accounting: the paper's instruction/cycle evaluation methodology."""
+
+from repro.cost.accountant import UNTRUSTED, CostAccountant, Counter, disabled
+from repro.cost.model import DEFAULT_MODEL, CostModel
+from repro.cost.report import (
+    comparison_row,
+    counter_row,
+    format_count,
+    format_table,
+    render_comparison,
+    render_counters,
+)
+
+__all__ = [
+    "UNTRUSTED",
+    "CostAccountant",
+    "Counter",
+    "disabled",
+    "CostModel",
+    "DEFAULT_MODEL",
+    "format_count",
+    "format_table",
+    "counter_row",
+    "render_counters",
+    "comparison_row",
+    "render_comparison",
+]

@@ -1,0 +1,150 @@
+"""Instruction accounting: who executed how many instructions, where.
+
+A :class:`CostAccountant` keeps one :class:`Counter` per *domain*.  A
+domain is a string label identifying an execution context, e.g.
+``"untrusted"``, ``"enclave:inter-domain-controller"`` or
+``"enclave:quoting"``.  Components charge instructions into whatever
+domain is current; the SGX emulator switches domains on every enclave
+entry/exit so that in-enclave and untrusted work are attributed
+separately, as in the paper's tables.
+
+The accountant is intentionally *not* a global: every
+:class:`repro.sgx.platform.SgxPlatform` and every simulated host owns
+its own, so experiments can report per-party numbers (Table 1 reports
+target / quoting / challenger separately; Table 4 reports the
+inter-domain controller and the average AS-local controller).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Dict, Iterator, Optional
+
+UNTRUSTED = "untrusted"
+
+
+@dataclasses.dataclass
+class Counter:
+    """Event counts for one execution domain."""
+
+    sgx_instructions: int = 0
+    normal_instructions: int = 0
+    enclave_crossings: int = 0
+    allocations: int = 0
+
+    def copy(self) -> "Counter":
+        return dataclasses.replace(self)
+
+    def __iadd__(self, other: "Counter") -> "Counter":
+        self.sgx_instructions += other.sgx_instructions
+        self.normal_instructions += other.normal_instructions
+        self.enclave_crossings += other.enclave_crossings
+        self.allocations += other.allocations
+        return self
+
+    def __sub__(self, other: "Counter") -> "Counter":
+        return Counter(
+            sgx_instructions=self.sgx_instructions - other.sgx_instructions,
+            normal_instructions=self.normal_instructions - other.normal_instructions,
+            enclave_crossings=self.enclave_crossings - other.enclave_crossings,
+            allocations=self.allocations - other.allocations,
+        )
+
+
+class CostAccountant:
+    """Accumulates instruction counts per execution domain.
+
+    The *current domain* is managed as a stack so nested attribution
+    (e.g. an ocall temporarily running untrusted code from inside an
+    enclave) unwinds correctly.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._domain_stack = [UNTRUSTED]
+        self.enabled = True
+
+    # -- domain management -------------------------------------------------
+
+    @property
+    def current_domain(self) -> str:
+        return self._domain_stack[-1]
+
+    @contextlib.contextmanager
+    def attribute(self, domain: str) -> Iterator[None]:
+        """Attribute all charges inside the ``with`` block to ``domain``."""
+        self._domain_stack.append(domain)
+        try:
+            yield
+        finally:
+            self._domain_stack.pop()
+
+    # -- charging ----------------------------------------------------------
+
+    def counter(self, domain: Optional[str] = None) -> Counter:
+        """Return (creating if needed) the counter for ``domain``."""
+        key = domain if domain is not None else self.current_domain
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def charge_sgx(self, count: int = 1) -> None:
+        """Record ``count`` user-mode SGX instructions in the current domain."""
+        if self.enabled:
+            self.counter().sgx_instructions += count
+
+    def charge_normal(self, count: int) -> None:
+        """Record ``count`` normal x86 instructions in the current domain."""
+        if self.enabled:
+            self.counter().normal_instructions += int(count)
+
+    def charge_crossing(self, count: int = 1) -> None:
+        """Record ``count`` enclave entry/exit transitions."""
+        if self.enabled:
+            self.counter().enclave_crossings += count
+
+    def charge_allocation(self, count: int = 1) -> None:
+        """Record ``count`` in-enclave dynamic memory allocations."""
+        if self.enabled:
+            self.counter().allocations += count
+
+    # -- reading results ---------------------------------------------------
+
+    def domains(self) -> Dict[str, Counter]:
+        """A copy of every domain's counter."""
+        return {name: c.copy() for name, c in self._counters.items()}
+
+    def total(self) -> Counter:
+        """Sum of every domain's counter."""
+        out = Counter()
+        for c in self._counters.values():
+            out += c
+        return out
+
+    def snapshot(self) -> Dict[str, Counter]:
+        """Alias of :meth:`domains`, for before/after diffing."""
+        return self.domains()
+
+    def delta(self, before: Dict[str, Counter]) -> Dict[str, Counter]:
+        """Per-domain difference between now and a prior snapshot."""
+        out: Dict[str, Counter] = {}
+        for name, counter in self._counters.items():
+            base = before.get(name, Counter())
+            out[name] = counter - base
+        return out
+
+    def reset(self) -> None:
+        """Zero all counters (domain stack is preserved)."""
+        self._counters.clear()
+
+
+@contextlib.contextmanager
+def disabled(accountant: CostAccountant) -> Iterator[None]:
+    """Temporarily stop charging, e.g. for test fixture setup."""
+    prior = accountant.enabled
+    accountant.enabled = False
+    try:
+        yield
+    finally:
+        accountant.enabled = prior

@@ -1,0 +1,88 @@
+"""Ambient cost-charging context.
+
+Threading an accountant through every crypto call would pollute the
+API, so charging is ambient: the SGX platform (or a simulated host)
+activates its accountant with :func:`use_accountant`, and primitives
+charge through the module-level helpers, which no-op when no accountant
+is active (e.g. in pure unit tests of the crypto code).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Iterator, Optional
+
+from repro.cost.accountant import CostAccountant
+from repro.cost.model import DEFAULT_MODEL, CostModel
+
+_ACCOUNTANT: contextvars.ContextVar[Optional[CostAccountant]] = contextvars.ContextVar(
+    "repro_cost_accountant", default=None
+)
+_MODEL: contextvars.ContextVar[CostModel] = contextvars.ContextVar(
+    "repro_cost_model", default=DEFAULT_MODEL
+)
+
+
+def current_accountant() -> Optional[CostAccountant]:
+    """The accountant charges currently flow into, if any."""
+    return _ACCOUNTANT.get()
+
+
+def current_model() -> CostModel:
+    """The cost model in effect (defaults to :data:`DEFAULT_MODEL`)."""
+    return _MODEL.get()
+
+
+@contextlib.contextmanager
+def use_accountant(
+    accountant: Optional[CostAccountant],
+    model: Optional[CostModel] = None,
+) -> Iterator[Optional[CostAccountant]]:
+    """Route ambient charges into ``accountant`` within the block."""
+    token = _ACCOUNTANT.set(accountant)
+    model_token = _MODEL.set(model) if model is not None else None
+    try:
+        yield accountant
+    finally:
+        if model_token is not None:
+            _MODEL.reset(model_token)
+        _ACCOUNTANT.reset(token)
+
+
+def charge_normal(count: float) -> None:
+    """Charge normal instructions to the ambient accountant, if any."""
+    accountant = _ACCOUNTANT.get()
+    if accountant is not None:
+        accountant.charge_normal(int(count))
+
+
+def charge_app_normal(count: float) -> None:
+    """Charge application-level work, inflated when running in-enclave.
+
+    Work units executed inside an enclave cost
+    ``enclave_execution_factor`` times their native cost (see the cost
+    model's calibration notes).  Whether we are "inside" is read off
+    the accountant's current attribution domain.
+    """
+    accountant = _ACCOUNTANT.get()
+    if accountant is None:
+        return
+    if accountant.current_domain.startswith("enclave:"):
+        count *= _MODEL.get().enclave_execution_factor
+    accountant.charge_normal(int(count))
+
+
+def charge_sgx(count: int = 1) -> None:
+    """Charge user-mode SGX instructions to the ambient accountant."""
+    accountant = _ACCOUNTANT.get()
+    if accountant is not None:
+        accountant.charge_sgx(count)
+
+
+def charge_allocation(count: int = 1) -> None:
+    """Record in-enclave allocations against the ambient accountant."""
+    accountant = _ACCOUNTANT.get()
+    if accountant is not None:
+        accountant.charge_allocation(count)
+        accountant.charge_normal(current_model().enclave_alloc_normal * count)

@@ -1,0 +1,93 @@
+"""Human-readable formatting of cost-accounting results.
+
+The benchmark harness uses these helpers to print tables in the same
+shape as the paper's Tables 1, 2 and 4, alongside the paper's reported
+values so the reproduction can be eyeballed directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cost.accountant import Counter
+from repro.cost.model import CostModel, DEFAULT_MODEL
+
+
+def format_count(value: float) -> str:
+    """Render an instruction count the way the paper does (13K, 154M)."""
+    value = float(value)
+    if abs(value) >= 1e9:
+        return f"{value / 1e9:.2f}G"
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.0f}M"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.0f}K"
+    return f"{value:.0f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def counter_row(label: str, counter: Counter, model: CostModel = DEFAULT_MODEL) -> List[str]:
+    """One formatted row: label, SGX(U), normal, cycles."""
+    cycles = model.cycles(counter.sgx_instructions, counter.normal_instructions)
+    return [
+        label,
+        str(counter.sgx_instructions),
+        format_count(counter.normal_instructions),
+        format_count(cycles),
+    ]
+
+
+def render_counters(
+    counters: Dict[str, Counter],
+    model: CostModel = DEFAULT_MODEL,
+    title: Optional[str] = None,
+) -> str:
+    """Render a dict of per-domain counters as a table."""
+    rows = [counter_row(name, c, model) for name, c in sorted(counters.items())]
+    return format_table(["domain", "SGX(U) inst.", "normal inst.", "cycles"], rows, title)
+
+
+def comparison_row(
+    label: str,
+    measured: float,
+    paper: Optional[float],
+) -> List[str]:
+    """A measured-vs-paper row with the ratio, for EXPERIMENTS.md tables."""
+    if paper in (None, 0):
+        return [label, format_count(measured), "-", "-"]
+    return [
+        label,
+        format_count(measured),
+        format_count(paper),
+        f"{measured / paper:.2f}x",
+    ]
+
+
+def render_comparison(
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render (label, measured, paper) triples with ratios."""
+    out = [comparison_row(str(r[0]), float(r[1]), None if r[2] is None else float(r[2])) for r in rows]
+    return format_table(["quantity", "measured", "paper", "ratio"], out, title)

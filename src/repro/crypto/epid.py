@@ -1,0 +1,141 @@
+"""A simplified EPID-style group signature scheme for quoting.
+
+Real SGX attestation signs QUOTEs with Intel's EPID scheme (paper,
+footnote 2): a verifier learns only that *some* genuine SGX CPU signed,
+and Intel can revoke compromised members.  The full pairing-based EPID
+construction is out of scope (and contributes nothing to the paper's
+measured costs, which are dominated by DH and AES), so we implement the
+functional surface with discrete-log primitives:
+
+* the **group manager** (Intel) holds a Schnorr issuing key whose
+  public half is the *group public key* shipped to verifiers;
+* each **member** (CPU) holds a Schnorr key pair plus a *credential*:
+  the manager's signature over the member public key;
+* a **group signature** is (member public key, credential, Schnorr
+  signature over the message) — the verifier checks the credential
+  against the group public key, then the signature, and learns only
+  that a credentialed member signed;
+* **revocation**: verifiers reject signatures from member keys on the
+  revocation list.
+
+Deviation from real EPID (documented in DESIGN.md): signatures are
+linkable via the member public key, i.e. we provide group
+*authentication* but not signer *anonymity*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Set
+
+from repro.crypto.dh import MODP_1024, DhGroup
+from repro.crypto.drbg import Rng
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrSignature,
+    generate_schnorr_keypair,
+    schnorr_sign,
+    schnorr_verify,
+)
+from repro.crypto.util import int_to_bytes
+
+__all__ = ["EpidGroupPublicKey", "EpidMemberKey", "EpidSignature", "EpidGroupManager"]
+
+_CREDENTIAL_CONTEXT = b"repro-epid-member-credential:"
+
+
+@dataclasses.dataclass(frozen=True)
+class EpidGroupPublicKey:
+    """What verifiers need: the group and the manager's public value."""
+
+    group: DhGroup
+    manager_public: int
+
+
+@dataclasses.dataclass(frozen=True)
+class EpidSignature:
+    """A group signature: member key, credential, message signature."""
+
+    member_public: int
+    credential: SchnorrSignature
+    signature: SchnorrSignature
+
+
+@dataclasses.dataclass(frozen=True)
+class EpidMemberKey:
+    """A member's signing material (lives inside the CPU package)."""
+
+    keypair: SchnorrKeyPair
+    credential: SchnorrSignature
+    group_public: EpidGroupPublicKey
+
+    def sign(self, message: bytes) -> EpidSignature:
+        """Produce a group signature over ``message``."""
+        return EpidSignature(
+            member_public=self.keypair.y,
+            credential=self.credential,
+            signature=schnorr_sign(self.keypair, message),
+        )
+
+
+class EpidGroupManager:
+    """The issuing authority (plays Intel's role)."""
+
+    def __init__(self, rng: Rng, group: DhGroup = MODP_1024) -> None:
+        self._rng = rng
+        self._issuing_key = generate_schnorr_keypair(rng.fork("epid-manager"), group)
+        self._revoked: Set[int] = set()
+
+    @property
+    def group_public_key(self) -> EpidGroupPublicKey:
+        return EpidGroupPublicKey(
+            group=self._issuing_key.group,
+            manager_public=self._issuing_key.y,
+        )
+
+    def issue_member_key(self, label: str = "") -> EpidMemberKey:
+        """Enroll a new member (e.g. provision a CPU at manufacture)."""
+        member = generate_schnorr_keypair(
+            self._rng.fork(f"epid-member:{label}"), self._issuing_key.group
+        )
+        credential = schnorr_sign(
+            self._issuing_key, _CREDENTIAL_CONTEXT + int_to_bytes(member.y)
+        )
+        return EpidMemberKey(
+            keypair=member,
+            credential=credential,
+            group_public=self.group_public_key,
+        )
+
+    def revoke(self, member_public: int) -> None:
+        """Add a member to the revocation list."""
+        self._revoked.add(member_public)
+
+    @property
+    def revocation_list(self) -> FrozenSet[int]:
+        return frozenset(self._revoked)
+
+
+def epid_verify(
+    group_public: EpidGroupPublicKey,
+    message: bytes,
+    signature: EpidSignature,
+    revocation_list: FrozenSet[int] = frozenset(),
+) -> bool:
+    """Verify a group signature and check revocation."""
+    if signature.member_public in revocation_list:
+        return False
+    credential_ok = schnorr_verify(
+        group_public.group,
+        group_public.manager_public,
+        _CREDENTIAL_CONTEXT + int_to_bytes(signature.member_public),
+        signature.credential,
+    )
+    if not credential_ok:
+        return False
+    return schnorr_verify(
+        group_public.group,
+        signature.member_public,
+        message,
+        signature.signature,
+    )

@@ -1,0 +1,43 @@
+"""Key derivation: HKDF-SHA256 (RFC 5869).
+
+Used to turn attestation shared secrets into record-channel key
+material, and by the SGX emulator's EGETKEY to derive report and seal
+keys from the per-CPU device secret.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import hmac_sha256
+from repro.errors import CryptoError
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand a pseudorandom key into ``length`` bytes of output."""
+    if length > 255 * _HASH_LEN:
+        raise CryptoError("HKDF output too long")
+    if length < 0:
+        raise CryptoError("HKDF length must be non-negative")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,97 @@
+"""Block-cipher modes of operation: ECB, CBC and CTR.
+
+The paper's prototype used AES-ECB with a 128-bit key for the
+attestation-bootstrapped secure channel; we provide ECB for
+cost-parity experiments, CBC with PKCS#7 padding, and CTR (the default
+for record channels and Tor onion layers because it is a stream and
+needs no padding).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+from repro.crypto.util import pad_pkcs7, unpad_pkcs7, xor_bytes
+from repro.errors import CryptoError
+
+__all__ = ["ecb_encrypt", "ecb_decrypt", "cbc_encrypt", "cbc_decrypt", "CtrStream"]
+
+
+def ecb_encrypt(cipher: AES, plaintext: bytes) -> bytes:
+    """ECB with PKCS#7 padding (matches the paper's channel cipher)."""
+    padded = pad_pkcs7(plaintext, cipher.block_size)
+    return b"".join(
+        cipher.encrypt_block(padded[i : i + 16]) for i in range(0, len(padded), 16)
+    )
+
+
+def ecb_decrypt(cipher: AES, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`ecb_encrypt`."""
+    if len(ciphertext) % 16 != 0:
+        raise CryptoError("ECB ciphertext not block aligned")
+    padded = b"".join(
+        cipher.decrypt_block(ciphertext[i : i + 16])
+        for i in range(0, len(ciphertext), 16)
+    )
+    return unpad_pkcs7(padded, cipher.block_size)
+
+
+def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC with PKCS#7 padding."""
+    if len(iv) != 16:
+        raise CryptoError("CBC IV must be 16 bytes")
+    padded = pad_pkcs7(plaintext, cipher.block_size)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(padded), 16):
+        block = cipher.encrypt_block(xor_bytes(padded[i : i + 16], previous))
+        out.extend(block)
+        previous = block
+    return bytes(out)
+
+
+def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`cbc_encrypt`."""
+    if len(iv) != 16:
+        raise CryptoError("CBC IV must be 16 bytes")
+    if not ciphertext or len(ciphertext) % 16 != 0:
+        raise CryptoError("CBC ciphertext not block aligned")
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), 16):
+        block = ciphertext[i : i + 16]
+        out.extend(xor_bytes(cipher.decrypt_block(block), previous))
+        previous = block
+    return unpad_pkcs7(bytes(out), cipher.block_size)
+
+
+class CtrStream:
+    """AES-CTR keystream with a 128-bit counter block.
+
+    CTR is symmetric: :meth:`process` both encrypts and decrypts.  The
+    object is stateful (the counter advances across calls), which is
+    exactly what Tor's per-hop onion layers need: each relay keeps a
+    running AES-CTR context per direction.
+    """
+
+    def __init__(self, key: bytes, nonce: bytes = b"") -> None:
+        if len(nonce) > 16:
+            raise CryptoError("CTR nonce longer than a block")
+        self._cipher = AES(key)
+        self._counter = int.from_bytes(nonce.ljust(16, b"\x00"), "big")
+        self._buffer = b""
+
+    def _refill(self) -> None:
+        block = self._counter.to_bytes(16, "big")
+        self._counter = (self._counter + 1) % (1 << 128)
+        self._buffer += self._cipher.encrypt_block(block)
+
+    def keystream(self, n: int) -> bytes:
+        """The next ``n`` keystream bytes."""
+        while len(self._buffer) < n:
+            self._refill()
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def process(self, data: bytes) -> bytes:
+        """XOR ``data`` with the next keystream bytes."""
+        return xor_bytes(data, self.keystream(len(data)))

@@ -1,0 +1,49 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, bad padding, bad MAC...)."""
+
+
+class SgxError(ReproError):
+    """An SGX emulator operation was used incorrectly or denied."""
+
+
+class EnclaveAccessError(SgxError):
+    """Untrusted code attempted to touch protected enclave state."""
+
+
+class MeasurementError(SgxError):
+    """An enclave measurement or SIGSTRUCT check failed."""
+
+
+class AttestationError(ReproError):
+    """Local or remote attestation failed verification."""
+
+
+class SealingError(SgxError):
+    """Sealed data could not be recovered (wrong enclave or corrupt blob)."""
+
+
+class NetworkError(ReproError):
+    """A simulated-network operation failed."""
+
+
+class ProtocolError(ReproError):
+    """A peer violated an application protocol."""
+
+
+class PolicyError(ReproError):
+    """A routing policy or verification predicate was malformed or denied."""
+
+
+class TorError(ReproError):
+    """Tor case-study specific failure (circuit, directory, consensus)."""
+
+
+class MiddleboxError(ReproError):
+    """Middlebox case-study specific failure."""

@@ -1,0 +1,32 @@
+"""Secure in-network functions over TLS (paper Section 3.3)."""
+
+from repro.middlebox.dpi import (
+    AhoCorasick,
+    DpiAction,
+    DpiEngine,
+    DpiRule,
+    DpiVerdict,
+)
+from repro.middlebox.mbox import MiddleboxProgram, encode_provision
+from repro.middlebox.proxy import PROVISION_PORT, PROXY_PORT, MiddleboxNode
+from repro.middlebox.scenarios import (
+    ExfiltratingMiddleboxProgram,
+    MiddleboxScenario,
+    ScenarioResult,
+)
+
+__all__ = [
+    "AhoCorasick",
+    "DpiAction",
+    "DpiRule",
+    "DpiEngine",
+    "DpiVerdict",
+    "MiddleboxProgram",
+    "encode_provision",
+    "MiddleboxNode",
+    "PROXY_PORT",
+    "PROVISION_PORT",
+    "MiddleboxScenario",
+    "ScenarioResult",
+    "ExfiltratingMiddleboxProgram",
+]

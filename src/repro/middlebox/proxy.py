@@ -1,0 +1,86 @@
+"""The untrusted host side of a middlebox: a TCP relay.
+
+The proxy forwards opaque bytes between a downstream peer (client or
+previous middlebox) and its upstream (server or next middlebox).  For
+every transiting message it asks the enclave for a verdict; it never
+sees plaintext — on ``block`` it tears the flow down, otherwise it
+forwards the *original* ciphertext.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.core.endpoint import EnclaveNode
+from repro.core.service import AttestedServer
+from repro.net.transport import StreamListener, StreamSocket, connect
+
+__all__ = ["MiddleboxNode", "PROXY_PORT", "PROVISION_PORT"]
+
+PROXY_PORT = 8080
+PROVISION_PORT = 8443
+
+
+class MiddleboxNode:
+    """One middlebox: enclave + provisioning endpoint + TCP relay."""
+
+    def __init__(
+        self,
+        node: EnclaveNode,
+        enclave,
+        upstream_host: str,
+        upstream_port: int,
+        proxy_port: int = PROXY_PORT,
+        provision_port: int = PROVISION_PORT,
+    ) -> None:
+        self.node = node
+        self.enclave = enclave
+        self.upstream = (upstream_host, upstream_port)
+        self.flows_relayed = 0
+        self.provisioning = AttestedServer(node, enclave, provision_port)
+        self.listener = StreamListener(node.host, proxy_port)
+        node.sim.spawn(self._accept_loop(), f"mbox-proxy:{node.name}")
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            downstream = yield self.listener.accept()
+            self.flows_relayed += 1
+            self.node.sim.spawn(
+                self._relay_flow(downstream), f"mbox-flow:{self.node.name}"
+            )
+
+    def _relay_flow(self, downstream: StreamSocket) -> Generator:
+        # Flows are identified by the downstream peer's host name.  In
+        # a chain, the endpoint provisioning keys to middlebox *i* uses
+        # the name of hop *i-1* (the client itself for the first) — the
+        # endpoints know the path they consented to, so they can name
+        # each middlebox's view of the flow.
+        flow_id = downstream.peer
+        upstream = yield from connect(self.node.host, *self.upstream)
+        self.node.sim.spawn(
+            self._pump(flow_id, downstream, upstream, "c2s"),
+            f"mbox-c2s:{self.node.name}",
+        )
+        yield from self._pump(flow_id, upstream, downstream, "s2c")
+
+    def _pump(
+        self,
+        flow_id: str,
+        source: StreamSocket,
+        sink: StreamSocket,
+        direction: str,
+    ) -> Generator:
+        while True:
+            message = yield source.recv_message()
+            if message is None:
+                sink.close()
+                return
+            verdict, _alerts = self.enclave.ecall(
+                "inspect_record", flow_id, direction, message
+            )
+            if verdict == "block":
+                # Kill both legs of the flow.
+                source.close()
+                sink.close()
+                return
+            sink.send_message(message)

@@ -1,0 +1,200 @@
+"""Hosts, links and datagram delivery.
+
+The network is a fabric of named hosts.  Any pair may exchange
+MTU-bounded datagrams; per-pair link parameters (latency, bandwidth,
+loss) default to fabric-wide values and can be overridden with
+:meth:`Network.set_link`.  Loss draws from the network's deterministic
+RNG, so lossy experiments replay identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.crypto.drbg import Rng
+from repro.errors import NetworkError
+from repro.net.sim import MessageQueue, Simulator
+
+__all__ = ["MTU", "Datagram", "LinkParams", "Network", "Host"]
+
+MTU = 1500  # the paper's packet-I/O experiment sends MTU-sized packets
+
+
+@dataclasses.dataclass(frozen=True)
+class Datagram:
+    """One packet on the wire."""
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkParams:
+    """Per-direction link characteristics."""
+
+    latency: float = 0.005          # seconds
+    bandwidth: float = 125_000_000  # bytes/second (1 Gbps)
+    loss_rate: float = 0.0
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Fabric-wide counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_unbound: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """The datagram fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[Rng] = None,
+        default_link: LinkParams = LinkParams(),
+    ) -> None:
+        self.sim = sim
+        self.rng = rng if rng is not None else Rng(b"network")
+        self.default_link = default_link
+        self.stats = NetworkStats()
+        self._hosts: Dict[str, "Host"] = {}
+        self._links: Dict[Tuple[str, str], LinkParams] = {}
+        self._busy_until: Dict[Tuple[str, str], float] = {}
+        #: Optional wire-tap for on-path adversary experiments:
+        #: fn(datagram) -> datagram | None (None drops it).
+        self.tap: Optional[Callable[[Datagram], Optional[Datagram]]] = None
+
+    # -- topology -------------------------------------------------------------
+
+    def add_host(self, name: str) -> "Host":
+        if name in self._hosts:
+            raise NetworkError(f"host '{name}' already exists")
+        host = Host(self, name)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> "Host":
+        if name not in self._hosts:
+            raise NetworkError(f"no host '{name}'")
+        return self._hosts[name]
+
+    def set_link(self, a: str, b: str, params: LinkParams) -> None:
+        """Symmetric per-pair link override."""
+        self._links[(a, b)] = params
+        self._links[(b, a)] = params
+
+    def link_between(self, a: str, b: str) -> LinkParams:
+        return self._links.get((a, b), self.default_link)
+
+    # -- transmission ------------------------------------------------------------
+
+    def transmit(self, datagram: Datagram) -> None:
+        """Send one datagram; delivery is scheduled on the simulator."""
+        if datagram.size > MTU:
+            raise NetworkError(
+                f"datagram of {datagram.size} bytes exceeds the {MTU}-byte MTU"
+            )
+        if datagram.dst not in self._hosts:
+            raise NetworkError(f"no route to host '{datagram.dst}'")
+        self.stats.sent += 1
+        self.stats.bytes_sent += datagram.size
+
+        if self.tap is not None:
+            tapped = self.tap(datagram)
+            if tapped is None:
+                return
+            datagram = tapped
+
+        link = self.link_between(datagram.src, datagram.dst)
+        if link.loss_rate > 0 and self.rng.random() < link.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        # FIFO serialization per directed link: a packet starts
+        # transmitting only when the previous one finished, so small
+        # packets never overtake large ones (in-order delivery per
+        # link, like a real wire).
+        key = (datagram.src, datagram.dst)
+        start = max(self.sim.now, self._busy_until.get(key, 0.0))
+        done = start + datagram.size / link.bandwidth
+        self._busy_until[key] = done
+        self.sim.call_later(done - self.sim.now + link.latency, self._deliver, datagram)
+
+    def _deliver(self, datagram: Datagram) -> None:
+        host = self._hosts.get(datagram.dst)
+        if host is None:  # host removed mid-flight
+            self.stats.dropped_unbound += 1
+            return
+        if host.deliver(datagram):
+            self.stats.delivered += 1
+        else:
+            self.stats.dropped_unbound += 1
+
+
+class Host:
+    """One named endpoint with a port table."""
+
+    EPHEMERAL_BASE = 49152
+
+    def __init__(self, network: Network, name: str) -> None:
+        self.network = network
+        self.name = name
+        self.sim = network.sim
+        self._ports: Dict[int, MessageQueue] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+
+    # -- ports ---------------------------------------------------------------
+
+    def bind(self, port: int) -> MessageQueue:
+        """Claim a port; incoming datagrams land in the returned queue."""
+        if port in self._ports:
+            raise NetworkError(f"{self.name}: port {port} already bound")
+        queue = self.sim.queue(f"{self.name}:{port}")
+        self._ports[port] = queue
+        return queue
+
+    def bind_ephemeral(self) -> Tuple[int, MessageQueue]:
+        """Bind the next free ephemeral port."""
+        while self._next_ephemeral in self._ports:
+            self._next_ephemeral += 1
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port, self.bind(port)
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def deliver(self, datagram: Datagram) -> bool:
+        queue = self._ports.get(datagram.dst_port)
+        if queue is None:
+            return False
+        queue.put(datagram)
+        return True
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, dst: str, dst_port: int, payload: bytes, src_port: int = 0) -> None:
+        """Fire-and-forget datagram."""
+        self.network.transmit(
+            Datagram(
+                src=self.name,
+                src_port=src_port,
+                dst=dst,
+                dst_port=dst_port,
+                payload=bytes(payload),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name!r} ports={sorted(self._ports)}>"

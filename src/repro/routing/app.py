@@ -1,0 +1,206 @@
+"""Enclave programs for SGX-enabled software-defined inter-domain
+routing (paper Figure 2).
+
+Two programs run inside enclaves:
+
+* :class:`InterDomainControllerProgram` — the logically centralized
+  controller.  Collects policies over attested channels, computes
+  routes for all ASes when the last expected policy arrives, returns
+  each AS exactly its own routes, and answers consented verification
+  predicates.  Policies and the global RIB never leave the enclave.
+* :class:`AsLocalControllerProgram` — one per AS.  Holds that AS's
+  private policy, ships it over the attested channel on request, and
+  receives the AS's routes.
+
+The untrusted hosts only pump ciphertext.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cost import context as cost_context
+from repro.core.app import SecureApplicationProgram
+from repro.errors import PolicyError, ProtocolError
+from repro.routing import messages as msg
+from repro.routing.bgp import Route
+from repro.routing.controller import InterDomainController
+from repro.routing.policy import LocalPolicy
+from repro.routing.verification import Predicate, PredicateEngine
+
+__all__ = ["InterDomainControllerProgram", "AsLocalControllerProgram"]
+
+
+def _charge_serialize(n_bytes: int) -> None:
+    model = cost_context.current_model()
+    cost_context.charge_normal(model.serialize_byte_normal * n_bytes)
+
+
+class InterDomainControllerProgram(SecureApplicationProgram):
+    """The inter-domain controller enclave."""
+
+    def on_load(self, ctx) -> None:
+        super().on_load(ctx)
+        self._controller = InterDomainController(alloc_hook=ctx.alloc)
+        self._predicates = PredicateEngine(self._controller)
+        self._expected = 0
+        self._session_asn: Dict[str, int] = {}
+        self._asn_session: Dict[int, str] = {}
+        self._routes_distributed = False
+
+    # -- configuration ecall ----------------------------------------------------
+
+    def configure_controller(self, expected_ases: int) -> None:
+        """How many AS policies to wait for before computing routes."""
+        if expected_ases <= 0:
+            raise PolicyError("expected AS count must be positive")
+        self._expected = expected_ases
+
+    def participant_count(self) -> int:
+        return self._controller.participant_count
+
+    def routes_distributed(self) -> bool:
+        return self._routes_distributed
+
+    # -- secure-message handling (inside the enclave) ------------------------------
+
+    def _on_secure_message(self, session_id: str, payload: bytes) -> Optional[bytes]:
+        _charge_serialize(len(payload))
+        tag, body = msg.decode_msg(payload)
+        if tag == msg.MSG_POLICY:
+            return self._handle_policy(session_id, body)  # type: ignore[arg-type]
+        if tag == msg.MSG_PREDICATE_REGISTER:
+            return self._handle_predicate_register(session_id, body)  # type: ignore[arg-type]
+        if tag == msg.MSG_PREDICATE_QUERY:
+            return self._handle_predicate_query(session_id, body)  # type: ignore[arg-type]
+        return msg.encode_error_msg(f"unexpected message tag {tag}")
+
+    def _handle_policy(self, session_id: str, policy: LocalPolicy) -> Optional[bytes]:
+        if session_id in self._session_asn:
+            return msg.encode_error_msg("policy already submitted on this session")
+        if policy.asn in self._asn_session:
+            return msg.encode_error_msg(f"AS{policy.asn} already represented")
+        self._controller.submit_policy(policy)
+        self._session_asn[session_id] = policy.asn
+        self._asn_session[policy.asn] = session_id
+        if self._expected and self._controller.participant_count >= self._expected:
+            self._distribute_routes()
+        return None
+
+    def _distribute_routes(self) -> None:
+        """Compute all routes and push each AS exactly its own slice."""
+        self._controller.compute_routes()
+        for asn, session_id in sorted(self._asn_session.items()):
+            routes = self._controller.routes_for(asn)
+            encoded = msg.encode_routes_msg(routes)
+            _charge_serialize(len(encoded))
+            self._send_secure(session_id, encoded)
+        self._routes_distributed = True
+
+    def _handle_predicate_register(
+        self, session_id: str, predicate: Predicate
+    ) -> bytes:
+        asn = self._session_asn.get(session_id)
+        if asn is None:
+            return msg.encode_error_msg("submit a policy before predicates")
+        try:
+            self._predicates.register(predicate, asn)
+        except PolicyError as exc:
+            return msg.encode_error_msg(str(exc))
+        return msg.encode_predicate_result_msg(predicate.predicate_id, True)
+
+    def _handle_predicate_query(self, session_id: str, predicate_id: str) -> bytes:
+        asn = self._session_asn.get(session_id)
+        if asn is None:
+            return msg.encode_error_msg("submit a policy before predicates")
+        try:
+            result = self._predicates.evaluate(predicate_id, asn)
+        except PolicyError as exc:
+            return msg.encode_error_msg(str(exc))
+        return msg.encode_predicate_result_msg(predicate_id, result)
+
+
+class AsLocalControllerProgram(SecureApplicationProgram):
+    """One AS's local controller enclave."""
+
+    def on_load(self, ctx) -> None:
+        super().on_load(ctx)
+        self._policy: Optional[LocalPolicy] = None
+        self._controller_session: Optional[str] = None
+        self._routes: Optional[Dict[str, Route]] = None
+        self._predicate_results: Dict[str, bool] = {}
+        self._errors: List[str] = []
+
+    # -- ecalls for the AS operator (who owns this enclave's inputs) -----------------
+
+    def configure_policy(self, policy_bytes: bytes) -> int:
+        """Install this AS's private policy; returns its ASN."""
+        policy = LocalPolicy.decode(policy_bytes)
+        self._policy = policy
+        return policy.asn
+
+    def send_policy(self) -> None:
+        """Ship the policy to the inter-domain controller (steady-state
+        start; separated from attestation so experiments can exclude
+        the one-time handshake costs, as the paper does)."""
+        if self._policy is None:
+            raise PolicyError("no policy configured")
+        if self._controller_session is None:
+            raise ProtocolError("no controller session established")
+        model = cost_context.current_model()
+        # Assembling/validating the policy against local state is the
+        # AS-local controller's main steady-state workload.
+        cost_context.charge_app_normal(model.aslc_policy_build_normal)
+        encoded = msg.encode_policy_msg(self._policy)
+        _charge_serialize(len(encoded))
+        self._send_secure(self._controller_session, encoded)
+
+    def register_predicate(self, predicate_bytes: bytes) -> None:
+        if self._controller_session is None:
+            raise ProtocolError("no controller session established")
+        _charge_serialize(len(predicate_bytes))
+        self._send_secure(
+            self._controller_session,
+            msg.encode_predicate_register_msg(Predicate.decode(predicate_bytes)),
+        )
+
+    def query_predicate(self, predicate_id: str) -> None:
+        if self._controller_session is None:
+            raise ProtocolError("no controller session established")
+        self._send_secure(
+            self._controller_session, msg.encode_predicate_query_msg(predicate_id)
+        )
+
+    def routes(self) -> Optional[Dict[str, Route]]:
+        """The routes this AS received (its own — nobody else's)."""
+        return dict(self._routes) if self._routes is not None else None
+
+    def predicate_results(self) -> Dict[str, bool]:
+        return dict(self._predicate_results)
+
+    def errors(self) -> List[str]:
+        return list(self._errors)
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def _on_session_established(self, session_id: str) -> None:
+        self._controller_session = session_id
+
+    def _on_secure_message(self, session_id: str, payload: bytes) -> Optional[bytes]:
+        _charge_serialize(len(payload))
+        tag, body = msg.decode_msg(payload)
+        if tag == msg.MSG_ROUTES:
+            routes: Dict[str, Route] = body  # type: ignore[assignment]
+            model = cost_context.current_model()
+            for route in routes.values():
+                cost_context.charge_app_normal(model.route_install_normal)
+                self.ctx.alloc(64 + 4 * len(route.path))
+            self._routes = routes
+        elif tag == msg.MSG_PREDICATE_RESULT:
+            predicate_id, result = body  # type: ignore[misc]
+            self._predicate_results[predicate_id] = result
+        elif tag == msg.MSG_ERROR:
+            self._errors.append(str(body))
+        else:
+            self._errors.append(f"unexpected tag {tag}")
+        return None

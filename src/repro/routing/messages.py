@@ -1,0 +1,96 @@
+"""Application messages between AS-local and inter-domain controllers.
+
+These travel as plaintext *inside* attested secure-channel records;
+the untrusted network only ever sees the encrypted records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ProtocolError
+from repro.routing.bgp import Route
+from repro.routing.policy import LocalPolicy
+from repro.routing.verification import Predicate
+from repro.wire import Reader, Writer
+
+__all__ = [
+    "MSG_POLICY",
+    "MSG_ROUTES",
+    "MSG_PREDICATE_REGISTER",
+    "MSG_PREDICATE_QUERY",
+    "MSG_PREDICATE_RESULT",
+    "MSG_ERROR",
+    "encode_policy_msg",
+    "encode_routes_msg",
+    "encode_predicate_register_msg",
+    "encode_predicate_query_msg",
+    "encode_predicate_result_msg",
+    "encode_error_msg",
+    "decode_msg",
+]
+
+MSG_POLICY = 1
+MSG_ROUTES = 2
+MSG_PREDICATE_REGISTER = 3
+MSG_PREDICATE_QUERY = 4
+MSG_PREDICATE_RESULT = 5
+MSG_ERROR = 6
+
+
+def encode_policy_msg(policy: LocalPolicy) -> bytes:
+    return Writer().u8(MSG_POLICY).varbytes(policy.encode()).getvalue()
+
+
+def encode_routes_msg(routes: Dict[str, Route]) -> bytes:
+    writer = Writer().u8(MSG_ROUTES).u32(len(routes))
+    for prefix in sorted(routes):
+        writer.varbytes(routes[prefix].encode())
+    return writer.getvalue()
+
+
+def encode_predicate_register_msg(predicate: Predicate) -> bytes:
+    return (
+        Writer().u8(MSG_PREDICATE_REGISTER).varbytes(predicate.encode()).getvalue()
+    )
+
+
+def encode_predicate_query_msg(predicate_id: str) -> bytes:
+    return Writer().u8(MSG_PREDICATE_QUERY).string(predicate_id).getvalue()
+
+
+def encode_predicate_result_msg(predicate_id: str, result: bool) -> bytes:
+    return (
+        Writer()
+        .u8(MSG_PREDICATE_RESULT)
+        .string(predicate_id)
+        .u8(1 if result else 0)
+        .getvalue()
+    )
+
+
+def encode_error_msg(text: str) -> bytes:
+    return Writer().u8(MSG_ERROR).string(text).getvalue()
+
+
+def decode_msg(data: bytes) -> Tuple[int, object]:
+    """Returns (tag, decoded body)."""
+    reader = Reader(data)
+    tag = reader.u8()
+    if tag == MSG_POLICY:
+        return tag, LocalPolicy.decode(reader.varbytes())
+    if tag == MSG_ROUTES:
+        routes: Dict[str, Route] = {}
+        for _ in range(reader.u32()):
+            route = Route.decode(reader.varbytes())
+            routes[route.prefix] = route
+        return tag, routes
+    if tag == MSG_PREDICATE_REGISTER:
+        return tag, Predicate.decode(reader.varbytes())
+    if tag == MSG_PREDICATE_QUERY:
+        return tag, reader.string()
+    if tag == MSG_PREDICATE_RESULT:
+        return tag, (reader.string(), bool(reader.u8()))
+    if tag == MSG_ERROR:
+        return tag, reader.string()
+    raise ProtocolError(f"unknown routing message tag {tag}")

@@ -1,0 +1,115 @@
+"""Per-AS routing policy: the private input each AS-local controller
+ships to the inter-domain controller over the attested channel.
+
+A policy names the AS's neighbors with their business relationships,
+the prefixes it originates, and local-preference overrides — exactly
+the "BGP-like policy" of the paper's prototype.  ISPs treat all of
+this as commercially sensitive (paper Section 3.1), which is why the
+whole structure only ever travels enclave-to-enclave.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import PolicyError
+from repro.routing.relationships import Relationship, default_local_pref
+from repro.routing.topology import AsTopology
+from repro.wire import Reader, Writer
+
+__all__ = ["LocalPolicy", "policy_from_topology"]
+
+_REL_CODE = {Relationship.CUSTOMER: 1, Relationship.PEER: 2, Relationship.PROVIDER: 3}
+_REL_FROM_CODE = {v: k for k, v in _REL_CODE.items()}
+
+
+@dataclasses.dataclass
+class LocalPolicy:
+    """One AS's private routing policy."""
+
+    asn: int
+    #: how this AS sees each neighbor.
+    neighbor_relationships: Dict[int, Relationship]
+    #: prefixes this AS originates.
+    prefixes: List[str]
+    #: optional per-neighbor local-pref overrides.
+    local_pref_overrides: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    def local_pref(self, neighbor: int) -> int:
+        """Preference for routes learned from ``neighbor``."""
+        if neighbor in self.local_pref_overrides:
+            return self.local_pref_overrides[neighbor]
+        if neighbor not in self.neighbor_relationships:
+            raise PolicyError(f"AS{self.asn}: unknown neighbor AS{neighbor}")
+        return default_local_pref(self.neighbor_relationships[neighbor])
+
+    def relationship(self, neighbor: int) -> Relationship:
+        try:
+            return self.neighbor_relationships[neighbor]
+        except KeyError:
+            raise PolicyError(
+                f"AS{self.asn}: unknown neighbor AS{neighbor}"
+            ) from None
+
+    def validate(self) -> None:
+        if self.asn <= 0:
+            raise PolicyError("ASN must be positive")
+        for neighbor, pref in self.local_pref_overrides.items():
+            if neighbor not in self.neighbor_relationships:
+                raise PolicyError(
+                    f"AS{self.asn}: override for non-neighbor AS{neighbor}"
+                )
+            if not 0 < pref < 1000:
+                raise PolicyError("local pref out of range")
+
+    # -- wire format (what crosses the secure channel) -------------------------
+
+    def encode(self) -> bytes:
+        writer = Writer().u32(self.asn)
+        writer.u32(len(self.neighbor_relationships))
+        for neighbor in sorted(self.neighbor_relationships):
+            writer.u32(neighbor).u8(_REL_CODE[self.neighbor_relationships[neighbor]])
+        writer.strings(self.prefixes)
+        writer.u32(len(self.local_pref_overrides))
+        for neighbor in sorted(self.local_pref_overrides):
+            writer.u32(neighbor).u16(self.local_pref_overrides[neighbor])
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LocalPolicy":
+        reader = Reader(data)
+        asn = reader.u32()
+        relationships = {}
+        for _ in range(reader.u32()):
+            neighbor = reader.u32()
+            relationships[neighbor] = _REL_FROM_CODE[reader.u8()]
+        prefixes = reader.strings()
+        overrides = {}
+        for _ in range(reader.u32()):
+            neighbor = reader.u32()
+            overrides[neighbor] = reader.u16()
+        policy = cls(
+            asn=asn,
+            neighbor_relationships=relationships,
+            prefixes=prefixes,
+            local_pref_overrides=overrides,
+        )
+        policy.validate()
+        return policy
+
+
+def policy_from_topology(
+    topology: AsTopology,
+    asn: int,
+    local_pref_overrides: Optional[Dict[int, int]] = None,
+) -> LocalPolicy:
+    """Extract one AS's policy view from a generated topology."""
+    policy = LocalPolicy(
+        asn=asn,
+        neighbor_relationships=dict(topology.rel[asn]),
+        prefixes=list(topology.prefixes[asn]),
+        local_pref_overrides=dict(local_pref_overrides or {}),
+    )
+    policy.validate()
+    return policy

@@ -1,0 +1,62 @@
+"""AS business relationships and Gao-Rexford policy rules.
+
+The paper's prototype models "export rules according to their business
+relationship (i.e., peer, customer, and provider)" with per-AS local
+preference — the standard Gao-Rexford economic model:
+
+* **local preference**: customer routes > peer routes > provider
+  routes (revenue over free over cost), with per-AS overrides;
+* **export**: routes learned from a customer (or self-originated) are
+  exported to everyone; routes learned from peers/providers are
+  exported only to customers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Relationship",
+    "DEFAULT_LOCAL_PREF",
+    "default_local_pref",
+    "may_export",
+]
+
+
+class Relationship(enum.Enum):
+    """How one AS sees a neighbor."""
+
+    CUSTOMER = "customer"   # the neighbor pays us
+    PEER = "peer"           # settlement-free
+    PROVIDER = "provider"   # we pay the neighbor
+
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+DEFAULT_LOCAL_PREF = {
+    Relationship.CUSTOMER: 100,
+    Relationship.PEER: 90,
+    Relationship.PROVIDER: 80,
+}
+
+
+def default_local_pref(relationship: Relationship) -> int:
+    """Gao-Rexford preference for a route learned from this neighbor."""
+    return DEFAULT_LOCAL_PREF[relationship]
+
+
+def may_export(learned_from: Relationship, export_to: Relationship) -> bool:
+    """Gao-Rexford export rule.
+
+    ``learned_from`` is how we see the neighbor the route came from
+    (``CUSTOMER`` also covers self-originated routes); ``export_to`` is
+    how we see the neighbor we would announce to.
+    """
+    if learned_from is Relationship.CUSTOMER:
+        return True
+    return export_to is Relationship.CUSTOMER

@@ -1,0 +1,170 @@
+"""Policy verification inside the inter-domain controller enclave.
+
+Paper, Section 3.1: two ASes that share a business agreement register
+a *predicate* — "a Boolean condition that an AS wants to verify
+concerning the behavior of other ASes that it has a business
+relationship with" — and the controller evaluates it over the routes
+it computed, inside the enclave.  The querier learns one bit; no other
+policy information leaks.  The controller enforces that (a) both named
+ASes have consented to the predicate and (b) only a named AS may ask
+for the result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Set
+
+from repro.errors import PolicyError
+from repro.routing.bgp import Route
+from repro.routing.controller import InterDomainController
+from repro.wire import Reader, Writer
+
+__all__ = ["PredicateKind", "Predicate", "PredicateEngine"]
+
+
+class PredicateKind(enum.Enum):
+    """The agreement conditions the engine can check."""
+
+    #: "Is the route I announce for ``prefix`` the one B actually
+    #: prefers?"  (the paper's running example: A promised its customer
+    #: B to prefer B's route — B verifies A lives up to it.)
+    PREFERS_VIA = "prefers_via"
+    #: "Does A export ``prefix`` to B at all?" (reachability promise)
+    EXPORTS_TO = "exports_to"
+    #: "Is B's best path for ``prefix`` at most N hops?" (quality SLA)
+    PATH_LENGTH_AT_MOST = "path_length_at_most"
+    #: "Does A carry B's prefix via a customer route?" (no cold-potato)
+    USES_CUSTOMER_ROUTE = "uses_customer_route"
+
+
+@dataclasses.dataclass(frozen=True)
+class Predicate:
+    """An agreed-upon condition between ``asn_a`` and ``asn_b``.
+
+    Semantics by kind (evaluated over converged routes):
+
+    * PREFERS_VIA: ``subject``'s best route for ``prefix`` has
+      first hop ``partner``.
+    * EXPORTS_TO: ``subject``'s best route for ``prefix`` exists and
+      its export set includes ``partner`` — approximated as: partner
+      has a route for ``prefix`` whose first hop is ``subject``.
+    * PATH_LENGTH_AT_MOST: ``subject``'s best path for ``prefix`` has
+      at most ``bound`` hops.
+    * USES_CUSTOMER_ROUTE: ``subject``'s best route for ``prefix`` was
+      learned from one of ``subject``'s customers.
+    """
+
+    predicate_id: str
+    kind: PredicateKind
+    subject: int           # the AS whose behavior is checked
+    partner: int           # the AS holding the promise
+    prefix: str
+    bound: int = 0
+
+    def parties(self) -> Set[int]:
+        return {self.subject, self.partner}
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .string(self.predicate_id)
+            .string(self.kind.value)
+            .u32(self.subject)
+            .u32(self.partner)
+            .string(self.prefix)
+            .u32(self.bound)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Predicate":
+        reader = Reader(data)
+        return cls(
+            predicate_id=reader.string(),
+            kind=PredicateKind(reader.string()),
+            subject=reader.u32(),
+            partner=reader.u32(),
+            prefix=reader.string(),
+            bound=reader.u32(),
+        )
+
+
+class PredicateEngine:
+    """Registration, consent tracking and in-enclave evaluation."""
+
+    def __init__(self, controller: InterDomainController) -> None:
+        self._controller = controller
+        self._predicates: Dict[str, Predicate] = {}
+        self._consents: Dict[str, Set[int]] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, predicate: Predicate, registering_asn: int) -> None:
+        """One party proposes (or co-signs) a predicate."""
+        if registering_asn not in predicate.parties():
+            raise PolicyError(
+                f"AS{registering_asn} is not a party to predicate "
+                f"'{predicate.predicate_id}'"
+            )
+        existing = self._predicates.get(predicate.predicate_id)
+        if existing is not None and existing != predicate:
+            raise PolicyError(
+                f"conflicting registration for '{predicate.predicate_id}'"
+            )
+        self._predicates[predicate.predicate_id] = predicate
+        self._consents.setdefault(predicate.predicate_id, set()).add(registering_asn)
+
+    def is_agreed(self, predicate_id: str) -> bool:
+        predicate = self._predicates.get(predicate_id)
+        return (
+            predicate is not None
+            and self._consents.get(predicate_id, set()) >= predicate.parties()
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, predicate_id: str, querying_asn: int) -> bool:
+        """Answer one bit — only to a consenting party of an agreed
+        predicate."""
+        predicate = self._predicates.get(predicate_id)
+        if predicate is None:
+            raise PolicyError(f"unknown predicate '{predicate_id}'")
+        if querying_asn not in predicate.parties():
+            raise PolicyError(
+                f"AS{querying_asn} may not query '{predicate_id}'"
+            )
+        if not self.is_agreed(predicate_id):
+            raise PolicyError(
+                f"predicate '{predicate_id}' lacks consent from both parties"
+            )
+        return self._evaluate(predicate)
+
+    def _evaluate(self, predicate: Predicate) -> bool:
+        routes = self._controller.compute_routes()
+        subject_routes = routes.get(predicate.subject, {})
+        best: Optional[Route] = subject_routes.get(predicate.prefix)
+
+        if predicate.kind is PredicateKind.PREFERS_VIA:
+            return best is not None and best.learned_from == predicate.partner
+
+        if predicate.kind is PredicateKind.EXPORTS_TO:
+            partner_routes = routes.get(predicate.partner, {})
+            via = partner_routes.get(predicate.prefix)
+            return via is not None and via.learned_from == predicate.subject
+
+        if predicate.kind is PredicateKind.PATH_LENGTH_AT_MOST:
+            return best is not None and len(best.path) <= predicate.bound
+
+        if predicate.kind is PredicateKind.USES_CUSTOMER_ROUTE:
+            if best is None or best.learned_from is None:
+                return False
+            policy = self._controller.policy_of(predicate.subject)
+            from repro.routing.relationships import Relationship
+
+            return (
+                policy.relationship(best.learned_from) is Relationship.CUSTOMER
+            )
+
+        raise PolicyError(f"unhandled predicate kind {predicate.kind}")

@@ -1,0 +1,129 @@
+"""The Enclave object: the untrusted world's handle to protected code.
+
+Untrusted code interacts with an enclave exclusively through
+:meth:`Enclave.ecall`; the hosted program object itself is not
+reachable (attempting to grab it raises), which is the functional
+equivalent of the hardware isolation boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.cost import context as cost_context
+from repro.errors import EnclaveAccessError, SgxError
+from repro.sgx.epc import EpcPage
+from repro.sgx.isa import UserInstruction, execute_user
+from repro.sgx.measurement import EnclaveIdentity
+from repro.sgx.runtime import EnclaveContext, EnclaveProgram
+
+__all__ = ["Enclave"]
+
+
+class Enclave:
+    """An initialized enclave hosted on an :class:`SgxPlatform`."""
+
+    def __init__(
+        self,
+        platform: Any,
+        enclave_id: int,
+        name: str,
+        program: EnclaveProgram,
+        identity: EnclaveIdentity,
+        pages: List[EpcPage],
+    ) -> None:
+        self._platform = platform
+        self.enclave_id = enclave_id
+        self.name = name
+        self.identity = identity
+        self._pages = pages
+        self._program = program
+        self._destroyed = False
+        self.ctx = EnclaveContext(self, platform)
+
+    # -- isolation boundary ------------------------------------------------
+
+    @property
+    def program(self) -> EnclaveProgram:
+        """Untrusted code cannot reach inside the enclave."""
+        raise EnclaveAccessError(
+            f"enclave '{self.name}' memory is hardware-protected; "
+            "use ecall() to invoke exported functions"
+        )
+
+    @property
+    def domain(self) -> str:
+        """Cost-accounting domain for in-enclave execution."""
+        return f"enclave:{self.name}"
+
+    def ecall(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Enter the enclave and run an exported method.
+
+        Charges EENTER/EEXIT, a trampoline cost, and attributes the
+        method's work (and any costs it incurs) to this enclave's
+        domain in the platform's accountant.
+        """
+        if self._destroyed:
+            raise SgxError(f"enclave '{self.name}' has been destroyed")
+        if method.startswith("_"):
+            raise EnclaveAccessError(f"'{method}' is not an exported ecall")
+        handler = getattr(type(self._program), method, None)
+        if handler is None or not callable(handler):
+            raise SgxError(f"enclave '{self.name}' exports no ecall '{method}'")
+
+        accountant = self._platform.accountant
+        with cost_context.use_accountant(accountant, self._platform.model):
+            with accountant.attribute(self.domain):
+                execute_user(UserInstruction.EENTER)
+                accountant.charge_crossing()
+                cost_context.charge_normal(
+                    cost_context.current_model().trampoline_normal
+                )
+                before = accountant.counter(self.domain).normal_instructions
+                try:
+                    return handler(self._program, *args, **kwargs)
+                finally:
+                    self._charge_async_exits(accountant, before)
+                    execute_user(UserInstruction.EEXIT)
+
+    def _charge_async_exits(self, accountant, normal_before: int) -> None:
+        """Interrupt model: the host's timer/device interrupts force
+        AEX + ERESUME pairs proportional to in-enclave compute time
+        (paper Section 5: enclaves run near-native only absent
+        asynchronous exits)."""
+        rate = self._platform.interrupt_rate
+        if rate <= 0:
+            return
+        executed = (
+            accountant.counter(self.domain).normal_instructions - normal_before
+        )
+        events = int(executed * rate)
+        if events <= 0:
+            return
+        model = cost_context.current_model()
+        accountant.charge_sgx(2 * events)          # AEX + ERESUME
+        accountant.charge_crossing(events)
+        accountant.charge_normal(model.aex_ssa_normal * events)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def page_indices(self) -> List[int]:
+        """EPC page indices backing this enclave (for memory experiments)."""
+        return [page.index for page in self._pages]
+
+    def destroy(self) -> None:
+        """EREMOVE all pages; models the OS killing the enclave (DoS)."""
+        if not self._destroyed:
+            self._platform.epc.free_enclave_pages(self.enclave_id)
+            self._destroyed = True
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    def __repr__(self) -> str:
+        return (
+            f"<Enclave {self.name!r} id={self.enclave_id} "
+            f"mrenclave={self.identity.mrenclave.hex()[:12]}>"
+        )

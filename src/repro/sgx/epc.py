@@ -1,0 +1,298 @@
+"""Enclave Page Cache (EPC) and its map (EPCM).
+
+Paper, Section 2.1: enclave memory lives in the EPC, protected memory
+whose contents are encrypted by the memory encryption engine (MEE)
+inside the CPU; the OS manages the page table but "cannot see the
+memory content".  The emulator reproduces this functionally:
+
+* pages are owned by exactly one enclave, tracked in the EPCM;
+* enclave-attributed code reads/writes plaintext through
+  :meth:`EnclavePageCache.read` / :meth:`~EnclavePageCache.write`,
+  which enforce EPCM ownership;
+* untrusted code can only obtain the MEE-encrypted image of a page
+  (:meth:`EnclavePageCache.read_as_untrusted`), modeling a physical
+  memory probe — it sees ciphertext, and tampering with a page is
+  detected on the next enclave access (integrity MAC).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from collections import OrderedDict
+
+from repro.cost import context as cost_context
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import hmac_sha256, hmac_verify
+from repro.crypto.modes import CtrStream
+from repro.errors import EnclaveAccessError, SgxError
+
+__all__ = ["PAGE_SIZE", "PageType", "EpcmEntry", "EpcPage", "EnclavePageCache"]
+
+PAGE_SIZE = 4096
+
+
+class PageType(enum.Enum):
+    """EPCM page types (subset)."""
+
+    SECS = "secs"   # enclave control structure
+    TCS = "tcs"     # thread control structure
+    REG = "reg"     # regular code/data page
+    VA = "va"       # version array (paging support)
+
+
+@dataclasses.dataclass
+class EpcmEntry:
+    """Per-page metadata kept by the processor."""
+
+    enclave_id: int
+    page_type: PageType
+    readable: bool = True
+    writable: bool = True
+    executable: bool = False
+    pending: bool = False  # EAUG'd but not yet EACCEPT'ed
+
+
+class EpcPage:
+    """One 4KB protected page.
+
+    The plaintext is held privately; the only untrusted view is the
+    MEE ciphertext produced by :meth:`encrypted_image`.
+    """
+
+    def __init__(self, index: int, mee_key: bytes) -> None:
+        self.index = index
+        self._mee_key = mee_key
+        self._plaintext = bytearray(PAGE_SIZE)
+        self._version = 0
+        self._tampered = False
+        self.resident = True
+
+    # Enclave-side access (the cache checks EPCM before calling these).
+
+    def read(self, offset: int, length: int) -> bytes:
+        if self._tampered:
+            raise EnclaveAccessError(
+                f"integrity check failed on EPC page {self.index}"
+            )
+        if offset < 0 or offset + length > PAGE_SIZE:
+            raise SgxError("EPC read out of page bounds")
+        return bytes(self._plaintext[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if self._tampered:
+            raise EnclaveAccessError(
+                f"integrity check failed on EPC page {self.index}"
+            )
+        if offset < 0 or offset + len(data) > PAGE_SIZE:
+            raise SgxError("EPC write out of page bounds")
+        self._plaintext[offset : offset + len(data)] = data
+        self._version += 1
+
+    # Untrusted-side access.
+
+    def encrypted_image(self) -> bytes:
+        """What a physical-memory probe would observe: MEE ciphertext."""
+        nonce = self.index.to_bytes(8, "big") + self._version.to_bytes(8, "big")
+        stream = CtrStream(hkdf(self._mee_key, info=b"mee-page", length=16), nonce)
+        ciphertext = stream.process(bytes(self._plaintext))
+        mac = hmac_sha256(self._mee_key, nonce + ciphertext)[:16]
+        return nonce + ciphertext + mac
+
+    def swap_out(self) -> bytes:
+        """EWB: hand the MEE-protected image to main memory and drop
+        the in-EPC plaintext."""
+        blob = self.encrypted_image()
+        self._plaintext = bytearray(PAGE_SIZE)
+        self.resident = False
+        return blob
+
+    def swap_in(self, blob: bytes) -> None:
+        """ELDB: verify and decrypt an evicted page back into the EPC.
+
+        Integrity failure (someone touched the blob in main memory)
+        faults — evicted pages keep the same protection as resident
+        ones."""
+        nonce, ciphertext, mac = blob[:16], blob[16:-16], blob[-16:]
+        if hmac_sha256(self._mee_key, nonce + ciphertext)[:16] != mac:
+            self._tampered = True
+            raise EnclaveAccessError(
+                f"integrity check failed reloading evicted page {self.index}"
+            )
+        stream = CtrStream(hkdf(self._mee_key, info=b"mee-page", length=16), nonce)
+        self._plaintext = bytearray(stream.process(ciphertext))
+        self.resident = True
+
+    def corrupt_from_outside(self, offset: int = 0) -> None:
+        """Simulate a physical attacker flipping bits in DRAM.
+
+        The MEE integrity tree catches this: the page poisons itself
+        and the next enclave access faults.
+        """
+        self._plaintext[offset] ^= 0xFF
+        self._tampered = True
+
+
+class EnclavePageCache:
+    """A fixed pool of EPC frames plus the EPCM."""
+
+    def __init__(
+        self,
+        mee_key: bytes,
+        frames: int = 4096,
+        allow_paging: bool = False,
+    ) -> None:
+        self._mee_key = mee_key
+        self._frames = frames
+        self.allow_paging = allow_paging
+        self._pages: Dict[int, EpcPage] = {}
+        self._epcm: Dict[int, EpcmEntry] = {}
+        self._next_index = 0
+        #: LRU order of resident pages (most recent last).
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        #: evicted pages: index -> MEE-protected blob in main memory.
+        self._swapped: Dict[int, bytes] = {}
+        self.evictions = 0
+        self.reloads = 0
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._lru)
+
+    @property
+    def free_frames(self) -> int:
+        return self._frames - len(self._lru)
+
+    def _touch(self, index: int) -> None:
+        self._lru.pop(index, None)
+        self._lru[index] = None
+
+    def _evict_one(self, protect: int = -1) -> None:
+        """EWB the least recently used regular page (never SECS/TCS)."""
+        from repro.sgx.isa import PrivilegedInstruction, execute_privileged
+
+        for index in self._lru:
+            if index == protect:
+                continue
+            if self._epcm[index].page_type in (PageType.SECS, PageType.TCS):
+                continue
+            execute_privileged(PrivilegedInstruction.EWB)
+            cost_context.charge_normal(
+                cost_context.current_model().epc_evict_normal
+            )
+            self._swapped[index] = self._pages[index].swap_out()
+            del self._lru[index]
+            self.evictions += 1
+            return
+        raise SgxError("EPC exhausted (no evictable page)")
+
+    def _ensure_resident(self, index: int) -> None:
+        page = self._pages[index]
+        if page.resident:
+            self._touch(index)
+            return
+        from repro.sgx.isa import PrivilegedInstruction, execute_privileged
+
+        if len(self._lru) >= self._frames:
+            self._evict_one(protect=index)
+        execute_privileged(PrivilegedInstruction.ELDB)
+        cost_context.charge_normal(cost_context.current_model().epc_load_normal)
+        page.swap_in(self._swapped.pop(index))
+        self.reloads += 1
+        self._touch(index)
+
+    def allocate(
+        self,
+        enclave_id: int,
+        page_type: PageType = PageType.REG,
+        executable: bool = False,
+        pending: bool = False,
+    ) -> EpcPage:
+        """Allocate one frame to an enclave (ECREATE/EADD/EAUG path)."""
+        if len(self._lru) >= self._frames:
+            if not self.allow_paging:
+                raise SgxError("EPC exhausted")
+            self._evict_one()
+        index = self._next_index
+        self._next_index += 1
+        page = EpcPage(index, self._mee_key)
+        self._pages[index] = page
+        self._epcm[index] = EpcmEntry(
+            enclave_id=enclave_id,
+            page_type=page_type,
+            executable=executable,
+            pending=pending,
+        )
+        self._touch(index)
+        return page
+
+    def entry(self, index: int) -> EpcmEntry:
+        if index not in self._epcm:
+            raise SgxError(f"no EPCM entry for page {index}")
+        return self._epcm[index]
+
+    def accept_pending(self, enclave_id: int, index: int) -> None:
+        """EACCEPT: the enclave acknowledges a dynamically added page."""
+        entry = self.entry(index)
+        if entry.enclave_id != enclave_id:
+            raise EnclaveAccessError("EACCEPT by non-owning enclave")
+        if not entry.pending:
+            raise SgxError("page is not pending")
+        entry.pending = False
+
+    def read(self, enclave_id: int, index: int, offset: int = 0, length: int = PAGE_SIZE) -> bytes:
+        """Enclave read; enforces EPCM ownership (reloads if evicted)."""
+        self._check_access(enclave_id, index)
+        self._ensure_resident(index)
+        return self._pages[index].read(offset, length)
+
+    def write(self, enclave_id: int, index: int, data: bytes, offset: int = 0) -> None:
+        """Enclave write; enforces EPCM ownership and writability."""
+        entry = self._check_access(enclave_id, index)
+        if not entry.writable:
+            raise EnclaveAccessError(f"page {index} is not writable")
+        self._ensure_resident(index)
+        self._pages[index].write(offset, data)
+
+    def _check_access(self, enclave_id: int, index: int) -> EpcmEntry:
+        entry = self.entry(index)
+        if entry.enclave_id != enclave_id:
+            raise EnclaveAccessError(
+                f"enclave {enclave_id} cannot access page {index} "
+                f"owned by enclave {entry.enclave_id}"
+            )
+        if entry.pending:
+            raise EnclaveAccessError(f"page {index} is pending EACCEPT")
+        return entry
+
+    def read_as_untrusted(self, index: int) -> bytes:
+        """What the OS / a DMA device sees: the MEE-encrypted image."""
+        if index not in self._pages:
+            raise SgxError(f"no such EPC page {index}")
+        return self._pages[index].encrypted_image()
+
+    def corrupt_page(self, index: int) -> None:
+        """Physical tampering hook for attack experiments."""
+        if index not in self._pages:
+            raise SgxError(f"no such EPC page {index}")
+        self._pages[index].corrupt_from_outside()
+
+    def corrupt_swapped(self, index: int) -> None:
+        """An attacker flips bits in an *evicted* page in main memory."""
+        if index not in self._swapped:
+            raise SgxError(f"page {index} is not swapped out")
+        blob = bytearray(self._swapped[index])
+        blob[20] ^= 0xFF
+        self._swapped[index] = bytes(blob)
+
+    def free_enclave_pages(self, enclave_id: int) -> int:
+        """EREMOVE all pages of a destroyed enclave; returns count."""
+        doomed = [i for i, e in self._epcm.items() if e.enclave_id == enclave_id]
+        for index in doomed:
+            del self._pages[index]
+            del self._epcm[index]
+            self._lru.pop(index, None)
+            self._swapped.pop(index, None)
+        return len(doomed)

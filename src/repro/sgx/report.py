@@ -1,0 +1,101 @@
+"""REPORT and TARGETINFO structures (EREPORT semantics).
+
+Paper, Section 2.2: EREPORT "creates a REPORT data structure that
+contains the hash value of the two enclaves (enclave identities),
+public key of the signer who signed the identity, some user data, and
+a message authentication code over the data structure", where the MAC
+key is "only known to the target enclave and the EREPORT instruction
+on the same machine".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.mac import aes_cmac, cmac_verify
+from repro.errors import AttestationError
+from repro.sgx.keys import derive_report_key
+from repro.sgx.measurement import EnclaveIdentity
+from repro.wire import Reader, Writer
+
+__all__ = ["TargetInfo", "Report", "REPORT_DATA_SIZE", "create_report", "verify_report_mac"]
+
+REPORT_DATA_SIZE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetInfo:
+    """Who a REPORT is destined for (its MRENCLAVE selects the MAC key)."""
+
+    mrenclave: bytes
+
+    def encode(self) -> bytes:
+        return self.mrenclave
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TargetInfo":
+        return cls(mrenclave=data[:32])
+
+
+@dataclasses.dataclass(frozen=True)
+class Report:
+    """EREPORT output: identity of the reporting enclave + user data + MAC."""
+
+    identity: EnclaveIdentity
+    report_data: bytes
+    key_id: bytes
+    mac: bytes
+
+    def body(self) -> bytes:
+        return (
+            Writer()
+            .raw(self.identity.encode())
+            .raw(self.report_data)
+            .raw(self.key_id)
+            .getvalue()
+        )
+
+    def encode(self) -> bytes:
+        return Writer().raw(self.body()).raw(self.mac).getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Report":
+        reader = Reader(data)
+        identity = EnclaveIdentity.decode(reader.raw(68))
+        report_data = reader.raw(REPORT_DATA_SIZE)
+        key_id = reader.raw(32)
+        mac = reader.raw(16)
+        return cls(identity=identity, report_data=report_data, key_id=key_id, mac=mac)
+
+
+def create_report(
+    device_secret: bytes,
+    reporting_identity: EnclaveIdentity,
+    target: TargetInfo,
+    report_data: bytes,
+    key_id: bytes,
+) -> Report:
+    """What the EREPORT instruction computes inside the CPU."""
+    if len(report_data) > REPORT_DATA_SIZE:
+        raise AttestationError("report data exceeds 64 bytes")
+    report_data = report_data.ljust(REPORT_DATA_SIZE, b"\x00")
+    body = (
+        Writer()
+        .raw(reporting_identity.encode())
+        .raw(report_data)
+        .raw(key_id)
+        .getvalue()
+    )
+    mac_key = derive_report_key(device_secret, target.mrenclave, key_id)
+    return Report(
+        identity=reporting_identity,
+        report_data=report_data,
+        key_id=key_id,
+        mac=aes_cmac(mac_key, body),
+    )
+
+
+def verify_report_mac(report: Report, report_key: bytes) -> None:
+    """Target-side MAC check (the key comes from EGETKEY)."""
+    if not cmac_verify(report_key, report.body(), report.mac):
+        raise AttestationError("REPORT MAC verification failed")

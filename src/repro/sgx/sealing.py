@@ -1,0 +1,74 @@
+"""Data sealing: encrypt-then-MAC under an EGETKEY-derived seal key.
+
+Blob layout: ``key_id(32) || policy(1) || nonce(16) || len(ct)(4) ||
+ct || mac(32)`` where the MAC covers everything before it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import hmac_sha256, hmac_verify
+from repro.crypto.modes import CtrStream
+from repro.errors import SealingError
+from repro.sgx.keys import SealPolicy
+from repro.wire import Reader, Writer
+
+__all__ = ["seal", "unseal", "peek"]
+
+_POLICY_CODES = {SealPolicy.MRENCLAVE: 1, SealPolicy.MRSIGNER: 2}
+_POLICY_FROM_CODE = {v: k for k, v in _POLICY_CODES.items()}
+
+
+def _subkeys(seal_key: bytes) -> Tuple[bytes, bytes]:
+    enc = hkdf(seal_key, info=b"seal-enc", length=16)
+    mac = hkdf(seal_key, info=b"seal-mac", length=32)
+    return enc, mac
+
+
+def seal(seal_key: bytes, key_id: bytes, policy: SealPolicy, data: bytes, nonce: bytes) -> bytes:
+    """Produce a sealed blob."""
+    if len(key_id) != 32:
+        raise SealingError("key id must be 32 bytes")
+    if len(nonce) != 16:
+        raise SealingError("nonce must be 16 bytes")
+    enc_key, mac_key = _subkeys(seal_key)
+    ciphertext = CtrStream(enc_key, nonce).process(data)
+    header = (
+        Writer()
+        .raw(key_id)
+        .u8(_POLICY_CODES[policy])
+        .raw(nonce)
+        .varbytes(ciphertext)
+        .getvalue()
+    )
+    return header + hmac_sha256(mac_key, header)
+
+
+def peek(blob: bytes) -> Tuple[bytes, SealPolicy]:
+    """Extract (key_id, policy) so the enclave can derive the key."""
+    try:
+        reader = Reader(blob)
+        key_id = reader.raw(32)
+        policy = _POLICY_FROM_CODE[reader.u8()]
+    except (KeyError, Exception) as exc:  # noqa: BLE001 - normalize
+        raise SealingError(f"malformed sealed blob: {exc}") from exc
+    return key_id, policy
+
+
+def unseal(seal_key: bytes, blob: bytes) -> bytes:
+    """Verify and decrypt a sealed blob."""
+    if len(blob) < 32 + 1 + 16 + 4 + 32:
+        raise SealingError("sealed blob too short")
+    header, mac = blob[:-32], blob[-32:]
+    _, mac_key = _subkeys(seal_key)
+    if not hmac_verify(mac_key, header, mac):
+        raise SealingError("seal MAC verification failed (wrong enclave or corrupt)")
+    reader = Reader(header)
+    reader.raw(32)  # key id
+    reader.u8()     # policy
+    nonce = reader.raw(16)
+    ciphertext = reader.varbytes()
+    enc_key, _ = _subkeys(seal_key)
+    return CtrStream(enc_key, nonce).process(ciphertext)

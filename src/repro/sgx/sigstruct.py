@@ -1,0 +1,102 @@
+"""SIGSTRUCT: the enclave author's signed statement about an enclave.
+
+EINIT only accepts an enclave whose measured MRENCLAVE matches a
+SIGSTRUCT signed by the author; the hash of the author's public key
+becomes MRSIGNER (footnote 1 of the paper: "the identity of the
+software is previously signed by an authority that a user trusts").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, rsa_sign, rsa_verify
+from repro.errors import MeasurementError
+from repro.wire import Reader, Writer
+
+__all__ = ["SigStruct", "sign_enclave"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SigStruct:
+    """Author-signed enclave metadata."""
+
+    enclave_hash: bytes          # expected MRENCLAVE
+    isv_prod_id: int
+    isv_svn: int
+    signer_public: RsaPublicKey
+    signature: bytes
+
+    def signed_body(self) -> bytes:
+        return (
+            Writer()
+            .raw(self.enclave_hash)
+            .u16(self.isv_prod_id)
+            .u16(self.isv_svn)
+            .getvalue()
+        )
+
+    def verify(self) -> None:
+        """Raise :class:`MeasurementError` unless the signature is valid."""
+        if len(self.enclave_hash) != 32:
+            raise MeasurementError("SIGSTRUCT enclave hash must be 32 bytes")
+        if not rsa_verify(self.signer_public, self.signed_body(), self.signature):
+            raise MeasurementError("SIGSTRUCT signature invalid")
+
+    @property
+    def mrsigner(self) -> bytes:
+        return self.signer_public.fingerprint()
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .raw(self.enclave_hash)
+            .u16(self.isv_prod_id)
+            .u16(self.isv_svn)
+            .varint(self.signer_public.n)
+            .varint(self.signer_public.e)
+            .varbytes(self.signature)
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "SigStruct":
+        reader = Reader(data)
+        enclave_hash = reader.raw(32)
+        isv_prod_id = reader.u16()
+        isv_svn = reader.u16()
+        n = reader.varint()
+        e = reader.varint()
+        signature = reader.varbytes()
+        return cls(
+            enclave_hash=enclave_hash,
+            isv_prod_id=isv_prod_id,
+            isv_svn=isv_svn,
+            signer_public=RsaPublicKey(n=n, e=e),
+            signature=signature,
+        )
+
+
+def sign_enclave(
+    author_key: RsaPrivateKey,
+    enclave_hash: bytes,
+    isv_prod_id: int = 0,
+    isv_svn: int = 0,
+) -> SigStruct:
+    """Produce a SIGSTRUCT over a known-good measurement."""
+    if len(enclave_hash) != 32:
+        raise MeasurementError("enclave hash must be 32 bytes")
+    body = (
+        Writer()
+        .raw(enclave_hash)
+        .u16(isv_prod_id)
+        .u16(isv_svn)
+        .getvalue()
+    )
+    return SigStruct(
+        enclave_hash=enclave_hash,
+        isv_prod_id=isv_prod_id,
+        isv_svn=isv_svn,
+        signer_public=author_key.public_key(),
+        signature=rsa_sign(author_key, body),
+    )

@@ -1,0 +1,20 @@
+"""Miniature TLS (DHE handshake + authenticated record layer) for the
+middlebox case study."""
+
+from repro.tls.handshake import (
+    Certificate,
+    CertificateAuthority,
+    TlsClientSession,
+    TlsServerSession,
+)
+from repro.tls.session import TlsConnection, TlsServer, tls_connect
+
+__all__ = [
+    "CertificateAuthority",
+    "Certificate",
+    "TlsClientSession",
+    "TlsServerSession",
+    "TlsConnection",
+    "TlsServer",
+    "tls_connect",
+]

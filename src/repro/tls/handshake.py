@@ -1,0 +1,202 @@
+"""A miniature TLS: ephemeral-DH handshake with server authentication.
+
+Shaped like TLS 1.2 DHE: ClientHello (nonce, DH public), ServerHello
+(nonce, DH public, certificate, signature over the transcript by the
+server's identity key), then Finished MACs both ways.  Certificates
+are Schnorr-signed by a CA the client pins.  The record layer reuses
+:class:`repro.net.channel.SecureRecordChannel` keyed from the
+handshake.
+
+This substrate exists for the paper's Section 3.3 case study: "the
+widespread use of TLS protocol disrupts in-network processing since
+only endpoints of communication can access the plain-text."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto import dh
+from repro.crypto.drbg import Rng
+from repro.crypto.hashes import sha256
+from repro.crypto.mac import hmac_sha256, hmac_verify
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrSignature,
+    generate_schnorr_keypair,
+    schnorr_sign,
+    schnorr_verify,
+)
+from repro.errors import ProtocolError
+from repro.sgx.attestation import SessionKeys
+from repro.wire import Reader, Writer
+
+__all__ = [
+    "CertificateAuthority",
+    "Certificate",
+    "TlsClientSession",
+    "TlsServerSession",
+]
+
+_GROUP = dh.MODP_1024
+
+
+@dataclasses.dataclass(frozen=True)
+class Certificate:
+    """CA-signed binding of a server name to its identity key."""
+
+    name: str
+    public: int
+    signature: SchnorrSignature
+
+    @staticmethod
+    def body(name: str, public: int) -> bytes:
+        return Writer().string(name).varint(public).getvalue()
+
+    def verify(self, ca_public: int) -> None:
+        if not schnorr_verify(
+            _GROUP, ca_public, Certificate.body(self.name, self.public), self.signature
+        ):
+            raise ProtocolError(f"certificate for '{self.name}' is invalid")
+
+    def encode(self) -> bytes:
+        return (
+            Writer()
+            .string(self.name)
+            .varint(self.public)
+            .varbytes(self.signature.encode())
+            .getvalue()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        reader = Reader(data)
+        return cls(
+            name=reader.string(),
+            public=reader.varint(),
+            signature=SchnorrSignature.decode(reader.varbytes()),
+        )
+
+
+class CertificateAuthority:
+    """Issues server certificates; clients pin its public key."""
+
+    def __init__(self, rng: Rng) -> None:
+        self._key = generate_schnorr_keypair(rng.fork("ca"))
+
+    @property
+    def public(self) -> int:
+        return self._key.y
+
+    def issue(self, name: str, rng: Rng) -> tuple:
+        """Returns (server identity keypair, certificate)."""
+        identity = generate_schnorr_keypair(rng.fork(f"server:{name}"))
+        certificate = Certificate(
+            name=name,
+            public=identity.y,
+            signature=schnorr_sign(self._key, Certificate.body(name, identity.y)),
+        )
+        return identity, certificate
+
+
+def _derive(shared: bytes, client_nonce: bytes, server_nonce: bytes) -> SessionKeys:
+    return SessionKeys.derive(shared, sha256(client_nonce + server_nonce))
+
+
+class TlsClientSession:
+    """Sans-IO client handshake state machine."""
+
+    def __init__(self, server_name: str, ca_public: int, rng: Rng) -> None:
+        self._server_name = server_name
+        self._ca_public = ca_public
+        self._rng = rng
+        self._nonce = rng.bytes(32)
+        self._keypair = dh.generate_keypair(_GROUP, rng)
+        self._hello: bytes = b""
+        self.keys = None
+        self.complete = False
+
+    def start(self) -> bytes:
+        self._hello = (
+            Writer().raw(self._nonce).varint(self._keypair.public).getvalue()
+        )
+        return self._hello
+
+    def handle_server_hello(self, data: bytes) -> bytes:
+        """Verify the server; returns the client Finished message."""
+        reader = Reader(data)
+        server_nonce = reader.raw(32)
+        server_public = reader.varint()
+        certificate = Certificate.decode(reader.varbytes())
+        signature = SchnorrSignature.decode(reader.varbytes())
+
+        certificate.verify(self._ca_public)
+        if certificate.name != self._server_name:
+            raise ProtocolError(
+                f"certificate names '{certificate.name}', expected "
+                f"'{self._server_name}'"
+            )
+        transcript = sha256(self._hello + data[: len(data)])
+        signed = sha256(self._hello) + server_nonce + Writer().varint(server_public).getvalue()
+        if not schnorr_verify(_GROUP, certificate.public, signed, signature):
+            raise ProtocolError("server key-exchange signature invalid")
+
+        shared = dh.shared_secret(self._keypair, server_public)
+        self.keys = _derive(shared, self._nonce, server_nonce)
+        self._transcript = transcript
+        return hmac_sha256(self.keys.confirm_key, b"client-finished" + transcript)
+
+    def handle_server_finished(self, data: bytes) -> None:
+        if self.keys is None:
+            raise ProtocolError("finished before key derivation")
+        if not hmac_verify(
+            self.keys.confirm_key, b"server-finished" + self._transcript, data
+        ):
+            raise ProtocolError("server Finished MAC invalid")
+        self.complete = True
+
+
+class TlsServerSession:
+    """Sans-IO server handshake state machine."""
+
+    def __init__(self, identity: SchnorrKeyPair, certificate: Certificate, rng: Rng) -> None:
+        self._identity = identity
+        self._certificate = certificate
+        self._rng = rng
+        self.keys = None
+        self.complete = False
+
+    def handle_client_hello(self, data: bytes) -> bytes:
+        reader = Reader(data)
+        client_nonce = reader.raw(32)
+        client_public = reader.varint()
+
+        nonce = self._rng.bytes(32)
+        keypair = dh.generate_keypair(_GROUP, self._rng)
+        signed = sha256(data) + nonce + Writer().varint(keypair.public).getvalue()
+        signature = schnorr_sign(self._identity, signed)
+
+        hello = (
+            Writer()
+            .raw(nonce)
+            .varint(keypair.public)
+            .varbytes(self._certificate.encode())
+            .varbytes(signature.encode())
+            .getvalue()
+        )
+        shared = dh.shared_secret(keypair, client_public)
+        self.keys = _derive(shared, client_nonce, nonce)
+        self._transcript = sha256(data + hello)
+        return hello
+
+    def handle_client_finished(self, data: bytes) -> bytes:
+        if self.keys is None:
+            raise ProtocolError("finished before hello")
+        if not hmac_verify(
+            self.keys.confirm_key, b"client-finished" + self._transcript, data
+        ):
+            raise ProtocolError("client Finished MAC invalid")
+        self.complete = True
+        return hmac_sha256(
+            self.keys.confirm_key, b"server-finished" + self._transcript
+        )

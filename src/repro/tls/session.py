@@ -1,0 +1,111 @@
+"""Networked TLS sessions over the simulated transport."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.crypto.drbg import Rng
+from repro.crypto.schnorr import SchnorrKeyPair
+from repro.errors import ProtocolError
+from repro.net.channel import SecureRecordChannel
+from repro.net.network import Host
+from repro.net.transport import StreamListener, StreamSocket, connect
+from repro.sgx.attestation import SessionKeys
+from repro.tls.handshake import Certificate, TlsClientSession, TlsServerSession
+
+__all__ = ["TlsConnection", "TlsServer", "tls_connect"]
+
+
+class TlsConnection:
+    """An established TLS connection endpoint."""
+
+    def __init__(self, conn: StreamSocket, keys: SessionKeys, role: str) -> None:
+        self.conn = conn
+        self.keys = keys
+        self.role = role
+        self._channel = SecureRecordChannel(keys, role)
+
+    def send(self, payload: bytes) -> None:
+        self.conn.send_message(self._channel.protect(payload))
+
+    def recv(self, timeout: Optional[float] = 30.0) -> Generator:
+        record = yield self.conn.recv_message(timeout=timeout)
+        if record is None:
+            raise ProtocolError("TLS peer closed")
+        return self._channel.open(record)
+
+    def export_session_keys(self) -> SessionKeys:
+        """What an endpoint hands to a consented middlebox (paper
+        Section 3.3: 'give their session keys through the secure
+        channel to in-path middleboxes')."""
+        return self.keys
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class TlsServer:
+    """Accept loop that hands established TLS connections to a handler."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        identity: SchnorrKeyPair,
+        certificate: Certificate,
+        rng: Rng,
+        handler,
+    ) -> None:
+        self.host = host
+        self.identity = identity
+        self.certificate = certificate
+        self.rng = rng
+        self.handler = handler
+        self.listener = StreamListener(host, port)
+        host.sim.spawn(self._accept_loop(), f"tls-server:{host.name}:{port}")
+
+    def _accept_loop(self) -> Generator:
+        while True:
+            conn = yield self.listener.accept()
+            self.host.sim.spawn(self._handshake(conn), "tls-handshake")
+
+    def _handshake(self, conn: StreamSocket) -> Generator:
+        session = TlsServerSession(
+            self.identity, self.certificate, self.rng.fork(f"hs{id(conn)}")
+        )
+        hello = yield conn.recv_message()
+        if hello is None:
+            return
+        conn.send_message(session.handle_client_hello(hello))
+        finished = yield conn.recv_message()
+        if finished is None:
+            return
+        conn.send_message(session.handle_client_finished(finished))
+        assert session.keys is not None
+        tls = TlsConnection(conn, session.keys, "responder")
+        yield from self.handler(tls)
+
+
+def tls_connect(
+    host: Host,
+    dst: str,
+    port: int,
+    server_name: str,
+    ca_public: int,
+    rng: Rng,
+    timeout: float = 30.0,
+) -> Generator:
+    """Sub-generator: TCP connect + TLS handshake; returns TlsConnection."""
+    conn = yield from connect(host, dst, port)
+    session = TlsClientSession(server_name, ca_public, rng)
+    conn.send_message(session.start())
+    server_hello = yield conn.recv_message(timeout=timeout)
+    if server_hello is None:
+        raise ProtocolError("server closed during handshake")
+    conn.send_message(session.handle_server_hello(server_hello))
+    server_finished = yield conn.recv_message(timeout=timeout)
+    if server_finished is None:
+        raise ProtocolError("server closed before Finished")
+    session.handle_server_finished(server_finished)
+    assert session.keys is not None
+    return TlsConnection(conn, session.keys, "initiator")

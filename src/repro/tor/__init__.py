@@ -1,0 +1,60 @@
+"""SGX-enabled Tor (paper Section 3.2).
+
+A working onion-routing overlay on the simulated network — 512-byte
+cells, ntor-flavored circuit handshakes, layered AES-CTR with rolling
+digests, exit streams — plus directory authorities with voting and
+consensus, the attack models the paper cites, a Chord DHT for the
+directory-less design, and the three SGX deployment phases.
+"""
+
+from repro.tor.apps import DirectoryAuthorityProgram, OnionRouterEnclaveProgram
+from repro.tor.cell import Cell, CellCommand, RelayCommand, RelayPayload
+from repro.tor.client import ClientCircuit, TorClient, select_path
+from repro.tor.deployment import TorDeployment, TorDeploymentConfig, WEB_RESPONSE_PREFIX
+from repro.tor.dht import ChordRing, key_for
+from repro.tor.directory import (
+    ConsensusDocument,
+    ConsensusEntry,
+    DirectoryAuthorityCore,
+    RouterDescriptor,
+    RouterFlag,
+    Vote,
+    build_consensus,
+)
+from repro.tor.handshake import OnionKeyPair
+from repro.tor.incremental import ClientPolicy, IncrementalStats, simulate as simulate_incremental
+from repro.tor.node import OnionRouterNode
+from repro.tor.onion import HopCrypto, RollingDigest
+from repro.tor.relay import RelayCore
+
+__all__ = [
+    "Cell",
+    "CellCommand",
+    "RelayCommand",
+    "RelayPayload",
+    "HopCrypto",
+    "RollingDigest",
+    "OnionKeyPair",
+    "RelayCore",
+    "OnionRouterNode",
+    "TorClient",
+    "ClientCircuit",
+    "select_path",
+    "RouterDescriptor",
+    "RouterFlag",
+    "Vote",
+    "ConsensusEntry",
+    "ConsensusDocument",
+    "DirectoryAuthorityCore",
+    "build_consensus",
+    "ChordRing",
+    "key_for",
+    "OnionRouterEnclaveProgram",
+    "DirectoryAuthorityProgram",
+    "TorDeployment",
+    "TorDeploymentConfig",
+    "WEB_RESPONSE_PREFIX",
+    "ClientPolicy",
+    "IncrementalStats",
+    "simulate_incremental",
+]

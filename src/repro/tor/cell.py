@@ -1,0 +1,133 @@
+"""Tor cells: the fixed-size link unit of the onion-routing overlay.
+
+Paper-era (v2) geometry: every cell is 512 bytes — a 5-byte header
+(circuit id, command) and a 507-byte payload.  RELAY cells carry an
+inner relay header (command, recognized, stream id, digest, length)
+inside the onion-encrypted payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import TorError
+
+__all__ = [
+    "CELL_SIZE",
+    "PAYLOAD_SIZE",
+    "RELAY_DATA_SIZE",
+    "CellCommand",
+    "RelayCommand",
+    "Cell",
+    "RelayPayload",
+]
+
+CELL_SIZE = 512
+HEADER_SIZE = 5          # circ_id (4) + command (1)
+PAYLOAD_SIZE = CELL_SIZE - HEADER_SIZE          # 507
+RELAY_HEADER_SIZE = 11   # cmd(1) recognized(2) stream(2) digest(4) len(2)
+RELAY_DATA_SIZE = PAYLOAD_SIZE - RELAY_HEADER_SIZE  # 496
+
+
+class CellCommand(enum.IntEnum):
+    """Link-level cell commands."""
+
+    PADDING = 0
+    CREATE = 1
+    CREATED = 2
+    RELAY = 3
+    DESTROY = 4
+
+
+class RelayCommand(enum.IntEnum):
+    """Commands inside (decrypted) RELAY payloads."""
+
+    BEGIN = 1
+    DATA = 2
+    END = 3
+    CONNECTED = 4
+    EXTEND = 6
+    EXTENDED = 7
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One 512-byte cell."""
+
+    circ_id: int
+    command: CellCommand
+    payload: bytes
+
+    def encode(self) -> bytes:
+        if len(self.payload) > PAYLOAD_SIZE:
+            raise TorError(f"payload of {len(self.payload)} exceeds {PAYLOAD_SIZE}")
+        body = self.payload.ljust(PAYLOAD_SIZE, b"\x00")
+        return (
+            self.circ_id.to_bytes(4, "big")
+            + bytes([int(self.command)])
+            + body
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Cell":
+        if len(data) != CELL_SIZE:
+            raise TorError(f"cell must be exactly {CELL_SIZE} bytes, got {len(data)}")
+        return cls(
+            circ_id=int.from_bytes(data[:4], "big"),
+            command=CellCommand(data[4]),
+            payload=data[5:],
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RelayPayload:
+    """The decrypted inner structure of a RELAY cell."""
+
+    command: RelayCommand
+    stream_id: int
+    digest: bytes          # 4 bytes
+    data: bytes
+
+    def encode(self, zero_digest: bool = False) -> bytes:
+        if len(self.data) > RELAY_DATA_SIZE:
+            raise TorError(f"relay data of {len(self.data)} exceeds {RELAY_DATA_SIZE}")
+        digest = b"\x00\x00\x00\x00" if zero_digest else self.digest
+        if len(digest) != 4:
+            raise TorError("relay digest must be 4 bytes")
+        header = (
+            bytes([int(self.command)])
+            + b"\x00\x00"                       # recognized
+            + self.stream_id.to_bytes(2, "big")
+            + digest
+            + len(self.data).to_bytes(2, "big")
+        )
+        return (header + self.data).ljust(PAYLOAD_SIZE, b"\x00")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "RelayPayload":
+        if len(payload) != PAYLOAD_SIZE:
+            raise TorError("relay payload must fill the cell")
+        command = RelayCommand(payload[0])
+        recognized = payload[1:3]
+        if recognized != b"\x00\x00":
+            raise TorError("payload not recognized at this hop")
+        stream_id = int.from_bytes(payload[3:5], "big")
+        digest = payload[5:9]
+        length = int.from_bytes(payload[9:11], "big")
+        if length > RELAY_DATA_SIZE:
+            raise TorError("relay length field out of range")
+        return cls(
+            command=command,
+            stream_id=stream_id,
+            digest=digest,
+            data=payload[11 : 11 + length],
+        )
+
+    @staticmethod
+    def looks_recognized(payload: bytes) -> bool:
+        """Cheap pre-check: the 'recognized' field is zero."""
+        return payload[1:3] == b"\x00\x00"
+
+    def with_digest(self, digest: bytes) -> "RelayPayload":
+        return dataclasses.replace(self, digest=digest)

@@ -1,0 +1,229 @@
+"""The Tor client: path selection, circuit building, streams.
+
+The client lives on a simulated host, keeps one TLS-like stream to its
+guard, and speaks cells.  All circuit crypto happens client-side in
+:class:`~repro.tor.onion.HopCrypto` instances — one per hop, exactly
+mirroring the relays' state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Generator, List, Optional
+
+from repro.crypto.drbg import Rng
+from repro.errors import TorError
+from repro.net.network import Host
+from repro.net.sim import MessageQueue, SimTimeout
+from repro.net.transport import StreamSocket, connect
+from repro.tor.cell import Cell, CellCommand, RELAY_DATA_SIZE, RelayCommand, RelayPayload
+from repro.tor.handshake import client_handshake_finish, client_handshake_start
+from repro.tor.onion import HopCrypto
+from repro.tor.relay import OR_PORT, encode_extend
+from repro.wire import Writer
+
+__all__ = ["TorClient", "ClientCircuit", "select_path"]
+
+_BUILD_TIMEOUT = 30.0
+
+
+@dataclasses.dataclass
+class _ClientHop:
+    name: str
+    onion_public: int
+    crypto: HopCrypto
+
+
+class ClientCircuit:
+    """Client-side state of one built (or building) circuit."""
+
+    def __init__(self, client: "TorClient", conn: StreamSocket, circ_id: int) -> None:
+        self._client = client
+        self._conn = conn
+        self.circ_id = circ_id
+        self.hops: List[_ClientHop] = []
+        self._control_q: MessageQueue = client.host.sim.queue("tor-ctl")
+        self._event_q: MessageQueue = client.host.sim.queue("tor-evt")
+        self._stream_q: Dict[int, MessageQueue] = {}
+        self._next_stream = 1
+        self.closed = False
+
+    @property
+    def path(self) -> List[str]:
+        return [hop.name for hop in self.hops]
+
+    # -- cell plumbing (driven by the client's pump) -----------------------------
+
+    def _handle_cell(self, cell: Cell) -> None:
+        if cell.command is CellCommand.CREATED:
+            self._control_q.put(cell.payload)
+            return
+        if cell.command is CellCommand.DESTROY:
+            self.closed = True
+            self._event_q.put(None)
+            return
+        if cell.command is not CellCommand.RELAY:
+            return
+        blob = cell.payload
+        for hop in self.hops:
+            blob = hop.crypto.peel_backward(blob)
+            recognized = hop.crypto.try_recognize_backward(blob)
+            if recognized is not None:
+                self._route(recognized)
+                return
+        raise TorError("backward cell recognized by no hop (tampering?)")
+
+    def _route(self, payload: RelayPayload) -> None:
+        if payload.command in (RelayCommand.EXTENDED, RelayCommand.CONNECTED, RelayCommand.END):
+            self._event_q.put(payload)
+        elif payload.command is RelayCommand.DATA:
+            queue = self._stream_q.get(payload.stream_id)
+            if queue is not None:
+                queue.put(payload.data)
+
+    # -- sending --------------------------------------------------------------------
+
+    def _send_relay(self, command: RelayCommand, stream_id: int, data: bytes) -> None:
+        """Seal a relay payload to the last hop and ship it."""
+        if not self.hops:
+            raise TorError("circuit has no hops yet")
+        payload = RelayPayload(command, stream_id, b"\x00" * 4, data)
+        blob = self.hops[-1].crypto.seal_forward(payload)
+        for hop in reversed(self.hops[:-1]):
+            blob = hop.crypto.add_forward(blob)
+        self._conn.send_message(Cell(self.circ_id, CellCommand.RELAY, blob).encode())
+
+    # -- application streams ---------------------------------------------------------
+
+    def open_stream(self, dest: str, port: int) -> Generator:
+        """Sub-generator: returns a stream id once the exit connected."""
+        stream_id = self._next_stream
+        self._next_stream += 1
+        self._stream_q[stream_id] = self._client.host.sim.queue(f"tor-s{stream_id}")
+        data = Writer().string(dest).u16(port).getvalue()
+        self._send_relay(RelayCommand.BEGIN, stream_id, data)
+        event = yield self._event_q.get(timeout=_BUILD_TIMEOUT)
+        if event is None or event.command is not RelayCommand.CONNECTED:
+            raise TorError(f"BEGIN to {dest}:{port} failed")
+        return stream_id
+
+    def send(self, stream_id: int, data: bytes) -> None:
+        """Ship application bytes down the circuit (chunked into cells)."""
+        for i in range(0, len(data), RELAY_DATA_SIZE):
+            self._send_relay(
+                RelayCommand.DATA, stream_id, data[i : i + RELAY_DATA_SIZE]
+            )
+
+    def recv(self, stream_id: int, timeout: Optional[float] = _BUILD_TIMEOUT):
+        """Yieldable: the next chunk of backward stream data."""
+        queue = self._stream_q.get(stream_id)
+        if queue is None:
+            raise TorError(f"no such stream {stream_id}")
+        return queue.get(timeout=timeout)
+
+    def destroy(self) -> None:
+        """Tear the circuit down: DESTROY travels hop by hop to the
+        exit, closing any destination streams on the way."""
+        if not self.closed:
+            self._conn.send_message(
+                Cell(self.circ_id, CellCommand.DESTROY, b"").encode()
+            )
+        self.close()
+
+    def close(self) -> None:
+        self.closed = True
+        self._conn.close()
+
+
+class TorClient:
+    """A client application on a simulated host."""
+
+    def __init__(self, host: Host, rng: Rng) -> None:
+        self.host = host
+        self.rng = rng
+        self._next_circ = 1
+        self.circuits: List[ClientCircuit] = []
+
+    def build_circuit(self, path: List) -> Generator:
+        """Sub-generator: build a circuit along router descriptors.
+
+        ``path`` entries need ``nickname`` and ``onion_public``
+        attributes (router descriptors).  Returns a
+        :class:`ClientCircuit`.
+        """
+        if not path:
+            raise TorError("empty path")
+        conn = yield from connect(self.host, path[0].nickname, OR_PORT)
+        circ_id = self._next_circ
+        self._next_circ += 1
+        circuit = ClientCircuit(self, conn, circ_id)
+        self.circuits.append(circuit)
+        self.host.sim.spawn(self._pump(conn, circuit), f"tor-client-pump-{circ_id}")
+
+        # First hop: CREATE/CREATED.
+        ephemeral, onion_skin = client_handshake_start(self.rng.fork("hs0"))
+        conn.send_message(Cell(circ_id, CellCommand.CREATE, onion_skin).encode())
+        try:
+            created = yield circuit._control_q.get(timeout=_BUILD_TIMEOUT)
+        except SimTimeout as exc:
+            raise TorError(f"CREATE to {path[0].nickname} timed out") from exc
+        crypto = client_handshake_finish(ephemeral, path[0].onion_public, created)
+        circuit.hops.append(_ClientHop(path[0].nickname, path[0].onion_public, crypto))
+
+        # Remaining hops: RELAY_EXTEND / RELAY_EXTENDED.
+        for index, desc in enumerate(path[1:], start=1):
+            ephemeral, onion_skin = client_handshake_start(self.rng.fork(f"hs{index}"))
+            circuit._send_relay(
+                RelayCommand.EXTEND,
+                0,
+                encode_extend(desc.nickname, OR_PORT, onion_skin),
+            )
+            try:
+                event = yield circuit._event_q.get(timeout=_BUILD_TIMEOUT)
+            except SimTimeout as exc:
+                raise TorError(f"EXTEND to {desc.nickname} timed out") from exc
+            if event is None or event.command is not RelayCommand.EXTENDED:
+                raise TorError(f"EXTEND to {desc.nickname} refused")
+            crypto = client_handshake_finish(ephemeral, desc.onion_public, event.data)
+            circuit.hops.append(_ClientHop(desc.nickname, desc.onion_public, crypto))
+        return circuit
+
+    def _pump(self, conn: StreamSocket, circuit: ClientCircuit) -> Generator:
+        while not circuit.closed:
+            message = yield conn.recv_message()
+            if message is None:
+                circuit.closed = True
+                return
+            circuit._handle_cell(Cell.decode(message))
+
+
+def select_path(
+    descriptors: List,
+    rng: Rng,
+    length: int = 3,
+    exit_port: int = 80,
+) -> List:
+    """Standard constraints: distinct relays, exit allows the port,
+    guard-flagged first hop when available."""
+    exits = [d for d in descriptors if d.allows_exit_to(exit_port)]
+    if not exits:
+        raise TorError("no exit relay allows this port")
+    exit_relay = rng.choice(sorted(exits, key=lambda d: d.nickname))
+    guards = [
+        d for d in descriptors if d.is_guard and d.nickname != exit_relay.nickname
+    ] or [d for d in descriptors if d.nickname != exit_relay.nickname]
+    if not guards:
+        raise TorError("not enough relays for a circuit")
+    guard = rng.choice(sorted(guards, key=lambda d: d.nickname))
+    middles = [
+        d
+        for d in descriptors
+        if d.nickname not in (guard.nickname, exit_relay.nickname)
+    ]
+    path = [guard]
+    need_middles = max(0, length - 2)
+    if len(middles) < need_middles:
+        raise TorError("not enough relays for the requested path length")
+    path.extend(rng.sample(sorted(middles, key=lambda d: d.nickname), need_middles))
+    path.append(exit_relay)
+    return path

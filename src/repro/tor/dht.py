@@ -1,0 +1,176 @@
+"""A Chord DHT for directory-less Tor membership (paper Section 3.2).
+
+"In fact, a new Tor design is possible that does not require directory
+authorities ... because verification is done by hardware through SGX.
+Tor can utilize a distributed hash table to track the membership,
+similar to other peer-to-peer systems [Chord]."
+
+This is a functional Chord: ``M``-bit identifier ring, successor
+pointers, finger tables, iterative ``find_successor`` with hop
+counting, and key/value storage at the owning node.  Joining the ring
+goes through an *admission check* — in the fully-SGX deployment this is
+remote attestation by the bootstrap node, so unverified (modified)
+relays simply cannot become members.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.hashes import sha256
+from repro.errors import TorError
+
+__all__ = ["ChordNode", "ChordRing", "key_for"]
+
+M = 32  # identifier bits (plenty for simulated networks)
+RING = 1 << M
+
+
+def key_for(name: str) -> int:
+    """Hash a name onto the identifier ring."""
+    return int.from_bytes(sha256(name.encode())[:8], "big") % RING
+
+
+def _in_interval(x: int, a: int, b: int, inclusive_right: bool = False) -> bool:
+    """Is x in the circular interval (a, b) (or (a, b])?"""
+    if a == b:
+        return inclusive_right and x == b or not inclusive_right and x != a
+    if a < b:
+        return (a < x < b) or (inclusive_right and x == b)
+    return (x > a or x < b) or (inclusive_right and x == b)
+
+
+@dataclasses.dataclass
+class ChordNode:
+    """One ring member."""
+
+    name: str
+    node_id: int
+    successor: Optional["ChordNode"] = None
+    predecessor: Optional["ChordNode"] = None
+    fingers: List["ChordNode"] = dataclasses.field(default_factory=list)
+    store: Dict[int, object] = dataclasses.field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<ChordNode {self.name} id={self.node_id}>"
+
+
+class ChordRing:
+    """The overlay, with an admission gate on join."""
+
+    def __init__(
+        self,
+        admission_check: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self._nodes: Dict[str, ChordNode] = {}
+        self._admission_check = admission_check
+        self.rejected_joins: List[str] = []
+        self.lookups = 0
+        self.lookup_hops = 0
+
+    # -- membership ------------------------------------------------------------
+
+    def join(self, name: str) -> ChordNode:
+        """Admit a node (subject to the admission check) and restructure."""
+        if name in self._nodes:
+            raise TorError(f"node '{name}' already in the ring")
+        if self._admission_check is not None and not self._admission_check(name):
+            self.rejected_joins.append(name)
+            raise TorError(
+                f"node '{name}' failed the membership admission check"
+            )
+        node = ChordNode(name=name, node_id=key_for(name))
+        if any(n.node_id == node.node_id for n in self._nodes.values()):
+            raise TorError(f"identifier collision for '{name}'")
+        self._nodes[name] = node
+        self._rebuild()
+        return node
+
+    def leave(self, name: str) -> None:
+        """A node departs (or is killed — DoS is always possible)."""
+        node = self._nodes.pop(name, None)
+        if node is None:
+            return
+        # Keys it held move to its successor.
+        orphaned = node.store
+        self._rebuild()
+        if self._nodes and orphaned:
+            for key, value in orphaned.items():
+                self.owner_of(key).store[key] = value
+
+    def members(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def node(self, name: str) -> ChordNode:
+        if name not in self._nodes:
+            raise TorError(f"no ring member '{name}'")
+        return self._nodes[name]
+
+    def _rebuild(self) -> None:
+        """Recompute successors/predecessors/fingers (stabilized state)."""
+        ordered = sorted(self._nodes.values(), key=lambda n: n.node_id)
+        n = len(ordered)
+        for i, node in enumerate(ordered):
+            node.successor = ordered[(i + 1) % n]
+            node.predecessor = ordered[(i - 1) % n]
+            node.fingers = []
+            for k in range(M):
+                target = (node.node_id + (1 << k)) % RING
+                node.fingers.append(self._successor_of_id(ordered, target))
+
+    @staticmethod
+    def _successor_of_id(ordered: List[ChordNode], target: int) -> ChordNode:
+        for node in ordered:
+            if node.node_id >= target:
+                return node
+        return ordered[0]
+
+    # -- lookups -----------------------------------------------------------------
+
+    def owner_of(self, key: int) -> ChordNode:
+        ordered = sorted(self._nodes.values(), key=lambda n: n.node_id)
+        if not ordered:
+            raise TorError("empty ring")
+        return self._successor_of_id(ordered, key % RING)
+
+    def find_successor(self, start: str, key: int) -> Tuple[ChordNode, int]:
+        """Iterative Chord lookup from ``start``; returns (owner, hops)."""
+        if not self._nodes:
+            raise TorError("empty ring")
+        key %= RING
+        current = self.node(start)
+        hops = 0
+        self.lookups += 1
+        for _ in range(4 * M):  # safety bound
+            assert current.successor is not None
+            if _in_interval(key, current.node_id, current.successor.node_id, inclusive_right=True):
+                self.lookup_hops += hops
+                return current.successor, hops
+            nxt = self._closest_preceding(current, key)
+            if nxt is current:
+                self.lookup_hops += hops
+                return current.successor, hops
+            current = nxt
+            hops += 1
+        raise TorError("chord lookup did not converge")
+
+    @staticmethod
+    def _closest_preceding(node: ChordNode, key: int) -> ChordNode:
+        for finger in reversed(node.fingers):
+            if _in_interval(finger.node_id, node.node_id, key):
+                return finger
+        return node
+
+    # -- storage --------------------------------------------------------------------
+
+    def put(self, start: str, name_key: str, value: object) -> int:
+        """Store a value under a name; returns lookup hops."""
+        owner, hops = self.find_successor(start, key_for(name_key))
+        owner.store[key_for(name_key)] = value
+        return hops
+
+    def get(self, start: str, name_key: str) -> Tuple[Optional[object], int]:
+        """Fetch a value by name; returns (value, hops)."""
+        owner, hops = self.find_successor(start, key_for(name_key))
+        return owner.store.get(key_for(name_key)), hops

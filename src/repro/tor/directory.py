@@ -1,0 +1,362 @@
+"""Directory authorities: descriptors, votes, consensus.
+
+Paper, Section 3.2: "Directory authorities perform admission control,
+determine the liveness of ORs, flag potentially malicious ORs, and
+even drop compromised ORs ... Tor maintains multiple independent
+directory servers and builds consensus on active/legitimate ORs
+through majority vote."  This module implements that machinery; the
+SGX deployment phases change *where* it runs and how admission works
+(manual approval vs remote attestation), not the voting logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.crypto.drbg import Rng
+from repro.crypto.hashes import sha256
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrSignature,
+    generate_schnorr_keypair,
+    schnorr_sign,
+    schnorr_verify,
+)
+from repro.crypto.dh import MODP_1024
+from repro.errors import TorError
+from repro.wire import Reader, Writer
+
+__all__ = [
+    "RouterFlag",
+    "RouterDescriptor",
+    "ConsensusEntry",
+    "ConsensusDocument",
+    "Vote",
+    "DirectoryAuthorityCore",
+    "build_consensus",
+]
+
+GUARD_BANDWIDTH_THRESHOLD = 80
+
+
+class RouterFlag(enum.Enum):
+    VALID = "Valid"
+    RUNNING = "Running"
+    EXIT = "Exit"
+    GUARD = "Guard"
+    BAD_EXIT = "BadExit"
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterDescriptor:
+    """What an OR publishes about itself."""
+
+    nickname: str            # doubles as its hostname on the simulated net
+    or_port: int
+    onion_public: int        # long-term onion key (g^b)
+    exit_ports: FrozenSet[int] = frozenset()   # empty -> not an exit
+    bandwidth: int = 100
+
+    @property
+    def identity(self) -> bytes:
+        """Fingerprint over the long-term key."""
+        return sha256(self.nickname.encode() + self.onion_public.to_bytes(128, "big"))[:20]
+
+    def allows_exit_to(self, port: int) -> bool:
+        return port in self.exit_ports
+
+    @property
+    def is_guard(self) -> bool:
+        """Self-assessed guard eligibility (authorities decide the
+        consensus flag; path selection over raw descriptors — e.g. the
+        DHT design — falls back to this)."""
+        return self.bandwidth >= GUARD_BANDWIDTH_THRESHOLD
+
+    def encode(self) -> bytes:
+        writer = (
+            Writer()
+            .string(self.nickname)
+            .u16(self.or_port)
+            .varint(self.onion_public)
+            .u32(self.bandwidth)
+            .u32(len(self.exit_ports))
+        )
+        for port in sorted(self.exit_ports):
+            writer.u16(port)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RouterDescriptor":
+        reader = Reader(data)
+        nickname = reader.string()
+        or_port = reader.u16()
+        onion_public = reader.varint()
+        bandwidth = reader.u32()
+        ports = frozenset(reader.u16() for _ in range(reader.u32()))
+        return cls(
+            nickname=nickname,
+            or_port=or_port,
+            onion_public=onion_public,
+            exit_ports=ports,
+            bandwidth=bandwidth,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ConsensusEntry:
+    """One router in the consensus, with its agreed flags.
+
+    Exposes the attribute surface :func:`repro.tor.client.select_path`
+    expects, honoring the flags (a BadExit never serves as exit).
+    """
+
+    descriptor: RouterDescriptor
+    flags: FrozenSet[RouterFlag]
+
+    @property
+    def nickname(self) -> str:
+        return self.descriptor.nickname
+
+    @property
+    def onion_public(self) -> int:
+        return self.descriptor.onion_public
+
+    @property
+    def is_guard(self) -> bool:
+        return RouterFlag.GUARD in self.flags
+
+    def allows_exit_to(self, port: int) -> bool:
+        if RouterFlag.BAD_EXIT in self.flags:
+            return False
+        if RouterFlag.EXIT not in self.flags:
+            return False
+        return self.descriptor.allows_exit_to(port)
+
+
+@dataclasses.dataclass(frozen=True)
+class Vote:
+    """One authority's signed view of the network."""
+
+    authority: str
+    entries: Dict[str, FrozenSet[RouterFlag]]
+    descriptors: Dict[str, RouterDescriptor]
+    signature: SchnorrSignature
+
+    @staticmethod
+    def body(authority: str, entries, descriptors) -> bytes:
+        writer = Writer().string(authority).u32(len(entries))
+        for nickname in sorted(entries):
+            writer.string(nickname)
+            writer.strings(sorted(flag.value for flag in entries[nickname]))
+            writer.varbytes(descriptors[nickname].encode())
+        return writer.getvalue()
+
+    def verify(self, public: int) -> bool:
+        return schnorr_verify(
+            MODP_1024,
+            public,
+            Vote.body(self.authority, self.entries, self.descriptors),
+            self.signature,
+        )
+
+
+@dataclasses.dataclass
+class ConsensusDocument:
+    """The agreed network view, multi-signed by the authorities."""
+
+    valid_after: float
+    entries: List[ConsensusEntry]
+    signatures: Dict[str, SchnorrSignature] = dataclasses.field(default_factory=dict)
+    #: seconds the document stays usable (clients reject stale ones --
+    #: a frozen consensus is itself an attack vector).
+    lifetime: float = 3600.0
+
+    def is_fresh(self, now: float) -> bool:
+        return self.valid_after <= now < self.valid_after + self.lifetime
+
+    def signed_body(self) -> bytes:
+        writer = (
+            Writer()
+            .u64(int(self.valid_after * 1000))
+            .u64(int(self.lifetime * 1000))
+            .u32(len(self.entries))
+        )
+        for entry in sorted(self.entries, key=lambda e: e.nickname):
+            writer.varbytes(entry.descriptor.encode())
+            writer.strings(sorted(flag.value for flag in entry.flags))
+        return writer.getvalue()
+
+    def add_signature(self, authority: str, signature: SchnorrSignature) -> None:
+        self.signatures[authority] = signature
+
+    def verify(self, authority_keys: Dict[str, int], quorum: Optional[int] = None) -> int:
+        """Count valid signatures; raise unless >= quorum (majority)."""
+        if quorum is None:
+            quorum = len(authority_keys) // 2 + 1
+        body = self.signed_body()
+        valid = 0
+        for name, signature in self.signatures.items():
+            public = authority_keys.get(name)
+            if public is not None and schnorr_verify(MODP_1024, public, body, signature):
+                valid += 1
+        if valid < quorum:
+            raise TorError(
+                f"consensus has {valid} valid signatures, quorum is {quorum}"
+            )
+        return valid
+
+    def routers(self) -> List[ConsensusEntry]:
+        """Usable routers (Valid + Running)."""
+        return [
+            entry
+            for entry in self.entries
+            if RouterFlag.VALID in entry.flags and RouterFlag.RUNNING in entry.flags
+        ]
+
+    def find(self, nickname: str) -> Optional[ConsensusEntry]:
+        for entry in self.entries:
+            if entry.nickname == nickname:
+                return entry
+        return None
+
+
+class DirectoryAuthorityCore:
+    """One authority's logic (runs natively or inside an enclave).
+
+    Admission control is mode-dependent:
+
+    * legacy: descriptors need ``manual_approved=True`` (the human
+      bottleneck the paper mentions);
+    * SGX (``require_attestation=True``): descriptors are admitted iff
+      the registering relay's *attested* measurement is in the accepted
+      set — admission becomes automatic.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rng: Rng,
+        require_attestation: bool = False,
+        accepted_mrenclaves: Optional[FrozenSet[bytes]] = None,
+    ) -> None:
+        self.name = name
+        self.signing_key: SchnorrKeyPair = generate_schnorr_keypair(
+            rng.fork("dirauth-sign")
+        )
+        self.require_attestation = require_attestation
+        self.accepted_mrenclaves = accepted_mrenclaves or frozenset()
+        self._registered: Dict[str, RouterDescriptor] = {}
+        self._attested: Dict[str, bytes] = {}
+        self._down: set = set()
+        self._flagged_bad_exit: set = set()
+
+    @property
+    def public_key(self) -> int:
+        return self.signing_key.y
+
+    # -- admission -----------------------------------------------------------------
+
+    def register(
+        self,
+        descriptor: RouterDescriptor,
+        attested_mrenclave: Optional[bytes] = None,
+        manual_approved: bool = False,
+    ) -> bool:
+        """Admit (or refuse) a relay.  Returns True when admitted."""
+        if self.require_attestation:
+            if attested_mrenclave is None:
+                return False
+            if attested_mrenclave not in self.accepted_mrenclaves:
+                return False
+            self._attested[descriptor.nickname] = attested_mrenclave
+        elif not manual_approved:
+            return False
+        self._registered[descriptor.nickname] = descriptor
+        return True
+
+    def mark_down(self, nickname: str) -> None:
+        self._down.add(nickname)
+
+    def flag_bad_exit(self, nickname: str) -> None:
+        """Manual BadExit flagging (the legacy defense against
+        misbehaving exits — needs a majority of authorities)."""
+        self._flagged_bad_exit.add(nickname)
+
+    def registered(self) -> List[str]:
+        return sorted(self._registered)
+
+    # -- voting ---------------------------------------------------------------------
+
+    def _flags_for(self, descriptor: RouterDescriptor) -> FrozenSet[RouterFlag]:
+        flags = {RouterFlag.VALID}
+        if descriptor.nickname not in self._down:
+            flags.add(RouterFlag.RUNNING)
+        if descriptor.exit_ports:
+            flags.add(RouterFlag.EXIT)
+        if descriptor.bandwidth >= GUARD_BANDWIDTH_THRESHOLD:
+            flags.add(RouterFlag.GUARD)
+        if descriptor.nickname in self._flagged_bad_exit:
+            flags.add(RouterFlag.BAD_EXIT)
+        return frozenset(flags)
+
+    def vote(self) -> Vote:
+        entries = {
+            nickname: self._flags_for(descriptor)
+            for nickname, descriptor in self._registered.items()
+        }
+        body = Vote.body(self.name, entries, self._registered)
+        return Vote(
+            authority=self.name,
+            entries=entries,
+            descriptors=dict(self._registered),
+            signature=schnorr_sign(self.signing_key, body),
+        )
+
+    def sign_consensus(self, document: ConsensusDocument) -> SchnorrSignature:
+        return schnorr_sign(self.signing_key, document.signed_body())
+
+
+def build_consensus(
+    votes: List[Vote],
+    n_authorities: int,
+    valid_after: float,
+    authority_keys: Optional[Dict[str, int]] = None,
+    lifetime: float = 3600.0,
+) -> ConsensusDocument:
+    """Majority merge of votes into an (unsigned) consensus.
+
+    A router enters the consensus when a strict majority of all
+    authorities list it; each flag is included when a majority of the
+    listing authorities assert it.  When ``authority_keys`` is given,
+    votes with bad signatures are discarded first (the SGX-directory
+    deployment always verifies; legacy deployments historically
+    trusted the exchange channel).
+    """
+    if authority_keys is not None:
+        votes = [v for v in votes if v.authority in authority_keys and v.verify(authority_keys[v.authority])]
+    quorum = n_authorities // 2 + 1
+    listing: Dict[str, List[Vote]] = {}
+    for vote in votes:
+        for nickname in vote.entries:
+            listing.setdefault(nickname, []).append(vote)
+
+    entries: List[ConsensusEntry] = []
+    for nickname, listers in sorted(listing.items()):
+        if len(listers) < quorum:
+            continue
+        flag_counts: Dict[RouterFlag, int] = {}
+        for vote in listers:
+            for flag in vote.entries[nickname]:
+                flag_counts[flag] = flag_counts.get(flag, 0) + 1
+        majority_flags = frozenset(
+            flag
+            for flag, count in flag_counts.items()
+            if count > len(listers) // 2
+        )
+        descriptor = listers[0].descriptors[nickname]
+        entries.append(ConsensusEntry(descriptor=descriptor, flags=majority_flags))
+    return ConsensusDocument(
+        valid_after=valid_after, entries=entries, lifetime=lifetime
+    )

@@ -1,0 +1,89 @@
+"""Circuit-extension handshake (ntor-flavored, over MODP DH).
+
+The client knows each relay's long-term *onion key* ``B = g^b`` from
+its descriptor.  To extend to a relay it sends an ephemeral ``X =
+g^x``; the relay replies with ``Y = g^y`` and a key-confirmation hash.
+The shared secret mixes both ``X^y`` (ephemeral-ephemeral) and ``X^b``
+(ephemeral-static), so only the holder of ``b`` can complete the
+handshake — an on-path relay cannot man-in-the-middle the extension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.crypto import dh
+from repro.crypto.drbg import Rng
+from repro.crypto.util import int_to_bytes
+from repro.errors import TorError
+from repro.tor.onion import HopCrypto, derive_hop_crypto
+from repro.wire import Reader, Writer
+
+__all__ = ["OnionKeyPair", "client_handshake_start", "relay_handshake", "client_handshake_finish"]
+
+GROUP = dh.MODP_1024
+
+
+@dataclasses.dataclass(frozen=True)
+class OnionKeyPair:
+    """A relay's long-term onion key."""
+
+    keypair: dh.DhKeyPair
+
+    @classmethod
+    def generate(cls, rng: Rng) -> "OnionKeyPair":
+        return cls(keypair=dh.generate_keypair(GROUP, rng))
+
+    @property
+    def public(self) -> int:
+        return self.keypair.public
+
+
+def client_handshake_start(rng: Rng) -> Tuple[dh.DhKeyPair, bytes]:
+    """Client: ephemeral key + the onion-skin to send."""
+    ephemeral = dh.generate_keypair(GROUP, rng)
+    onion_skin = Writer().varint(ephemeral.public).getvalue()
+    return ephemeral, onion_skin
+
+
+def _transcript(client_public: int, relay_public: int, onion_public: int) -> bytes:
+    return (
+        int_to_bytes(client_public, 128)
+        + int_to_bytes(relay_public, 128)
+        + int_to_bytes(onion_public, 128)
+    )
+
+
+def relay_handshake(
+    onion_key: OnionKeyPair, onion_skin: bytes, rng: Rng
+) -> Tuple[HopCrypto, bytes]:
+    """Relay: consume an onion-skin, return (hop crypto, reply)."""
+    client_public = Reader(onion_skin).varint()
+    ephemeral = dh.generate_keypair(GROUP, rng)
+    secret = dh.shared_secret(ephemeral, client_public) + dh.shared_secret(
+        onion_key.keypair, client_public
+    )
+    transcript = _transcript(client_public, ephemeral.public, onion_key.public)
+    crypto, kh = derive_hop_crypto(secret, transcript)
+    reply = Writer().varint(ephemeral.public).varbytes(kh).getvalue()
+    return crypto, reply
+
+
+def client_handshake_finish(
+    ephemeral: dh.DhKeyPair, onion_public: int, reply: bytes
+) -> HopCrypto:
+    """Client: verify the relay's reply and derive matching keys."""
+    reader = Reader(reply)
+    relay_public = reader.varint()
+    kh_received = reader.varbytes()
+    secret = dh.shared_secret(ephemeral, relay_public) + dh.shared_secret(
+        ephemeral, onion_public
+    )
+    transcript = _transcript(ephemeral.public, relay_public, onion_public)
+    crypto, kh = derive_hop_crypto(secret, transcript)
+    if kh != kh_received:
+        raise TorError(
+            "handshake confirmation failed (wrong onion key or MITM attempt)"
+        )
+    return crypto

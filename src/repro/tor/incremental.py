@@ -1,0 +1,200 @@
+"""Incremental SGX deployment in Tor: the security/anonymity tradeoff.
+
+Paper, Section 3.2: "incremental deployment raises new issues, such as
+finding an interim solution that balances security and privacy with
+performance and efficiency in the Tor network."  This module models
+that interim world: a relay population where only a fraction is
+SGX-verified (modified relays cannot be — attestation rejects them),
+and clients follow one of three path-selection policies:
+
+* ``ANY`` — legacy behavior, ignore SGX status;
+* ``PREFER_SGX`` — pick SGX-verified relays when available, fall back
+  otherwise (no availability loss, partial protection);
+* ``REQUIRE_SGX`` — only SGX-verified relays are eligible (full
+  protection, but the anonymity set shrinks to the SGX subset and
+  circuits fail when it is too small).
+
+:func:`simulate` Monte-Carlos circuit construction and reports attack
+probabilities (tampering exit; bad-apple guard+exit correlation),
+anonymity-set sizes, and availability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Tuple
+
+from repro.crypto.drbg import Rng
+from repro.errors import TorError
+
+__all__ = ["ClientPolicy", "RelayView", "IncrementalStats", "make_population", "select_circuit", "simulate"]
+
+
+class ClientPolicy(enum.Enum):
+    ANY = "any"
+    PREFER_SGX = "prefer-sgx"
+    REQUIRE_SGX = "require-sgx"
+
+
+@dataclasses.dataclass(frozen=True)
+class RelayView:
+    """What the consensus tells a client about one relay."""
+
+    nickname: str
+    is_exit: bool
+    sgx_verified: bool
+    malicious: bool  # ground truth, invisible to the client
+
+
+@dataclasses.dataclass
+class IncrementalStats:
+    """Aggregates over many simulated circuits."""
+
+    trials: int
+    built: int = 0
+    failed: int = 0
+    tampering_exit: int = 0
+    bad_apple: int = 0
+    exit_pool_size: int = 0
+    guard_pool_size: int = 0
+
+    @property
+    def p_tamper(self) -> float:
+        return self.tampering_exit / self.built if self.built else 0.0
+
+    @property
+    def p_bad_apple(self) -> float:
+        return self.bad_apple / self.built if self.built else 0.0
+
+    @property
+    def availability(self) -> float:
+        return self.built / self.trials if self.trials else 0.0
+
+
+def make_population(
+    n_relays: int,
+    n_exits: int,
+    n_malicious: int,
+    sgx_fraction: float,
+    rng: Rng,
+) -> List[RelayView]:
+    """A relay population for the interim deployment.
+
+    Malicious relays run modified code, so they can never be
+    SGX-verified; ``sgx_fraction`` of the *honest* relays are.
+    Malicious operators preferentially run exits (that is where the
+    paper's attacks live).
+    """
+    if n_malicious > n_relays:
+        raise TorError("more malicious relays than relays")
+    if n_exits > n_relays:
+        raise TorError("more exits than relays")
+    relays = []
+    malicious_budget = n_malicious
+    honest_indices = []
+    for i in range(n_relays):
+        is_exit = i < n_exits
+        malicious = False
+        if malicious_budget > 0 and is_exit:
+            malicious = True
+            malicious_budget -= 1
+        relays.append([f"r{i}", is_exit, False, malicious])
+    # Any leftover malicious budget lands on non-exits (guards).
+    for relay in relays:
+        if malicious_budget == 0:
+            break
+        if not relay[3]:
+            relay[3] = True
+            malicious_budget -= 1
+    # Stratified SGX rollout: the fraction applies to honest exits and
+    # honest non-exits separately, so small populations stay
+    # representative.
+    for stratum in (
+        [r for r in relays if not r[3] and r[1]],
+        [r for r in relays if not r[3] and not r[1]],
+    ):
+        n_sgx = round(len(stratum) * sgx_fraction)
+        for relay in rng.sample(stratum, n_sgx):
+            relay[2] = True
+    return [RelayView(*r) for r in relays]
+
+
+def _pick(pool: List[RelayView], rng: Rng) -> RelayView:
+    return pool[rng.randint(0, len(pool) - 1)]
+
+
+def select_circuit(
+    relays: List[RelayView],
+    policy: ClientPolicy,
+    rng: Rng,
+) -> Optional[Tuple[RelayView, RelayView, RelayView]]:
+    """One 3-hop path under the given policy; None when infeasible."""
+
+    def eligible(pool: List[RelayView]) -> List[RelayView]:
+        if policy is ClientPolicy.REQUIRE_SGX:
+            return [r for r in pool if r.sgx_verified]
+        if policy is ClientPolicy.PREFER_SGX:
+            sgx = [r for r in pool if r.sgx_verified]
+            return sgx if sgx else pool
+        return pool
+
+    exits = eligible([r for r in relays if r.is_exit])
+    if not exits:
+        return None
+    exit_relay = _pick(exits, rng)
+    guards = eligible([r for r in relays if r.nickname != exit_relay.nickname])
+    if not guards:
+        return None
+    guard = _pick(guards, rng)
+    middles = eligible(
+        [
+            r
+            for r in relays
+            if r.nickname not in (guard.nickname, exit_relay.nickname)
+        ]
+    )
+    if not middles:
+        return None
+    middle = _pick(middles, rng)
+    return guard, middle, exit_relay
+
+
+def simulate(
+    n_relays: int = 30,
+    n_exits: int = 10,
+    n_malicious: int = 3,
+    sgx_fraction: float = 0.5,
+    policy: ClientPolicy = ClientPolicy.ANY,
+    trials: int = 2000,
+    seed: bytes = b"incremental",
+) -> IncrementalStats:
+    """Monte-Carlo the interim deployment."""
+    rng = Rng(seed, f"pop-{sgx_fraction}-{policy.value}")
+    relays = make_population(n_relays, n_exits, n_malicious, sgx_fraction, rng)
+    stats = IncrementalStats(trials=trials)
+
+    def pool_size(candidates: List[RelayView]) -> int:
+        if policy is ClientPolicy.REQUIRE_SGX:
+            return sum(1 for r in candidates if r.sgx_verified)
+        if policy is ClientPolicy.PREFER_SGX:
+            sgx = sum(1 for r in candidates if r.sgx_verified)
+            return sgx if sgx else len(candidates)
+        return len(candidates)
+
+    stats.exit_pool_size = pool_size([r for r in relays if r.is_exit])
+    stats.guard_pool_size = pool_size(relays)
+
+    path_rng = rng.fork("paths")
+    for _ in range(trials):
+        circuit = select_circuit(relays, policy, path_rng)
+        if circuit is None:
+            stats.failed += 1
+            continue
+        guard, _middle, exit_relay = circuit
+        stats.built += 1
+        if exit_relay.malicious:
+            stats.tampering_exit += 1
+        if exit_relay.malicious and guard.malicious:
+            stats.bad_apple += 1
+    return stats

@@ -1,0 +1,127 @@
+"""Per-hop key material and layered onion encryption.
+
+Each circuit hop derives, from its handshake secret (KDF-TOR style):
+
+* ``Kf`` / ``Kb`` — forward/backward AES-CTR keys (stateful streams:
+  the counter advances across cells, exactly like Tor's AES contexts);
+* ``Df`` / ``Db`` — forward/backward rolling SHA-1 digests seeded from
+  the KDF, used for the 4-byte 'digest' field that tells a hop a relay
+  cell is meant for it (and integrity-protects the circuit end to end).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from repro.cost import context as cost_context
+from repro.crypto.kdf import hkdf
+from repro.crypto.modes import CtrStream
+from repro.errors import TorError
+from repro.tor.cell import PAYLOAD_SIZE, RelayPayload
+
+__all__ = ["RollingDigest", "HopCrypto", "derive_hop_crypto"]
+
+
+class RollingDigest:
+    """A running SHA-1 over every relay payload seen in one direction."""
+
+    def __init__(self, seed: bytes) -> None:
+        self._hash = hashlib.sha1(seed)
+
+    def preview(self, payload_zero_digest: bytes) -> bytes:
+        """Digest tag if this payload were absorbed (does not commit)."""
+        cost_context.charge_normal(
+            cost_context.current_model().sha256_normal(len(payload_zero_digest)) // 2
+        )
+        clone = self._hash.copy()
+        clone.update(payload_zero_digest)
+        return clone.digest()[:4]
+
+    def commit(self, payload_zero_digest: bytes) -> bytes:
+        """Absorb the payload; returns its tag."""
+        self._hash.update(payload_zero_digest)
+        return self._hash.digest()[:4]
+
+
+class HopCrypto:
+    """One endpoint's cryptographic state for one hop of a circuit.
+
+    Both the client and the relay construct this from the same KDF
+    output; 'forward' always means client-to-exit direction.
+    """
+
+    def __init__(self, key_material: bytes) -> None:
+        if len(key_material) < 72:
+            raise TorError("hop key material too short")
+        self.kf = CtrStream(key_material[0:16], b"tor-fwd")
+        self.kb = CtrStream(key_material[16:32], b"tor-bwd")
+        self.df = RollingDigest(key_material[32:52])
+        self.db = RollingDigest(key_material[52:72])
+
+    # -- building outgoing payloads -------------------------------------------
+
+    def seal_forward(self, payload: RelayPayload) -> bytes:
+        """(client side) digest + encrypt one layer, forward direction."""
+        zeroed = payload.encode(zero_digest=True)
+        tag = self.df.commit(zeroed)
+        return self.kf.process(payload.with_digest(tag).encode())
+
+    def seal_backward(self, payload: RelayPayload) -> bytes:
+        """(relay side) digest + encrypt one layer, backward direction."""
+        zeroed = payload.encode(zero_digest=True)
+        tag = self.db.commit(zeroed)
+        return self.kb.process(payload.with_digest(tag).encode())
+
+    # -- peeling / adding intermediate layers ------------------------------------
+
+    def peel_forward(self, blob: bytes) -> bytes:
+        """(relay side) remove our forward layer."""
+        return self.kf.process(blob)
+
+    def add_forward(self, blob: bytes) -> bytes:
+        """(client side) wrap an inner layer for an earlier hop.
+
+        CTR is an XOR stream, so adding and peeling are the same
+        operation; the distinct name keeps call sites readable.
+        """
+        return self.kf.process(blob)
+
+    def add_backward(self, blob: bytes) -> bytes:
+        """(relay side) add our backward layer on a transiting cell."""
+        return self.kb.process(blob)
+
+    def peel_backward(self, blob: bytes) -> bytes:
+        """(client side) remove one backward layer."""
+        return self.kb.process(blob)
+
+    # -- recognition -----------------------------------------------------------------
+
+    def try_recognize_forward(self, plaintext: bytes):
+        return self._try_recognize(plaintext, self.df)
+
+    def try_recognize_backward(self, plaintext: bytes):
+        return self._try_recognize(plaintext, self.db)
+
+    @staticmethod
+    def _zeroed(plaintext: bytes) -> bytes:
+        return plaintext[:5] + b"\x00\x00\x00\x00" + plaintext[9:]
+
+    def _try_recognize(self, plaintext: bytes, digest: RollingDigest):
+        """If this decrypted payload is ours, commit and decode it."""
+        if len(plaintext) != PAYLOAD_SIZE:
+            raise TorError("bad payload size")
+        if not RelayPayload.looks_recognized(plaintext):
+            return None
+        zeroed = self._zeroed(plaintext)
+        tag = digest.preview(zeroed)
+        if tag != plaintext[5:9]:
+            return None
+        digest.commit(zeroed)
+        return RelayPayload.decode(plaintext)
+
+
+def derive_hop_crypto(shared_secret: bytes, transcript: bytes) -> Tuple[HopCrypto, bytes]:
+    """KDF: handshake secret -> (hop crypto, key-confirmation hash KH)."""
+    material = hkdf(shared_secret, salt=transcript, info=b"tor-kdf", length=72 + 32)
+    return HopCrypto(material[:72]), material[72:]

@@ -1,0 +1,271 @@
+"""The onion router core: pure cell-processing logic.
+
+:class:`RelayCore` is sans-IO: the host (or the enclave wrapper) feeds
+it cells and events, and it returns *directives* — instructions for
+the untrusted I/O layer ("send this cell on that link", "open a
+connection to that relay", "write these bytes to that exit stream").
+The same core runs natively (legacy Tor) or inside an enclave
+(SGX-enabled Tor); malicious relay variants subclass it, which under
+SGX changes their measurement — exactly the detection mechanism the
+paper leverages.
+
+Directives (tuples, first element is the verb):
+
+* ``("send", link_id, cell_bytes)``
+* ``("connect", relay_name, port, pending_ref)`` — open an OR link;
+  the host calls :meth:`link_opened` with the ref and the new link id.
+* ``("begin", stream_ref, dest_host, dest_port)`` — exit-side stream.
+* ``("stream_send", stream_ref, data)``
+* ``("destroy", link_id, circ_id)``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.drbg import Rng
+from repro.errors import TorError
+from repro.tor.cell import (
+    Cell,
+    CellCommand,
+    RELAY_DATA_SIZE,
+    RelayCommand,
+    RelayPayload,
+)
+from repro.tor.handshake import OnionKeyPair, relay_handshake
+from repro.tor.onion import HopCrypto
+from repro.wire import Reader, Writer
+
+__all__ = ["RelayCore", "Directive", "encode_extend", "decode_extend"]
+
+Directive = Tuple
+LinkCirc = Tuple[int, int]
+
+OR_PORT = 9001
+
+
+def encode_extend(next_relay: str, port: int, onion_skin: bytes) -> bytes:
+    return Writer().string(next_relay).u16(port).varbytes(onion_skin).getvalue()
+
+
+def decode_extend(data: bytes) -> Tuple[str, int, bytes]:
+    reader = Reader(data)
+    return reader.string(), reader.u16(), reader.varbytes()
+
+
+@dataclasses.dataclass
+class _Circuit:
+    crypto: HopCrypto
+    prev: LinkCirc
+    next: Optional[LinkCirc] = None
+    #: set while an EXTEND is in flight: where the CREATED must return.
+    pending_extend: bool = False
+
+
+class RelayCore:
+    """One onion router's protocol engine."""
+
+    def __init__(self, name: str, onion_key: OnionKeyPair, rng: Rng) -> None:
+        self.name = name
+        self.onion_key = onion_key
+        self._rng = rng
+        self._circuits: Dict[LinkCirc, _Circuit] = {}   # keyed by prev
+        self._by_next: Dict[LinkCirc, _Circuit] = {}    # keyed by next
+        self._pending_links: Dict[int, Tuple[_Circuit, bytes]] = {}
+        self._next_pending_ref = 1
+        self._next_out_circ = 1
+        self._streams: Dict[Tuple[LinkCirc, int], bool] = {}
+        self.cells_processed = 0
+
+    # -- host events ---------------------------------------------------------
+
+    def handle_cell(self, link_id: int, cell_bytes: bytes) -> List[Directive]:
+        """Process one inbound cell from a link."""
+        self.cells_processed += 1
+        cell = Cell.decode(cell_bytes)
+        key = (link_id, cell.circ_id)
+        if cell.command is CellCommand.CREATE:
+            return self._handle_create(key, cell.payload)
+        if cell.command is CellCommand.CREATED:
+            return self._handle_created(key, cell.payload)
+        if cell.command is CellCommand.RELAY:
+            if key in self._circuits:
+                return self._handle_relay_forward(self._circuits[key], cell.payload)
+            if key in self._by_next:
+                return self._handle_relay_backward(self._by_next[key], cell.payload)
+            return [("destroy", link_id, cell.circ_id)]
+        if cell.command is CellCommand.DESTROY:
+            return self._teardown(key)
+        return []
+
+    @property
+    def circuit_count(self) -> int:
+        return len(self._circuits)
+
+    def link_opened(self, pending_ref: int, link_id: int) -> List[Directive]:
+        """The host finished an outbound OR connection we asked for."""
+        circuit, onion_skin = self._pending_links.pop(pending_ref)
+        out_circ = self._next_out_circ
+        self._next_out_circ += 1
+        circuit.next = (link_id, out_circ)
+        self._by_next[circuit.next] = circuit
+        create = Cell(out_circ, CellCommand.CREATE, onion_skin)
+        return [("send", link_id, create.encode())]
+
+    def stream_opened(self, stream_ref: Tuple[LinkCirc, int]) -> List[Directive]:
+        """Exit-side destination connection is up: tell the client."""
+        key, stream_id = stream_ref
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            return []
+        payload = RelayPayload(RelayCommand.CONNECTED, stream_id, b"\x00" * 4, b"")
+        return self._reply_backward(circuit, key, payload)
+
+    def stream_data(self, stream_ref: Tuple[LinkCirc, int], data: bytes) -> List[Directive]:
+        """Bytes came back from the destination: relay them inward."""
+        key, stream_id = stream_ref
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            return []
+        out: List[Directive] = []
+        for i in range(0, len(data), RELAY_DATA_SIZE):
+            chunk = self._process_exit_data(data[i : i + RELAY_DATA_SIZE])
+            payload = RelayPayload(RelayCommand.DATA, stream_id, b"\x00" * 4, chunk)
+            out.extend(self._reply_backward(circuit, key, payload))
+        return out
+
+    # -- cell handlers ------------------------------------------------------------
+
+    def _handle_create(self, key: LinkCirc, payload: bytes) -> List[Directive]:
+        if key in self._circuits:
+            raise TorError(f"{self.name}: circuit {key} already exists")
+        # The onion-skin is self-framed (varint); cell padding is ignored.
+        crypto, reply = relay_handshake(
+            self.onion_key, payload, self._rng.fork(f"hs{key}")
+        )
+        self._circuits[key] = _Circuit(crypto=crypto, prev=key)
+        created = Cell(key[1], CellCommand.CREATED, reply)
+        return [("send", key[0], created.encode())]
+
+    def _handle_created(self, key: LinkCirc, payload: bytes) -> List[Directive]:
+        circuit = self._by_next.get(key)
+        if circuit is None or not circuit.pending_extend:
+            return [("destroy", key[0], key[1])]
+        circuit.pending_extend = False
+        # Strip the cell padding down to the handshake reply (self-framed:
+        # varint public + varbytes KH).
+        reader = Reader(payload)
+        public = reader.varint()
+        kh = reader.varbytes()
+        reply = Writer().varint(public).varbytes(kh).getvalue()
+        extended = RelayPayload(
+            RelayCommand.EXTENDED, 0, b"\x00" * 4, reply
+        )
+        return self._reply_backward(circuit, circuit.prev, extended)
+
+    def _handle_relay_forward(self, circuit: _Circuit, payload: bytes) -> List[Directive]:
+        plaintext = circuit.crypto.peel_forward(payload)
+        recognized = circuit.crypto.try_recognize_forward(plaintext)
+        if recognized is None:
+            if circuit.next is None:
+                return [("destroy", circuit.prev[0], circuit.prev[1])]
+            cell = Cell(circuit.next[1], CellCommand.RELAY, plaintext)
+            return [("send", circuit.next[0], cell.encode())]
+        return self._dispatch_recognized(circuit, recognized)
+
+    def _handle_relay_backward(self, circuit: _Circuit, payload: bytes) -> List[Directive]:
+        blob = circuit.crypto.add_backward(payload)
+        cell = Cell(circuit.prev[1], CellCommand.RELAY, blob)
+        return [("send", circuit.prev[0], cell.encode())]
+
+    def _dispatch_recognized(
+        self, circuit: _Circuit, payload: RelayPayload
+    ) -> List[Directive]:
+        if payload.command is RelayCommand.EXTEND:
+            next_relay, port, onion_skin = decode_extend(payload.data)
+            ref = self._next_pending_ref
+            self._next_pending_ref += 1
+            circuit.pending_extend = True
+            self._pending_links[ref] = (circuit, onion_skin)
+            return [("connect", next_relay, port, ref)]
+
+        if payload.command is RelayCommand.BEGIN:
+            reader = Reader(payload.data)
+            dest = reader.string()
+            port = reader.u16()
+            stream_ref = (circuit.prev, payload.stream_id)
+            self._streams[stream_ref] = True
+            return [("begin", stream_ref, dest, port)]
+
+        if payload.command is RelayCommand.DATA:
+            stream_ref = (circuit.prev, payload.stream_id)
+            if stream_ref not in self._streams:
+                return []
+            data = self._process_exit_request(payload.data)
+            return [("stream_send", stream_ref, data)]
+
+        if payload.command is RelayCommand.END:
+            self._streams.pop((circuit.prev, payload.stream_id), None)
+            return [("stream_end", (circuit.prev, payload.stream_id))]
+
+        return []
+
+    # -- exit-traffic hooks (what malicious relays override) -----------------------
+
+    def _process_exit_request(self, data: bytes) -> bytes:
+        """Plaintext leaving toward the destination (exit only)."""
+        return data
+
+    def _process_exit_data(self, data: bytes) -> bytes:
+        """Plaintext coming back from the destination (exit only)."""
+        return data
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _reply_backward(
+        self, circuit: _Circuit, key: LinkCirc, payload: RelayPayload
+    ) -> List[Directive]:
+        blob = circuit.crypto.seal_backward(payload)
+        cell = Cell(key[1], CellCommand.RELAY, blob)
+        return [("send", key[0], cell.encode())]
+
+    def _teardown(self, key: LinkCirc) -> List[Directive]:
+        """Tear down a circuit and propagate DESTROY along it.
+
+        ``key`` may identify the circuit from either side (a DESTROY
+        can travel forward from the client or backward from a dying
+        next hop); streams anchored at this hop are closed.
+        """
+        out: List[Directive] = []
+        circuit = self._circuits.pop(key, None)
+        direction_next = True
+        if circuit is None:
+            circuit = self._by_next.pop(key, None)
+            direction_next = False
+            if circuit is not None:
+                self._circuits.pop(circuit.prev, None)
+        if circuit is None:
+            return out
+
+        if direction_next and circuit.next is not None:
+            self._by_next.pop(circuit.next, None)
+            out.append(
+                (
+                    "send",
+                    circuit.next[0],
+                    Cell(circuit.next[1], CellCommand.DESTROY, b"").encode(),
+                )
+            )
+        if not direction_next:
+            out.append(
+                (
+                    "send",
+                    circuit.prev[0],
+                    Cell(circuit.prev[1], CellCommand.DESTROY, b"").encode(),
+                )
+            )
+        for stream_ref in [s for s in self._streams if s[0] == circuit.prev]:
+            del self._streams[stream_ref]
+            out.append(("stream_end", stream_ref))
+        return out

@@ -1,0 +1,129 @@
+"""A tiny length-prefixed wire format.
+
+Every protocol message in the library (attestation, record channels,
+BGP-like policy transfer, Tor cells, TLS handshake) serializes to bytes
+through these helpers, so the network simulator carries real octets and
+packet counts/sizes in the cost accounting are honest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ProtocolError
+
+__all__ = ["Writer", "Reader"]
+
+
+class Writer:
+    """Append-only encoder."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        if not 0 <= value < (1 << 8):
+            raise ProtocolError(f"u8 out of range: {value}")
+        self._parts.append(value.to_bytes(1, "big"))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        if not 0 <= value < (1 << 16):
+            raise ProtocolError(f"u16 out of range: {value}")
+        self._parts.append(value.to_bytes(2, "big"))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        if not 0 <= value < (1 << 32):
+            raise ProtocolError(f"u32 out of range: {value}")
+        self._parts.append(value.to_bytes(4, "big"))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        if not 0 <= value < (1 << 64):
+            raise ProtocolError(f"u64 out of range: {value}")
+        self._parts.append(value.to_bytes(8, "big"))
+        return self
+
+    def varbytes(self, data: bytes) -> "Writer":
+        """Length-prefixed (u32) byte string."""
+        self.u32(len(data))
+        self._parts.append(bytes(data))
+        return self
+
+    def raw(self, data: bytes) -> "Writer":
+        """Raw bytes, no prefix (fixed-width fields)."""
+        self._parts.append(bytes(data))
+        return self
+
+    def string(self, text: str) -> "Writer":
+        return self.varbytes(text.encode("utf-8"))
+
+    def varint(self, value: int) -> "Writer":
+        """Arbitrary-precision non-negative integer."""
+        if value < 0:
+            raise ProtocolError("varint must be non-negative")
+        width = max(1, (value.bit_length() + 7) // 8)
+        return self.varbytes(value.to_bytes(width, "big"))
+
+    def strings(self, items: Sequence[str]) -> "Writer":
+        self.u32(len(items))
+        for item in items:
+            self.string(item)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Cursor-based decoder; raises :class:`ProtocolError` on truncation."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise ProtocolError("truncated message")
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self._take(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "big")
+
+    def varbytes(self, max_len: int = 1 << 24) -> bytes:
+        length = self.u32()
+        if length > max_len:
+            raise ProtocolError(f"field too long: {length}")
+        return self._take(length)
+
+    def raw(self, n: int) -> bytes:
+        return self._take(n)
+
+    def string(self) -> str:
+        return self.varbytes().decode("utf-8")
+
+    def varint(self) -> int:
+        return int.from_bytes(self.varbytes(), "big")
+
+    def strings(self) -> List[str]:
+        return [self.string() for _ in range(self.u32())]
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise ProtocolError(f"{self.remaining} trailing bytes")

@@ -1,0 +1,201 @@
+"""End-to-end attested sessions over the simulated network."""
+
+import pytest
+
+from repro.core import (
+    AttestedServer,
+    EnclaveNode,
+    SecureApplicationProgram,
+    open_attested_session,
+)
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import AttestationError
+from repro.net.network import LinkParams, Network
+from repro.net.sim import Simulator
+from repro.sgx.attestation import AttestationConfig, IdentityPolicy
+from repro.sgx.measurement import measure_program
+from repro.sgx.quoting import AttestationAuthority
+
+
+class EchoServiceProgram(SecureApplicationProgram):
+    """Replies to every secure message with an 'echo:' prefix."""
+
+    def _on_secure_message(self, session_id, payload):
+        return b"echo:" + payload
+
+
+class GreeterClientProgram(SecureApplicationProgram):
+    """Sends a greeting when a channel opens; records replies."""
+
+    GREETING = b"hello from inside the enclave"
+
+    def on_load(self, ctx):
+        super().on_load(ctx)
+        self._received = []
+
+    def _on_session_established(self, session_id):
+        self._send_secure(session_id, self.GREETING)
+
+    def _on_secure_message(self, session_id, payload):
+        self._received.append(payload)
+        return None
+
+    def received(self):
+        return list(self._received)
+
+
+class TamperedEchoProgram(EchoServiceProgram):
+    """A modified build: snoops on messages (different MRENCLAVE)."""
+
+    def _on_secure_message(self, session_id, payload):
+        self._stolen = payload
+        return b"echo:" + payload
+
+
+@pytest.fixture()
+def world():
+    sim = Simulator()
+    network = Network(sim, rng=Rng(b"core-net"), default_link=LinkParams(latency=0.002))
+    authority = AttestationAuthority(Rng(b"core-authority"))
+    author = generate_rsa_keypair(512, Rng(b"core-author"))
+    return sim, network, authority, author
+
+
+def build_pair(world, server_program, client_policy):
+    sim, network, authority, author = world
+    server_node = EnclaveNode(network, "server", authority, rng=Rng(b"server-node"))
+    client_node = EnclaveNode(network, "client", authority, rng=Rng(b"client-node"))
+    server_enclave = server_node.load(server_program, author_key=author, name="svc")
+    client_enclave = client_node.load(
+        GreeterClientProgram(), author_key=author, name="cli"
+    )
+    info = authority.verification_info()
+    server_enclave.ecall("configure_trust", info)
+    client_enclave.ecall("configure_trust", info, client_policy)
+    AttestedServer(server_node, server_enclave, port=443)
+    return server_node, client_node, server_enclave, client_enclave
+
+
+class TestAttestedSessions:
+    def test_echo_roundtrip(self, world):
+        sim = world[0]
+        policy = IdentityPolicy.for_mrenclave(measure_program(EchoServiceProgram))
+        _, client_node, _, client_enclave = build_pair(
+            world, EchoServiceProgram(), policy
+        )
+        outcome = {}
+
+        def client_proc():
+            session = yield from open_attested_session(
+                client_node, client_enclave, "server", 443
+            )
+            outcome["established"] = session.established
+            outcome["peer"] = session.peer_identity()
+            yield sim.sleep(1.0)  # let the echo come back
+            outcome["received"] = client_enclave.ecall("received")
+
+        sim.spawn(client_proc())
+        sim.run(until=60.0)
+        assert outcome["established"]
+        assert outcome["peer"].mrenclave == measure_program(EchoServiceProgram)
+        assert outcome["received"] == [b"echo:" + GreeterClientProgram.GREETING]
+
+    def test_plaintext_never_on_the_wire(self, world):
+        sim, network, _, _ = world
+        policy = IdentityPolicy.for_mrenclave(measure_program(EchoServiceProgram))
+        _, client_node, _, client_enclave = build_pair(
+            world, EchoServiceProgram(), policy
+        )
+        wire = []
+        network.tap = lambda d: (wire.append(d.payload), d)[1]
+
+        def client_proc():
+            yield from open_attested_session(
+                client_node, client_enclave, "server", 443
+            )
+            yield sim.sleep(1.0)
+
+        sim.spawn(client_proc())
+        sim.run(until=60.0)
+        blob = b"".join(wire)
+        assert GreeterClientProgram.GREETING not in blob
+        assert b"echo:" not in blob
+
+    def test_tampered_server_rejected(self, world):
+        sim = world[0]
+        # Client pins the audited echo build; server runs the snooper.
+        policy = IdentityPolicy.for_mrenclave(measure_program(EchoServiceProgram))
+        _, client_node, _, client_enclave = build_pair(
+            world, TamperedEchoProgram(), policy
+        )
+        failures = []
+
+        def client_proc():
+            try:
+                yield from open_attested_session(
+                    client_node, client_enclave, "server", 443
+                )
+            except AttestationError as exc:
+                failures.append(str(exc))
+
+        sim.spawn(client_proc())
+        sim.run(until=60.0)
+        assert failures and "MRENCLAVE" in failures[0]
+
+    def test_mutual_attestation_over_network(self, world):
+        sim = world[0]
+        policy = IdentityPolicy.for_mrenclave(measure_program(EchoServiceProgram))
+        server_node, client_node, server_enclave, client_enclave = build_pair(
+            world, EchoServiceProgram(), policy
+        )
+        # Server additionally demands the audited client build.
+        info = world[2].verification_info()
+        server_enclave.ecall(
+            "configure_trust",
+            info,
+            IdentityPolicy.for_mrenclave(measure_program(GreeterClientProgram)),
+        )
+        outcome = {}
+
+        def client_proc():
+            session = yield from open_attested_session(
+                client_node,
+                client_enclave,
+                "server",
+                443,
+                config=AttestationConfig(mutual=True),
+            )
+            outcome["established"] = session.established
+
+        sim.spawn(client_proc())
+        sim.run(until=60.0)
+        assert outcome["established"]
+
+    def test_non_sgx_node_cannot_serve(self, world):
+        sim, network, authority, author = world
+        legacy = EnclaveNode(network, "legacy", authority=None, rng=Rng(b"legacy"))
+        with pytest.raises(Exception):
+            # Loading is possible (author-signed) but quoting is not;
+            # the attestation inside ra_challenge must fail.
+            enclave = legacy.load(EchoServiceProgram(), author_key=author)
+            enclave.ecall("configure_trust", authority.verification_info())
+            enclave.ecall("session_accept", "s1")
+            from repro.sgx.attestation import _encode_challenge
+
+            enclave.ecall(
+                "session_handle",
+                "s1",
+                b"\x00" + _encode_challenge(b"\x01" * 32, AttestationConfig()),
+            )
+
+    def test_session_ids_must_be_unique(self, world):
+        sim, network, authority, author = world
+        node = EnclaveNode(network, "solo", authority, rng=Rng(b"solo"))
+        enclave = node.load(EchoServiceProgram(), author_key=author)
+        enclave.ecall("configure_trust", authority.verification_info())
+        enclave.ecall("session_accept", "dup")
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            enclave.ecall("session_accept", "dup")

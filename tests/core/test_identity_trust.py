@@ -1,0 +1,145 @@
+"""Software identity registry and trust anchor tests."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import AttestationError
+from repro.core.identity import (
+    ReleaseCertificate,
+    SoftwareIdentityRegistry,
+    SoftwarePublisher,
+)
+from repro.core.trust import TrustAnchor
+from repro.sgx.measurement import compute_mrenclave, measure_program, program_code_bytes
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.quoting import AttestationAuthority
+from repro.sgx.runtime import EnclaveProgram
+from repro.crypto.rsa import generate_rsa_keypair
+
+
+class ReleaseV1(EnclaveProgram):
+    def work(self):
+        return 1
+
+
+class ReleaseV2(EnclaveProgram):
+    def work(self):
+        return 2
+
+
+@pytest.fixture(scope="module")
+def publisher():
+    return SoftwarePublisher("tor-foundation", Rng(b"publisher-tests"))
+
+
+class TestOfflineMeasurement:
+    def test_compute_matches_platform_load(self):
+        """The auditor's offline measurement equals the loaded one."""
+        platform = SgxPlatform("probe", rng=Rng(b"probe-measure"))
+        author = generate_rsa_keypair(512, Rng(b"author-measure"))
+        enclave = platform.load_enclave(ReleaseV1(), author_key=author)
+        assert measure_program(ReleaseV1) == enclave.identity.mrenclave
+
+    def test_compute_mrenclave_multi_page(self):
+        small = compute_mrenclave(b"x" * 100)
+        large = compute_mrenclave(b"x" * 10_000)
+        assert small != large
+        assert len(small) == 32
+
+
+class TestReleaseCertificates:
+    def test_certify_and_verify(self, publisher):
+        cert = publisher.certify_program("tor", ReleaseV1)
+        cert.verify(publisher.public_key)
+        assert cert.mrenclave == measure_program(ReleaseV1)
+
+    def test_encode_decode(self, publisher):
+        cert = publisher.certify_program("tor", ReleaseV1, version="0.2.6")
+        decoded = ReleaseCertificate.decode(cert.encode())
+        assert decoded == cert
+        decoded.verify(publisher.public_key)
+
+    def test_wrong_publisher_rejected(self, publisher):
+        other = SoftwarePublisher("impostor", Rng(b"impostor"))
+        cert = other.certify_program("tor", ReleaseV1)
+        with pytest.raises(AttestationError):
+            cert.verify(publisher.public_key)
+
+    def test_tampered_certificate_rejected(self, publisher):
+        import dataclasses
+
+        cert = publisher.certify_program("tor", ReleaseV1)
+        forged = dataclasses.replace(cert, version="evil")
+        with pytest.raises(AttestationError):
+            forged.verify(publisher.public_key)
+
+    def test_bad_measurement_length(self, publisher):
+        with pytest.raises(AttestationError):
+            publisher.certify_measurement("tor", "1", b"short")
+
+
+class TestRegistry:
+    def test_add_and_lookup(self, publisher):
+        registry = SoftwareIdentityRegistry(publisher.public_key)
+        registry.add(publisher.certify_program("tor", ReleaseV1, "1"))
+        registry.add(publisher.certify_program("tor", ReleaseV2, "2"))
+        measurements = registry.measurements("tor")
+        assert measure_program(ReleaseV1) in measurements
+        assert measure_program(ReleaseV2) in measurements
+
+    def test_rejects_foreign_certificates(self, publisher):
+        registry = SoftwareIdentityRegistry(publisher.public_key)
+        impostor = SoftwarePublisher("impostor", Rng(b"imp2"))
+        with pytest.raises(AttestationError):
+            registry.add(impostor.certify_program("tor", ReleaseV1))
+
+    def test_unknown_release_raises(self, publisher):
+        registry = SoftwareIdentityRegistry(publisher.public_key)
+        with pytest.raises(AttestationError, match="no certified"):
+            registry.measurements("ghost")
+
+    def test_revoke_version(self, publisher):
+        registry = SoftwareIdentityRegistry(publisher.public_key)
+        registry.add(publisher.certify_program("tor", ReleaseV1, "1"))
+        registry.add(publisher.certify_program("tor", ReleaseV2, "2"))
+        assert registry.revoke_version("tor", "1") == 1
+        assert registry.measurements("tor") == frozenset(
+            {measure_program(ReleaseV2)}
+        )
+
+    def test_revoke_last_version_empties_release(self, publisher):
+        registry = SoftwareIdentityRegistry(publisher.public_key)
+        registry.add(publisher.certify_program("solo", ReleaseV1, "1"))
+        registry.revoke_version("solo", "1")
+        assert "solo" not in registry.releases()
+
+
+class TestTrustAnchor:
+    def test_policy_accepts_certified_build_only(self, publisher):
+        authority = AttestationAuthority(Rng(b"anchor-authority"))
+        SgxPlatform("qe-bootstrap", authority, rng=Rng(b"qe-bootstrap"))
+        registry = SoftwareIdentityRegistry(publisher.public_key)
+        registry.add(publisher.certify_program("ctrl", ReleaseV1))
+        anchor = TrustAnchor(authority, registry)
+
+        policy = anchor.policy_for("ctrl")
+        from repro.sgx.measurement import EnclaveIdentity
+
+        good = EnclaveIdentity(
+            mrenclave=measure_program(ReleaseV1), mrsigner=b"\x00" * 32, isv_svn=1
+        )
+        bad = EnclaveIdentity(
+            mrenclave=measure_program(ReleaseV2), mrsigner=b"\x00" * 32, isv_svn=1
+        )
+        policy.check(good)
+        with pytest.raises(AttestationError):
+            policy.check(bad)
+
+    def test_verification_info_reflects_revocation(self):
+        authority = AttestationAuthority(Rng(b"anchor-rl"))
+        SgxPlatform("qe-boot2", authority, rng=Rng(b"qe-boot2"))
+        publisher = SoftwarePublisher("p", Rng(b"p"))
+        anchor = TrustAnchor(authority, SoftwareIdentityRegistry(publisher.public_key))
+        assert anchor.verification_info.revocation_list == frozenset()
+        authority.revoke_platform(12345)
+        assert 12345 in anchor.verification_info.revocation_list

@@ -1,0 +1,133 @@
+"""Untrusted (non-enclave) client attested sessions."""
+
+import pytest
+
+from repro.core import AttestedServer, EnclaveNode, SecureApplicationProgram
+from repro.core.untrusted import open_untrusted_session
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import AttestationError
+from repro.net.network import LinkParams, Network
+from repro.net.sim import Simulator
+from repro.sgx.attestation import IdentityPolicy
+from repro.sgx.measurement import measure_program
+from repro.sgx.quoting import AttestationAuthority
+
+
+class UpperProgram(SecureApplicationProgram):
+    def _on_secure_message(self, session_id, payload):
+        return payload.upper()
+
+
+class OtherProgram(SecureApplicationProgram):
+    def _on_secure_message(self, session_id, payload):
+        return b"other"
+
+
+def build(server_program):
+    sim = Simulator()
+    network = Network(sim, rng=Rng(b"unt"), default_link=LinkParams(latency=0.002))
+    authority = AttestationAuthority(Rng(b"unt-auth"))
+    author = generate_rsa_keypair(512, Rng(b"unt-author"))
+    node = EnclaveNode(network, "server", authority, rng=Rng(b"unt-node"))
+    enclave = node.load(server_program, author_key=author, name="svc")
+    enclave.ecall("configure_trust", authority.verification_info())
+    AttestedServer(node, enclave, 443)
+    legacy = network.add_host("legacy-laptop")
+    return sim, network, authority, legacy
+
+
+class TestUntrustedClient:
+    def test_request_response_over_secure_channel(self):
+        sim, _, authority, legacy = build(UpperProgram())
+        out = {}
+
+        def proc():
+            session = yield from open_untrusted_session(
+                legacy,
+                "server",
+                443,
+                authority.verification_info(),
+                IdentityPolicy.for_mrenclave(measure_program(UpperProgram)),
+                Rng(b"client"),
+            )
+            out["peer"] = session.peer_identity.mrenclave
+            out["reply"] = yield from session.request(b"shout this")
+
+        sim.spawn(proc())
+        sim.run(until=60.0)
+        assert out["reply"] == b"SHOUT THIS"
+        assert out["peer"] == measure_program(UpperProgram)
+
+    def test_wrong_build_rejected(self):
+        sim, _, authority, legacy = build(OtherProgram())
+        failures = []
+
+        def proc():
+            try:
+                yield from open_untrusted_session(
+                    legacy,
+                    "server",
+                    443,
+                    authority.verification_info(),
+                    IdentityPolicy.for_mrenclave(measure_program(UpperProgram)),
+                    Rng(b"client"),
+                )
+            except AttestationError as exc:
+                failures.append(str(exc))
+
+        sim.spawn(proc())
+        sim.run(until=60.0)
+        assert failures and "MRENCLAVE" in failures[0]
+
+    def test_plaintext_absent_from_wire(self):
+        sim, network, authority, legacy = build(UpperProgram())
+        wire = []
+        network.tap = lambda d: (wire.append(d.payload), d)[1]
+
+        def proc():
+            session = yield from open_untrusted_session(
+                legacy,
+                "server",
+                443,
+                authority.verification_info(),
+                IdentityPolicy.accept_any(),
+                Rng(b"client"),
+            )
+            yield from session.request(b"very secret request")
+
+        sim.spawn(proc())
+        sim.run(until=60.0)
+        joined = b"".join(wire)
+        assert b"very secret request" not in joined
+        assert b"VERY SECRET REQUEST" not in joined
+
+    def test_mutual_refused_without_enclave(self):
+        from repro.sgx.attestation import AttestationConfig, ChallengerAttestor
+
+        authority = AttestationAuthority(Rng(b"mut"))
+        from repro.sgx.platform import SgxPlatform
+
+        SgxPlatform("boot", authority, rng=Rng(b"boot"))
+        with pytest.raises(AttestationError, match="enclave"):
+            ChallengerAttestor(
+                ctx=None,
+                verification_info=authority.verification_info(),
+                policy=IdentityPolicy.accept_any(),
+                config=AttestationConfig(mutual=True),
+                rng=Rng(b"x"),
+            )
+
+    def test_rng_required_without_ctx(self):
+        from repro.sgx.attestation import ChallengerAttestor
+
+        authority = AttestationAuthority(Rng(b"rng-req"))
+        from repro.sgx.platform import SgxPlatform
+
+        SgxPlatform("boot2", authority, rng=Rng(b"boot2"))
+        with pytest.raises(AttestationError, match="rng"):
+            ChallengerAttestor(
+                ctx=None,
+                verification_info=authority.verification_info(),
+                policy=IdentityPolicy.accept_any(),
+            )

@@ -1,0 +1,152 @@
+"""Determinism of the DRBG/Rng and number-theory primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg, Rng
+from repro.crypto.numtheory import egcd, generate_prime, is_probable_prime, modinv
+from repro.errors import CryptoError
+
+
+class TestHmacDrbg:
+    def test_same_seed_same_output(self):
+        assert HmacDrbg(b"seed").generate(64) == HmacDrbg(b"seed").generate(64)
+
+    def test_different_seed_different_output(self):
+        assert HmacDrbg(b"a").generate(32) != HmacDrbg(b"b").generate(32)
+
+    def test_personalization_separates_streams(self):
+        assert (
+            HmacDrbg(b"s", b"one").generate(32)
+            != HmacDrbg(b"s", b"two").generate(32)
+        )
+
+    def test_generate_zero_bytes(self):
+        assert HmacDrbg(b"s").generate(0) == b""
+
+    def test_generate_negative_raises(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg(b"s").generate(-1)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(b"s")
+        b = HmacDrbg(b"s")
+        a.generate(16)
+        b.generate(16)
+        a.reseed(b"fresh")
+        assert a.generate(16) != b.generate(16)
+
+    def test_sequential_output_not_repeating(self):
+        drbg = HmacDrbg(b"s")
+        chunks = {drbg.generate(32) for _ in range(20)}
+        assert len(chunks) == 20
+
+    def test_rejects_non_bytes_seed(self):
+        with pytest.raises(CryptoError):
+            HmacDrbg("string")  # type: ignore[arg-type]
+
+
+class TestRng:
+    def test_randint_bounds(self):
+        rng = Rng(1)
+        values = [rng.randint(3, 9) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 9
+        assert set(values) == set(range(3, 10))  # all values hit
+
+    def test_randint_single_value_range(self):
+        assert Rng(1).randint(5, 5) == 5
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(CryptoError):
+            Rng(1).randint(5, 4)
+
+    def test_randbits_width(self):
+        rng = Rng(2)
+        for bits in (1, 7, 8, 33, 128):
+            assert 0 <= rng.randbits(bits) < (1 << bits)
+
+    def test_random_in_unit_interval(self):
+        rng = Rng(3)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_choice_and_sample(self):
+        rng = Rng(4)
+        population = list(range(10))
+        assert rng.choice(population) in population
+        picked = rng.sample(population, 4)
+        assert len(set(picked)) == 4
+        assert all(p in population for p in picked)
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(CryptoError):
+            Rng(1).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        rng = Rng(5)
+        data = list(range(20))
+        rng.shuffle(data)
+        assert sorted(data) == list(range(20))
+
+    def test_fork_streams_are_independent_and_stable(self):
+        a = Rng(6).fork("x")
+        b = Rng(6).fork("x")
+        assert a.bytes(16) == b.bytes(16)
+
+    def test_seed_types(self):
+        assert Rng(b"bytes").bytes(8) != Rng("string").bytes(8)
+
+    def test_determinism_across_instances(self):
+        assert Rng(42, "lbl").bytes(32) == Rng(42, "lbl").bytes(32)
+
+
+class TestNumberTheory:
+    def test_small_primes(self):
+        rng = Rng(0)
+        for p in (2, 3, 5, 7, 97, 65537):
+            assert is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = Rng(0)
+        for n in (0, 1, 4, 100, 561, 65536, 7917):
+            assert not is_probable_prime(n, rng)
+
+    def test_carmichael_numbers_rejected(self):
+        rng = Rng(0)
+        for n in (561, 1105, 1729, 2465, 6601):
+            assert not is_probable_prime(n, rng)
+
+    def test_generate_prime_width_and_primality(self):
+        rng = Rng(7)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p, rng)
+
+    def test_generate_prime_too_small_raises(self):
+        with pytest.raises(CryptoError):
+            generate_prime(4, Rng(0))
+
+    def test_egcd_identity(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == g
+
+    def test_modinv(self):
+        assert (3 * modinv(3, 11)) % 11 == 1
+
+    def test_modinv_nonexistent_raises(self):
+        with pytest.raises(CryptoError):
+            modinv(6, 9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=st.integers(min_value=1, max_value=10**6), m=st.integers(min_value=2, max_value=10**6))
+def test_property_modinv_when_coprime(a, m):
+    from math import gcd
+
+    if gcd(a, m) == 1:
+        assert (a * modinv(a, m)) % m == 1
+    else:
+        with pytest.raises(CryptoError):
+            modinv(a, m)

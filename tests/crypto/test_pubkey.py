@@ -1,0 +1,214 @@
+"""DH, RSA, Schnorr and EPID tests."""
+
+import pytest
+
+from repro.cost import CostAccountant, DEFAULT_MODEL
+from repro.cost import context as cost_context
+from repro.crypto import dh
+from repro.crypto.drbg import Rng
+from repro.crypto.epid import EpidGroupManager, epid_verify
+from repro.crypto.rsa import generate_rsa_keypair, rsa_sign, rsa_verify
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    generate_schnorr_keypair,
+    schnorr_sign,
+    schnorr_verify,
+)
+from repro.errors import CryptoError
+
+
+class TestDh:
+    def test_modp_groups_have_expected_sizes(self):
+        assert dh.MODP_1024.p.bit_length() == 1024
+        assert dh.MODP_2048.p.bit_length() == 2048
+
+    def test_key_exchange_agrees(self):
+        rng = Rng(1)
+        alice = dh.generate_keypair(dh.MODP_1024, rng)
+        bob = dh.generate_keypair(dh.MODP_1024, rng)
+        assert dh.shared_secret(alice, bob.public) == dh.shared_secret(
+            bob, alice.public
+        )
+
+    def test_shared_secret_is_fixed_width(self):
+        rng = Rng(2)
+        alice = dh.generate_keypair(dh.MODP_1024, rng)
+        bob = dh.generate_keypair(dh.MODP_1024, rng)
+        assert len(dh.shared_secret(alice, bob.public)) == 128
+
+    def test_rejects_degenerate_peer_values(self):
+        rng = Rng(3)
+        kp = dh.generate_keypair(dh.MODP_1024, rng)
+        for bad in (0, 1, dh.MODP_1024.p - 1, dh.MODP_1024.p):
+            with pytest.raises(CryptoError):
+                dh.shared_secret(kp, bad)
+
+    def test_generate_parameters_standard_returns_rfc_group(self):
+        group = dh.generate_parameters(1024, Rng(4))
+        assert group is dh.MODP_1024
+
+    def test_generate_parameters_standard_charges_cost(self):
+        acct = CostAccountant()
+        with cost_context.use_accountant(acct):
+            dh.generate_parameters(1024, Rng(4))
+        assert (
+            acct.total().normal_instructions
+            >= DEFAULT_MODEL.dh_param_gen_normal
+        )
+
+    def test_generate_parameters_small_really_generates(self):
+        group = dh.generate_parameters(64, Rng(5))
+        assert group.p.bit_length() == 64
+        # p must be a safe prime: (p-1)/2 prime.
+        from repro.crypto.numtheory import is_probable_prime
+
+        rng = Rng(6)
+        assert is_probable_prime(group.p, rng)
+        assert is_probable_prime((group.p - 1) // 2, rng)
+
+    def test_generate_parameters_rejects_odd_large_size(self):
+        with pytest.raises(CryptoError):
+            dh.generate_parameters(768, Rng(0))
+
+    def test_exchange_on_generated_group(self):
+        group = dh.generate_parameters(80, Rng(7))
+        rng = Rng(8)
+        a = dh.generate_keypair(group, rng)
+        b = dh.generate_keypair(group, rng)
+        assert dh.shared_secret(a, b.public) == dh.shared_secret(b, a.public)
+
+    def test_modexp_cost_charged(self):
+        acct = CostAccountant()
+        rng = Rng(9)
+        with cost_context.use_accountant(acct):
+            dh.generate_keypair(dh.MODP_1024, rng)
+        assert (
+            acct.total().normal_instructions == DEFAULT_MODEL.modexp_1024_normal
+        )
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return generate_rsa_keypair(512, Rng(b"rsa-test"))
+
+    def test_keypair_consistency(self, key):
+        assert key.p * key.q == key.n
+        assert key.n.bit_length() == 512
+
+    def test_sign_verify_roundtrip(self, key):
+        sig = rsa_sign(key, b"hello enclave")
+        assert rsa_verify(key.public_key(), b"hello enclave", sig)
+
+    def test_tampered_message_rejected(self, key):
+        sig = rsa_sign(key, b"hello enclave")
+        assert not rsa_verify(key.public_key(), b"hello Enclave", sig)
+
+    def test_tampered_signature_rejected(self, key):
+        sig = bytearray(rsa_sign(key, b"msg"))
+        sig[5] ^= 0x01
+        assert not rsa_verify(key.public_key(), b"msg", bytes(sig))
+
+    def test_wrong_length_signature_rejected(self, key):
+        assert not rsa_verify(key.public_key(), b"msg", b"\x00" * 10)
+
+    def test_fingerprint_stable_and_distinct(self, key):
+        other = generate_rsa_keypair(512, Rng(b"other"))
+        pub = key.public_key()
+        assert pub.fingerprint() == key.public_key().fingerprint()
+        assert pub.fingerprint() != other.public_key().fingerprint()
+
+    def test_rejects_tiny_modulus_for_signature(self):
+        tiny = generate_rsa_keypair(128, Rng(b"tiny"))
+        with pytest.raises(CryptoError):
+            rsa_sign(tiny, b"msg")
+
+    def test_keygen_rejects_bad_sizes(self):
+        with pytest.raises(CryptoError):
+            generate_rsa_keypair(63, Rng(0))
+        with pytest.raises(CryptoError):
+            generate_rsa_keypair(129, Rng(0))
+
+
+class TestSchnorr:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return generate_schnorr_keypair(Rng(b"schnorr-test"))
+
+    def test_sign_verify(self, key):
+        sig = schnorr_sign(key, b"quote body")
+        assert schnorr_verify(key.group, key.y, b"quote body", sig)
+
+    def test_reject_wrong_message(self, key):
+        sig = schnorr_sign(key, b"quote body")
+        assert not schnorr_verify(key.group, key.y, b"other body", sig)
+
+    def test_reject_wrong_public(self, key):
+        other = generate_schnorr_keypair(Rng(b"other"))
+        sig = schnorr_sign(key, b"m")
+        assert not schnorr_verify(key.group, other.y, b"m", sig)
+
+    def test_reject_out_of_range_components(self, key):
+        q = (key.group.p - 1) // 2
+        assert not schnorr_verify(key.group, key.y, b"m", SchnorrSignature(e=0, s=0))
+        assert not schnorr_verify(key.group, key.y, b"m", SchnorrSignature(e=1, s=q))
+
+    def test_deterministic_signatures(self, key):
+        assert schnorr_sign(key, b"m") == schnorr_sign(key, b"m")
+
+    def test_encode_decode_roundtrip(self, key):
+        sig = schnorr_sign(key, b"m")
+        assert SchnorrSignature.decode(sig.encode()) == sig
+
+    def test_decode_truncated_raises(self):
+        with pytest.raises(CryptoError):
+            SchnorrSignature.decode(b"\x00" * 10)
+
+
+class TestEpid:
+    @pytest.fixture(scope="class")
+    def manager(self):
+        return EpidGroupManager(Rng(b"epid-test"))
+
+    def test_member_signature_verifies(self, manager):
+        member = manager.issue_member_key("cpu-1")
+        sig = member.sign(b"QUOTE")
+        assert epid_verify(manager.group_public_key, b"QUOTE", sig)
+
+    def test_distinct_members_distinct_keys(self, manager):
+        a = manager.issue_member_key("cpu-a")
+        b = manager.issue_member_key("cpu-b")
+        assert a.keypair.y != b.keypair.y
+
+    def test_forged_credential_rejected(self, manager):
+        member = manager.issue_member_key("cpu-2")
+        rogue = generate_schnorr_keypair(Rng(b"rogue"))
+        sig = member.sign(b"QUOTE")
+        forged = type(sig)(
+            member_public=rogue.y,
+            credential=sig.credential,
+            signature=schnorr_sign(rogue, b"QUOTE"),
+        )
+        assert not epid_verify(manager.group_public_key, b"QUOTE", forged)
+
+    def test_revoked_member_rejected(self, manager):
+        member = manager.issue_member_key("cpu-3")
+        manager.revoke(member.keypair.y)
+        sig = member.sign(b"QUOTE")
+        assert not epid_verify(
+            manager.group_public_key,
+            b"QUOTE",
+            sig,
+            revocation_list=manager.revocation_list,
+        )
+
+    def test_wrong_group_public_key_rejected(self, manager):
+        other = EpidGroupManager(Rng(b"other-group"))
+        member = manager.issue_member_key("cpu-4")
+        sig = member.sign(b"QUOTE")
+        assert not epid_verify(other.group_public_key, b"QUOTE", sig)
+
+    def test_wrong_message_rejected(self, manager):
+        member = manager.issue_member_key("cpu-5")
+        sig = member.sign(b"QUOTE")
+        assert not epid_verify(manager.group_public_key, b"FORGED", sig)

@@ -1,0 +1,153 @@
+"""Aho-Corasick and the streaming DPI engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MiddleboxError
+from repro.middlebox.dpi import AhoCorasick, DpiAction, DpiEngine, DpiRule
+
+
+class TestAhoCorasick:
+    def test_single_pattern(self):
+        ac = AhoCorasick({"r": b"abc"})
+        matches, _ = ac.search(b"xxabcxx")
+        assert matches == [(5, "r")]
+
+    def test_multiple_patterns_overlapping(self):
+        ac = AhoCorasick({"he": b"he", "she": b"she", "hers": b"hers", "his": b"his"})
+        matches, _ = ac.search(b"ushers")
+        found = {(pos, rid) for pos, rid in matches}
+        assert found == {(4, "she"), (4, "he"), (6, "hers")}
+
+    def test_repeated_matches(self):
+        ac = AhoCorasick({"r": b"aa"})
+        matches, _ = ac.search(b"aaaa")
+        assert [pos for pos, _ in matches] == [2, 3, 4]
+
+    def test_no_match(self):
+        ac = AhoCorasick({"r": b"needle"})
+        matches, _ = ac.search(b"haystack without it")
+        assert matches == []
+
+    def test_streaming_across_chunks(self):
+        ac = AhoCorasick({"r": b"boundary"})
+        matches1, state = ac.search(b"...boun")
+        assert matches1 == []
+        matches2, _ = ac.search(b"dary...", state)
+        assert [rid for _, rid in matches2] == ["r"]
+
+    def test_pattern_equal_to_input(self):
+        ac = AhoCorasick({"r": b"exact"})
+        matches, _ = ac.search(b"exact")
+        assert matches == [(5, "r")]
+
+    def test_binary_patterns(self):
+        ac = AhoCorasick({"r": bytes([0, 255, 0])})
+        matches, _ = ac.search(bytes([1, 0, 255, 0, 1]))
+        assert len(matches) == 1
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(MiddleboxError):
+            AhoCorasick({"r": b""})
+
+    def test_no_patterns_rejected(self):
+        with pytest.raises(MiddleboxError):
+            AhoCorasick({})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    haystack=st.binary(max_size=200),
+    needles=st.lists(
+        st.binary(min_size=1, max_size=5), min_size=1, max_size=4, unique=True
+    ),
+)
+def test_property_matches_agree_with_find(haystack, needles):
+    ac = AhoCorasick({f"r{i}": n for i, n in enumerate(needles)})
+    matches, _ = ac.search(haystack)
+    got = sorted((pos, rid) for pos, rid in matches)
+    expected = []
+    for i, needle in enumerate(needles):
+        start = 0
+        while True:
+            index = haystack.find(needle, start)
+            if index < 0:
+                break
+            expected.append((index + len(needle), f"r{i}"))
+            start = index + 1
+    assert got == sorted(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    haystack=st.binary(min_size=2, max_size=300),
+    split=st.integers(min_value=0, max_value=300),
+    needle=st.binary(min_size=1, max_size=6),
+)
+def test_property_streaming_equals_oneshot(haystack, split, needle):
+    split = min(split, len(haystack))
+    ac = AhoCorasick({"r": needle})
+    oneshot, _ = ac.search(haystack)
+    m1, state = ac.search(haystack[:split])
+    m2, _ = ac.search(haystack[split:], state)
+    streamed = m1 + [(pos + split, rid) for pos, rid in m2]
+    assert streamed == oneshot
+
+
+class TestDpiEngine:
+    def make_engine(self):
+        return DpiEngine(
+            [
+                DpiRule("alert-1", b"SECRET", DpiAction.ALERT),
+                DpiRule("block-1", b"MALWARE", DpiAction.BLOCK),
+            ]
+        )
+
+    def test_alert_forwards(self):
+        engine = self.make_engine()
+        verdict = engine.inspect("f", "c2s", b"a SECRET leaks")
+        assert verdict.alerts == ["alert-1"]
+        assert not verdict.block
+
+    def test_block_rule_blocks(self):
+        engine = self.make_engine()
+        verdict = engine.inspect("f", "c2s", b"download MALWARE here")
+        assert verdict.block
+
+    def test_clean_traffic(self):
+        engine = self.make_engine()
+        verdict = engine.inspect("f", "c2s", b"nothing to see")
+        assert verdict.clean and not verdict.block
+
+    def test_per_flow_per_direction_state(self):
+        engine = self.make_engine()
+        engine.inspect("f1", "c2s", b"SEC")
+        # Other flow/direction must not continue f1's partial match.
+        assert engine.inspect("f2", "c2s", b"RET").clean
+        assert engine.inspect("f1", "s2c", b"RET").clean
+        # The original direction does.
+        assert engine.inspect("f1", "c2s", b"RET").alerts == ["alert-1"]
+
+    def test_end_flow_resets_state(self):
+        engine = self.make_engine()
+        engine.inspect("f", "c2s", b"SEC")
+        engine.end_flow("f")
+        assert engine.inspect("f", "c2s", b"RET").clean
+
+    def test_counters(self):
+        engine = self.make_engine()
+        engine.inspect("f", "c2s", b"SECRET and MALWARE")
+        assert engine.chunks_inspected == 1
+        assert engine.bytes_inspected == 18
+        assert engine.total_alerts == 2
+
+    def test_duplicate_rule_ids_rejected(self):
+        with pytest.raises(MiddleboxError):
+            DpiEngine(
+                [DpiRule("x", b"a"), DpiRule("x", b"b")]
+            )
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(MiddleboxError):
+            DpiEngine([])

@@ -1,0 +1,108 @@
+"""Middlebox integration scenarios (paper Section 3.3)."""
+
+import pytest
+
+from repro.middlebox.scenarios import MiddleboxScenario
+
+
+class TestUnilateralInspection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=1, rules=[("r1", b"SECRET", "alert")]
+        )
+        return scenario.run([b"contains SECRET data", b"clean traffic"])
+
+    def test_traffic_delivered(self, result):
+        assert result.replies == [
+            b"OK:contains SECRET data",
+            b"OK:clean traffic",
+        ]
+
+    def test_alerts_fired_inside_enclave(self, result):
+        # Request and its echo both carry the token: 2 alerts.
+        assert result.stats["mbox0"]["alerts"] == 2
+
+    def test_one_attestation_per_middlebox(self, result):
+        assert result.attestations == 1
+
+    def test_provisioned_after_attestation(self, result):
+        assert result.provisioned == ["mbox0"]
+
+    def test_data_records_inspected_handshake_opaque(self, result):
+        stats = result.stats["mbox0"]
+        assert stats["inspected"] == 4   # 2 requests + 2 replies
+        assert stats["opaque"] == 4      # 4 handshake messages
+
+
+class TestChain:
+    def test_chain_of_three_inspects_at_each_hop(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=3, rules=[("r1", b"TOKEN", "alert")]
+        )
+        result = scenario.run([b"a TOKEN b"])
+        assert result.replies == [b"OK:a TOKEN b"]
+        assert result.attestations == 3  # Table 3: one per in-path box
+        for name in ("mbox0", "mbox1", "mbox2"):
+            assert result.stats[name]["alerts"] == 2, name
+
+
+class TestBlocking:
+    def test_block_rule_kills_flow(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=1, rules=[("kill", b"MALWARE", "block")]
+        )
+        result = scenario.run([b"fine", b"MALWARE payload", b"never sent"])
+        assert result.replies == [b"OK:fine"]
+        assert result.blocked
+        assert result.stats["mbox0"]["blocked"] == 1
+
+
+class TestWithoutProvisioning:
+    def test_traffic_opaque_and_delivered(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=1, rules=[("r1", b"SECRET", "alert")]
+        )
+        result = scenario.run([b"has SECRET inside"], provision=False)
+        assert result.replies == [b"OK:has SECRET inside"]
+        stats = result.stats["mbox0"]
+        assert stats["inspected"] == 0
+        assert stats["alerts"] == 0
+
+
+class TestTamperedMiddlebox:
+    def test_attestation_refuses_modified_build(self):
+        scenario = MiddleboxScenario(n_middleboxes=1, tampered_boxes=(0,))
+        result = scenario.run([b"private data"])
+        assert result.attestation_failures == ["mbox0"]
+        assert result.provisioned == []
+        # Traffic still flows, but stays opaque to the rogue box.
+        assert result.replies == [b"OK:private data"]
+        assert result.stats["mbox0"]["inspected"] == 0
+
+    def test_tampered_box_in_chain_gets_nothing_others_inspect(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=2,
+            rules=[("r1", b"XYZ", "alert")],
+            tampered_boxes=(1,),
+        )
+        result = scenario.run([b"XYZ here"])
+        assert result.attestation_failures == ["mbox1"]
+        assert result.provisioned == ["mbox0"]
+        assert result.stats["mbox0"]["inspected"] == 2
+        assert result.stats["mbox1"]["inspected"] == 0
+        assert result.replies == [b"OK:XYZ here"]
+
+
+class TestBilateralConsent:
+    def test_both_endpoints_required(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=1, rules=[("r1", b"S", "alert")], bilateral=True
+        )
+        result = scenario.run([b"S"])
+        # Provisioning acks: the client's alone does not enable
+        # inspection; the server's completes the pair.
+        assert result.provisioned == ["mbox0"]  # enabled only after both
+        consents = scenario.middleboxes[0].enclave.ecall("flow_consents", "client")
+        assert consents == ["client", "server"]
+        assert result.stats["mbox0"]["inspected"] == 2

@@ -1,0 +1,317 @@
+"""Datagram fabric and reliable-stream tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import Rng
+from repro.errors import NetworkError
+from repro.net.network import MTU, LinkParams, Network
+from repro.net.sim import Simulator
+from repro.net.transport import MSS, StreamListener, connect
+
+
+def make_net(loss=0.0, latency=0.005, seed=b"net-test"):
+    sim = Simulator()
+    net = Network(
+        sim,
+        rng=Rng(seed),
+        default_link=LinkParams(latency=latency, loss_rate=loss),
+    )
+    return sim, net
+
+
+class TestDatagrams:
+    def test_delivery_to_bound_port(self):
+        sim, net = make_net()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        inbox = b.bind(80)
+        got = []
+
+        def server():
+            dgram = yield inbox.get()
+            got.append((dgram.src, dgram.payload, sim.now))
+
+        sim.spawn(server())
+        a.send("b", 80, b"ping")
+        sim.run()
+        assert got[0][0] == "a"
+        assert got[0][1] == b"ping"
+        assert got[0][2] >= 0.005  # link latency applied
+
+    def test_unbound_port_drops(self):
+        sim, net = make_net()
+        a = net.add_host("a")
+        net.add_host("b")
+        a.send("b", 9, b"void")
+        sim.run()
+        assert net.stats.dropped_unbound == 1
+        assert net.stats.delivered == 0
+
+    def test_unknown_host_raises(self):
+        sim, net = make_net()
+        a = net.add_host("a")
+        with pytest.raises(NetworkError, match="no route"):
+            a.send("ghost", 1, b"x")
+
+    def test_mtu_enforced(self):
+        sim, net = make_net()
+        a = net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(NetworkError, match="MTU"):
+            a.send("b", 1, b"x" * (MTU + 1))
+
+    def test_duplicate_host_rejected(self):
+        _, net = make_net()
+        net.add_host("a")
+        with pytest.raises(NetworkError):
+            net.add_host("a")
+
+    def test_duplicate_bind_rejected(self):
+        _, net = make_net()
+        a = net.add_host("a")
+        a.bind(5)
+        with pytest.raises(NetworkError):
+            a.bind(5)
+
+    def test_link_override_changes_latency(self):
+        sim, net = make_net(latency=0.010)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.set_link("a", "b", LinkParams(latency=0.200))
+        inbox = b.bind(80)
+        arrival = []
+
+        def server():
+            yield inbox.get()
+            arrival.append(sim.now)
+
+        sim.spawn(server())
+        a.send("b", 80, b"x")
+        sim.run()
+        assert arrival[0] >= 0.200
+
+    def test_loss_rate_one_drops_everything(self):
+        sim, net = make_net(loss=1.0)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        b.bind(80)
+        for _ in range(10):
+            a.send("b", 80, b"x")
+        sim.run()
+        assert net.stats.dropped_loss == 10
+
+    def test_tap_can_observe_and_drop(self):
+        sim, net = make_net()
+        a = net.add_host("a")
+        b = net.add_host("b")
+        b.bind(80)
+        seen = []
+
+        def tap(dgram):
+            seen.append(dgram.payload)
+            return None  # drop everything
+
+        net.tap = tap
+        a.send("b", 80, b"observed")
+        sim.run()
+        assert seen == [b"observed"]
+        assert net.stats.delivered == 0
+
+
+class TestStreams:
+    def run_exchange(self, messages, loss=0.0, seed=b"stream"):
+        """Client sends ``messages``; server echoes them reversed."""
+        sim, net = make_net(loss=loss, seed=seed)
+        client_host = net.add_host("client")
+        server_host = net.add_host("server")
+        listener = StreamListener(server_host, 7)
+        received_by_server = []
+        echoed_back = []
+
+        def server():
+            conn = yield listener.accept()
+            for _ in messages:
+                msg = yield conn.recv_message()
+                received_by_server.append(msg)
+                conn.send_message(msg[::-1])
+
+        def client():
+            conn = yield from connect(client_host, "server", 7)
+            for m in messages:
+                conn.send_message(m)
+            for _ in messages:
+                echoed_back.append((yield conn.recv_message()))
+
+        sim.spawn(server())
+        sim.spawn(client())
+        sim.run(until=120.0)
+        return received_by_server, echoed_back, net
+
+    def test_basic_roundtrip(self):
+        msgs = [b"alpha", b"beta", b"gamma"]
+        got, echoed, _ = self.run_exchange(msgs)
+        assert got == msgs
+        assert echoed == [m[::-1] for m in msgs]
+
+    def test_large_message_segmentation(self):
+        big = bytes(range(256)) * 40  # 10240 bytes > several segments
+        got, echoed, _ = self.run_exchange([big])
+        assert got == [big]
+        assert echoed == [big[::-1]]
+
+    def test_empty_message(self):
+        got, echoed, _ = self.run_exchange([b""])
+        assert got == [b""]
+
+    def test_in_order_delivery_under_loss(self):
+        msgs = [f"msg-{i}".encode() * 50 for i in range(10)]
+        got, echoed, net = self.run_exchange(msgs, loss=0.10)
+        assert got == msgs
+        assert echoed == [m[::-1] for m in msgs]
+        assert net.stats.dropped_loss > 0  # the loss really happened
+
+    def test_handshake_survives_loss(self):
+        got, _, _ = self.run_exchange([b"hello"], loss=0.25, seed=b"lossy-shake")
+        assert got == [b"hello"]
+
+    def test_connect_to_dead_port_times_out(self):
+        sim, net = make_net()
+        a = net.add_host("a")
+        net.add_host("b")  # no listener
+        failures = []
+
+        def client():
+            try:
+                yield from connect(a, "b", 7, timeout=0.1, retries=2)
+            except NetworkError as exc:
+                failures.append(str(exc))
+
+        sim.spawn(client())
+        sim.run()
+        assert failures and "timed out" in failures[0]
+
+    def test_concurrent_connections_demux(self):
+        sim, net = make_net()
+        server_host = net.add_host("server")
+        listener = StreamListener(server_host, 7)
+        outputs = {}
+
+        def server():
+            while True:
+                conn = yield listener.accept()
+                sim.spawn(handle(conn))
+
+        def handle(conn):
+            msg = yield conn.recv_message()
+            conn.send_message(b"re:" + msg)
+
+        def client(name):
+            host = net.add_host(name)
+            conn = yield from connect(host, "server", 7)
+            conn.send_message(name.encode())
+            outputs[name] = yield conn.recv_message()
+
+        sim.spawn(server())
+        for i in range(5):
+            sim.spawn(client(f"c{i}"))
+        sim.run(until=30.0)
+        assert outputs == {f"c{i}": f"re:c{i}".encode() for i in range(5)}
+
+    def test_fin_delivers_eof(self):
+        sim, net = make_net()
+        client_host = net.add_host("client")
+        server_host = net.add_host("server")
+        listener = StreamListener(server_host, 7)
+        events = []
+
+        def server():
+            conn = yield listener.accept()
+            msg = yield conn.recv_message()
+            events.append(msg)
+            eof = yield conn.recv_message()
+            events.append(eof)
+
+        def client():
+            conn = yield from connect(client_host, "server", 7)
+            conn.send_message(b"bye")
+            conn.close()
+
+        sim.spawn(server())
+        sim.spawn(client())
+        sim.run(until=30.0)
+        assert events == [b"bye", None]
+
+    def test_send_after_close_rejected(self):
+        sim, net = make_net()
+        client_host = net.add_host("client")
+        server_host = net.add_host("server")
+        StreamListener(server_host, 7)
+        errors = []
+
+        def client():
+            conn = yield from connect(client_host, "server", 7)
+            conn.close()
+            try:
+                conn.send_message(b"late")
+            except NetworkError as exc:
+                errors.append(str(exc))
+
+        sim.spawn(client())
+        sim.run(until=10.0)
+        assert errors
+
+    def test_no_retransmissions_on_lossless_link(self):
+        sim, net = make_net()
+        client_host = net.add_host("client")
+        server_host = net.add_host("server")
+        listener = StreamListener(server_host, 7)
+        socks = []
+
+        def server():
+            conn = yield listener.accept()
+            yield conn.recv_message()
+
+        def client():
+            conn = yield from connect(client_host, "server", 7)
+            socks.append(conn)
+            conn.send_message(b"x" * (MSS * 3))
+
+        sim.spawn(server())
+        sim.spawn(client())
+        sim.run(until=10.0)
+        assert socks[0].retransmissions == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    messages=st.lists(st.binary(min_size=0, max_size=5000), min_size=1, max_size=6),
+    loss_pct=st.integers(min_value=0, max_value=20),
+)
+def test_property_stream_delivers_exactly_in_order(messages, loss_pct):
+    sim = Simulator()
+    net = Network(
+        sim,
+        rng=Rng(repr((messages, loss_pct)).encode()),
+        default_link=LinkParams(latency=0.002, loss_rate=loss_pct / 100),
+    )
+    client_host = net.add_host("client")
+    server_host = net.add_host("server")
+    listener = StreamListener(server_host, 7)
+    got = []
+
+    def server():
+        conn = yield listener.accept()
+        for _ in messages:
+            got.append((yield conn.recv_message()))
+
+    def client():
+        conn = yield from connect(client_host, "server", 7, retries=30)
+        for m in messages:
+            conn.send_message(m)
+
+    sim.spawn(server())
+    sim.spawn(client())
+    sim.run(until=300.0)
+    assert got == list(messages)

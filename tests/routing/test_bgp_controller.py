@@ -1,0 +1,203 @@
+"""Route computation: decision process, oracle cross-check, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import Rng
+from repro.errors import PolicyError
+from repro.routing.bgp import DistributedBgpSimulator, Route, decide
+from repro.routing.controller import InterDomainController
+from repro.routing.deployment import build_policies
+from repro.routing.policy import LocalPolicy
+from repro.routing.relationships import Relationship
+from repro.routing.topology import AsTopology
+
+
+class TestDecisionProcess:
+    def test_higher_local_pref_wins(self):
+        a = Route("p", (1, 9), local_pref=100)
+        b = Route("p", (2,), local_pref=90)  # shorter but less preferred
+        assert decide([a, b]) == a
+
+    def test_shorter_path_breaks_pref_tie(self):
+        a = Route("p", (1, 9), local_pref=100)
+        b = Route("p", (2,), local_pref=100)
+        assert decide([a, b]) == b
+
+    def test_lowest_neighbor_breaks_full_tie(self):
+        a = Route("p", (5, 9), local_pref=100)
+        b = Route("p", (3, 9), local_pref=100)
+        assert decide([a, b]) == b
+
+    def test_self_originated_always_wins(self):
+        own = Route("p", (), local_pref=0)
+        other = Route("p", (1,), local_pref=500)
+        assert decide([own, other]) == own
+
+    def test_empty_candidates(self):
+        assert decide([]) is None
+
+    def test_route_encode_decode(self):
+        route = Route("10.3.0.0/16", (4, 7, 3), local_pref=100)
+        assert Route.decode(route.encode()) == route
+
+
+def tiny_topology():
+    """1 is provider of 2 and 3; 2 and 3 peer."""
+    topo = AsTopology.empty()
+    for asn in (1, 2, 3):
+        topo.add_as(asn)
+    topo.add_link(1, 2, Relationship.CUSTOMER)
+    topo.add_link(1, 3, Relationship.CUSTOMER)
+    topo.add_link(2, 3, Relationship.PEER)
+    return topo
+
+
+def policies_of(topo):
+    from repro.routing.policy import policy_from_topology
+
+    return {asn: policy_from_topology(topo, asn) for asn in topo.asns}
+
+
+class TestDistributedOracle:
+    def test_tiny_topology_routes(self):
+        sim = DistributedBgpSimulator(policies_of(tiny_topology()))
+        sim.run()
+        # 2 reaches 3's prefix directly over the peering (preferred
+        # over the provider path through 1).
+        best = sim.best_routes(2)["10.3.0.0/16"]
+        assert best.path == (3,)
+        # 1 reaches both customers directly.
+        assert sim.best_routes(1)["10.2.0.0/16"].path == (2,)
+
+    def test_valley_free_property(self):
+        topo, policies = build_policies(25, b"valley-seed", override_fraction=0)
+        sim = DistributedBgpSimulator(policies)
+        sim.run()
+        for asn in topo.asns:
+            for route in sim.best_routes(asn).values():
+                chain = [asn] + list(route.path)
+                for i in range(1, len(chain) - 1):
+                    node = chain[i]
+                    got_from = chain[i + 1]
+                    gave_to = chain[i - 1]
+                    ok = (
+                        topo.relationship(node, got_from) is Relationship.CUSTOMER
+                        or topo.relationship(node, gave_to) is Relationship.CUSTOMER
+                    )
+                    assert ok, f"valley at AS{node} in {chain}"
+
+    def test_full_reachability_in_connected_topology(self):
+        topo, policies = build_policies(15, b"reach-seed", override_fraction=0)
+        sim = DistributedBgpSimulator(policies)
+        sim.run()
+        n_prefixes = len(topo.all_prefixes())
+        for asn in topo.asns:
+            # every AS reaches every other prefix (hierarchy is connected)
+            assert len(sim.best_routes(asn)) == n_prefixes - len(topo.prefixes[asn])
+
+    def test_no_loops_in_paths(self):
+        _, policies = build_policies(20, b"loop-seed")
+        sim = DistributedBgpSimulator(policies)
+        sim.run()
+        for asn in policies:
+            for route in sim.best_routes(asn).values():
+                assert len(set(route.path)) == len(route.path)
+                assert asn not in route.path
+
+
+class TestControllerOracleAgreement:
+    """The paper validated the controller with GNS3; we use the
+    distributed simulator as the independent oracle."""
+
+    @pytest.mark.parametrize("n,seed", [(5, b"a"), (10, b"b"), (30, b"c"), (30, b"d")])
+    def test_same_best_routes(self, n, seed):
+        _, policies = build_policies(n, seed)
+        oracle = DistributedBgpSimulator(policies)
+        oracle.run()
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        controller.compute_routes()
+        for asn in policies:
+            assert controller.routes_for(asn) == oracle.best_routes(asn), (
+                f"disagreement at AS{asn} (n={n}, seed={seed!r})"
+            )
+
+    def test_agreement_with_pref_overrides(self):
+        _, policies = build_policies(20, b"override-seed", override_fraction=0.5)
+        oracle = DistributedBgpSimulator(policies)
+        oracle.run()
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        for asn in policies:
+            assert controller.routes_for(asn) == oracle.best_routes(asn)
+
+
+class TestControllerValidation:
+    def test_duplicate_policy_rejected(self):
+        _, policies = build_policies(5, b"dup")
+        controller = InterDomainController()
+        first = next(iter(policies.values()))
+        controller.submit_policy(first)
+        with pytest.raises(PolicyError):
+            controller.submit_policy(first)
+
+    def test_asymmetric_relationship_rejected(self):
+        controller = InterDomainController()
+        controller.submit_policy(
+            LocalPolicy(1, {2: Relationship.CUSTOMER}, ["10.1.0.0/16"])
+        )
+        controller.submit_policy(
+            LocalPolicy(2, {1: Relationship.CUSTOMER}, ["10.2.0.0/16"])
+        )
+        with pytest.raises(PolicyError, match="mismatch"):
+            controller.compute_routes()
+
+    def test_missing_reverse_edge_rejected(self):
+        controller = InterDomainController()
+        controller.submit_policy(
+            LocalPolicy(1, {2: Relationship.CUSTOMER}, ["10.1.0.0/16"])
+        )
+        controller.submit_policy(LocalPolicy(2, {}, ["10.2.0.0/16"]))
+        with pytest.raises(PolicyError, match="vice versa"):
+            controller.compute_routes()
+
+    def test_routes_for_non_participant(self):
+        controller = InterDomainController()
+        with pytest.raises(PolicyError):
+            controller.routes_for(99)
+
+    def test_stats_accumulate(self):
+        _, policies = build_policies(10, b"stats")
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        controller.compute_routes()
+        assert controller.stats.prefixes == 10
+        assert controller.stats.route_updates > 0
+        assert controller.stats.routes_stored > 0
+
+    def test_alloc_hook_called_per_stored_route(self):
+        _, policies = build_policies(8, b"alloc")
+        calls = []
+        controller = InterDomainController(alloc_hook=calls.append)
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        controller.compute_routes()
+        assert len(calls) == controller.stats.routes_stored
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(min_value=3, max_value=25), seed=st.integers(0, 10_000))
+def test_property_controller_matches_oracle(n, seed):
+    _, policies = build_policies(n, repr(seed).encode())
+    oracle = DistributedBgpSimulator(policies)
+    oracle.run()
+    controller = InterDomainController()
+    for policy in policies.values():
+        controller.submit_policy(policy)
+    for asn in policies:
+        assert controller.routes_for(asn) == oracle.best_routes(asn)

@@ -1,0 +1,117 @@
+"""Failure reconvergence: distributed BGP vs the centralized controller."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.routing.bgp import DistributedBgpSimulator
+from repro.routing.controller import InterDomainController
+from repro.routing.deployment import build_policies
+from repro.routing.policy import LocalPolicy
+from repro.routing.relationships import Relationship
+
+
+def fresh_policies(n=15, seed=b"conv"):
+    _, policies = build_policies(n, seed, override_fraction=0)
+    return policies
+
+
+def pick_failable(policies):
+    """A transit AS whose failure leaves the graph connected: pick a
+    middle-tier AS whose neighbors all have other neighbors."""
+    for asn in sorted(policies, reverse=True):
+        policy = policies[asn]
+        if not policy.neighbor_relationships:
+            continue
+        neighbors = policy.neighbor_relationships
+        if all(
+            len(policies[n].neighbor_relationships) > 1 for n in neighbors
+        ):
+            return asn
+    raise AssertionError("no failable AS in this topology")
+
+
+class TestDistributedReconvergence:
+    def test_failed_as_routes_disappear(self):
+        policies = fresh_policies()
+        sim = DistributedBgpSimulator(policies)
+        sim.run()
+        victim = pick_failable(policies)
+        victim_prefix = f"10.{victim}.0.0/16"
+        survivor = next(a for a in policies if a != victim)
+        assert victim_prefix in sim.best_routes(survivor)
+
+        sim.fail_as(victim)
+        for asn in sim._policies:
+            routes = sim.best_routes(asn)
+            assert victim_prefix not in routes
+            for route in routes.values():
+                assert victim not in route.path
+
+    def test_fail_unknown_as_raises(self):
+        sim = DistributedBgpSimulator(fresh_policies())
+        sim.run()
+        with pytest.raises(PolicyError):
+            sim.fail_as(9999)
+
+    def test_reconvergence_agrees_with_fresh_controller(self):
+        """Post-failure distributed state == controller recomputation
+        on the surviving topology (the central consistency claim)."""
+        policies = fresh_policies(n=20, seed=b"conv2")
+        sim = DistributedBgpSimulator(policies)
+        sim.run()
+        victim = pick_failable(policies)
+        sim.fail_as(victim)
+
+        controller = InterDomainController()
+        for policy in fresh_policies(n=20, seed=b"conv2").values():
+            controller.submit_policy(policy)
+        controller.remove_policy(victim)
+        controller.compute_routes()
+
+        for asn in sim._policies:
+            assert controller.routes_for(asn) == sim.best_routes(asn), asn
+
+    def test_multiple_failures(self):
+        policies = fresh_policies(n=20, seed=b"conv3")
+        sim = DistributedBgpSimulator(policies)
+        sim.run()
+        failed = []
+        for _ in range(2):
+            victim = pick_failable(
+                {a: p for a, p in sim._policies.items()}
+            )
+            sim.fail_as(victim)
+            failed.append(victim)
+        for asn in sim._policies:
+            for route in sim.best_routes(asn).values():
+                assert not set(failed) & set(route.path)
+
+
+class TestControllerRemoval:
+    def test_remove_policy_invalidates_results(self):
+        policies = fresh_policies(n=10, seed=b"rm")
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        first = controller.compute_routes()
+        victim = pick_failable(policies)
+        controller.remove_policy(victim)
+        second = controller.compute_routes()
+        assert victim not in second
+        assert second != first
+
+    def test_remove_unknown_raises(self):
+        controller = InterDomainController()
+        with pytest.raises(PolicyError):
+            controller.remove_policy(1)
+
+    def test_symmetry_preserved_after_removal(self):
+        controller = InterDomainController()
+        controller.submit_policy(
+            LocalPolicy(1, {2: Relationship.CUSTOMER}, ["10.1.0.0/16"])
+        )
+        controller.submit_policy(
+            LocalPolicy(2, {1: Relationship.PROVIDER}, ["10.2.0.0/16"])
+        )
+        controller.remove_policy(1)
+        controller.compute_routes()  # must not raise symmetry errors

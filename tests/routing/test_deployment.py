@@ -1,0 +1,109 @@
+"""Full SGX and native deployments (integration; small topologies)."""
+
+import pytest
+
+from repro.routing.bgp import DistributedBgpSimulator
+from repro.routing.deployment import run_native_routing, run_sgx_routing
+from repro.routing.verification import Predicate, PredicateKind
+
+N = 6
+SEED = b"deploy-test"
+
+
+@pytest.fixture(scope="module")
+def sgx_run():
+    return run_sgx_routing(n_ases=N, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def native_run():
+    return run_native_routing(n_ases=N, seed=SEED)
+
+
+class TestSgxDeployment:
+    def test_every_as_receives_routes(self, sgx_run):
+        assert set(sgx_run.routes) == set(sgx_run.topology.asns)
+        for asn, routes in sgx_run.routes.items():
+            assert routes, f"AS{asn} received no routes"
+
+    def test_routes_match_distributed_oracle(self, sgx_run):
+        oracle = DistributedBgpSimulator(sgx_run.policies)
+        oracle.run()
+        for asn in sgx_run.topology.asns:
+            assert sgx_run.routes[asn] == oracle.best_routes(asn)
+
+    def test_one_attestation_per_as_plus_mutual(self, sgx_run):
+        # Table 3: inter-domain routing needs one attestation per AS
+        # controller; mutual attestation doubles it.
+        assert sgx_run.attestations == 2 * N
+
+    def test_steady_state_has_sgx_costs(self, sgx_run):
+        assert sgx_run.controller_steady.sgx_instructions > 0
+        assert sgx_run.controller_steady.normal_instructions > 0
+        assert sgx_run.controller_steady.allocations > 0
+
+    def test_onetime_cost_dominated_by_dh(self, sgx_run):
+        # Attestation includes DH param generation: the one-time cost
+        # must dwarf a single modexp.
+        assert sgx_run.controller_onetime.normal_instructions > 100e6
+
+
+class TestNativeBaseline:
+    def test_native_routes_match_sgx_routes(self, sgx_run, native_run):
+        assert native_run.routes == sgx_run.routes
+
+    def test_native_has_no_sgx_instructions(self, native_run):
+        assert native_run.controller_steady.sgx_instructions == 0
+        for counter in native_run.as_steady.values():
+            assert counter.sgx_instructions == 0
+
+    def test_native_no_attestations(self, native_run):
+        assert native_run.attestations == 0
+
+
+class TestOverhead:
+    """The Table 4 shape: SGX adds meaningful but bounded overhead."""
+
+    def test_controller_overhead_positive(self, sgx_run, native_run):
+        sgx = sgx_run.controller_steady.normal_instructions
+        native = native_run.controller_steady.normal_instructions
+        assert sgx > native
+
+    def test_controller_overhead_bounded(self, sgx_run, native_run):
+        # Paper: 82% more instructions.  Accept a generous band; the
+        # calibrated bench pins it tighter at n=30.
+        sgx = sgx_run.controller_steady.normal_instructions
+        native = native_run.controller_steady.normal_instructions
+        assert sgx / native < 5.0
+
+    def test_as_local_overhead_positive(self, sgx_run, native_run):
+        sgx_avg = sum(
+            c.normal_instructions for c in sgx_run.as_steady.values()
+        ) / len(sgx_run.as_steady)
+        native_avg = sum(
+            c.normal_instructions for c in native_run.as_steady.values()
+        ) / len(native_run.as_steady)
+        assert sgx_avg > native_avg
+
+
+class TestPredicatesOverDeployment:
+    def test_predicate_flow_end_to_end(self):
+        # Find a (subject, partner, prefix) that is true by construction.
+        probe = run_native_routing(n_ases=N, seed=SEED)
+        subject = probe.topology.asns[-1]
+        route = next(iter(probe.routes[subject].values()))
+        partner = route.learned_from
+        predicate = Predicate(
+            "agreement-1",
+            PredicateKind.PREFERS_VIA,
+            subject,
+            partner,
+            route.prefix,
+        )
+        result = run_sgx_routing(
+            n_ases=N,
+            seed=SEED,
+            predicates=[(subject, predicate), (partner, predicate)],
+            queries=[(subject, "agreement-1")],
+        )
+        assert result.predicate_results[subject]["agreement-1"] is True

@@ -1,0 +1,65 @@
+"""Multi-prefix ASes: the controller and oracle agree per prefix."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import PolicyError
+from repro.routing.bgp import DistributedBgpSimulator
+from repro.routing.controller import InterDomainController
+from repro.routing.policy import policy_from_topology
+from repro.routing.topology import generate_topology
+
+
+def multiprefix_policies(n=10, k=3, seed=b"multi"):
+    topology = generate_topology(n, Rng(seed), prefixes_per_as=k)
+    return topology, {
+        asn: policy_from_topology(topology, asn) for asn in topology.asns
+    }
+
+
+class TestMultiPrefix:
+    def test_prefix_counts(self):
+        topology, _ = multiprefix_policies(n=8, k=3)
+        assert len(topology.all_prefixes()) == 24
+        for asn in topology.asns:
+            assert len(topology.prefixes[asn]) == 3
+
+    def test_controller_matches_oracle(self):
+        _, policies = multiprefix_policies(n=10, k=2)
+        oracle = DistributedBgpSimulator(policies)
+        oracle.run()
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        for asn in policies:
+            assert controller.routes_for(asn) == oracle.best_routes(asn)
+
+    def test_all_prefixes_reachable(self):
+        topology, policies = multiprefix_policies(n=8, k=2)
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        controller.compute_routes()
+        total = len(topology.all_prefixes())
+        for asn in topology.asns:
+            own = len(topology.prefixes[asn])
+            assert len(controller.routes_for(asn)) == total - own
+
+    def test_same_origin_prefixes_share_paths(self):
+        """All prefixes of one origin are topologically equivalent, so
+        each AS reaches them over the same AS path."""
+        _, policies = multiprefix_policies(n=10, k=3)
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        controller.compute_routes()
+        for asn in policies:
+            by_origin = {}
+            for route in controller.routes_for(asn).values():
+                by_origin.setdefault(route.origin, set()).add(route.path)
+            for origin, paths in by_origin.items():
+                assert len(paths) == 1, (asn, origin)
+
+    def test_invalid_prefix_count_rejected(self):
+        with pytest.raises(PolicyError):
+            generate_topology(5, Rng(b"x"), prefixes_per_as=0)

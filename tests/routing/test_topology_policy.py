@@ -1,0 +1,187 @@
+"""Relationships, topology generation and policy encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import Rng
+from repro.errors import PolicyError
+from repro.routing.policy import LocalPolicy, policy_from_topology
+from repro.routing.relationships import (
+    Relationship,
+    default_local_pref,
+    may_export,
+)
+from repro.routing.topology import AsTopology, generate_topology
+
+
+class TestRelationships:
+    def test_inverse(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+    def test_default_pref_ordering(self):
+        assert (
+            default_local_pref(Relationship.CUSTOMER)
+            > default_local_pref(Relationship.PEER)
+            > default_local_pref(Relationship.PROVIDER)
+        )
+
+    def test_customer_routes_export_everywhere(self):
+        for to in Relationship:
+            assert may_export(Relationship.CUSTOMER, to)
+
+    def test_peer_and_provider_routes_export_only_to_customers(self):
+        for learned in (Relationship.PEER, Relationship.PROVIDER):
+            assert may_export(learned, Relationship.CUSTOMER)
+            assert not may_export(learned, Relationship.PEER)
+            assert not may_export(learned, Relationship.PROVIDER)
+
+
+class TestTopologyStructure:
+    def test_manual_build(self):
+        topo = AsTopology.empty()
+        topo.add_as(1)
+        topo.add_as(2)
+        topo.add_link(1, 2, Relationship.CUSTOMER)  # 2 is 1's customer
+        assert topo.relationship(1, 2) is Relationship.CUSTOMER
+        assert topo.relationship(2, 1) is Relationship.PROVIDER
+        assert topo.customers(1) == [2]
+        assert topo.providers(2) == [1]
+
+    def test_duplicate_as_rejected(self):
+        topo = AsTopology.empty()
+        topo.add_as(1)
+        with pytest.raises(PolicyError):
+            topo.add_as(1)
+
+    def test_self_link_rejected(self):
+        topo = AsTopology.empty()
+        topo.add_as(1)
+        with pytest.raises(PolicyError):
+            topo.add_link(1, 1, Relationship.PEER)
+
+    def test_duplicate_link_rejected(self):
+        topo = AsTopology.empty()
+        topo.add_as(1)
+        topo.add_as(2)
+        topo.add_link(1, 2, Relationship.PEER)
+        with pytest.raises(PolicyError):
+            topo.add_link(2, 1, Relationship.PEER)
+
+    def test_non_neighbor_relationship_raises(self):
+        topo = AsTopology.empty()
+        topo.add_as(1)
+        topo.add_as(2)
+        with pytest.raises(PolicyError):
+            topo.relationship(1, 2)
+
+    def test_default_prefix_assigned(self):
+        topo = AsTopology.empty()
+        topo.add_as(7)
+        assert topo.prefixes[7] == ["10.7.0.0/16"]
+
+    def test_all_prefixes_deterministic_order(self):
+        topo = AsTopology.empty()
+        for asn in (3, 1, 2):
+            topo.add_as(asn)
+        assert [p[1] for p in topo.all_prefixes()] == [1, 2, 3]
+
+
+class TestGeneratedTopology:
+    @pytest.mark.parametrize("n", [2, 5, 10, 30, 50])
+    def test_generation_properties(self, n):
+        topo = generate_topology(n, Rng(b"gen", f"n{n}"))
+        assert len(topo.asns) == n
+        # Every non-tier1 AS has at least one provider (connectivity).
+        n_tier1 = max(1, n // 10)
+        for asn in topo.asns[n_tier1:]:
+            assert topo.providers(asn), f"AS{asn} has no provider"
+        # Relationship symmetry.
+        for a in topo.asns:
+            for b, rel in topo.rel[a].items():
+                assert topo.rel[b][a] is rel.inverse()
+
+    def test_customer_provider_graph_is_acyclic(self):
+        topo = generate_topology(40, Rng(b"acyclic"))
+        # DFS over provider edges must never revisit the stack.
+        state = {}
+
+        def dfs(asn):
+            state[asn] = "open"
+            for provider in topo.providers(asn):
+                if state.get(provider) == "open":
+                    raise AssertionError("customer-provider cycle")
+                if provider not in state:
+                    dfs(provider)
+            state[asn] = "done"
+
+        for asn in topo.asns:
+            if asn not in state:
+                dfs(asn)
+
+    def test_deterministic_for_seed(self):
+        a = generate_topology(20, Rng(b"det"))
+        b = generate_topology(20, Rng(b"det"))
+        assert a.rel == b.rel
+
+    def test_too_small_rejected(self):
+        with pytest.raises(PolicyError):
+            generate_topology(1, Rng(b"x"))
+
+
+class TestLocalPolicy:
+    def make_policy(self):
+        return LocalPolicy(
+            asn=10,
+            neighbor_relationships={
+                20: Relationship.PROVIDER,
+                30: Relationship.PEER,
+                40: Relationship.CUSTOMER,
+            },
+            prefixes=["10.10.0.0/16"],
+            local_pref_overrides={30: 150},
+        )
+
+    def test_local_pref_with_override(self):
+        policy = self.make_policy()
+        assert policy.local_pref(30) == 150
+        assert policy.local_pref(40) == 100
+        assert policy.local_pref(20) == 80
+
+    def test_unknown_neighbor_raises(self):
+        with pytest.raises(PolicyError):
+            self.make_policy().local_pref(99)
+
+    def test_validate_rejects_foreign_override(self):
+        policy = self.make_policy()
+        policy.local_pref_overrides[99] = 120
+        with pytest.raises(PolicyError):
+            policy.validate()
+
+    def test_validate_rejects_out_of_range_pref(self):
+        policy = self.make_policy()
+        policy.local_pref_overrides[30] = 10_000
+        with pytest.raises(PolicyError):
+            policy.validate()
+
+    def test_encode_decode_roundtrip(self):
+        policy = self.make_policy()
+        decoded = LocalPolicy.decode(policy.encode())
+        assert decoded == policy
+
+    def test_policy_from_topology(self):
+        topo = generate_topology(10, Rng(b"pft"))
+        policy = policy_from_topology(topo, topo.asns[0])
+        assert policy.asn == topo.asns[0]
+        assert policy.neighbor_relationships == topo.rel[topo.asns[0]]
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=40), seed=st.integers(0, 1000))
+def test_property_generated_policies_roundtrip(n, seed):
+    topo = generate_topology(n, Rng(repr(seed).encode()))
+    for asn in topo.asns:
+        policy = policy_from_topology(topo, asn)
+        assert LocalPolicy.decode(policy.encode()) == policy

@@ -1,0 +1,184 @@
+"""Policy-verification predicates (paper Section 3.1)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.routing.controller import InterDomainController
+from repro.routing.deployment import build_policies
+from repro.routing.policy import LocalPolicy
+from repro.routing.relationships import Relationship
+from repro.routing.verification import Predicate, PredicateEngine, PredicateKind
+
+
+def diamond_controller():
+    """AS1 originates; AS2/AS3 are AS1's providers; AS4 tops both.
+
+    AS1 multihomes to 2 and 3 with an override preferring 2; so AS4
+    should (via export rules) reach AS1 through its customers.
+    """
+    policies = {
+        1: LocalPolicy(
+            1,
+            {2: Relationship.PROVIDER, 3: Relationship.PROVIDER},
+            ["10.1.0.0/16"],
+            local_pref_overrides={2: 85},
+        ),
+        2: LocalPolicy(
+            2, {1: Relationship.CUSTOMER, 4: Relationship.PROVIDER}, ["10.2.0.0/16"]
+        ),
+        3: LocalPolicy(
+            3, {1: Relationship.CUSTOMER, 4: Relationship.PROVIDER}, ["10.3.0.0/16"]
+        ),
+        4: LocalPolicy(
+            4, {2: Relationship.CUSTOMER, 3: Relationship.CUSTOMER}, ["10.4.0.0/16"]
+        ),
+    }
+    controller = InterDomainController()
+    for policy in policies.values():
+        controller.submit_policy(policy)
+    controller.compute_routes()
+    return controller
+
+
+@pytest.fixture()
+def engine():
+    return PredicateEngine(diamond_controller())
+
+
+def agreed(engine, predicate):
+    engine.register(predicate, predicate.subject)
+    engine.register(predicate, predicate.partner)
+    return predicate
+
+
+class TestConsent:
+    def test_single_party_registration_not_agreed(self, engine):
+        p = Predicate("p1", PredicateKind.PREFERS_VIA, 1, 2, "10.4.0.0/16")
+        engine.register(p, 1)
+        assert not engine.is_agreed("p1")
+        with pytest.raises(PolicyError, match="consent"):
+            engine.evaluate("p1", 1)
+
+    def test_both_parties_agree(self, engine):
+        p = agreed(
+            engine, Predicate("p2", PredicateKind.PREFERS_VIA, 1, 2, "10.4.0.0/16")
+        )
+        assert engine.is_agreed("p2")
+        engine.evaluate("p2", 1)
+        engine.evaluate("p2", 2)
+
+    def test_third_party_cannot_register(self, engine):
+        p = Predicate("p3", PredicateKind.PREFERS_VIA, 1, 2, "10.4.0.0/16")
+        with pytest.raises(PolicyError, match="not a party"):
+            engine.register(p, 3)
+
+    def test_third_party_cannot_query(self, engine):
+        p = agreed(
+            engine, Predicate("p4", PredicateKind.PREFERS_VIA, 1, 2, "10.4.0.0/16")
+        )
+        with pytest.raises(PolicyError, match="may not query"):
+            engine.evaluate("p4", 3)
+
+    def test_conflicting_registration_rejected(self, engine):
+        engine.register(
+            Predicate("p5", PredicateKind.PREFERS_VIA, 1, 2, "10.4.0.0/16"), 1
+        )
+        with pytest.raises(PolicyError, match="conflicting"):
+            engine.register(
+                Predicate("p5", PredicateKind.PREFERS_VIA, 1, 2, "10.3.0.0/16"), 2
+            )
+
+    def test_unknown_predicate(self, engine):
+        with pytest.raises(PolicyError, match="unknown"):
+            engine.evaluate("ghost", 1)
+
+
+class TestEvaluation:
+    def test_prefers_via_true(self, engine):
+        # AS1 overrode pref so AS3 (default 80) beats AS2 (85? no --
+        # override set 2 -> 85... default provider is 80, so 2 wins).
+        p = agreed(
+            engine, Predicate("e1", PredicateKind.PREFERS_VIA, 1, 2, "10.4.0.0/16")
+        )
+        assert engine.evaluate("e1", 2) is True
+
+    def test_prefers_via_false(self, engine):
+        p = agreed(
+            engine, Predicate("e2", PredicateKind.PREFERS_VIA, 1, 3, "10.4.0.0/16")
+        )
+        assert engine.evaluate("e2", 3) is False
+
+    def test_exports_to(self, engine):
+        # Does AS2 export AS1's prefix to AS4?  AS1 is 2's customer ->
+        # exported to everyone, and AS4 picks a customer route.
+        p = agreed(
+            engine, Predicate("e3", PredicateKind.EXPORTS_TO, 2, 4, "10.1.0.0/16")
+        )
+        assert engine.evaluate("e3", 4) is True
+
+    def test_path_length_bound(self, engine):
+        p = agreed(
+            engine,
+            Predicate(
+                "e4", PredicateKind.PATH_LENGTH_AT_MOST, 4, 1, "10.1.0.0/16", bound=2
+            ),
+        )
+        assert engine.evaluate("e4", 4) is True
+        q = agreed(
+            engine,
+            Predicate(
+                "e5", PredicateKind.PATH_LENGTH_AT_MOST, 4, 1, "10.1.0.0/16", bound=1
+            ),
+        )
+        assert engine.evaluate("e5", 1) is False
+
+    def test_uses_customer_route(self, engine):
+        p = agreed(
+            engine,
+            Predicate(
+                "e6", PredicateKind.USES_CUSTOMER_ROUTE, 4, 1, "10.1.0.0/16"
+            ),
+        )
+        assert engine.evaluate("e6", 4) is True
+        q = agreed(
+            engine,
+            Predicate(
+                "e7", PredicateKind.USES_CUSTOMER_ROUTE, 1, 4, "10.4.0.0/16"
+            ),
+        )
+        # AS1 reaches AS4 via a provider, not a customer.
+        assert engine.evaluate("e7", 1) is False
+
+    def test_missing_route_is_false(self, engine):
+        p = agreed(
+            engine,
+            Predicate("e8", PredicateKind.PREFERS_VIA, 1, 2, "99.99.0.0/16"),
+        )
+        assert engine.evaluate("e8", 1) is False
+
+    def test_encode_decode(self):
+        p = Predicate("x", PredicateKind.EXPORTS_TO, 7, 9, "10.7.0.0/16", bound=3)
+        assert Predicate.decode(p.encode()) == p
+
+
+class TestOnGeneratedTopology:
+    def test_predicates_on_random_topology(self):
+        _, policies = build_policies(15, b"verif-seed")
+        controller = InterDomainController()
+        for policy in policies.values():
+            controller.submit_policy(policy)
+        routes = controller.compute_routes()
+        engine = PredicateEngine(controller)
+
+        # For every AS with a route, PREFERS_VIA its actual first hop
+        # must be True, and via any other neighbor must be False.
+        checked = 0
+        for asn, by_prefix in routes.items():
+            for prefix, route in list(by_prefix.items())[:3]:
+                first_hop = route.learned_from
+                p = Predicate(f"t{checked}", PredicateKind.PREFERS_VIA, asn, first_hop, prefix)
+                engine.register(p, asn)
+                engine.register(p, first_hop)
+                assert engine.evaluate(f"t{checked}", asn) is True
+                checked += 1
+        assert checked > 10

@@ -1,0 +1,120 @@
+"""EPC / EPCM protection semantics."""
+
+import pytest
+
+from repro.errors import EnclaveAccessError, SgxError
+from repro.sgx.epc import PAGE_SIZE, EnclavePageCache, PageType
+
+MEE_KEY = b"\x11" * 32
+
+
+@pytest.fixture()
+def epc():
+    return EnclavePageCache(mee_key=MEE_KEY, frames=8)
+
+
+class TestAllocation:
+    def test_allocate_assigns_owner(self, epc):
+        page = epc.allocate(enclave_id=1)
+        assert epc.entry(page.index).enclave_id == 1
+        assert epc.entry(page.index).page_type is PageType.REG
+
+    def test_free_frames_decrease(self, epc):
+        assert epc.free_frames == 8
+        epc.allocate(1)
+        assert epc.free_frames == 7
+
+    def test_exhaustion_raises(self, epc):
+        for _ in range(8):
+            epc.allocate(1)
+        with pytest.raises(SgxError, match="exhausted"):
+            epc.allocate(1)
+
+    def test_free_enclave_pages(self, epc):
+        epc.allocate(1)
+        epc.allocate(1)
+        epc.allocate(2)
+        assert epc.free_enclave_pages(1) == 2
+        assert epc.free_frames == 7
+
+    def test_missing_entry_raises(self, epc):
+        with pytest.raises(SgxError):
+            epc.entry(99)
+
+
+class TestAccessControl:
+    def test_owner_can_read_write(self, epc):
+        page = epc.allocate(1)
+        epc.write(1, page.index, b"secret data")
+        assert epc.read(1, page.index, 0, 11) == b"secret data"
+
+    def test_other_enclave_denied(self, epc):
+        page = epc.allocate(1)
+        with pytest.raises(EnclaveAccessError):
+            epc.read(2, page.index)
+        with pytest.raises(EnclaveAccessError):
+            epc.write(2, page.index, b"x")
+
+    def test_write_to_readonly_page_denied(self, epc):
+        page = epc.allocate(1)
+        epc.entry(page.index).writable = False
+        with pytest.raises(EnclaveAccessError):
+            epc.write(1, page.index, b"x")
+
+    def test_out_of_bounds_access(self, epc):
+        page = epc.allocate(1)
+        with pytest.raises(SgxError):
+            epc.read(1, page.index, PAGE_SIZE - 1, 2)
+        with pytest.raises(SgxError):
+            epc.write(1, page.index, b"xx", PAGE_SIZE - 1)
+
+    def test_pending_page_requires_eaccept(self, epc):
+        page = epc.allocate(1, pending=True)
+        with pytest.raises(EnclaveAccessError, match="pending"):
+            epc.read(1, page.index)
+        epc.accept_pending(1, page.index)
+        epc.read(1, page.index)  # now fine
+
+    def test_eaccept_by_wrong_enclave_denied(self, epc):
+        page = epc.allocate(1, pending=True)
+        with pytest.raises(EnclaveAccessError):
+            epc.accept_pending(2, page.index)
+
+    def test_eaccept_non_pending_raises(self, epc):
+        page = epc.allocate(1)
+        with pytest.raises(SgxError):
+            epc.accept_pending(1, page.index)
+
+
+class TestMemoryEncryption:
+    def test_untrusted_view_is_ciphertext(self, epc):
+        page = epc.allocate(1)
+        secret = b"the enclave's private key material"
+        epc.write(1, page.index, secret)
+        image = epc.read_as_untrusted(page.index)
+        assert secret not in image
+
+    def test_untrusted_view_differs_across_versions(self, epc):
+        page = epc.allocate(1)
+        epc.write(1, page.index, b"v1")
+        first = epc.read_as_untrusted(page.index)
+        epc.write(1, page.index, b"v2")
+        second = epc.read_as_untrusted(page.index)
+        assert first != second
+
+    def test_untrusted_read_of_missing_page(self, epc):
+        with pytest.raises(SgxError):
+            epc.read_as_untrusted(5)
+
+    def test_tampering_faults_next_enclave_access(self, epc):
+        page = epc.allocate(1)
+        epc.write(1, page.index, b"data")
+        epc.corrupt_page(page.index)
+        with pytest.raises(EnclaveAccessError, match="integrity"):
+            epc.read(1, page.index)
+        with pytest.raises(EnclaveAccessError, match="integrity"):
+            epc.write(1, page.index, b"more")
+
+    def test_corrupt_missing_page(self, epc):
+        with pytest.raises(SgxError):
+            epc.corrupt_page(42)

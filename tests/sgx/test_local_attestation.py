@@ -1,0 +1,80 @@
+"""Mutual intra-attestation (paper Section 2.2, EREPORT/EGETKEY)."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import AttestationError
+from repro.sgx.local_attestation import (
+    LocalAttestationPartyProgram,
+    run_local_attestation,
+)
+from repro.sgx.platform import SgxPlatform
+
+
+class ServiceProgram(LocalAttestationPartyProgram):
+    def serve(self):
+        return "service"
+
+
+class KeyStoreProgram(LocalAttestationPartyProgram):
+    def lookup(self):
+        return "keystore"
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform("la-host", rng=Rng(b"local-attest"))
+
+
+@pytest.fixture(scope="module")
+def author():
+    return generate_rsa_keypair(512, Rng(b"la-author"))
+
+
+class TestLocalAttestation:
+    def test_mutual_attestation_on_same_platform(self, platform, author):
+        a = platform.load_enclave(ServiceProgram(), author_key=author, name="svc")
+        b = platform.load_enclave(KeyStoreProgram(), author_key=author, name="ks")
+        seen_b, seen_a = run_local_attestation(a, b, b"\x11" * 32)
+        assert seen_b.mrenclave == b.identity.mrenclave
+        assert seen_a.mrenclave == a.identity.mrenclave
+        assert a.ecall("la_peer").mrenclave == b.identity.mrenclave
+
+    def test_cross_platform_report_rejected(self, author):
+        """Reports from a different machine fail the MAC check: the
+        report key derives from a different device secret."""
+        host1 = SgxPlatform("host1", rng=Rng(b"h1"))
+        host2 = SgxPlatform("host2", rng=Rng(b"h2"))
+        a = host1.load_enclave(ServiceProgram(), author_key=author, name="svc")
+        b = host2.load_enclave(KeyStoreProgram(), author_key=author, name="ks")
+        nonce = b"\x22" * 32
+        report_a = a.ecall("la_report", b.identity.mrenclave, nonce)
+        with pytest.raises(AttestationError, match="MAC"):
+            b.ecall("la_verify", report_a, nonce)
+
+    def test_report_for_wrong_target_rejected(self, platform, author):
+        """A REPORT destined for enclave C cannot be verified by B."""
+        a = platform.load_enclave(ServiceProgram(), author_key=author, name="svc")
+        b = platform.load_enclave(KeyStoreProgram(), author_key=author, name="ks")
+        nonce = b"\x33" * 32
+        report_for_other = a.ecall("la_report", b"\x00" * 32, nonce)
+        with pytest.raises(AttestationError, match="MAC"):
+            b.ecall("la_verify", report_for_other, nonce)
+
+    def test_nonce_binding(self, platform, author):
+        a = platform.load_enclave(ServiceProgram(), author_key=author, name="svc")
+        b = platform.load_enclave(KeyStoreProgram(), author_key=author, name="ks")
+        report = a.ecall("la_report", b.identity.mrenclave, b"\x44" * 32)
+        with pytest.raises(AttestationError, match="bind"):
+            b.ecall("la_verify", report, b"\x55" * 32)
+
+    def test_charges_sgx_instructions(self, platform, author):
+        a = platform.load_enclave(ServiceProgram(), author_key=author, name="svc")
+        b = platform.load_enclave(KeyStoreProgram(), author_key=author, name="ks")
+        before = platform.accountant.snapshot()
+        run_local_attestation(a, b, b"\x66" * 32)
+        delta = platform.accountant.delta(before)
+        # Each side: EREPORT + EGETKEY + ecall entries/exits.
+        assert delta["enclave:svc"].sgx_instructions >= 6
+        assert delta["enclave:ks"].sgx_instructions >= 6

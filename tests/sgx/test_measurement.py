@@ -1,0 +1,128 @@
+"""Measurement, SIGSTRUCT and software-identity tests."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import MeasurementError
+from repro.sgx.measurement import EnclaveIdentity, MeasurementLog, program_code_bytes
+from repro.sgx.runtime import EnclaveProgram
+from repro.sgx.sigstruct import SigStruct, sign_enclave
+
+
+class ProgramA(EnclaveProgram):
+    def greet(self):
+        return "hello"
+
+
+class ProgramB(EnclaveProgram):
+    def greet(self):
+        return "tampered"
+
+
+class PinnedProgram(EnclaveProgram):
+    CODE_BYTES = b"pinned-code-v1"
+
+
+class TestMeasurementLog:
+    def test_same_operations_same_measurement(self):
+        def build():
+            log = MeasurementLog()
+            log.ecreate(1, 8192)
+            log.eadd(0, "reg", 7)
+            log.eextend(0, b"code page")
+            return log.finalize()
+
+        assert build() == build()
+
+    def test_different_content_different_measurement(self):
+        a = MeasurementLog()
+        a.ecreate(1, 8192)
+        a.eextend(0, b"original")
+        b = MeasurementLog()
+        b.ecreate(1, 8192)
+        b.eextend(0, b"modified")
+        assert a.finalize() != b.finalize()
+
+    def test_order_matters(self):
+        a = MeasurementLog()
+        a.eextend(0, b"x")
+        a.eextend(4096, b"y")
+        b = MeasurementLog()
+        b.eextend(4096, b"y")
+        b.eextend(0, b"x")
+        assert a.finalize() != b.finalize()
+
+    def test_extend_after_finalize_raises(self):
+        log = MeasurementLog()
+        log.finalize()
+        with pytest.raises(RuntimeError):
+            log.eextend(0, b"late")
+
+    def test_finalize_is_idempotent(self):
+        log = MeasurementLog()
+        log.eextend(0, b"x")
+        assert log.finalize() == log.finalize()
+
+
+class TestProgramCodeBytes:
+    def test_same_class_stable(self):
+        assert program_code_bytes(ProgramA) == program_code_bytes(ProgramA)
+
+    def test_modified_program_differs(self):
+        assert program_code_bytes(ProgramA) != program_code_bytes(ProgramB)
+
+    def test_explicit_code_bytes_override(self):
+        assert program_code_bytes(PinnedProgram) == b"pinned-code-v1"
+
+    def test_version_tag_changes_identity(self):
+        assert program_code_bytes(ProgramA, "1") != program_code_bytes(ProgramA, "2")
+
+
+class TestEnclaveIdentity:
+    def test_encode_decode_roundtrip(self):
+        identity = EnclaveIdentity(
+            mrenclave=b"\x01" * 32, mrsigner=b"\x02" * 32, isv_prod_id=7, isv_svn=3
+        )
+        assert EnclaveIdentity.decode(identity.encode()) == identity
+
+    def test_encoding_width(self):
+        identity = EnclaveIdentity(mrenclave=b"\x00" * 32, mrsigner=b"\x00" * 32)
+        assert len(identity.encode()) == 68
+
+
+class TestSigStruct:
+    @pytest.fixture(scope="class")
+    def author(self):
+        return generate_rsa_keypair(512, Rng(b"sigstruct-author"))
+
+    def test_sign_and_verify(self, author):
+        sig = sign_enclave(author, b"\xaa" * 32, isv_prod_id=1, isv_svn=2)
+        sig.verify()
+        assert sig.mrsigner == author.public_key().fingerprint()
+
+    def test_tampered_hash_rejected(self, author):
+        sig = sign_enclave(author, b"\xaa" * 32)
+        import dataclasses
+
+        forged = dataclasses.replace(sig, enclave_hash=b"\xbb" * 32)
+        with pytest.raises(MeasurementError):
+            forged.verify()
+
+    def test_tampered_svn_rejected(self, author):
+        sig = sign_enclave(author, b"\xaa" * 32, isv_svn=1)
+        import dataclasses
+
+        forged = dataclasses.replace(sig, isv_svn=99)
+        with pytest.raises(MeasurementError):
+            forged.verify()
+
+    def test_encode_decode_roundtrip(self, author):
+        sig = sign_enclave(author, b"\xcc" * 32, isv_prod_id=5, isv_svn=9)
+        decoded = SigStruct.decode(sig.encode())
+        assert decoded == sig
+        decoded.verify()
+
+    def test_bad_hash_length_rejected(self, author):
+        with pytest.raises(MeasurementError):
+            sign_enclave(author, b"short")

@@ -1,0 +1,194 @@
+"""EPC paging (EWB/ELDB) and asynchronous-exit modeling."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import EnclaveAccessError, SgxError
+from repro.sgx import EnclaveProgram, SgxPlatform
+from repro.sgx.epc import PAGE_SIZE, EnclavePageCache
+
+
+MEE = b"\x42" * 32
+
+
+class TestPagingMechanics:
+    def test_allocation_beyond_frames_evicts_lru(self):
+        epc = EnclavePageCache(MEE, frames=4, allow_paging=True)
+        pages = [epc.allocate(1) for _ in range(4)]
+        epc.write(1, pages[0].index, b"page zero data")
+        for later in pages[1:]:
+            epc.read(1, later.index)  # page 0 becomes least recent
+        epc.allocate(1)
+        assert epc.evictions == 1
+        assert not pages[0].resident
+        assert epc.resident_count == 4
+        # The evicted page transparently reloads on access...
+        assert epc.read(1, pages[0].index, 0, 14) == b"page zero data"
+        assert epc.reloads == 1
+
+    def test_lru_order_respected(self):
+        epc = EnclavePageCache(MEE, frames=3, allow_paging=True)
+        a = epc.allocate(1)
+        b = epc.allocate(1)
+        c = epc.allocate(1)
+        epc.read(1, a.index)          # a becomes most recent
+        epc.allocate(1)               # must evict b (LRU)
+        assert a.resident
+        assert not b.resident
+
+    def test_secs_tcs_never_evicted(self):
+        from repro.sgx.epc import PageType
+
+        epc = EnclavePageCache(MEE, frames=3, allow_paging=True)
+        epc.allocate(1, PageType.SECS)
+        epc.allocate(1, PageType.TCS)
+        reg = epc.allocate(1)
+        epc.allocate(1)  # only the REG page is evictable
+        assert not reg.resident
+
+    def test_without_paging_exhaustion_still_raises(self):
+        epc = EnclavePageCache(MEE, frames=2, allow_paging=False)
+        epc.allocate(1)
+        epc.allocate(1)
+        with pytest.raises(SgxError, match="exhausted"):
+            epc.allocate(1)
+
+    def test_evicted_page_tamper_detected_on_reload(self):
+        epc = EnclavePageCache(MEE, frames=2, allow_paging=True)
+        victim = epc.allocate(1)
+        epc.write(1, victim.index, b"secret state")
+        epc.allocate(1)
+        epc.allocate(1)  # victim evicted to main memory
+        assert not victim.resident
+        epc.corrupt_swapped(victim.index)
+        with pytest.raises(EnclaveAccessError, match="integrity"):
+            epc.read(1, victim.index)
+
+    def test_swap_roundtrip_preserves_content(self):
+        epc = EnclavePageCache(MEE, frames=2, allow_paging=True)
+        page = epc.allocate(1)
+        payload = bytes(range(256)) * 16  # full page
+        epc.write(1, page.index, payload)
+        epc.allocate(1)
+        epc.allocate(1)  # evict
+        assert epc.read(1, page.index, 0, PAGE_SIZE) == payload
+
+    def test_paging_charges_costs(self):
+        from repro.cost import CostAccountant
+        from repro.cost import context as cost_context
+
+        acct = CostAccountant()
+        with cost_context.use_accountant(acct):
+            epc = EnclavePageCache(MEE, frames=2, allow_paging=True)
+            a = epc.allocate(1)
+            epc.allocate(1)
+            epc.allocate(1)  # evict a
+            epc.read(1, a.index)  # reload a (evicting another)
+        total = acct.total().normal_instructions
+        from repro.cost import DEFAULT_MODEL
+
+        assert total >= DEFAULT_MODEL.epc_evict_normal + DEFAULT_MODEL.epc_load_normal
+
+
+class ScanProgram(EnclaveProgram):
+    """Touches heap pages round-robin — the paging microbenchmark."""
+
+    def prepare(self, n_pages: int) -> int:
+        self.ctx.alloc(n_pages * PAGE_SIZE)
+        return self.ctx.heap_page_count
+
+    def scan(self, rounds: int) -> int:
+        touched = 0
+        for _ in range(rounds):
+            for page in range(self.ctx.heap_page_count):
+                self.ctx.write_heap(page, b"\xab" * 32, offset=0)
+                assert self.ctx.read_heap(page, 0, 32) == b"\xab" * 32
+                touched += 1
+        return touched
+
+    def touch(self, page: int) -> bytes:
+        return self.ctx.read_heap(page, 0, 8)
+
+
+class TestEnclaveHeapPaging:
+    def make(self, frames):
+        platform = SgxPlatform(
+            f"paging-{frames}",
+            rng=Rng(b"paging", str(frames)),
+            epc_frames=frames,
+            epc_paging=True,
+        )
+        author = generate_rsa_keypair(512, Rng(b"paging-author"))
+        return platform, platform.load_enclave(ScanProgram(), author_key=author)
+
+    def test_working_set_within_epc_no_thrash(self):
+        platform, enclave = self.make(frames=64)
+        enclave.ecall("prepare", 8)
+        platform.epc.evictions = 0
+        enclave.ecall("scan", 3)
+        assert platform.epc.evictions == 0
+
+    def test_working_set_beyond_epc_thrashes(self):
+        platform, enclave = self.make(frames=12)
+        pages = enclave.ecall("prepare", 16)  # > resident capacity
+        assert pages == 16  # the initial page plus 15 grown
+        before = platform.epc.evictions
+        enclave.ecall("scan", 2)
+        assert platform.epc.evictions > before
+        assert platform.epc.reloads > 0
+
+    def test_heap_page_bounds_checked(self):
+        _, enclave = self.make(frames=64)
+        enclave.ecall("prepare", 2)
+        with pytest.raises(SgxError, match="out of range"):
+            enclave.ecall("touch", 99)
+        with pytest.raises(SgxError, match="negative"):
+            enclave.ecall("prepare", -1)
+
+
+class BusyProgram(EnclaveProgram):
+    def burn(self, units: int) -> None:
+        from repro.cost import context as cost_context
+
+        cost_context.charge_normal(units)
+
+
+class TestAsyncExits:
+    def make(self, rate):
+        platform = SgxPlatform(
+            f"aex-{rate}", rng=Rng(b"aex", str(rate)), interrupt_rate=rate
+        )
+        author = generate_rsa_keypair(512, Rng(b"aex-author"))
+        return platform, platform.load_enclave(BusyProgram(), author_key=author)
+
+    def test_quiescent_platform_has_no_aex(self):
+        platform, enclave = self.make(0.0)
+        before = platform.accountant.snapshot()
+        enclave.ecall("burn", 1_000_000)
+        delta = platform.accountant.delta(before)[enclave.domain]
+        assert delta.sgx_instructions == 2  # just EENTER/EEXIT
+
+    def test_interrupts_charge_aex_pairs(self):
+        rate = 1e-4
+        platform, enclave = self.make(rate)
+        before = platform.accountant.snapshot()
+        enclave.ecall("burn", 1_000_000)
+        delta = platform.accountant.delta(before)[enclave.domain]
+        # ~100 AEX events -> ~200 extra SGX(U) instructions.
+        assert 150 < delta.sgx_instructions - 2 < 250
+        assert delta.enclave_crossings > 50
+
+    def test_aex_overhead_scales_with_rate(self):
+        costs = {}
+        for rate in (0.0, 1e-5, 1e-4):
+            platform, enclave = self.make(rate)
+            before = platform.accountant.snapshot()
+            enclave.ecall("burn", 2_000_000)
+            delta = platform.accountant.delta(before)[enclave.domain]
+            from repro.cost import DEFAULT_MODEL
+
+            costs[rate] = DEFAULT_MODEL.cycles(
+                delta.sgx_instructions, delta.normal_instructions
+            )
+        assert costs[0.0] < costs[1e-5] < costs[1e-4]

@@ -1,0 +1,256 @@
+"""Platform + enclave lifecycle, isolation boundary, sealing, costs."""
+
+import pytest
+
+from repro.cost import UNTRUSTED
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import (
+    EnclaveAccessError,
+    MeasurementError,
+    SealingError,
+    SgxError,
+)
+from repro.sgx.keys import SealPolicy
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.quoting import AttestationAuthority
+from repro.sgx.runtime import EnclaveProgram
+from repro.sgx.sigstruct import sign_enclave
+
+
+class CounterProgram(EnclaveProgram):
+    """Keeps a private counter; exposes increment/read ecalls."""
+
+    def on_load(self, ctx):
+        super().on_load(ctx)
+        self._count = 0
+        self._secret = b"in-enclave secret"
+
+    def increment(self, by=1):
+        self._count += by
+        return self._count
+
+    def read(self):
+        return self._count
+
+    def seal_secret(self, policy=SealPolicy.MRENCLAVE):
+        return self.ctx.seal(self._secret, policy)
+
+    def unseal_blob(self, blob):
+        return self.ctx.unseal(blob)
+
+    def allocate(self, n):
+        return self.ctx.alloc(n)
+
+    def _hidden(self):
+        return "not callable from outside"
+
+
+class OtherProgram(EnclaveProgram):
+    def unseal_blob(self, blob):
+        return self.ctx.unseal(blob)
+
+    def seal_secret(self, policy=SealPolicy.MRSIGNER):
+        return self.ctx.seal(b"other enclave data", policy)
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return AttestationAuthority(Rng(b"platform-tests"))
+
+
+@pytest.fixture()
+def platform(authority):
+    return SgxPlatform("host-a", authority, rng=Rng(b"host-a"))
+
+
+@pytest.fixture(scope="module")
+def author_key():
+    return generate_rsa_keypair(512, Rng(b"app-author"))
+
+
+class TestLifecycle:
+    def test_load_and_ecall(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        assert enclave.ecall("increment") == 1
+        assert enclave.ecall("increment", by=5) == 6
+        assert enclave.ecall("read") == 6
+
+    def test_quoting_enclave_auto_loaded(self, platform):
+        assert platform.quoting_enclave is not None
+        assert platform.quoting_enclave.name == "quoting"
+
+    def test_duplicate_name_rejected(self, platform, author_key):
+        platform.load_enclave(CounterProgram(), author_key=author_key, name="x")
+        with pytest.raises(SgxError, match="already in use"):
+            platform.load_enclave(CounterProgram(), author_key=author_key, name="x")
+
+    def test_needs_exactly_one_signing_input(self, platform, author_key):
+        with pytest.raises(SgxError):
+            platform.load_enclave(CounterProgram())
+        sig = sign_enclave(author_key, b"\x00" * 32)
+        with pytest.raises(SgxError):
+            platform.load_enclave(
+                CounterProgram(), author_key=author_key, sigstruct=sig
+            )
+
+    def test_einit_rejects_wrong_sigstruct(self, platform, author_key):
+        # A SIGSTRUCT authored for different code must not launch this
+        # program: the measured MRENCLAVE differs.
+        sig_for_other = sign_enclave(author_key, b"\x42" * 32)
+        with pytest.raises(MeasurementError, match="EINIT rejected"):
+            platform.load_enclave(CounterProgram(), sigstruct=sig_for_other)
+
+    def test_sigstruct_for_exact_code_launches(self, platform, author_key):
+        # Author measures the code out-of-band, signs it, ships the
+        # SIGSTRUCT; any platform can then launch it.
+        probe = SgxPlatform("probe", rng=Rng(b"probe"))
+        enclave = probe.load_enclave(CounterProgram(), author_key=author_key)
+        sig = sign_enclave(
+            author_key,
+            enclave.identity.mrenclave,
+            isv_prod_id=CounterProgram.ISV_PROD_ID,
+            isv_svn=CounterProgram.ISV_SVN,
+        )
+        launched = platform.load_enclave(CounterProgram(), sigstruct=sig, name="signed")
+        assert launched.identity.mrenclave == enclave.identity.mrenclave
+
+    def test_destroy_prevents_ecalls(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        platform.destroy_enclave(enclave)
+        assert enclave.destroyed
+        with pytest.raises(SgxError, match="destroyed"):
+            enclave.ecall("read")
+
+    def test_find_enclave(self, platform, author_key):
+        enclave = platform.load_enclave(
+            CounterProgram(), author_key=author_key, name="findme"
+        )
+        assert platform.find_enclave("findme") is enclave
+        with pytest.raises(SgxError):
+            platform.find_enclave("ghost")
+
+
+class TestIsolationBoundary:
+    def test_program_object_unreachable(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        with pytest.raises(EnclaveAccessError):
+            _ = enclave.program
+
+    def test_private_methods_not_ecallable(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        with pytest.raises(EnclaveAccessError):
+            enclave.ecall("_hidden")
+
+    def test_unknown_ecall(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        with pytest.raises(SgxError, match="no ecall"):
+            enclave.ecall("nonexistent")
+
+    def test_os_sees_only_ciphertext(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        image = platform.os_read_enclave_memory(enclave)
+        # The code page holds the program source; none of it leaks.
+        assert b"in-enclave secret" not in image
+        assert b"def increment" not in image
+
+    def test_physical_tamper_faults_enclave_reads(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        platform.corrupt_enclave_page(enclave)
+        index = enclave.page_indices[2]
+        with pytest.raises(EnclaveAccessError, match="integrity"):
+            platform.epc.read(enclave.enclave_id, index)
+
+    def test_identical_programs_measure_equal_across_platforms(
+        self, authority, author_key
+    ):
+        a = SgxPlatform("ma", authority, rng=Rng(b"ma"))
+        b = SgxPlatform("mb", authority, rng=Rng(b"mb"))
+        ea = a.load_enclave(CounterProgram(), author_key=author_key)
+        eb = b.load_enclave(CounterProgram(), author_key=author_key)
+        assert ea.identity.mrenclave == eb.identity.mrenclave
+
+    def test_different_programs_measure_differently(self, platform, author_key):
+        ea = platform.load_enclave(CounterProgram(), author_key=author_key, name="a")
+        eb = platform.load_enclave(OtherProgram(), author_key=author_key, name="b")
+        assert ea.identity.mrenclave != eb.identity.mrenclave
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        blob = enclave.ecall("seal_secret")
+        assert enclave.ecall("unseal_blob", blob) == b"in-enclave secret"
+
+    def test_sealed_blob_hides_plaintext(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        blob = enclave.ecall("seal_secret")
+        assert b"in-enclave secret" not in blob
+
+    def test_mrenclave_policy_blocks_other_enclave(self, platform, author_key):
+        a = platform.load_enclave(CounterProgram(), author_key=author_key, name="s1")
+        b = platform.load_enclave(OtherProgram(), author_key=author_key, name="s2")
+        blob = a.ecall("seal_secret", SealPolicy.MRENCLAVE)
+        with pytest.raises(SealingError):
+            b.ecall("unseal_blob", blob)
+
+    def test_mrsigner_policy_allows_same_author(self, platform, author_key):
+        a = platform.load_enclave(CounterProgram(), author_key=author_key, name="s3")
+        b = platform.load_enclave(OtherProgram(), author_key=author_key, name="s4")
+        blob = a.ecall("seal_secret", SealPolicy.MRSIGNER)
+        assert b.ecall("unseal_blob", blob) == b"in-enclave secret"
+
+    def test_mrsigner_policy_blocks_other_author(self, platform, author_key):
+        other_author = generate_rsa_keypair(512, Rng(b"other-author"))
+        a = platform.load_enclave(CounterProgram(), author_key=author_key, name="s5")
+        b = platform.load_enclave(
+            CounterProgram(), author_key=other_author, name="s6"
+        )
+        blob = a.ecall("seal_secret", SealPolicy.MRSIGNER)
+        with pytest.raises(SealingError):
+            b.ecall("unseal_blob", blob)
+
+    def test_seal_key_survives_enclave_restart(self, platform, author_key):
+        a = platform.load_enclave(CounterProgram(), author_key=author_key, name="s7")
+        blob = a.ecall("seal_secret")
+        platform.destroy_enclave(a)
+        again = platform.load_enclave(
+            CounterProgram(), author_key=author_key, name="s8"
+        )
+        assert again.ecall("unseal_blob", blob) == b"in-enclave secret"
+
+    def test_corrupted_blob_rejected(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        blob = bytearray(enclave.ecall("seal_secret"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(SealingError):
+            enclave.ecall("unseal_blob", bytes(blob))
+
+
+class TestCostAttribution:
+    def test_ecall_charges_enclave_domain(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        before = platform.accountant.snapshot()
+        enclave.ecall("increment")
+        delta = platform.accountant.delta(before)
+        domain = delta[enclave.domain]
+        assert domain.sgx_instructions >= 2  # EENTER + EEXIT
+        assert domain.enclave_crossings == 1
+
+    def test_alloc_charges_and_grows(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        before = platform.accountant.snapshot()
+        enclave.ecall("allocate", 10_000)  # > one page: heap must grow
+        delta = platform.accountant.delta(before)
+        domain = delta[enclave.domain]
+        assert domain.allocations == 1
+        # Growth: EACCEPT (+EEXIT/ERESUME) beyond the plain ecall pair.
+        assert domain.sgx_instructions > 2
+
+    def test_small_alloc_does_not_grow(self, platform, author_key):
+        enclave = platform.load_enclave(CounterProgram(), author_key=author_key)
+        enclave.ecall("allocate", 16)
+        before = platform.accountant.snapshot()
+        enclave.ecall("allocate", 16)
+        delta = platform.accountant.delta(before)
+        assert delta[enclave.domain].sgx_instructions == 2  # just EENTER/EEXIT

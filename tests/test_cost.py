@@ -1,0 +1,213 @@
+"""Tests for the cost-accounting layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.cost import (
+    UNTRUSTED,
+    CostAccountant,
+    Counter,
+    CostModel,
+    DEFAULT_MODEL,
+    disabled,
+    format_count,
+    format_table,
+    render_comparison,
+    render_counters,
+)
+from repro.cost import context as cost_context
+
+
+class TestCounter:
+    def test_iadd_accumulates_all_fields(self):
+        a = Counter(1, 2, 3, 4)
+        a += Counter(10, 20, 30, 40)
+        assert a == Counter(11, 22, 33, 44)
+
+    def test_sub_produces_delta(self):
+        assert Counter(5, 5, 5, 5) - Counter(1, 2, 3, 4) == Counter(4, 3, 2, 1)
+
+    def test_copy_is_independent(self):
+        a = Counter(1, 1, 1, 1)
+        b = a.copy()
+        b.sgx_instructions += 1
+        assert a.sgx_instructions == 1
+
+
+class TestCostAccountant:
+    def test_default_domain_is_untrusted(self):
+        acct = CostAccountant()
+        assert acct.current_domain == UNTRUSTED
+
+    def test_charges_go_to_current_domain(self):
+        acct = CostAccountant()
+        acct.charge_normal(100)
+        with acct.attribute("enclave:test"):
+            acct.charge_normal(7)
+            acct.charge_sgx(2)
+        assert acct.counter(UNTRUSTED).normal_instructions == 100
+        assert acct.counter("enclave:test").normal_instructions == 7
+        assert acct.counter("enclave:test").sgx_instructions == 2
+
+    def test_attribute_nests_and_unwinds(self):
+        acct = CostAccountant()
+        with acct.attribute("a"):
+            with acct.attribute("b"):
+                assert acct.current_domain == "b"
+            assert acct.current_domain == "a"
+        assert acct.current_domain == UNTRUSTED
+
+    def test_attribute_unwinds_on_exception(self):
+        acct = CostAccountant()
+        with pytest.raises(ValueError):
+            with acct.attribute("a"):
+                raise ValueError
+        assert acct.current_domain == UNTRUSTED
+
+    def test_total_sums_domains(self):
+        acct = CostAccountant()
+        acct.charge_normal(10)
+        with acct.attribute("x"):
+            acct.charge_normal(5)
+            acct.charge_crossing()
+        total = acct.total()
+        assert total.normal_instructions == 15
+        assert total.enclave_crossings == 1
+
+    def test_snapshot_delta(self):
+        acct = CostAccountant()
+        acct.charge_normal(10)
+        before = acct.snapshot()
+        acct.charge_normal(3)
+        with acct.attribute("new"):
+            acct.charge_sgx(1)
+        delta = acct.delta(before)
+        assert delta[UNTRUSTED].normal_instructions == 3
+        assert delta["new"].sgx_instructions == 1
+
+    def test_disabled_context_suppresses_charges(self):
+        acct = CostAccountant()
+        with disabled(acct):
+            acct.charge_normal(1000)
+        assert acct.total().normal_instructions == 0
+        acct.charge_normal(1)
+        assert acct.total().normal_instructions == 1
+
+    def test_reset_clears_counters(self):
+        acct = CostAccountant()
+        acct.charge_normal(5)
+        acct.reset()
+        assert acct.total() == Counter()
+
+
+class TestCostModel:
+    def test_cycle_formula_matches_paper_footnote6(self):
+        # Challenger w/ DH: 8 SGX(U) + 348M normal -> ~626M cycles.
+        model = CostModel()
+        cycles = model.cycles(8, 348e6)
+        assert cycles == pytest.approx(626.48e6, rel=0.01)
+
+    def test_remote_platform_cycles(self):
+        # Target + quoting w/ DH: 37 SGX(U) + 4463M normal -> ~8033M.
+        model = CostModel()
+        cycles = model.cycles(37, 4463e6)
+        assert cycles == pytest.approx(8033.77e6, rel=0.01)
+
+    def test_modexp_scales_cubically(self):
+        model = CostModel()
+        assert model.modexp_normal(2048) == pytest.approx(
+            8 * model.modexp_1024_normal, rel=0.01
+        )
+
+    def test_aes_cost_rounds_up_to_blocks(self):
+        model = CostModel()
+        assert model.aes_normal(1) == model.aes_block_normal
+        assert model.aes_normal(16) == model.aes_block_normal
+        assert model.aes_normal(17) == 2 * model.aes_block_normal
+
+    def test_table2_calibration_one_packet(self):
+        # fixed + 1 packet = 13K normal instructions (paper Table 2).
+        model = CostModel()
+        total = model.send_call_fixed_normal + model.send_per_packet_normal
+        assert total == 13_000
+
+    def test_table2_calibration_hundred_packets(self):
+        model = CostModel()
+        total = model.send_call_fixed_normal + 100 * model.send_per_packet_normal
+        assert total == 135_958  # paper: 136K
+        sgx = model.send_call_fixed_sgx + 100 * model.send_per_packet_sgx
+        assert sgx == 204
+
+    def test_model_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_MODEL.sgx_instruction_cycles = 1
+
+
+class TestAmbientContext:
+    def test_no_accountant_is_noop(self):
+        cost_context.charge_normal(100)  # must not raise
+        assert cost_context.current_accountant() is None
+
+    def test_use_accountant_routes_charges(self):
+        acct = CostAccountant()
+        with cost_context.use_accountant(acct):
+            cost_context.charge_normal(42)
+            cost_context.charge_sgx(3)
+        assert acct.total().normal_instructions == 42
+        assert acct.total().sgx_instructions == 3
+
+    def test_nested_accountants_restore(self):
+        a1, a2 = CostAccountant(), CostAccountant()
+        with cost_context.use_accountant(a1):
+            with cost_context.use_accountant(a2):
+                cost_context.charge_normal(5)
+            cost_context.charge_normal(7)
+        assert a2.total().normal_instructions == 5
+        assert a1.total().normal_instructions == 7
+
+    def test_charge_allocation_adds_model_cost(self):
+        acct = CostAccountant()
+        with cost_context.use_accountant(acct):
+            cost_context.charge_allocation(2)
+        assert acct.total().allocations == 2
+        assert (
+            acct.total().normal_instructions
+            == 2 * DEFAULT_MODEL.enclave_alloc_normal
+        )
+
+    def test_custom_model_in_context(self):
+        acct = CostAccountant()
+        model = CostModel(enclave_alloc_normal=7)
+        with cost_context.use_accountant(acct, model):
+            assert cost_context.current_model().enclave_alloc_normal == 7
+            cost_context.charge_allocation()
+        assert acct.total().normal_instructions == 7
+        assert cost_context.current_model() is DEFAULT_MODEL
+
+
+class TestReporting:
+    def test_format_count_units(self):
+        assert format_count(12) == "12"
+        assert format_count(13_000) == "13K"
+        assert format_count(154e6) == "154M"
+        assert format_count(4.338e9) == "4.34G"
+
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_counters(self):
+        out = render_counters({"untrusted": Counter(2, 1000, 0, 0)})
+        assert "untrusted" in out
+        assert "1000" in out or "1K" in out
+
+    def test_render_comparison_ratio(self):
+        out = render_comparison([("x", 90.0, 100.0)])
+        assert "0.90x" in out
+
+    def test_render_comparison_handles_missing_paper_value(self):
+        out = render_comparison([("x", 90.0, None)])
+        assert "-" in out

@@ -1,0 +1,43 @@
+"""Whole-experiment determinism: identical seeds, identical worlds."""
+
+from repro.cost import Counter
+from repro.routing.deployment import run_native_routing, run_sgx_routing
+from repro.tor.deployment import TorDeployment, TorDeploymentConfig
+from repro.middlebox.scenarios import MiddleboxScenario
+
+
+class TestDeterminism:
+    def test_sgx_routing_replays_bit_identically(self):
+        a = run_sgx_routing(n_ases=5, seed=b"det-routing")
+        b = run_sgx_routing(n_ases=5, seed=b"det-routing")
+        assert a.routes == b.routes
+        assert a.controller_steady == b.controller_steady
+        assert a.as_steady == b.as_steady
+        assert a.attestations == b.attestations
+        assert a.sim_time == b.sim_time
+
+    def test_different_seed_different_topology(self):
+        a = run_native_routing(n_ases=8, seed=b"det-a")
+        b = run_native_routing(n_ases=8, seed=b"det-b")
+        assert a.topology.rel != b.topology.rel
+
+    def test_tor_deployment_replays(self):
+        config = TorDeploymentConfig(
+            phase=2, n_relays=4, n_exits=2, malicious={"or1": "tamper"},
+            seed=b"det-tor",
+        )
+        a = TorDeployment(config)
+        b = TorDeployment(config)
+        assert a.rejected_registrations == b.rejected_registrations
+        assert a.registration_attestations == b.registration_attestations
+        result_a = a.run_client_request()
+        result_b = b.run_client_request()
+        assert result_a == result_b
+
+    def test_middlebox_scenario_replays(self):
+        payloads = [b"one SECRET", b"two"]
+        a = MiddleboxScenario(n_middleboxes=1, rules=[("r", b"SECRET", "alert")]).run(payloads)
+        b = MiddleboxScenario(n_middleboxes=1, rules=[("r", b"SECRET", "alert")]).run(payloads)
+        assert a.replies == b.replies
+        assert a.stats == b.stats
+        assert a.attestations == b.attestations

@@ -1,0 +1,51 @@
+"""The reusable experiment layer and the CLI entry point."""
+
+import pytest
+
+from repro import experiments
+from repro.__main__ import main
+
+
+class TestExperimentLayer:
+    def test_table2_runs_and_formats(self):
+        results = experiments.run_table2()
+        assert set(results) == {(1, False), (1, True), (100, False), (100, True)}
+        text = experiments.format_table2(results)
+        assert "Table 2" in text
+        assert "13K" in text
+
+    def test_table1_roles_present(self):
+        results = experiments.run_table1()
+        for with_dh in (False, True):
+            assert set(results[with_dh]) == {"target", "quoting", "challenger"}
+        text = experiments.format_table1(results)
+        assert "challenger cycles" in text
+
+    def test_table4_small_scale(self):
+        sgx, native = experiments.run_table4(n_ases=5, seed=b"cli-test")
+        assert sgx.routes == native.routes
+        text = experiments.format_table4(sgx, native)
+        assert "Inter-domain" in text and "overhead" in text
+
+    def test_figure3_short_sweep(self):
+        series = experiments.run_figure3(sweep=[4, 6], seed=b"cli-fig")
+        assert [p["n"] for p in series] == [4, 6]
+        assert all(p["sgx"] > p["native"] for p in series)
+        assert "Figure 3" in experiments.format_figure3(series)
+
+
+class TestCli:
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "regenerated" in out
+
+    def test_table4_with_custom_size(self, capsys):
+        assert main(["table4", "--ases", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 ASes" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

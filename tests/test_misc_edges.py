@@ -1,0 +1,203 @@
+"""Edge-path coverage across packages (small behaviors, big surprises)."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import MiddleboxError, SealingError, SgxError, TorError
+
+
+class TestSealingEdges:
+    def test_peek_malformed_blob(self):
+        from repro.sgx import sealing
+
+        with pytest.raises(SealingError):
+            sealing.peek(b"")
+        with pytest.raises(SealingError):
+            sealing.peek(b"\x00" * 33)  # bad policy code
+
+    def test_unseal_short_blob(self):
+        from repro.sgx import sealing
+
+        with pytest.raises(SealingError, match="short"):
+            sealing.unseal(b"\x00" * 16, b"tiny")
+
+    def test_seal_validates_inputs(self):
+        from repro.sgx import sealing
+        from repro.sgx.keys import SealPolicy
+
+        with pytest.raises(SealingError):
+            sealing.seal(b"k" * 16, b"short-id", SealPolicy.MRENCLAVE, b"d", b"n" * 16)
+        with pytest.raises(SealingError):
+            sealing.seal(b"k" * 16, b"i" * 32, SealPolicy.MRENCLAVE, b"d", b"bad")
+
+
+class TestRelayEdges:
+    def make_core(self):
+        from repro.tor.handshake import OnionKeyPair
+        from repro.tor.relay import RelayCore
+
+        rng = Rng(b"relay-edge")
+        return RelayCore("r", OnionKeyPair.generate(rng.fork("k")), rng.fork("c"))
+
+    def test_relay_cell_for_unknown_circuit_destroys(self):
+        from repro.tor.cell import Cell, CellCommand
+
+        core = self.make_core()
+        cell = Cell(9, CellCommand.RELAY, b"\x00" * 507)
+        directives = core.handle_cell(1, cell.encode())
+        assert directives == [("destroy", 1, 9)]
+
+    def test_destroy_tears_down_circuit(self):
+        from repro.tor.cell import Cell, CellCommand
+        from repro.tor.handshake import client_handshake_start
+
+        core = self.make_core()
+        _, skin = client_handshake_start(Rng(b"cli"))
+        created = core.handle_cell(1, Cell(5, CellCommand.CREATE, skin).encode())
+        assert created[0][0] == "send"
+        core.handle_cell(1, Cell(5, CellCommand.DESTROY, b"").encode())
+        # The circuit is gone: further relay cells are refused.
+        out = core.handle_cell(1, Cell(5, CellCommand.RELAY, b"\x00" * 507).encode())
+        assert out == [("destroy", 1, 5)]
+
+    def test_duplicate_create_rejected(self):
+        from repro.tor.cell import Cell, CellCommand
+        from repro.tor.handshake import client_handshake_start
+
+        core = self.make_core()
+        _, skin = client_handshake_start(Rng(b"cli2"))
+        core.handle_cell(1, Cell(5, CellCommand.CREATE, skin).encode())
+        with pytest.raises(TorError, match="already exists"):
+            core.handle_cell(1, Cell(5, CellCommand.CREATE, skin).encode())
+
+    def test_padding_cells_ignored(self):
+        from repro.tor.cell import Cell, CellCommand
+
+        core = self.make_core()
+        assert core.handle_cell(1, Cell(0, CellCommand.PADDING, b"").encode()) == []
+
+
+class TestNodeEdges:
+    def test_unknown_directive_raises(self):
+        from repro.net.network import LinkParams, Network
+        from repro.net.sim import Simulator
+        from repro.tor.node import OnionRouterNode
+
+        sim = Simulator()
+        net = Network(sim, rng=Rng(b"node-edge"), default_link=LinkParams())
+        host = net.add_host("r")
+
+        class FakeCore:
+            def handle_cell(self, link, data):
+                return [("teleport", 1)]
+
+        node = OnionRouterNode(host, FakeCore())
+        with pytest.raises(TorError, match="unknown relay directive"):
+            node._execute([("teleport", 1)])
+
+    def test_requires_exactly_one_engine(self):
+        from repro.net.network import LinkParams, Network
+        from repro.net.sim import Simulator
+        from repro.tor.node import OnionRouterNode
+
+        sim = Simulator()
+        net = Network(sim, rng=Rng(b"node-edge2"), default_link=LinkParams())
+        host = net.add_host("r")
+        with pytest.raises(TorError):
+            OnionRouterNode(host, None, enclave=None)
+
+
+class TestDhtEdges:
+    def test_leave_last_node_orphans_keys_quietly(self):
+        from repro.tor.dht import ChordRing
+
+        ring = ChordRing()
+        ring.join("only")
+        ring.put("only", "k", "v")
+        ring.leave("only")
+        assert ring.members() == []
+
+    def test_unknown_member_lookup_raises(self):
+        from repro.tor.dht import ChordRing
+
+        ring = ChordRing()
+        ring.join("a")
+        with pytest.raises(TorError):
+            ring.node("ghost")
+
+
+class TestChannelEdges:
+    def test_ecb_channel_handles_various_sizes(self):
+        from repro.net.channel import SecureRecordChannel
+        from repro.sgx.attestation import SessionKeys
+
+        keys = SessionKeys.derive(b"s", b"\x00" * 32)
+        a = SecureRecordChannel(keys, "initiator", "ecb")
+        b = SecureRecordChannel(keys, "responder", "ecb")
+        for size in (0, 1, 15, 16, 17, 1000):
+            payload = bytes(size)
+            assert b.open(a.protect(payload)) == payload
+
+    def test_host_repr_and_unbind(self):
+        from repro.net.network import LinkParams, Network
+        from repro.net.sim import Simulator
+
+        net = Network(Simulator(), rng=Rng(b"h"), default_link=LinkParams())
+        host = net.add_host("box")
+        host.bind(7)
+        assert "box" in repr(host)
+        host.unbind(7)
+        host.bind(7)  # rebinding after unbind works
+
+
+class TestMiddleboxEdges:
+    def test_inspect_requires_valid_direction(self):
+        from repro.crypto.rsa import generate_rsa_keypair
+        from repro.middlebox.mbox import MiddleboxProgram
+        from repro.sgx import SgxPlatform
+
+        platform = SgxPlatform("mb-edge", rng=Rng(b"mb-edge"))
+        author = generate_rsa_keypair(512, Rng(b"mb-author"))
+        enclave = platform.load_enclave(MiddleboxProgram(), author_key=author)
+        enclave.ecall("configure_dpi", [("r", b"x", "alert")])
+        with pytest.raises(MiddleboxError, match="direction"):
+            enclave.ecall("inspect_record", "f", "sideways", b"rec")
+
+    def test_unprovisioned_flow_is_opaque(self):
+        from repro.crypto.rsa import generate_rsa_keypair
+        from repro.middlebox.mbox import MiddleboxProgram
+        from repro.sgx import SgxPlatform
+
+        platform = SgxPlatform("mb-edge2", rng=Rng(b"mb-edge2"))
+        author = generate_rsa_keypair(512, Rng(b"mb-author2"))
+        enclave = platform.load_enclave(MiddleboxProgram(), author_key=author)
+        enclave.ecall("configure_dpi", [("r", b"x", "alert")])
+        verdict, alerts = enclave.ecall("inspect_record", "f", "c2s", b"anything")
+        assert verdict == "opaque" and alerts == []
+
+    def test_provision_role_validated(self):
+        from repro.middlebox.mbox import encode_provision
+        from repro.sgx.attestation import SessionKeys
+
+        keys = SessionKeys.derive(b"s", b"\x00" * 32)
+        with pytest.raises(MiddleboxError):
+            encode_provision("flow", keys, "eavesdropper")
+
+
+class TestEnclaveAexEdge:
+    def test_zero_work_ecall_no_aex(self):
+        from repro.crypto.rsa import generate_rsa_keypair
+        from repro.sgx import EnclaveProgram, SgxPlatform
+
+        class Idle(EnclaveProgram):
+            def nop(self):
+                return None
+
+        platform = SgxPlatform("aex-edge", rng=Rng(b"aex-edge"), interrupt_rate=0.1)
+        author = generate_rsa_keypair(512, Rng(b"aex-edge-author"))
+        enclave = platform.load_enclave(Idle(), author_key=author)
+        before = platform.accountant.snapshot()
+        enclave.ecall("nop")
+        delta = platform.accountant.delta(before)[enclave.domain]
+        # Only the trampoline's own instructions can trigger AEX here.
+        assert delta.sgx_instructions < 100

@@ -1,0 +1,124 @@
+"""Wire format: roundtrips, bounds, and hostile-input fuzzing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.wire import Reader, Writer
+
+
+class TestRoundtrips:
+    def test_fixed_width_integers(self):
+        data = Writer().u8(7).u16(300).u32(70000).u64(1 << 40).getvalue()
+        reader = Reader(data)
+        assert reader.u8() == 7
+        assert reader.u16() == 300
+        assert reader.u32() == 70000
+        assert reader.u64() == 1 << 40
+        reader.expect_end()
+
+    def test_varbytes_and_raw(self):
+        data = Writer().varbytes(b"hello").raw(b"fixed").getvalue()
+        reader = Reader(data)
+        assert reader.varbytes() == b"hello"
+        assert reader.raw(5) == b"fixed"
+
+    def test_string_unicode(self):
+        data = Writer().string("héllo wörld ✓").getvalue()
+        assert Reader(data).string() == "héllo wörld ✓"
+
+    def test_varint_widths(self):
+        for value in (0, 1, 255, 256, 1 << 64, 1 << 1024):
+            data = Writer().varint(value).getvalue()
+            assert Reader(data).varint() == value
+
+    def test_strings_list(self):
+        items = ["a", "", "long " * 50]
+        data = Writer().strings(items).getvalue()
+        assert Reader(data).strings() == items
+
+    def test_remaining_tracks_cursor(self):
+        reader = Reader(b"\x00" * 10)
+        assert reader.remaining == 10
+        reader.raw(4)
+        assert reader.remaining == 6
+
+
+class TestBounds:
+    def test_u8_range(self):
+        with pytest.raises(ProtocolError):
+            Writer().u8(256)
+        with pytest.raises(ProtocolError):
+            Writer().u8(-1)
+
+    def test_u16_u32_u64_ranges(self):
+        with pytest.raises(ProtocolError):
+            Writer().u16(1 << 16)
+        with pytest.raises(ProtocolError):
+            Writer().u32(1 << 32)
+        with pytest.raises(ProtocolError):
+            Writer().u64(1 << 64)
+
+    def test_negative_varint(self):
+        with pytest.raises(ProtocolError):
+            Writer().varint(-1)
+
+    def test_truncated_reads_raise(self):
+        reader = Reader(b"\x01")
+        with pytest.raises(ProtocolError, match="truncated"):
+            reader.u32()
+
+    def test_varbytes_length_cap(self):
+        data = Writer().u32(1 << 20).getvalue() + b"x"
+        with pytest.raises(ProtocolError):
+            Reader(data).varbytes(max_len=1024)
+
+    def test_trailing_bytes_detected(self):
+        reader = Reader(b"\x00\x01")
+        reader.u8()
+        with pytest.raises(ProtocolError, match="trailing"):
+            reader.expect_end()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(
+        st.one_of(
+            st.tuples(st.just("u8"), st.integers(0, 255)),
+            st.tuples(st.just("u32"), st.integers(0, (1 << 32) - 1)),
+            st.tuples(st.just("varbytes"), st.binary(max_size=100)),
+            st.tuples(st.just("string"), st.text(max_size=40)),
+            st.tuples(st.just("varint"), st.integers(min_value=0, max_value=1 << 200)),
+        ),
+        max_size=12,
+    )
+)
+def test_property_mixed_roundtrip(items):
+    writer = Writer()
+    for kind, value in items:
+        getattr(writer, kind)(value)
+    reader = Reader(writer.getvalue())
+    for kind, value in items:
+        assert getattr(reader, kind)() == value
+    reader.expect_end()
+
+
+@settings(max_examples=60, deadline=None)
+@given(garbage=st.binary(max_size=60))
+def test_property_decoders_never_crash_uncontrolled(garbage):
+    """Hostile bytes either decode or raise a repro error — never an
+    uncontrolled exception like IndexError."""
+    from repro.errors import ReproError
+    from repro.sgx.quoting import Quote
+    from repro.routing.policy import LocalPolicy
+    from repro.tor.directory import RouterDescriptor
+
+    for decoder in (Quote.decode, LocalPolicy.decode, RouterDescriptor.decode):
+        try:
+            decoder(garbage)
+        except ReproError:
+            pass
+        except (ValueError, KeyError, UnicodeDecodeError):
+            # Wrapped stdlib validation is acceptable (enum/codec).
+            pass

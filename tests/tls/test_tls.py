@@ -1,0 +1,159 @@
+"""Mini-TLS: handshake, certificates, record exchange over the network."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import ProtocolError
+from repro.net.network import LinkParams, Network
+from repro.net.sim import Simulator
+from repro.tls.handshake import (
+    Certificate,
+    CertificateAuthority,
+    TlsClientSession,
+    TlsServerSession,
+)
+from repro.tls.session import TlsServer, tls_connect
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(Rng(b"tls-test-ca"))
+
+
+def handshake_pair(ca, server_name="web", client_expects="web"):
+    identity, certificate = ca.issue(server_name, Rng(b"srv"))
+    client = TlsClientSession(client_expects, ca.public, Rng(b"cli"))
+    server = TlsServerSession(identity, certificate, Rng(b"srv-hs"))
+    return client, server
+
+
+class TestHandshakeStateMachines:
+    def test_full_handshake_derives_matching_keys(self, ca):
+        client, server = handshake_pair(ca)
+        hello = client.start()
+        server_hello = server.handle_client_hello(hello)
+        finished = client.handle_server_hello(server_hello)
+        server_finished = server.handle_client_finished(finished)
+        client.handle_server_finished(server_finished)
+        assert client.complete and server.complete
+        assert client.keys == server.keys
+
+    def test_wrong_server_name_rejected(self, ca):
+        client, server = handshake_pair(ca, server_name="evil", client_expects="web")
+        server_hello = server.handle_client_hello(client.start())
+        with pytest.raises(ProtocolError, match="certificate names"):
+            client.handle_server_hello(server_hello)
+
+    def test_unpinned_ca_rejected(self, ca):
+        rogue_ca = CertificateAuthority(Rng(b"rogue"))
+        identity, certificate = rogue_ca.issue("web", Rng(b"r"))
+        client = TlsClientSession("web", ca.public, Rng(b"cli"))
+        server = TlsServerSession(identity, certificate, Rng(b"hs"))
+        server_hello = server.handle_client_hello(client.start())
+        with pytest.raises(ProtocolError, match="invalid"):
+            client.handle_server_hello(server_hello)
+
+    def test_tampered_server_hello_rejected(self, ca):
+        client, server = handshake_pair(ca)
+        server_hello = bytearray(server.handle_client_hello(client.start()))
+        server_hello[33] ^= 0x01  # flip a DH public byte
+        with pytest.raises(ProtocolError):
+            client.handle_server_hello(bytes(server_hello))
+
+    def test_bad_client_finished_rejected(self, ca):
+        client, server = handshake_pair(ca)
+        server.handle_client_hello(client.start())
+        with pytest.raises(ProtocolError):
+            server.handle_client_finished(b"\x00" * 32)
+
+    def test_certificate_encode_decode(self, ca):
+        _, certificate = ca.issue("host", Rng(b"c"))
+        decoded = Certificate.decode(certificate.encode())
+        assert decoded == certificate
+        decoded.verify(ca.public)
+
+
+class TestNetworkedTls:
+    def build(self, ca):
+        sim = Simulator()
+        net = Network(sim, rng=Rng(b"tls-net"), default_link=LinkParams(latency=0.002))
+        server_host = net.add_host("web")
+        identity, certificate = ca.issue("web", Rng(b"web-id"))
+
+        def handler(tls):
+            while True:
+                try:
+                    request = yield from tls.recv(timeout=None)
+                except ProtocolError:
+                    return
+                tls.send(b"resp:" + request)
+
+        TlsServer(server_host, 443, identity, certificate, Rng(b"web-hs"), handler)
+        client_host = net.add_host("client")
+        return sim, net, client_host
+
+    def test_request_response(self, ca):
+        sim, _, client_host = self.build(ca)
+        out = {}
+
+        def client():
+            tls = yield from tls_connect(
+                client_host, "web", 443, "web", ca.public, Rng(b"c1")
+            )
+            tls.send(b"GET /")
+            out["reply"] = yield from tls.recv()
+
+        sim.spawn(client())
+        sim.run(until=60)
+        assert out["reply"] == b"resp:GET /"
+
+    def test_plaintext_not_on_wire(self, ca):
+        sim, net, client_host = self.build(ca)
+        secret = b"credit card 1234-5678"
+        wire = []
+        net.tap = lambda d: (wire.append(d.payload), d)[1]
+        out = {}
+
+        def client():
+            tls = yield from tls_connect(
+                client_host, "web", 443, "web", ca.public, Rng(b"c2")
+            )
+            tls.send(secret)
+            out["reply"] = yield from tls.recv()
+
+        sim.spawn(client())
+        sim.run(until=60)
+        assert out["reply"] == b"resp:" + secret
+        assert secret not in b"".join(wire)
+
+    def test_multiple_messages_in_order(self, ca):
+        sim, _, client_host = self.build(ca)
+        out = {"replies": []}
+
+        def client():
+            tls = yield from tls_connect(
+                client_host, "web", 443, "web", ca.public, Rng(b"c3")
+            )
+            for i in range(5):
+                tls.send(f"msg{i}".encode())
+                out["replies"].append((yield from tls.recv()))
+
+        sim.spawn(client())
+        sim.run(until=60)
+        assert out["replies"] == [f"resp:msg{i}".encode() for i in range(5)]
+
+    def test_session_key_export_matches(self, ca):
+        sim, _, client_host = self.build(ca)
+        out = {}
+
+        def client():
+            tls = yield from tls_connect(
+                client_host, "web", 443, "web", ca.public, Rng(b"c4")
+            )
+            out["keys"] = tls.export_session_keys()
+
+        sim.spawn(client())
+        sim.run(until=60)
+        keys = out["keys"]
+        assert len(keys.initiator_enc) == 16
+        assert keys.initiator_enc != keys.responder_enc

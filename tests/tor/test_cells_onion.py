@@ -1,0 +1,203 @@
+"""Cells, relay payloads, rolling digests and layered onion crypto."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TorError
+from repro.tor.cell import (
+    CELL_SIZE,
+    PAYLOAD_SIZE,
+    RELAY_DATA_SIZE,
+    Cell,
+    CellCommand,
+    RelayCommand,
+    RelayPayload,
+)
+from repro.tor.onion import HopCrypto, RollingDigest
+
+
+class TestCell:
+    def test_encode_is_exactly_512_bytes(self):
+        cell = Cell(7, CellCommand.RELAY, b"data")
+        assert len(cell.encode()) == CELL_SIZE
+
+    def test_roundtrip(self):
+        cell = Cell(123456, CellCommand.CREATE, b"onion skin")
+        decoded = Cell.decode(cell.encode())
+        assert decoded.circ_id == 123456
+        assert decoded.command is CellCommand.CREATE
+        assert decoded.payload[:10] == b"onion skin"
+        assert len(decoded.payload) == PAYLOAD_SIZE
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(TorError):
+            Cell(1, CellCommand.RELAY, b"x" * (PAYLOAD_SIZE + 1)).encode()
+
+    def test_wrong_size_decode_rejected(self):
+        with pytest.raises(TorError):
+            Cell.decode(b"\x00" * 100)
+
+
+class TestRelayPayload:
+    def test_roundtrip(self):
+        payload = RelayPayload(RelayCommand.DATA, 9, b"\x01\x02\x03\x04", b"hello")
+        decoded = RelayPayload.decode(payload.encode())
+        assert decoded.command is RelayCommand.DATA
+        assert decoded.stream_id == 9
+        assert decoded.digest == b"\x01\x02\x03\x04"
+        assert decoded.data == b"hello"
+
+    def test_encode_fills_cell_payload(self):
+        payload = RelayPayload(RelayCommand.BEGIN, 1, b"\x00" * 4, b"web:80")
+        assert len(payload.encode()) == PAYLOAD_SIZE
+
+    def test_max_data_size(self):
+        payload = RelayPayload(RelayCommand.DATA, 1, b"\x00" * 4, b"x" * RELAY_DATA_SIZE)
+        assert RelayPayload.decode(payload.encode()).data == b"x" * RELAY_DATA_SIZE
+
+    def test_oversize_data_rejected(self):
+        with pytest.raises(TorError):
+            RelayPayload(
+                RelayCommand.DATA, 1, b"\x00" * 4, b"x" * (RELAY_DATA_SIZE + 1)
+            ).encode()
+
+    def test_unrecognized_marker_rejected(self):
+        payload = bytearray(RelayPayload(RelayCommand.DATA, 1, b"\x00" * 4, b"x").encode())
+        payload[1] = 0xFF
+        with pytest.raises(TorError):
+            RelayPayload.decode(bytes(payload))
+        assert not RelayPayload.looks_recognized(bytes(payload))
+
+    def test_zero_digest_encoding(self):
+        payload = RelayPayload(RelayCommand.DATA, 1, b"\xaa" * 4, b"x")
+        assert payload.encode(zero_digest=True)[5:9] == b"\x00" * 4
+
+
+class TestRollingDigest:
+    def test_preview_does_not_commit(self):
+        digest = RollingDigest(b"seed")
+        first = digest.preview(b"payload")
+        second = digest.preview(b"payload")
+        assert first == second
+
+    def test_commit_advances_state(self):
+        digest = RollingDigest(b"seed")
+        first = digest.commit(b"one")
+        second = digest.commit(b"one")
+        assert first != second
+
+    def test_same_seed_same_sequence(self):
+        a, b = RollingDigest(b"s"), RollingDigest(b"s")
+        for payload in (b"x", b"y", b"z"):
+            assert a.commit(payload) == b.commit(payload)
+
+    def test_different_seed_different_tags(self):
+        assert RollingDigest(b"a").commit(b"x") != RollingDigest(b"b").commit(b"x")
+
+
+def make_hop_pair():
+    """Client-side and relay-side HopCrypto from the same material."""
+    material = bytes(range(104))
+    return HopCrypto(material), HopCrypto(material)
+
+
+class TestHopCrypto:
+    def test_forward_seal_and_recognize(self):
+        client, relay = make_hop_pair()
+        payload = RelayPayload(RelayCommand.DATA, 3, b"\x00" * 4, b"secret")
+        blob = client.seal_forward(payload)
+        plaintext = relay.peel_forward(blob)
+        recognized = relay.try_recognize_forward(plaintext)
+        assert recognized is not None
+        assert recognized.data == b"secret"
+
+    def test_backward_seal_and_recognize(self):
+        client, relay = make_hop_pair()
+        payload = RelayPayload(RelayCommand.DATA, 3, b"\x00" * 4, b"reply")
+        blob = relay.seal_backward(payload)
+        plaintext = client.peel_backward(blob)
+        recognized = client.try_recognize_backward(plaintext)
+        assert recognized is not None
+        assert recognized.data == b"reply"
+
+    def test_foreign_cell_not_recognized(self):
+        client, relay = make_hop_pair()
+        other = HopCrypto(bytes(range(1, 105)))
+        payload = RelayPayload(RelayCommand.DATA, 1, b"\x00" * 4, b"x")
+        blob = other.seal_forward(payload)
+        plaintext = relay.peel_forward(blob)
+        assert relay.try_recognize_forward(plaintext) is None
+
+    def test_three_layer_onion_roundtrip(self):
+        # Client wraps for hop2 (exit); each relay peels one layer.
+        materials = [bytes([i]) * 104 for i in range(3)]
+        client_hops = [HopCrypto(m) for m in materials]
+        relay_hops = [HopCrypto(m) for m in materials]
+
+        payload = RelayPayload(RelayCommand.DATA, 5, b"\x00" * 4, b"deep secret")
+        blob = client_hops[2].seal_forward(payload)
+        blob = client_hops[1].add_forward(blob)
+        blob = client_hops[0].add_forward(blob)
+
+        for i, relay in enumerate(relay_hops):
+            blob = relay.peel_forward(blob)
+            recognized = relay.try_recognize_forward(blob)
+            if i < 2:
+                assert recognized is None, f"hop {i} must not recognize"
+            else:
+                assert recognized is not None
+                assert recognized.data == b"deep secret"
+
+    def test_backward_three_layers(self):
+        materials = [bytes([i]) * 104 for i in range(3)]
+        client_hops = [HopCrypto(m) for m in materials]
+        relay_hops = [HopCrypto(m) for m in materials]
+
+        payload = RelayPayload(RelayCommand.DATA, 5, b"\x00" * 4, b"response")
+        blob = relay_hops[2].seal_backward(payload)
+        blob = relay_hops[1].add_backward(blob)
+        blob = relay_hops[0].add_backward(blob)
+
+        for i, hop in enumerate(client_hops):
+            blob = hop.peel_backward(blob)
+            recognized = hop.try_recognize_backward(blob)
+            if i < 2:
+                assert recognized is None
+            else:
+                assert recognized.data == b"response"
+
+    def test_in_order_stream_of_cells(self):
+        client, relay = make_hop_pair()
+        for i in range(10):
+            payload = RelayPayload(RelayCommand.DATA, 1, b"\x00" * 4, f"m{i}".encode())
+            blob = client.seal_forward(payload)
+            plaintext = relay.peel_forward(blob)
+            recognized = relay.try_recognize_forward(plaintext)
+            assert recognized is not None and recognized.data == f"m{i}".encode()
+
+    def test_short_material_rejected(self):
+        with pytest.raises(TorError):
+            HopCrypto(b"short")
+
+    def test_tampered_cell_not_recognized(self):
+        client, relay = make_hop_pair()
+        payload = RelayPayload(RelayCommand.DATA, 1, b"\x00" * 4, b"x")
+        blob = bytearray(client.seal_forward(payload))
+        blob[100] ^= 0x01
+        plaintext = relay.peel_forward(bytes(blob))
+        # Either the recognized marker broke or the digest mismatches.
+        assert relay.try_recognize_forward(plaintext) is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.binary(max_size=RELAY_DATA_SIZE), stream=st.integers(0, 65535))
+def test_property_single_layer_roundtrip(data, stream):
+    material = bytes(range(104))
+    client, relay = HopCrypto(material), HopCrypto(material)
+    payload = RelayPayload(RelayCommand.DATA, stream, b"\x00" * 4, data)
+    plaintext = relay.peel_forward(client.seal_forward(payload))
+    recognized = relay.try_recognize_forward(plaintext)
+    assert recognized is not None
+    assert recognized.data == data
+    assert recognized.stream_id == stream

@@ -1,0 +1,140 @@
+"""Integration: the four SGX deployment phases and their attack surface."""
+
+import pytest
+
+from repro.errors import EnclaveAccessError, TorError
+from repro.tor.attacks import INJECTED
+from repro.tor.deployment import TorDeployment, TorDeploymentConfig
+
+
+@pytest.fixture(scope="module")
+def phase0():
+    return TorDeployment(
+        TorDeploymentConfig(
+            phase=0, n_relays=6, n_exits=2, malicious={"or1": "tamper"}
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def phase1():
+    return TorDeployment(
+        TorDeploymentConfig(
+            phase=1, n_relays=6, n_exits=2, malicious={"or1": "tamper"}
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def phase2():
+    return TorDeployment(
+        TorDeploymentConfig(
+            phase=2, n_relays=5, n_exits=2, malicious={"or1": "tamper"}
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def phase3():
+    return TorDeployment(
+        TorDeploymentConfig(
+            phase=3, n_relays=6, n_exits=2, malicious={"or1": "tamper"}
+        )
+    )
+
+
+class TestPhase0Legacy:
+    def test_malicious_volunteer_is_admitted(self, phase0):
+        assert all(phase0.relays["or1"].admitted_by.values())
+
+    def test_tampering_exit_attack_succeeds(self, phase0):
+        result = phase0.run_client_request(forced_path=["or4", "or5", "or1"])
+        assert result["intact"] is False
+        assert INJECTED[: len(INJECTED)] in result["reply"] or not result["intact"]
+
+    def test_honest_exit_serves_intact_content(self, phase0):
+        result = phase0.run_client_request(forced_path=["or4", "or5", "or2"])
+        assert result["intact"] is True
+
+    def test_native_authority_key_can_be_stolen(self, phase0):
+        # The attacker owns the host: reading the signing key out of a
+        # native authority's memory is trivial.
+        key = phase0.authorities["auth1"].signing_key
+        assert key.x > 0
+
+
+class TestPhase1SgxDirectories:
+    def test_consensus_fetch_attests_each_authority(self, phase1):
+        consensus = phase1.fetch_consensus()
+        assert phase1.client_attestations == phase1.config.n_authorities
+        assert len(consensus.routers()) == 6
+
+    def test_directory_key_unreachable_from_host(self, phase1):
+        enclave = phase1.authorities["auth1"]
+        with pytest.raises(EnclaveAccessError):
+            _ = enclave.program  # the only path to the key object
+
+    def test_relays_still_native_so_exit_attack_persists(self, phase1):
+        result = phase1.run_client_request(forced_path=["or4", "or5", "or1"])
+        assert result["intact"] is False
+
+    def test_authority_dos_still_possible_but_quorum_survives(self, phase1):
+        # Kill one authority enclave: clients needing a quorum of the
+        # remaining signatures still verify (DoS is out of scope).
+        node = phase1.authority_nodes["auth3"]
+        enclave = phase1.authorities["auth3"]
+        node.platform.destroy_enclave(enclave)
+        assert enclave.destroyed
+
+
+class TestPhase2SgxRelays:
+    def test_honest_relays_auto_admitted(self, phase2):
+        for nickname in ("or2", "or3", "or4", "or5"):
+            assert all(phase2.relays[nickname].admitted_by.values()), nickname
+
+    def test_tampered_relay_rejected_at_attestation(self, phase2):
+        assert not any(phase2.relays["or1"].admitted_by.values())
+        assert "or1" in phase2.rejected_registrations
+
+    def test_tampered_relay_absent_from_consensus(self, phase2):
+        consensus = phase2.fetch_consensus()
+        names = [entry.nickname for entry in consensus.routers()]
+        assert "or1" not in names
+        assert set(names) == {"or2", "or3", "or4", "or5"}
+
+    def test_forcing_the_malicious_exit_is_impossible(self, phase2):
+        with pytest.raises(TorError, match="not in consensus"):
+            phase2.run_client_request(forced_path=["or3", "or4", "or1"])
+
+    def test_client_traffic_is_intact(self, phase2):
+        result = phase2.run_client_request()
+        assert result["intact"] is True
+
+    def test_mutual_attestation_count(self, phase2):
+        # Each of 5 relays registers with 3 authorities; mutual
+        # attestation -> 2 quotes per registration attempt.
+        assert phase2.registration_attestations == 2 * 5 * 3
+
+
+class TestPhase3FullySgx:
+    def test_no_directory_authorities(self, phase3):
+        assert phase3.authorities == {}
+        with pytest.raises(TorError):
+            phase3.fetch_consensus()
+
+    def test_tampered_relay_cannot_join_dht(self, phase3):
+        assert "or1" not in phase3.dht.members()
+        assert "or1" in phase3.rejected_registrations
+
+    def test_one_attestation_per_join(self, phase3):
+        # 6 joiners each produce one quote during admission.
+        assert phase3.registration_attestations == 6
+
+    def test_descriptors_resolvable_via_dht(self, phase3):
+        entries = phase3.dht_descriptors()
+        assert {e.nickname for e in entries} == {"or2", "or3", "or4", "or5", "or6"}
+
+    def test_client_request_through_dht_network(self, phase3):
+        result = phase3.run_client_request()
+        assert result["intact"] is True
+        assert "or1" not in result["path"]

@@ -1,0 +1,131 @@
+"""Chord DHT: structure, lookups, storage, gated admission."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TorError
+from repro.tor.dht import M, RING, ChordRing, key_for
+
+
+def make_ring(names, check=None):
+    ring = ChordRing(admission_check=check)
+    for name in names:
+        ring.join(name)
+    return ring
+
+
+NAMES = [f"node{i}" for i in range(12)]
+
+
+class TestStructure:
+    def test_successor_cycle_covers_all(self):
+        ring = make_ring(NAMES)
+        start = ring.node(NAMES[0])
+        seen = set()
+        current = start
+        for _ in range(len(NAMES)):
+            seen.add(current.name)
+            current = current.successor
+        assert seen == set(NAMES)
+        assert current is start
+
+    def test_predecessor_inverts_successor(self):
+        ring = make_ring(NAMES)
+        for name in NAMES:
+            node = ring.node(name)
+            assert node.successor.predecessor is node
+
+    def test_finger_table_size(self):
+        ring = make_ring(NAMES)
+        assert all(len(ring.node(n).fingers) == M for n in NAMES)
+
+    def test_duplicate_join_rejected(self):
+        ring = make_ring(NAMES[:3])
+        with pytest.raises(TorError):
+            ring.join(NAMES[0])
+
+    def test_key_for_is_stable(self):
+        assert key_for("x") == key_for("x")
+        assert 0 <= key_for("x") < RING
+
+
+class TestLookup:
+    def test_lookup_agrees_with_owner_of(self):
+        ring = make_ring(NAMES)
+        for probe in range(0, RING, RING // 50):
+            owner, _ = ring.find_successor(NAMES[0], probe)
+            assert owner is ring.owner_of(probe)
+
+    def test_lookup_from_any_start(self):
+        ring = make_ring(NAMES)
+        key = key_for("some-key")
+        owners = {ring.find_successor(start, key)[0].name for start in NAMES}
+        assert len(owners) == 1
+
+    def test_hop_count_bounded_logarithmically(self):
+        ring = make_ring([f"n{i}" for i in range(32)])
+        for probe in range(0, RING, RING // 64):
+            _, hops = ring.find_successor("n0", probe)
+            assert hops <= M
+
+    def test_single_node_ring(self):
+        ring = make_ring(["only"])
+        owner, hops = ring.find_successor("only", 12345)
+        assert owner.name == "only"
+
+    def test_empty_ring_raises(self):
+        ring = ChordRing()
+        with pytest.raises(TorError):
+            ring.owner_of(1)
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self):
+        ring = make_ring(NAMES)
+        ring.put(NAMES[0], "relay:alpha", {"bw": 100})
+        value, _ = ring.get(NAMES[3], "relay:alpha")
+        assert value == {"bw": 100}
+
+    def test_get_missing(self):
+        ring = make_ring(NAMES)
+        value, _ = ring.get(NAMES[0], "relay:ghost")
+        assert value is None
+
+    def test_keys_move_on_leave(self):
+        ring = make_ring(NAMES)
+        ring.put(NAMES[0], "relay:alpha", "v")
+        owner = ring.owner_of(key_for("relay:alpha"))
+        ring.leave(owner.name)
+        value, _ = ring.get(ring.members()[0], "relay:alpha")
+        assert value == "v"
+
+    def test_leave_unknown_is_noop(self):
+        ring = make_ring(NAMES[:3])
+        ring.leave("ghost")
+        assert len(ring.members()) == 3
+
+
+class TestAdmission:
+    def test_admission_check_gates_joins(self):
+        allowed = {"good1", "good2"}
+        ring = ChordRing(admission_check=lambda n: n in allowed)
+        ring.join("good1")
+        ring.join("good2")
+        with pytest.raises(TorError, match="admission"):
+            ring.join("evil")
+        assert ring.rejected_joins == ["evil"]
+        assert ring.members() == ["good1", "good2"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    probes=st.lists(st.integers(min_value=0, max_value=RING - 1), min_size=1, max_size=10),
+)
+def test_property_lookup_correctness(n, probes):
+    ring = make_ring([f"m{i}" for i in range(n)])
+    for probe in probes:
+        owner, hops = ring.find_successor("m0", probe)
+        assert owner is ring.owner_of(probe)
+        assert hops <= M

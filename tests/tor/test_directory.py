@@ -1,0 +1,207 @@
+"""Directory authorities: descriptors, votes, consensus, quorum."""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import TorError
+from repro.tor.directory import (
+    ConsensusDocument,
+    DirectoryAuthorityCore,
+    RouterDescriptor,
+    RouterFlag,
+    build_consensus,
+)
+from repro.tor.handshake import OnionKeyPair
+
+
+def make_descriptor(nickname, exit=False, bandwidth=100):
+    onion = OnionKeyPair.generate(Rng(nickname.encode()))
+    return RouterDescriptor(
+        nickname=nickname,
+        or_port=9001,
+        onion_public=onion.public,
+        exit_ports=frozenset({80, 443}) if exit else frozenset(),
+        bandwidth=bandwidth,
+    )
+
+
+def make_authorities(n=3, **kwargs):
+    return [
+        DirectoryAuthorityCore(f"auth{i}", Rng(f"auth{i}".encode()), **kwargs)
+        for i in range(n)
+    ]
+
+
+class TestDescriptor:
+    def test_encode_decode(self):
+        descriptor = make_descriptor("relay1", exit=True, bandwidth=64)
+        assert RouterDescriptor.decode(descriptor.encode()) == descriptor
+
+    def test_identity_is_stable_and_binding(self):
+        a = make_descriptor("relay1")
+        b = make_descriptor("relay1")
+        assert a.identity == b.identity
+        assert a.identity != make_descriptor("relay2").identity
+
+    def test_exit_policy(self):
+        descriptor = make_descriptor("e", exit=True)
+        assert descriptor.allows_exit_to(80)
+        assert not descriptor.allows_exit_to(22)
+
+
+class TestAdmission:
+    def test_manual_approval_required_in_legacy_mode(self):
+        authority = make_authorities(1)[0]
+        descriptor = make_descriptor("newbie")
+        assert not authority.register(descriptor)
+        assert authority.register(descriptor, manual_approved=True)
+        assert "newbie" in authority.registered()
+
+    def test_attestation_mode_admits_only_accepted_measurements(self):
+        good, bad = b"\xaa" * 32, b"\xbb" * 32
+        authority = make_authorities(
+            1, require_attestation=True, accepted_mrenclaves=frozenset({good})
+        )[0]
+        descriptor = make_descriptor("sgx-relay")
+        assert not authority.register(descriptor)  # no attestation at all
+        assert not authority.register(descriptor, attested_mrenclave=bad)
+        assert authority.register(descriptor, attested_mrenclave=good)
+
+    def test_attestation_mode_ignores_manual_approval(self):
+        authority = make_authorities(
+            1, require_attestation=True, accepted_mrenclaves=frozenset({b"\xaa" * 32})
+        )[0]
+        assert not authority.register(make_descriptor("r"), manual_approved=True)
+
+
+class TestVoting:
+    def test_vote_flags(self):
+        authority = make_authorities(1)[0]
+        authority.register(make_descriptor("exit1", exit=True), manual_approved=True)
+        authority.register(
+            make_descriptor("weak", bandwidth=10), manual_approved=True
+        )
+        vote = authority.vote()
+        assert RouterFlag.EXIT in vote.entries["exit1"]
+        assert RouterFlag.GUARD in vote.entries["exit1"]
+        assert RouterFlag.GUARD not in vote.entries["weak"]
+
+    def test_down_relay_loses_running(self):
+        authority = make_authorities(1)[0]
+        authority.register(make_descriptor("r"), manual_approved=True)
+        authority.mark_down("r")
+        assert RouterFlag.RUNNING not in authority.vote().entries["r"]
+
+    def test_vote_signature_verifies(self):
+        authority = make_authorities(1)[0]
+        authority.register(make_descriptor("r"), manual_approved=True)
+        vote = authority.vote()
+        assert vote.verify(authority.public_key)
+        other = make_authorities(2)[1]
+        assert not vote.verify(other.public_key)
+
+
+class TestConsensus:
+    def register_everywhere(self, authorities, descriptors):
+        for authority in authorities:
+            for descriptor in descriptors:
+                authority.register(descriptor, manual_approved=True)
+
+    def test_majority_inclusion(self):
+        authorities = make_authorities(3)
+        shared = make_descriptor("shared")
+        rare = make_descriptor("rare")
+        self.register_everywhere(authorities, [shared])
+        authorities[0].register(rare, manual_approved=True)  # only 1/3
+        votes = [a.vote() for a in authorities]
+        consensus = build_consensus(votes, 3, valid_after=0.0)
+        names = [e.nickname for e in consensus.entries]
+        assert "shared" in names
+        assert "rare" not in names
+
+    def test_flag_majority(self):
+        authorities = make_authorities(3)
+        descriptor = make_descriptor("sus", exit=True)
+        self.register_everywhere(authorities, [descriptor])
+        authorities[0].flag_bad_exit("sus")  # one vote is not a majority
+        votes = [a.vote() for a in authorities]
+        consensus = build_consensus(votes, 3, valid_after=0.0)
+        entry = consensus.find("sus")
+        assert RouterFlag.BAD_EXIT not in entry.flags
+
+        authorities[1].flag_bad_exit("sus")  # now 2/3
+        votes = [a.vote() for a in authorities]
+        consensus = build_consensus(votes, 3, valid_after=0.0)
+        assert RouterFlag.BAD_EXIT in consensus.find("sus").flags
+
+    def test_bad_exit_not_usable_as_exit(self):
+        authorities = make_authorities(3)
+        descriptor = make_descriptor("sus", exit=True)
+        self.register_everywhere(authorities, [descriptor])
+        for authority in authorities[:2]:
+            authority.flag_bad_exit("sus")
+        consensus = build_consensus([a.vote() for a in authorities], 3, 0.0)
+        assert not consensus.find("sus").allows_exit_to(80)
+
+    def test_signature_quorum(self):
+        authorities = make_authorities(3)
+        self.register_everywhere(authorities, [make_descriptor("r")])
+        consensus = build_consensus([a.vote() for a in authorities], 3, 0.0)
+        keys = {a.name: a.public_key for a in authorities}
+
+        consensus.add_signature(
+            authorities[0].name, authorities[0].sign_consensus(consensus)
+        )
+        with pytest.raises(TorError, match="quorum"):
+            consensus.verify(keys)
+        consensus.add_signature(
+            authorities[1].name, authorities[1].sign_consensus(consensus)
+        )
+        assert consensus.verify(keys) == 2
+
+    def test_forged_signature_does_not_count(self):
+        authorities = make_authorities(3)
+        self.register_everywhere(authorities, [make_descriptor("r")])
+        consensus = build_consensus([a.vote() for a in authorities], 3, 0.0)
+        keys = {a.name: a.public_key for a in authorities}
+        impostor = make_authorities(4)[3]
+        consensus.add_signature(authorities[0].name, impostor.sign_consensus(consensus))
+        consensus.add_signature(authorities[1].name, impostor.sign_consensus(consensus))
+        with pytest.raises(TorError, match="quorum"):
+            consensus.verify(keys)
+
+    def test_vote_verification_discards_forged_votes(self):
+        """With authority keys supplied, a vote whose signature does
+        not verify (tampered in transit by a malicious host) is
+        ignored when building consensus."""
+        import dataclasses
+
+        authorities = make_authorities(3)
+        descriptor = make_descriptor("victim", exit=True)
+        self.register_everywhere(authorities, [descriptor])
+        votes = [a.vote() for a in authorities]
+        # The attacker flips BadExit inside two votes in transit.
+        forged = []
+        for vote in votes[:2]:
+            entries = dict(vote.entries)
+            entries["victim"] = vote.entries["victim"] | {RouterFlag.BAD_EXIT}
+            forged.append(dataclasses.replace(vote, entries=entries))
+        keys = {a.name: a.public_key for a in authorities}
+
+        verified = build_consensus(forged + votes[2:], 3, 0.0, authority_keys=keys)
+        # Forged votes dropped -> only one honest vote lists the relay,
+        # below the quorum of 2: safest outcome, no poisoned entry.
+        assert verified.find("victim") is None
+
+        unverified = build_consensus(forged + votes[2:], 3, 0.0)
+        assert RouterFlag.BAD_EXIT in unverified.find("victim").flags
+
+    def test_running_and_valid_required_for_usability(self):
+        authorities = make_authorities(3)
+        descriptor = make_descriptor("down-relay")
+        self.register_everywhere(authorities, [descriptor])
+        for authority in authorities:
+            authority.mark_down("down-relay")
+        consensus = build_consensus([a.vote() for a in authorities], 3, 0.0)
+        assert consensus.find("down-relay") is not None
+        assert consensus.routers() == []

@@ -1,0 +1,120 @@
+"""Incremental-deployment model (security vs anonymity tradeoff)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import Rng
+from repro.errors import TorError
+from repro.tor.incremental import (
+    ClientPolicy,
+    make_population,
+    select_circuit,
+    simulate,
+)
+
+
+class TestPopulation:
+    def test_counts(self):
+        relays = make_population(20, 6, 3, 0.5, Rng(b"pop"))
+        assert len(relays) == 20
+        assert sum(r.is_exit for r in relays) == 6
+        assert sum(r.malicious for r in relays) == 3
+
+    def test_malicious_never_sgx_verified(self):
+        for fraction in (0.0, 0.5, 1.0):
+            relays = make_population(20, 6, 4, fraction, Rng(b"pop2"))
+            assert not any(r.sgx_verified for r in relays if r.malicious)
+
+    def test_full_fraction_verifies_all_honest(self):
+        relays = make_population(20, 6, 2, 1.0, Rng(b"pop3"))
+        assert all(r.sgx_verified for r in relays if not r.malicious)
+
+    def test_zero_fraction_verifies_none(self):
+        relays = make_population(20, 6, 2, 0.0, Rng(b"pop4"))
+        assert not any(r.sgx_verified for r in relays)
+
+    def test_malicious_prefer_exits(self):
+        relays = make_population(20, 6, 2, 0.5, Rng(b"pop5"))
+        assert all(r.is_exit for r in relays if r.malicious)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TorError):
+            make_population(5, 2, 6, 0.5, Rng(b"x"))
+        with pytest.raises(TorError):
+            make_population(5, 6, 1, 0.5, Rng(b"x"))
+
+
+class TestSelection:
+    def test_distinct_hops(self):
+        relays = make_population(20, 6, 2, 0.5, Rng(b"sel"))
+        rng = Rng(b"paths")
+        for _ in range(50):
+            circuit = select_circuit(relays, ClientPolicy.ANY, rng)
+            names = [r.nickname for r in circuit]
+            assert len(set(names)) == 3
+            assert circuit[2].is_exit
+
+    def test_require_sgx_uses_only_verified(self):
+        relays = make_population(20, 8, 2, 0.5, Rng(b"sel2"))
+        rng = Rng(b"paths2")
+        for _ in range(50):
+            circuit = select_circuit(relays, ClientPolicy.REQUIRE_SGX, rng)
+            assert circuit is not None
+            assert all(r.sgx_verified for r in circuit)
+
+    def test_require_sgx_infeasible_returns_none(self):
+        relays = make_population(20, 6, 2, 0.0, Rng(b"sel3"))
+        assert select_circuit(relays, ClientPolicy.REQUIRE_SGX, Rng(b"p")) is None
+
+    def test_prefer_sgx_falls_back(self):
+        relays = make_population(20, 6, 2, 0.0, Rng(b"sel4"))
+        circuit = select_circuit(relays, ClientPolicy.PREFER_SGX, Rng(b"p"))
+        assert circuit is not None  # no SGX relays, still works
+
+
+class TestSimulation:
+    def test_legacy_exposure_matches_fraction_of_malicious_exits(self):
+        stats = simulate(
+            n_relays=30, n_exits=10, n_malicious=3,
+            sgx_fraction=0.5, policy=ClientPolicy.ANY, trials=3000,
+        )
+        assert abs(stats.p_tamper - 0.3) < 0.06
+        assert stats.availability == 1.0
+
+    def test_prefer_sgx_eliminates_exposure_with_any_sgx_exit(self):
+        stats = simulate(
+            sgx_fraction=0.25, policy=ClientPolicy.PREFER_SGX, trials=1000
+        )
+        assert stats.p_tamper == 0.0
+
+    def test_require_sgx_availability_cliff(self):
+        none = simulate(sgx_fraction=0.0, policy=ClientPolicy.REQUIRE_SGX, trials=200)
+        assert none.availability == 0.0
+        half = simulate(sgx_fraction=0.5, policy=ClientPolicy.REQUIRE_SGX, trials=200)
+        assert half.availability == 1.0
+
+    def test_bad_apple_rarer_than_tamper(self):
+        stats = simulate(
+            n_relays=30, n_exits=10, n_malicious=5,
+            sgx_fraction=0.0, policy=ClientPolicy.ANY, trials=4000,
+        )
+        assert 0 < stats.p_bad_apple < stats.p_tamper
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    fraction=st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    malicious=st.integers(min_value=0, max_value=5),
+)
+def test_property_sgx_policies_never_pick_malicious(fraction, malicious):
+    stats = simulate(
+        n_relays=25,
+        n_exits=8,
+        n_malicious=malicious,
+        sgx_fraction=fraction,
+        policy=ClientPolicy.REQUIRE_SGX,
+        trials=300,
+    )
+    assert stats.tampering_exit == 0
+    assert stats.bad_apple == 0

@@ -7,6 +7,7 @@ Usage::
     python -m repro table3          # attestations per design (live runs)
     python -m repro table4          # routing cost, 30 ASes
     python -m repro figure3         # controller scaling sweep
+    python -m repro switchless      # switchless-transition ablation
     python -m repro all             # everything above, in order
 
 Ablations and the full statistical harness live under ``benchmarks/``
@@ -45,6 +46,14 @@ def _figure3() -> None:
     print(experiments.format_figure3(experiments.run_figure3()))
 
 
+def _switchless() -> None:
+    print(
+        experiments.format_switchless_ablation(
+            experiments.run_switchless_ablation()
+        )
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -55,7 +64,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["table1", "table2", "table3", "table4", "figure3", "all"],
+        choices=[
+            "table1", "table2", "table3", "table4", "figure3", "switchless", "all"
+        ],
         help="which paper artifact to regenerate",
     )
     parser.add_argument(
@@ -72,6 +83,7 @@ def main(argv=None) -> int:
         "table3": _table3,
         "table4": lambda: _table4(args.ases),
         "figure3": _figure3,
+        "switchless": _switchless,
     }
     selected = list(jobs) if args.experiment == "all" else [args.experiment]
     for name in selected:

@@ -76,6 +76,7 @@ class SecureApplicationProgram(EnclaveProgram):
         self._sessions: Dict[str, _Session] = {}
         self._default_info: Optional[QuoteVerificationInfo] = None
         self._default_peer_policy: Optional[IdentityPolicy] = None
+        self._switchless_io = False
 
     # -- configuration (ecalls) ------------------------------------------------
 
@@ -87,6 +88,19 @@ class SecureApplicationProgram(EnclaveProgram):
         """Install the attestation-service info (and a default policy)."""
         self._default_info = verification_info
         self._default_peer_policy = peer_policy
+
+    def enable_switchless_io(
+        self, capacity: int = 64, poll_interval: int = 8
+    ) -> None:
+        """Route this program's packet I/O through a switchless queue.
+
+        Sets up the enclave's ocall-direction queue and makes
+        ``_charge_send`` / ``_charge_recv`` (the Table 2 path every
+        record message pays) use it — the per-packet marshalling cost
+        stays, the per-call crossing disappears.
+        """
+        self.ctx.enable_switchless(capacity=capacity, poll_interval=poll_interval)
+        self._switchless_io = True
 
     # -- session lifecycle (ecalls, driven by the untrusted pump) ----------------
 
@@ -248,11 +262,13 @@ class SecureApplicationProgram(EnclaveProgram):
 
     def _charge_send(self, n_bytes: int) -> None:
         packets = [b"\x00" * MSS] * (max(1, -(-n_bytes // MSS)))
-        self.ctx.send_packets(lambda _pkts: None, packets)
+        self.ctx.send_packets(
+            lambda _pkts: None, packets, switchless=self._switchless_io
+        )
 
     def _charge_recv(self, n_bytes: int) -> None:
         packets = [b"\x00" * MSS] * (max(1, -(-n_bytes // MSS)))
-        self.ctx.recv_packets(lambda: packets)
+        self.ctx.recv_packets(lambda: packets, switchless=self._switchless_io)
 
     # -- hooks ------------------------------------------------------------------------
 

@@ -48,13 +48,26 @@ class AttestedServer:
     controller distributing routes once the last policy arrives).
     """
 
-    def __init__(self, node: EnclaveNode, enclave: Enclave, port: int) -> None:
+    def __init__(
+        self,
+        node: EnclaveNode,
+        enclave: Enclave,
+        port: int,
+        switchless: bool = False,
+    ) -> None:
         self.node = node
         self.enclave = enclave
         self.port = port
         self.listener = StreamListener(node.host, port)
         self.sessions_accepted = 0
         self._conns: dict = {}
+        # The per-message hot path (session_handle + outbox draining)
+        # optionally rides the switchless ecall queue; session setup and
+        # teardown stay ordinary ecalls — they are rare and want the
+        # synchronous error semantics.
+        if switchless and enclave.switchless_ecalls is None:
+            enclave.enable_switchless_ecalls()
+        self._hot_ecall = enclave.ecall_switchless if switchless else enclave.ecall
         node.sim.spawn(self._accept_loop(), f"attested-server:{node.name}:{port}")
 
     def _accept_loop(self) -> Generator:
@@ -79,7 +92,7 @@ class AttestedServer:
                 self.enclave.ecall("session_close", session_id)
                 return
             try:
-                reply = self.enclave.ecall("session_handle", session_id, message)
+                reply = self._hot_ecall("session_handle", session_id, message)
             except ReproError:
                 # Attestation or protocol failure: refuse the peer and
                 # keep serving others (e.g. a tampered relay knocking).
@@ -94,11 +107,11 @@ class AttestedServer:
     def flush_all(self) -> int:
         """Drain the outboxes of sessions that actually have data."""
         shipped = 0
-        for sid in self.enclave.ecall("pending_sessions"):
+        for sid in self._hot_ecall("pending_sessions"):
             conn = self._conns.get(sid)
             if conn is None:
                 continue
-            for frame in self.enclave.ecall("collect_outgoing", sid):
+            for frame in self._hot_ecall("collect_outgoing", sid):
                 conn.send_message(frame)
                 shipped += 1
         return shipped

@@ -32,6 +32,7 @@ class Counter:
     normal_instructions: int = 0
     enclave_crossings: int = 0
     allocations: int = 0
+    switchless_calls: int = 0
 
     def copy(self) -> "Counter":
         return dataclasses.replace(self)
@@ -41,6 +42,7 @@ class Counter:
         self.normal_instructions += other.normal_instructions
         self.enclave_crossings += other.enclave_crossings
         self.allocations += other.allocations
+        self.switchless_calls += other.switchless_calls
         return self
 
     def __sub__(self, other: "Counter") -> "Counter":
@@ -49,6 +51,7 @@ class Counter:
             normal_instructions=self.normal_instructions - other.normal_instructions,
             enclave_crossings=self.enclave_crossings - other.enclave_crossings,
             allocations=self.allocations - other.allocations,
+            switchless_calls=self.switchless_calls - other.switchless_calls,
         )
 
 
@@ -108,6 +111,11 @@ class CostAccountant:
         """Record ``count`` in-enclave dynamic memory allocations."""
         if self.enabled:
             self.counter().allocations += count
+
+    def charge_switchless(self, count: int = 1) -> None:
+        """Record ``count`` boundary calls served without a crossing."""
+        if self.enabled:
+            self.counter().switchless_calls += count
 
     # -- reading results ---------------------------------------------------
 

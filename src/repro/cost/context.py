@@ -80,6 +80,13 @@ def charge_sgx(count: int = 1) -> None:
         accountant.charge_sgx(count)
 
 
+def charge_switchless(count: int = 1) -> None:
+    """Record boundary calls that skipped the crossing (switchless)."""
+    accountant = _ACCOUNTANT.get()
+    if accountant is not None:
+        accountant.charge_switchless(count)
+
+
 def charge_allocation(count: int = 1) -> None:
     """Record in-enclave allocations against the ambient accountant."""
     accountant = _ACCOUNTANT.get()

@@ -88,6 +88,20 @@ class CostModel:
     enclave_alloc_normal: int = 11_500
     trampoline_normal: int = 450              # per EENTER/EEXIT pair
 
+    # ---- switchless transitions (Svenningsson et al.; Intel SDK
+    # "switchless mode").  A switchless call replaces the two ~10K-cycle
+    # SGX instructions of a crossing with a request slot written to
+    # untrusted shared memory and a worker on the far side that polls
+    # it.  The costs: marshalling one request/response through a slot
+    # (caller side), one worker poll pass, and the penalty paid when no
+    # worker slot is available and the call degrades to a genuine
+    # crossing (queue-management bookkeeping on top of the normal
+    # trampoline).  Magnitudes follow the switchless literature's
+    # "hundreds of cycles instead of tens of thousands" finding.
+    switchless_slot_normal: int = 400         # write request + read response
+    switchless_poll_normal: int = 150         # one worker poll pass
+    switchless_fallback_normal: int = 900     # give-up-and-cross bookkeeping
+
     # ---- asynchronous exits (paper: enclaves run near-native "if no
     # external communications or interrupts (e.g., asynchronous exits
     # in SGX) are incurred") ----

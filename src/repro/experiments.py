@@ -40,6 +40,8 @@ __all__ = [
     "format_table4",
     "run_figure3",
     "format_figure3",
+    "run_switchless_ablation",
+    "format_switchless_ablation",
 ]
 
 # ---------------------------------------------------------------------------
@@ -339,6 +341,105 @@ def format_table4(sgx, native) -> str:
         f"{table}\n"
         f"inter-domain overhead: {idc_overhead:.0%} (paper 82%)\n"
         f"AS-local overhead:     {aslc_overhead:.0%} (paper 69%)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Switchless ablation — crossings and cycles with the call queue on/off
+# ---------------------------------------------------------------------------
+
+
+class _SwitchlessWorkloadProgram(EnclaveProgram):
+    """Drives the two switchless hot paths from inside an enclave."""
+
+    def enable(self, capacity: int = 64, poll_interval: int = 8) -> None:
+        self.ctx.enable_switchless(capacity=capacity, poll_interval=poll_interval)
+
+    def burst_ocalls(self, n: int, switchless: bool) -> int:
+        """n ocalls in a row — the crossings-per-call workload."""
+        done: List[int] = []
+        for i in range(n):
+            self.ctx.ocall(done.append, i, switchless=switchless)
+        return len(done)
+
+    def send_batch(self, n_packets: int, switchless: bool) -> None:
+        """One Table 2 packet transmission, optionally switchless."""
+        packets = [bytes(MTU - 16)] * n_packets
+        self.ctx.send_packets(lambda _pkts: None, packets, switchless=switchless)
+        if switchless:
+            self.ctx.switchless.flush()
+
+
+def _measure_workload(method: str, *args) -> Counter:
+    """Run one workload ecall; return its cost net of the ecall pair."""
+    platform = SgxPlatform("ablation-host", rng=Rng(b"switchless"))
+    author = generate_rsa_keypair(512, Rng(b"switchless-author"))
+    enclave = platform.load_enclave(_SwitchlessWorkloadProgram(), author_key=author)
+    enclave.ecall("enable")
+    before = platform.accountant.snapshot()
+    enclave.ecall(method, *args)
+    delta = platform.accountant.delta(before)
+    counter = Counter()
+    for domain_counter in delta.values():
+        counter += domain_counter
+    counter.sgx_instructions -= 2          # exclude the generic ecall pair
+    counter.normal_instructions -= 450
+    counter.enclave_crossings -= 1
+    return counter
+
+
+def run_switchless_ablation(
+    batch_sizes=(1, 10, 100), n_ocalls: int = 100
+) -> Dict[str, Dict]:
+    """Crossings and modeled cycles with the switchless queue on/off.
+
+    Two workloads, mirroring the Table 2 methodology: a burst of
+    ``n_ocalls`` ocalls (the per-call crossing cost the queue is built
+    to eliminate) and the packet-transmission path across
+    ``batch_sizes`` (where batching already amortizes the crossing and
+    switchless removes the remainder).
+    """
+    ocalls = {
+        switchless: _measure_workload("burst_ocalls", n_ocalls, switchless)
+        for switchless in (False, True)
+    }
+    packets = {
+        (n, switchless): _measure_workload("send_batch", n, switchless)
+        for n in batch_sizes
+        for switchless in (False, True)
+    }
+    return {"n_ocalls": n_ocalls, "ocalls": ocalls, "packets": packets}
+
+
+def format_switchless_ablation(results: Dict[str, Dict]) -> str:
+    def row(label: str, off: Counter, on: Counter) -> List:
+        off_cycles = DEFAULT_MODEL.cycles(
+            off.sgx_instructions, off.normal_instructions
+        )
+        on_cycles = DEFAULT_MODEL.cycles(on.sgx_instructions, on.normal_instructions)
+        return [
+            label,
+            off.enclave_crossings,
+            on.enclave_crossings,
+            format_count(off_cycles),
+            format_count(on_cycles),
+            f"{1 - on_cycles / off_cycles:.0%}" if off_cycles else "-",
+        ]
+
+    ocalls = results["ocalls"]
+    rows = [row(f"{results['n_ocalls']} ocalls", ocalls[False], ocalls[True])]
+    for n in sorted({n for n, _ in results["packets"]}):
+        rows.append(
+            row(
+                f"send {n} pkt",
+                results["packets"][(n, False)],
+                results["packets"][(n, True)],
+            )
+        )
+    return format_table(
+        ["workload", "crossings", "switchless", "cycles", "switchless", "saved"],
+        rows,
+        title="Switchless ablation — queue off vs on (Table 2 methodology)",
     )
 
 

@@ -32,12 +32,22 @@ class MiddleboxNode:
         upstream_port: int,
         proxy_port: int = PROXY_PORT,
         provision_port: int = PROVISION_PORT,
+        switchless: bool = False,
     ) -> None:
         self.node = node
         self.enclave = enclave
         self.upstream = (upstream_host, upstream_port)
         self.flows_relayed = 0
-        self.provisioning = AttestedServer(node, enclave, provision_port)
+        # switchless=True routes the per-record inspect path (and the
+        # provisioning server's message pump) through the enclave's
+        # switchless ecall queue instead of an EENTER/EEXIT per record.
+        self._switchless = switchless
+        if switchless and enclave.switchless_ecalls is None:
+            enclave.enable_switchless_ecalls()
+        self._hot_ecall = enclave.ecall_switchless if switchless else enclave.ecall
+        self.provisioning = AttestedServer(
+            node, enclave, provision_port, switchless=switchless
+        )
         self.listener = StreamListener(node.host, proxy_port)
         node.sim.spawn(self._accept_loop(), f"mbox-proxy:{node.name}")
 
@@ -75,7 +85,7 @@ class MiddleboxNode:
             if message is None:
                 sink.close()
                 return
-            verdict, _alerts = self.enclave.ecall(
+            verdict, _alerts = self._hot_ecall(
                 "inspect_record", flow_id, direction, message
             )
             if verdict == "block":

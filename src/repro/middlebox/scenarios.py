@@ -74,6 +74,7 @@ class MiddleboxScenario:
         bilateral: bool = False,
         tampered_boxes: Tuple[int, ...] = (),
         seed: bytes = b"mbox-scenario",
+        switchless: bool = False,
     ) -> None:
         self.sim = Simulator()
         self.network = Network(
@@ -124,7 +125,7 @@ class MiddleboxScenario:
             enclave.ecall(
                 "configure_trust", self.sgx_authority.verification_info()
             )
-            box = MiddleboxNode(node, enclave, *upstream)
+            box = MiddleboxNode(node, enclave, *upstream, switchless=switchless)
             self.middleboxes.insert(0, box)
             upstream = (name, PROXY_PORT)
         self._entry = upstream

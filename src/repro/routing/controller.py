@@ -32,6 +32,7 @@ class ComputationStats:
     route_updates: int = 0
     export_evaluations: int = 0
     routes_stored: int = 0
+    route_pushes: int = 0  #: per-AS result sets handed out (message exchanges)
 
 
 class InterDomainController:
@@ -198,6 +199,7 @@ class InterDomainController:
         """Exactly the routes belonging to one AS — all it may learn."""
         if asn not in self._policies:
             raise PolicyError(f"AS{asn} is not a participant")
+        self.stats.route_pushes += 1
         return dict(self.compute_routes()[asn])
 
     def full_rib_size(self) -> int:

@@ -45,6 +45,7 @@ from repro.sgx.quoting import (
 from repro.sgx.report import Report, TargetInfo
 from repro.sgx.runtime import EnclaveContext, EnclaveProgram
 from repro.sgx.sigstruct import SigStruct, sign_enclave
+from repro.sgx.switchless import SwitchlessQueue, SwitchlessStats
 
 __all__ = [
     "SgxPlatform",
@@ -61,6 +62,8 @@ __all__ = [
     "PageType",
     "UserInstruction",
     "PrivilegedInstruction",
+    "SwitchlessQueue",
+    "SwitchlessStats",
     "KeyName",
     "SealPolicy",
     "Report",

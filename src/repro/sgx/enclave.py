@@ -39,6 +39,7 @@ class Enclave:
         self._pages = pages
         self._program = program
         self._destroyed = False
+        self._switchless_ecalls = None  # installed by enable_switchless_ecalls()
         self.ctx = EnclaveContext(self, platform)
 
     # -- isolation boundary ------------------------------------------------
@@ -63,14 +64,7 @@ class Enclave:
         method's work (and any costs it incurs) to this enclave's
         domain in the platform's accountant.
         """
-        if self._destroyed:
-            raise SgxError(f"enclave '{self.name}' has been destroyed")
-        if method.startswith("_"):
-            raise EnclaveAccessError(f"'{method}' is not an exported ecall")
-        handler = getattr(type(self._program), method, None)
-        if handler is None or not callable(handler):
-            raise SgxError(f"enclave '{self.name}' exports no ecall '{method}'")
-
+        handler = self._resolve_ecall(method)
         accountant = self._platform.accountant
         with cost_context.use_accountant(accountant, self._platform.model):
             with accountant.attribute(self.domain):
@@ -85,6 +79,54 @@ class Enclave:
                 finally:
                     self._charge_async_exits(accountant, before)
                     execute_user(UserInstruction.EEXIT)
+
+    def _resolve_ecall(self, method: str):
+        """Shared ecall validation: exported, existing, enclave alive."""
+        if self._destroyed:
+            raise SgxError(f"enclave '{self.name}' has been destroyed")
+        if method.startswith("_"):
+            raise EnclaveAccessError(f"'{method}' is not an exported ecall")
+        handler = getattr(type(self._program), method, None)
+        if handler is None or not callable(handler):
+            raise SgxError(f"enclave '{self.name}' exports no ecall '{method}'")
+        return handler
+
+    def enable_switchless_ecalls(
+        self, capacity: int = 64, poll_interval: int = 8
+    ) -> Any:
+        """Attach a switchless ecall queue serviced by an in-enclave
+        worker thread; :meth:`ecall_switchless` then routes through it.
+        Returns the queue (its ``stats`` is what the ablation reports).
+        Re-enabling replaces the queue, draining any pending backlog
+        on the old one first.
+        """
+        if self._switchless_ecalls is not None:
+            self._switchless_ecalls.flush()
+        self._switchless_ecalls = self._platform.create_switchless_queue(
+            self, direction="ecall", capacity=capacity, poll_interval=poll_interval
+        )
+        return self._switchless_ecalls
+
+    @property
+    def switchless_ecalls(self) -> Any:
+        """The attached switchless ecall queue, or None."""
+        return self._switchless_ecalls
+
+    def ecall_switchless(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Run an exported method via the switchless ecall queue.
+
+        The request slot is written from untrusted memory and serviced
+        by an in-enclave worker — no EENTER/EEXIT, no crossing.  The
+        method's work is still attributed to the enclave's domain.
+        Falls back to a regular :meth:`ecall` when no queue is attached
+        (so callers can pass a flag through without branching).
+        """
+        if self._switchless_ecalls is None:
+            return self.ecall(method, *args, **kwargs)
+        handler = self._resolve_ecall(method)
+        return self._switchless_ecalls.call(
+            handler, (self._program,) + args, kwargs
+        )
 
     def _charge_async_exits(self, accountant, normal_before: int) -> None:
         """Interrupt model: the host's timer/device interrupts force

@@ -6,6 +6,12 @@ model; privileged instructions (ENCLS leaves) run during enclave
 launch, which the paper's steady-state measurements exclude (they are
 still counted, in a separate bucket, so launch experiments can report
 them).
+
+Switchless calls (:mod:`repro.sgx.switchless`) deliberately bypass
+this module: their whole point is that a boundary call serviced by a
+shared-memory worker executes *no* ENCLU leaf at all, so a switchless
+call charges no SGX instructions here — only its fallback path (a
+genuine crossing) comes back through :func:`execute_user`.
 """
 
 from __future__ import annotations

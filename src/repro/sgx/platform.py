@@ -200,6 +200,34 @@ class SgxPlatform:
             raise MeasurementError("quoting enclave not signed by the authority")
         self.quoting_enclave.ecall("install_attestation_key", self._member_key)
 
+    # -- switchless call queues ----------------------------------------------
+
+    def create_switchless_queue(
+        self,
+        enclave: Enclave,
+        direction: str = "ocall",
+        capacity: int = 64,
+        poll_interval: int = 8,
+    ):
+        """Set up a shared-memory switchless call queue for ``enclave``.
+
+        ``direction="ocall"`` gives the enclave a queue serviced by an
+        untrusted worker thread (used by ``EnclaveContext.ocall`` and
+        the packet-I/O methods); ``direction="ecall"`` gives untrusted
+        code a queue serviced by an in-enclave worker (used by
+        ``Enclave.ecall_switchless``).
+        """
+        from repro.sgx.switchless import SwitchlessQueue
+
+        return SwitchlessQueue(
+            platform=self,
+            direction=direction,
+            enclave_domain=enclave.domain,
+            capacity=capacity,
+            poll_interval=poll_interval,
+            name=f"{enclave.name}-{direction}",
+        )
+
     # -- heap growth (called from EnclaveContext.alloc) ----------------------
 
     def grow_enclave_heap(self, enclave: Enclave):

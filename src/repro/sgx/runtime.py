@@ -59,11 +59,17 @@ class EnclaveContext:
         self._rng = platform.rng.fork(f"enclave:{enclave.name}")
         self._heap_used = 0
         self._heap_pages = 1  # one data page pre-allocated at load
+        self._switchless = None  # installed by enable_switchless()
         # EPC indices of the heap pages (initial page is the last one
         # added at load time); grows with alloc().
-        self._heap_indices = [enclave_pages[-1].index] if (
-            enclave_pages := getattr(enclave, "_pages", None)
-        ) else []
+        enclave_pages = getattr(enclave, "_pages", None)
+        if not enclave_pages:
+            raise SgxError(
+                f"enclave '{getattr(enclave, 'name', '?')}' has no EPC pages; "
+                "an EnclaveContext needs at least the initial heap page "
+                "(was the enclave built without EADD?)"
+            )
+        self._heap_indices = [enclave_pages[-1].index]
 
     # -- identity & randomness ------------------------------------------
 
@@ -122,12 +128,52 @@ class EnclaveContext:
 
     # -- boundary crossings ------------------------------------------------
 
-    def ocall(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    def enable_switchless(self, capacity: int = 64, poll_interval: int = 8) -> Any:
+        """Attach a switchless ocall queue to this enclave.
+
+        After this, ``ocall(..., switchless=True)`` and the packet-I/O
+        methods with ``switchless=True`` route through a shared-memory
+        request queue serviced by a modeled untrusted worker instead of
+        paying an EEXIT/ERESUME crossing per call.  Returns the queue
+        (its ``stats`` field is what the ablation reports).
+
+        Re-enabling replaces the queue; any backlog pending on the old
+        one is drained first so posted calls are never lost.
+        """
+        if self._switchless is not None:
+            self._switchless.flush()
+        self._switchless = self._platform.create_switchless_queue(
+            self._enclave, capacity=capacity, poll_interval=poll_interval
+        )
+        return self._switchless
+
+    @property
+    def switchless(self) -> Any:
+        """The attached switchless queue, or None."""
+        return self._switchless
+
+    def ocall(
+        self,
+        func: Callable[..., Any],
+        *args: Any,
+        switchless: bool = False,
+        **kwargs: Any,
+    ) -> Any:
         """Leave the enclave, run ``func`` untrusted, re-enter.
 
         Charges EEXIT + ERESUME and the trampoline cost; the function's
-        own work is attributed to the untrusted domain.
+        own work is attributed to the untrusted domain.  With
+        ``switchless=True`` (requires :meth:`enable_switchless`) the
+        call is instead written to the shared-memory queue and serviced
+        by the untrusted worker — no crossing, no SGX instructions.
         """
+        if switchless:
+            if self._switchless is None:
+                raise SgxError(
+                    "switchless ocall requested but enable_switchless() "
+                    "was never called on this enclave"
+                )
+            return self._switchless.call(func, args, kwargs)
         execute_user(UserInstruction.EEXIT)
         accountant = self._platform.accountant
         accountant.charge_crossing()
@@ -216,14 +262,28 @@ class EnclaveContext:
         self,
         sender: Callable[[Sequence[bytes]], Any],
         packets: Sequence[bytes],
+        switchless: bool = False,
     ) -> Any:
         """Send packets from inside the enclave via an untrusted sender.
 
         One call costs a fixed trampoline (marshalling the batch out of
         the EPC) plus a per-packet cost; batching therefore amortizes —
-        the effect Table 2 measures.
+        the effect Table 2 measures.  With ``switchless=True`` the batch
+        is posted to the switchless queue instead: the per-packet
+        marshalling cost stays (bytes still leave the EPC) but the fixed
+        crossing disappears.  Switchless sends are fire-and-forget and
+        return ``None``; the worker drains them on its next poll.
         """
         model = cost_context.current_model()
+        if switchless:
+            if self._switchless is None:
+                raise SgxError(
+                    "switchless send_packets requested but "
+                    "enable_switchless() was never called on this enclave"
+                )
+            cost_context.charge_normal(model.send_per_packet_normal * len(packets))
+            self._switchless.post(sender, (list(packets),))
+            return None
         execute_user(UserInstruction.EEXIT, model.send_call_fixed_sgx // 2)
         cost_context.charge_normal(model.send_call_fixed_normal)
         cost_context.charge_normal(model.send_per_packet_normal * len(packets))
@@ -245,23 +305,41 @@ class EnclaveContext:
     def recv_packets(
         self,
         receiver: Callable[[], Sequence[bytes]],
+        switchless: bool = False,
     ) -> List[bytes]:
         """Receive a batch of packets into the enclave (mirror of send).
 
         The untrusted receiver's return value is sanity-checked before
         any enclave code touches it — the Iago-attack discipline the
-        paper's Section 6 calls for.
+        paper's Section 6 calls for.  With ``switchless=True`` the
+        request goes through the queue (no crossing), but the worker's
+        response passes through exactly the same checks.
         """
         model = cost_context.current_model()
-        execute_user(UserInstruction.EEXIT, model.send_call_fixed_sgx // 2)
-        cost_context.charge_normal(model.send_call_fixed_normal)
-        accountant = self._platform.accountant
-        accountant.charge_crossing()
-        with accountant.attribute(self._platform.untrusted_domain):
-            raw = receiver()
-        execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
+        if switchless:
+            if self._switchless is None:
+                raise SgxError(
+                    "switchless recv_packets requested but "
+                    "enable_switchless() was never called on this enclave"
+                )
+            packets = self._switchless.call(
+                receiver, validate=self._validate_recv_packets
+            )
+        else:
+            execute_user(UserInstruction.EEXIT, model.send_call_fixed_sgx // 2)
+            cost_context.charge_normal(model.send_call_fixed_normal)
+            accountant = self._platform.accountant
+            accountant.charge_crossing()
+            with accountant.attribute(self._platform.untrusted_domain):
+                raw = receiver()
+            execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
+            packets = self._validate_recv_packets(raw)
+            cost_context.charge_sgx(model.send_per_packet_sgx * len(packets))
+        cost_context.charge_normal(model.send_per_packet_normal * len(packets))
+        return packets
 
-        # -- Iago checks: validate untrusted output before use --
+    def _validate_recv_packets(self, raw: Any) -> List[bytes]:
+        """Iago checks: validate untrusted output before enclave use."""
         if not isinstance(raw, (list, tuple)):
             raise SgxError("untrusted receiver returned a non-sequence")
         if len(raw) > self.MAX_PACKETS_PER_RECV:
@@ -279,6 +357,4 @@ class EnclaveContext:
                     f"(cap {self.MAX_PACKET_BYTES})"
                 )
             packets.append(bytes(item))
-        cost_context.charge_normal(model.send_per_packet_normal * len(packets))
-        cost_context.charge_sgx(model.send_per_packet_sgx * len(packets))
         return packets

@@ -1,0 +1,268 @@
+"""Switchless enclave transitions: shared-memory call queues.
+
+The paper's Tables 1/2/4 show boundary crossings — two ~10K-cycle SGX
+instructions plus a trampoline per ocall/ecall — dominating the
+overhead of SGX network applications, and Table 2 shows batching
+amortizes them.  Switchless calls (Intel SDK "switchless mode";
+HotCalls; Svenningsson et al., "Speeding up enclave transitions for
+IO-intensive applications") take the next step: the caller writes a
+request into a bounded array of slots in untrusted shared memory and a
+dedicated worker thread on the *other* side of the boundary polls and
+services it.  No EENTER/EEXIT/ERESUME executes at all; a run of N
+calls pays 0 crossings while a worker is live, and at most one genuine
+crossing (which drains the whole backlog) when it is not.
+
+:class:`SwitchlessQueue` models that mechanism on top of the repo's
+cost accounting.  One class serves both directions:
+
+* ``direction="ocall"`` — caller is the enclave, the worker is an
+  untrusted host thread (used by :meth:`EnclaveContext.ocall`,
+  ``send_packets`` and ``recv_packets`` with ``switchless=True``);
+* ``direction="ecall"`` — caller is the untrusted host, the worker is
+  an in-enclave thread (used by :meth:`Enclave.ecall_switchless`).
+
+Costs charged per the ``switchless_*`` fields of
+:class:`~repro.cost.model.CostModel`: a per-slot marshalling cost on
+the caller's side, a poll cost on the worker's side, and a fallback
+cost (on top of the ordinary crossing charges) when the queue is full
+and no worker is running.  Responses crossing *into* trusted code are
+validated before any enclave code touches them — the same Iago-attack
+discipline :meth:`EnclaveContext.recv_packets` applies (paper,
+Section 6).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Deque, Iterator, Optional, Tuple
+
+from repro.cost import context as cost_context
+from repro.errors import SgxError
+from repro.sgx.isa import UserInstruction, execute_user
+
+__all__ = ["SwitchlessQueue", "SwitchlessStats"]
+
+
+@dataclasses.dataclass
+class SwitchlessStats:
+    """Telemetry from one queue (what the ablation reports)."""
+
+    submitted: int = 0           #: calls that entered the queue
+    serviced: int = 0            #: slots completed by the worker
+    polls: int = 0               #: worker poll passes
+    fallback_crossings: int = 0  #: calls that degraded to a real crossing
+    max_depth: int = 0           #: high-water mark of occupied slots
+
+
+@dataclasses.dataclass
+class _Slot:
+    """One request/response slot in the shared-memory array."""
+
+    func: Callable[..., Any]
+    args: Tuple[Any, ...]
+    kwargs: dict
+    done: bool = False
+    result: Any = None
+
+
+class SwitchlessQueue:
+    """A bounded request/response queue across the enclave boundary."""
+
+    DIRECTIONS = ("ocall", "ecall")
+
+    def __init__(
+        self,
+        platform: Any,
+        direction: str,
+        enclave_domain: str,
+        capacity: int = 64,
+        poll_interval: int = 8,
+        name: str = "",
+    ) -> None:
+        if direction not in self.DIRECTIONS:
+            raise SgxError(f"unknown switchless direction {direction!r}")
+        if capacity <= 0:
+            raise SgxError("switchless queue needs at least one slot")
+        if poll_interval <= 0:
+            raise SgxError("switchless poll interval must be positive")
+        self._platform = platform
+        self.direction = direction
+        self.enclave_domain = enclave_domain
+        self.capacity = capacity
+        #: the worker drains posted slots every this-many submissions
+        #: (models its polling period relative to enclave progress).
+        self.poll_interval = poll_interval
+        self.name = name or f"switchless-{direction}"
+        self._pending: Deque[_Slot] = deque()
+        self._worker_running = True
+        self._posts_since_poll = 0
+        self.stats = SwitchlessStats()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    @property
+    def worker_running(self) -> bool:
+        return self._worker_running
+
+    def pause_worker(self) -> None:
+        """Model the worker descheduled/busy: calls fall back to
+        genuine crossings and posts pile up until the slots run out."""
+        self._worker_running = False
+
+    def resume_worker(self) -> None:
+        """Worker is back: it immediately catches up on the backlog."""
+        self._worker_running = True
+        if self._pending:
+            with self._context():
+                self._service()
+
+    @property
+    def depth(self) -> int:
+        """Currently occupied slots."""
+        return len(self._pending)
+
+    # -- the call interface ------------------------------------------------
+
+    def call(
+        self,
+        func: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        validate: Optional[Callable[[Any], Any]] = None,
+    ) -> Any:
+        """One synchronous switchless call: submit, spin, validate.
+
+        The caller needs the result, so it busy-waits on the response
+        word while the worker services the slot — zero crossings.  With
+        no worker running the call degrades to one genuine crossing
+        (which also drains any backlog).  ``validate`` runs on the
+        caller's side of the boundary before the result is returned —
+        for the ocall direction that is the enclave's Iago check on
+        untrusted output.
+        """
+        kwargs = {} if kwargs is None else kwargs
+        with self._context():
+            if not self._worker_running:
+                return self._fallback(func, args, kwargs, validate)
+            if len(self._pending) >= self.capacity:
+                self._service()  # worker frees the slots; still no crossing
+            slot = self._submit(func, args, kwargs)
+            self._service()
+            result = slot.result
+        return validate(result) if validate is not None else result
+
+    def post(
+        self,
+        func: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+    ) -> None:
+        """Fire-and-forget submission (the ``send_packets`` shape).
+
+        The caller does not wait: the slot is drained on the worker's
+        next poll pass (every ``poll_interval`` submissions), by a later
+        synchronous :meth:`call`, or by :meth:`flush`.  When every slot
+        is occupied and no worker is running, one genuine crossing
+        drains the entire backlog — N posts cost at most one crossing.
+        """
+        kwargs = {} if kwargs is None else kwargs
+        with self._context():
+            if len(self._pending) >= self.capacity:
+                if self._worker_running:
+                    self._service()
+                else:
+                    self._fallback(None, (), {}, None)
+            self._submit(func, args, kwargs)
+            self._posts_since_poll += 1
+            if self._worker_running and self._posts_since_poll >= self.poll_interval:
+                self._service()
+
+    def flush(self) -> int:
+        """Drain outstanding posted slots; returns how many ran."""
+        with self._context():
+            outstanding = len(self._pending)
+            if not outstanding:
+                return 0
+            if self._worker_running:
+                self._service()
+            else:
+                self._fallback(None, (), {}, None)
+            return outstanding
+
+    # -- internals ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _context(self) -> Iterator[None]:
+        """Charges flow to the owning platform's accountant/model."""
+        with cost_context.use_accountant(
+            self._platform.accountant, self._platform.model
+        ):
+            yield
+
+    def _worker_domain(self) -> str:
+        return (
+            self.enclave_domain
+            if self.direction == "ecall"
+            else self._platform.untrusted_domain
+        )
+
+    def _submit(self, func, args, kwargs) -> _Slot:
+        """Caller side: write one request into a free slot."""
+        model = cost_context.current_model()
+        self._platform.accountant.charge_switchless()
+        cost_context.charge_normal(model.switchless_slot_normal)
+        slot = _Slot(func, args, kwargs)
+        self._pending.append(slot)
+        self.stats.submitted += 1
+        self.stats.max_depth = max(self.stats.max_depth, len(self._pending))
+        return slot
+
+    def _service(self) -> None:
+        """One worker poll pass: drain every pending slot, no crossing."""
+        model = cost_context.current_model()
+        accountant = self._platform.accountant
+        self.stats.polls += 1
+        self._posts_since_poll = 0
+        with accountant.attribute(self._worker_domain()):
+            cost_context.charge_normal(model.switchless_poll_normal)
+            while self._pending:
+                slot = self._pending.popleft()
+                slot.result = slot.func(*slot.args, **slot.kwargs)
+                slot.done = True
+                self.stats.serviced += 1
+
+    def _fallback(self, func, args, kwargs, validate) -> Any:
+        """No worker slot available: pay one genuine boundary crossing.
+
+        The crossing is amortized exactly like a batched ocall — while
+        on the far side, the whole backlog is drained along with the
+        triggering call (``func=None`` for a pure drain).
+        """
+        model = cost_context.current_model()
+        accountant = self._platform.accountant
+        self.stats.fallback_crossings += 1
+        enter, leave = (
+            (UserInstruction.EEXIT, UserInstruction.ERESUME)
+            if self.direction == "ocall"
+            else (UserInstruction.EENTER, UserInstruction.EEXIT)
+        )
+        with accountant.attribute(self.enclave_domain):
+            execute_user(enter)
+            accountant.charge_crossing()
+            cost_context.charge_normal(
+                model.trampoline_normal + model.switchless_fallback_normal
+            )
+        result = None
+        with accountant.attribute(self._worker_domain()):
+            while self._pending:
+                slot = self._pending.popleft()
+                slot.result = slot.func(*slot.args, **slot.kwargs)
+                slot.done = True
+                self.stats.serviced += 1
+            if func is not None:
+                result = func(*args, **kwargs)
+        with accountant.attribute(self.enclave_domain):
+            execute_user(leave)
+        return validate(result) if validate is not None else result

@@ -138,6 +138,10 @@ class OnionRouterEnclaveProgram(SecureApplicationProgram):
     def handle_cell(self, link_id: int, cell_bytes: bytes):
         return self._engine().handle_cell(link_id, cell_bytes)
 
+    def handle_cells(self, cells):
+        """Batched cell processing: one ecall for a burst of cells."""
+        return self._engine().handle_cells(cells)
+
     def link_opened(self, ref: int, link_id: int):
         return self._engine().link_opened(ref, link_id)
 

@@ -24,14 +24,19 @@ __all__ = ["OnionRouterNode"]
 class OnionRouterNode:
     """The untrusted host process around a relay engine."""
 
-    def __init__(self, host: Host, engine, enclave=None) -> None:
+    def __init__(self, host: Host, engine, enclave=None, switchless: bool = False) -> None:
         """``engine`` is a RelayCore for native mode; pass ``enclave``
-        (hosting an OnionRouterEnclaveProgram) for SGX mode instead."""
+        (hosting an OnionRouterEnclaveProgram) for SGX mode instead.
+        ``switchless=True`` (SGX mode only) routes the per-cell data
+        plane through the enclave's switchless ecall queue."""
         if (engine is None) == (enclave is None):
             raise TorError("provide exactly one of engine / enclave")
         self.host = host
         self._engine: Optional[RelayCore] = engine
         self._enclave = enclave
+        self._switchless = switchless and enclave is not None
+        if self._switchless and enclave.switchless_ecalls is None:
+            enclave.enable_switchless_ecalls()
         self._links: Dict[int, StreamSocket] = {}
         self._streams: Dict[Tuple, StreamSocket] = {}
         self._next_link = 1
@@ -42,6 +47,8 @@ class OnionRouterNode:
 
     def _invoke(self, method: str, *args):
         if self._enclave is not None:
+            if self._switchless:
+                return self._enclave.ecall_switchless(method, *args)
             return self._enclave.ecall(method, *args)
         return getattr(self._engine, method)(*args)
 

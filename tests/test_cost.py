@@ -211,3 +211,92 @@ class TestReporting:
     def test_render_comparison_handles_missing_paper_value(self):
         out = render_comparison([("x", 90.0, None)])
         assert "-" in out
+
+
+class TestAccountantEdgeCases:
+    def test_nested_attribute_unwinds_on_exception(self):
+        acct = CostAccountant()
+        with pytest.raises(ValueError):
+            with acct.attribute("enclave:a"):
+                with acct.attribute("enclave:b"):
+                    assert acct.current_domain == "enclave:b"
+                    raise ValueError("boom")
+        # Both frames must have been popped despite the exception.
+        assert acct.current_domain == UNTRUSTED
+        acct.charge_normal(5)
+        assert acct.counter(UNTRUSTED).normal_instructions == 5
+
+    def test_attribute_partial_unwind(self):
+        acct = CostAccountant()
+        with acct.attribute("enclave:outer"):
+            with pytest.raises(RuntimeError):
+                with acct.attribute("enclave:inner"):
+                    raise RuntimeError
+            # Only the inner frame popped; still inside the outer one.
+            assert acct.current_domain == "enclave:outer"
+        assert acct.current_domain == UNTRUSTED
+
+    def test_delta_against_snapshot_missing_domains(self):
+        acct = CostAccountant()
+        acct.charge_normal(10)
+        before = acct.snapshot()
+        with acct.attribute("enclave:new"):
+            acct.charge_sgx(3)
+        delta = acct.delta(before)
+        # A domain born after the snapshot diffs against a zero counter.
+        assert delta["enclave:new"].sgx_instructions == 3
+        assert delta[UNTRUSTED].normal_instructions == 0
+
+    def test_delta_ignores_domains_only_in_snapshot(self):
+        acct = CostAccountant()
+        with acct.attribute("enclave:gone"):
+            acct.charge_normal(1)
+        before = acct.snapshot()
+        acct.reset()
+        acct.charge_normal(2)
+        delta = acct.delta(before)
+        assert "enclave:gone" not in delta
+        assert delta[UNTRUSTED].normal_instructions == 2
+
+    def test_disabled_reentrant(self):
+        acct = CostAccountant()
+        with disabled(acct):
+            with disabled(acct):
+                acct.charge_normal(100)
+                assert not acct.enabled
+            # The inner exit must not re-enable inside the outer block.
+            assert not acct.enabled
+            acct.charge_sgx()
+        assert acct.enabled
+        assert acct.total() == Counter()
+
+    def test_disabled_restores_on_exception(self):
+        acct = CostAccountant()
+        with pytest.raises(KeyError):
+            with disabled(acct):
+                raise KeyError
+        assert acct.enabled
+
+    def test_disabled_suppresses_all_charge_kinds(self):
+        acct = CostAccountant()
+        with disabled(acct):
+            acct.charge_normal(1)
+            acct.charge_sgx()
+            acct.charge_crossing()
+            acct.charge_allocation()
+            acct.charge_switchless()
+        assert acct.total() == Counter()
+
+    def test_counter_switchless_arithmetic(self):
+        a = Counter(1, 2, 3, 4, 5)
+        b = Counter(1, 1, 1, 1, 1)
+        a += b
+        assert a.switchless_calls == 6
+        assert (a - b).switchless_calls == 5
+
+    def test_charge_switchless_lands_in_current_domain(self):
+        acct = CostAccountant()
+        with acct.attribute("enclave:x"):
+            acct.charge_switchless(4)
+        assert acct.counter("enclave:x").switchless_calls == 4
+        assert acct.counter(UNTRUSTED).switchless_calls == 0

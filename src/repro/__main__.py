@@ -8,6 +8,7 @@ Usage::
     python -m repro table4          # routing cost, 30 ASes
     python -m repro figure3         # controller scaling sweep
     python -m repro switchless      # switchless-transition ablation
+    python -m repro faults          # fault-injection matrix (--seed N)
     python -m repro all             # everything above, in order
 
 Ablations and the full statistical harness live under ``benchmarks/``
@@ -54,6 +55,10 @@ def _switchless() -> None:
     )
 
 
+def _faults(seed: int) -> None:
+    print(experiments.format_fault_matrix(experiments.run_fault_matrix(seed=seed)))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -65,7 +70,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=[
-            "table1", "table2", "table3", "table4", "figure3", "switchless", "all"
+            "table1", "table2", "table3", "table4", "figure3", "switchless",
+            "faults", "all",
         ],
         help="which paper artifact to regenerate",
     )
@@ -74,6 +80,12 @@ def main(argv=None) -> int:
         type=int,
         default=30,
         help="AS count for table4 (default: 30, as in the paper)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-plan seed for the faults job (default: 0)",
     )
     args = parser.parse_args(argv)
 
@@ -84,6 +96,7 @@ def main(argv=None) -> int:
         "table4": lambda: _table4(args.ases),
         "figure3": _figure3,
         "switchless": _switchless,
+        "faults": lambda: _faults(args.seed),
     }
     selected = list(jobs) if args.experiment == "all" else [args.experiment]
     for name in selected:

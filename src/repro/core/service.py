@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Generator, Optional
 
-from repro.errors import AttestationError, NetworkError
+from repro.errors import AttestationError, NetworkError, ReproError
 from repro.net.transport import StreamListener, StreamSocket, connect
 from repro.sgx.attestation import AttestationConfig, IdentityPolicy
 from repro.sgx.enclave import Enclave
@@ -144,6 +144,49 @@ class AttestedSession:
         self.enclave.ecall("session_close", self.session_id)
 
 
+def _attempt_attested_session(
+    node: EnclaveNode,
+    enclave: Enclave,
+    dst: str,
+    dst_port: int,
+    verification_info: Optional[QuoteVerificationInfo],
+    policy: Optional[IdentityPolicy],
+    config: AttestationConfig,
+    handshake_timeout: float,
+) -> Generator:
+    """One connect + handshake attempt (cleans up after itself)."""
+    conn = yield from connect(node.host, dst, dst_port)
+    session_id = f"{node.name}->{dst}:{dst_port}#{next(_session_counter)}"
+    try:
+        first = enclave.ecall(
+            "session_connect", session_id, verification_info, policy, config
+        )
+        conn.send_message(first)
+
+        while not enclave.ecall("session_established", session_id):
+            try:
+                message = yield conn.recv_message(timeout=handshake_timeout)
+            except NetworkError as exc:
+                raise AttestationError(
+                    f"attestation handshake with {dst} timed out"
+                ) from exc
+            if message is None:
+                raise AttestationError(f"{dst} closed during attestation")
+            reply = enclave.ecall("session_handle", session_id, message)
+            if reply is not None:
+                conn.send_message(reply)
+    except ReproError:
+        # Abandon the half-open session so a retry starts clean.
+        enclave.ecall("session_close", session_id)
+        conn.close()
+        raise
+
+    session = AttestedSession(conn, enclave, session_id)
+    session.flush()  # anything queued inside _on_session_established
+    node.sim.spawn(_pump(conn, enclave, session_id), f"pump:{session_id}")
+    return session
+
+
 def open_attested_session(
     node: EnclaveNode,
     enclave: Enclave,
@@ -153,34 +196,35 @@ def open_attested_session(
     policy: Optional[IdentityPolicy] = None,
     config: AttestationConfig = AttestationConfig(),
     handshake_timeout: float = 30.0,
+    attempts: int = 3,
+    retry_backoff: float = 0.5,
 ) -> Generator:
     """Sub-generator: connect, attest, return an :class:`AttestedSession`.
+
+    A failed handshake (timeout, rejected quote, transient platform
+    fault) is retried up to ``attempts`` times with exponential backoff
+    before the last error propagates.
 
     Usage inside a simulator process::
 
         session = yield from open_attested_session(node, enclave, "peer", 443)
     """
-    conn = yield from connect(node.host, dst, dst_port)
-    session_id = f"{node.name}->{dst}:{dst_port}#{next(_session_counter)}"
-    first = enclave.ecall(
-        "session_connect", session_id, verification_info, policy, config
-    )
-    conn.send_message(first)
-
-    while not enclave.ecall("session_established", session_id):
+    backoff = retry_backoff
+    last_error: Optional[ReproError] = None
+    for attempt in range(attempts):
         try:
-            message = yield conn.recv_message(timeout=handshake_timeout)
-        except NetworkError as exc:
-            raise AttestationError(
-                f"attestation handshake with {dst} timed out"
-            ) from exc
-        if message is None:
-            raise AttestationError(f"{dst} closed during attestation")
-        reply = enclave.ecall("session_handle", session_id, message)
-        if reply is not None:
-            conn.send_message(reply)
-
-    session = AttestedSession(conn, enclave, session_id)
-    session.flush()  # anything queued inside _on_session_established
-    node.sim.spawn(_pump(conn, enclave, session_id), f"pump:{session_id}")
-    return session
+            session = yield from _attempt_attested_session(
+                node, enclave, dst, dst_port,
+                verification_info, policy, config, handshake_timeout,
+            )
+            return session
+        except ReproError as exc:
+            last_error = exc
+            if attempt == attempts - 1:
+                break
+            yield node.sim.sleep(backoff)
+            backoff = min(backoff * 2, 8.0)
+    raise AttestationError(
+        f"attested session with {dst}:{dst_port} failed "
+        f"after {attempts} attempts: {last_error}"
+    ) from last_error

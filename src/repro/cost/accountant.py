@@ -33,6 +33,7 @@ class Counter:
     enclave_crossings: int = 0
     allocations: int = 0
     switchless_calls: int = 0
+    faults_injected: int = 0
 
     def copy(self) -> "Counter":
         return dataclasses.replace(self)
@@ -43,6 +44,7 @@ class Counter:
         self.enclave_crossings += other.enclave_crossings
         self.allocations += other.allocations
         self.switchless_calls += other.switchless_calls
+        self.faults_injected += other.faults_injected
         return self
 
     def __sub__(self, other: "Counter") -> "Counter":
@@ -52,6 +54,7 @@ class Counter:
             enclave_crossings=self.enclave_crossings - other.enclave_crossings,
             allocations=self.allocations - other.allocations,
             switchless_calls=self.switchless_calls - other.switchless_calls,
+            faults_injected=self.faults_injected - other.faults_injected,
         )
 
 
@@ -116,6 +119,11 @@ class CostAccountant:
         """Record ``count`` boundary calls served without a crossing."""
         if self.enabled:
             self.counter().switchless_calls += count
+
+    def charge_fault(self, count: int = 1) -> None:
+        """Record ``count`` injected faults (see :mod:`repro.faults`)."""
+        if self.enabled:
+            self.counter().faults_injected += count
 
     # -- reading results ---------------------------------------------------
 

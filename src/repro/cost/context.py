@@ -87,6 +87,13 @@ def charge_switchless(count: int = 1) -> None:
         accountant.charge_switchless(count)
 
 
+def charge_fault(count: int = 1) -> None:
+    """Record injected faults against the ambient accountant."""
+    accountant = _ACCOUNTANT.get()
+    if accountant is not None:
+        accountant.charge_fault(count)
+
+
 def charge_allocation(count: int = 1) -> None:
     """Record in-enclave allocations against the ambient accountant."""
     accountant = _ACCOUNTANT.get()

@@ -21,6 +21,10 @@ class MeasurementError(SgxError):
     """An enclave measurement or SIGSTRUCT check failed."""
 
 
+class OcallError(SgxError):
+    """An ocall returned failure to the enclave (untrusted host fault)."""
+
+
 class AttestationError(ReproError):
     """Local or remote attestation failed verification."""
 

@@ -10,9 +10,10 @@ code paths the tests assert on.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.cost import DEFAULT_MODEL, Counter, format_count, format_table
+from repro.errors import ReproError
 from repro.crypto.aes import AES
 from repro.crypto.drbg import Rng
 from repro.crypto.modes import ecb_encrypt
@@ -42,6 +43,10 @@ __all__ = [
     "format_figure3",
     "run_switchless_ablation",
     "format_switchless_ablation",
+    "FAULT_SCENARIOS",
+    "run_fault_scenario",
+    "run_fault_matrix",
+    "format_fault_matrix",
 ]
 
 # ---------------------------------------------------------------------------
@@ -483,3 +488,113 @@ def format_figure3(series) -> str:
         title="Figure 3 — inter-domain controller CPU cycles vs # ASes "
         "(paper: ~90% overhead at scale)",
     )
+
+
+# ---------------------------------------------------------------------------
+# Fault matrix — every app scenario under every injected fault class
+# ---------------------------------------------------------------------------
+
+FAULT_SCENARIOS = ("routing", "tor", "middlebox")
+
+
+def _fingerprint(value: object) -> str:
+    """Short stable digest of an application-level result."""
+    import hashlib
+
+    return hashlib.sha256(repr(value).encode()).hexdigest()[:16]
+
+
+def run_fault_scenario(scenario: str) -> str:
+    """Run one app scenario (small sizing) and fingerprint its result.
+
+    The fingerprint covers only the *application outcome* — routes
+    received, bytes echoed — never timing, paths taken or retry counts,
+    so a faulted run that recovered correctly fingerprints identically
+    to the fault-free run.
+    """
+    if scenario == "routing":
+        from repro.routing.deployment import run_sgx_routing
+
+        result = run_sgx_routing(n_ases=4, seed=b"fault-matrix-routing")
+        routes = sorted(
+            (asn, sorted((prefix, tuple(route.path)) for prefix, route in per_as.items()))
+            for asn, per_as in result.routes.items()
+        )
+        return _fingerprint(routes)
+    if scenario == "tor":
+        from repro.tor.deployment import TorDeployment, TorDeploymentConfig
+
+        deployment = TorDeployment(
+            TorDeploymentConfig(
+                phase=2, n_relays=4, n_exits=4, n_authorities=2,
+                seed=b"fault-matrix-tor",
+            )
+        )
+        outcome = deployment.run_client_request(payload=b"GET /faults")
+        return _fingerprint((outcome["reply"], outcome["intact"]))
+    if scenario == "middlebox":
+        from repro.middlebox.scenarios import MiddleboxScenario
+
+        # switchless=True so the worker_stall class has a hot path to
+        # stall (the per-record inspect ecalls ride the call queue).
+        result = MiddleboxScenario(
+            n_middleboxes=2,
+            rules=[("r", b"NOMATCH", "alert")],
+            seed=b"fault-matrix-mbox",
+            switchless=True,
+        ).run([b"hello", b"fault-injection"])
+        return _fingerprint((result.replies, result.blocked))
+    raise ReproError(f"unknown fault scenario {scenario!r}")
+
+
+def run_fault_matrix(
+    seed: object = 0,
+    fault_classes: Optional[List[str]] = None,
+    scenarios: Tuple[str, ...] = FAULT_SCENARIOS,
+) -> Dict[str, object]:
+    """The fault-matrix experiment (EXPERIMENTS.md A9).
+
+    Every scenario runs fault-free once (the baseline fingerprint),
+    then once per fault class under ``matrix_plan(fault_class, seed)``.
+    A cell's outcome is ``ok`` (result byte-identical to the baseline),
+    ``diverged`` (it completed with a *different* result — always a
+    bug), or the typed ``repro.errors`` exception that stopped it.
+    """
+    from repro import faults
+
+    classes = list(fault_classes) if fault_classes else sorted(faults.FAULT_CLASSES)
+    baselines = {name: run_fault_scenario(name) for name in scenarios}
+    matrix: Dict[Tuple[str, str], Dict[str, object]] = {}
+    for scenario in scenarios:
+        for fault_class in classes:
+            plan = faults.matrix_plan(fault_class, seed)
+            try:
+                with faults.active(plan):
+                    fingerprint = run_fault_scenario(scenario)
+                outcome = "ok" if fingerprint == baselines[scenario] else "diverged"
+            except ReproError as exc:
+                outcome = type(exc).__name__
+            matrix[(scenario, fault_class)] = {
+                "outcome": outcome,
+                "faults_injected": len(plan.log),
+                "log_digest": plan.log.digest()[:12],
+                "log": plan.log,
+            }
+    return {"seed": seed, "baselines": baselines, "matrix": matrix}
+
+
+def format_fault_matrix(results: Dict[str, object]) -> str:
+    matrix: Dict[Tuple[str, str], Dict[str, object]] = results["matrix"]  # type: ignore[assignment]
+    rows = [
+        [scenario, fault_class, cell["faults_injected"], cell["outcome"],
+         cell["log_digest"]]
+        for (scenario, fault_class), cell in matrix.items()
+    ]
+    recovered = sum(1 for cell in matrix.values() if cell["outcome"] == "ok")
+    table = format_table(
+        ["scenario", "fault class", "injected", "outcome", "log digest"],
+        rows,
+        title=f"Fault matrix — seed {results['seed']!r} "
+        "(ok = result identical to the fault-free run)",
+    )
+    return f"{table}\nrecovered {recovered}/{len(matrix)} cells"

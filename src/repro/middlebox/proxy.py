@@ -13,6 +13,7 @@ from typing import Dict, Generator, Optional
 
 from repro.core.endpoint import EnclaveNode
 from repro.core.service import AttestedServer
+from repro.errors import MiddleboxError, ReproError
 from repro.net.transport import StreamListener, StreamSocket, connect
 
 __all__ = ["MiddleboxNode", "PROXY_PORT", "PROVISION_PORT"]
@@ -33,10 +34,15 @@ class MiddleboxNode:
         proxy_port: int = PROXY_PORT,
         provision_port: int = PROVISION_PORT,
         switchless: bool = False,
+        failure_policy: str = "closed",
     ) -> None:
+        if failure_policy not in ("open", "closed"):
+            raise MiddleboxError("failure_policy must be 'open' or 'closed'")
         self.node = node
         self.enclave = enclave
         self.upstream = (upstream_host, upstream_port)
+        self.failure_policy = failure_policy
+        self.inspect_failures = 0
         self.flows_relayed = 0
         # switchless=True routes the per-record inspect path (and the
         # provisioning server's message pump) through the enclave's
@@ -85,9 +91,17 @@ class MiddleboxNode:
             if message is None:
                 sink.close()
                 return
-            verdict, _alerts = self._hot_ecall(
-                "inspect_record", flow_id, direction, message
-            )
+            try:
+                verdict, _alerts = self._hot_ecall(
+                    "inspect_record", flow_id, direction, message
+                )
+            except ReproError:
+                # The inspection ecall itself failed (injected platform
+                # fault, crashed enclave).  The operator's knob decides:
+                # fail-open forwards uninspected traffic (availability),
+                # fail-closed drops the flow (security).
+                self.inspect_failures += 1
+                verdict = "forward" if self.failure_policy == "open" else "block"
             if verdict == "block":
                 # Kill both legs of the flow.
                 source.close()

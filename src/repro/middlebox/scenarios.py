@@ -75,6 +75,7 @@ class MiddleboxScenario:
         tampered_boxes: Tuple[int, ...] = (),
         seed: bytes = b"mbox-scenario",
         switchless: bool = False,
+        failure_policy: str = "closed",
     ) -> None:
         self.sim = Simulator()
         self.network = Network(
@@ -125,7 +126,13 @@ class MiddleboxScenario:
             enclave.ecall(
                 "configure_trust", self.sgx_authority.verification_info()
             )
-            box = MiddleboxNode(node, enclave, *upstream, switchless=switchless)
+            box = MiddleboxNode(
+                node,
+                enclave,
+                *upstream,
+                switchless=switchless,
+                failure_policy=failure_policy,
+            )
             self.middleboxes.insert(0, box)
             upstream = (name, PROXY_PORT)
         self._entry = upstream

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import faults
 from repro.crypto.aes import AES
 from repro.crypto.mac import hmac_sha256, hmac_verify
 from repro.crypto.modes import CtrStream, ecb_decrypt, ecb_encrypt
@@ -73,7 +74,17 @@ class SecureRecordChannel:
         assert self._send_stream is not None
         ciphertext = self._send_stream.process(plaintext)
         header = Writer().u64(seq).varbytes(ciphertext).getvalue()
-        return header + hmac_sha256(self._send_mac_key, header)
+        record = header + hmac_sha256(self._send_mac_key, header)
+        plan = faults.current_plan()
+        if plan is not None and plan.decide(
+            faults.MAC_CORRUPT, f"channel:{self.role}"
+        ):
+            # One bit flipped in flight: the receiver's MAC check turns
+            # this into a clean ProtocolError, never silent corruption.
+            # (Only meaningful for the authenticated CTR mode — the
+            # paper-parity ECB mode has no MAC to catch it.)
+            record = plan.corrupt_payload(record)
+        return record
 
     # -- receiving -----------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import faults
 from repro.crypto.drbg import Rng
 from repro.errors import NetworkError
 from repro.net.sim import MessageQueue, Simulator
@@ -54,6 +55,7 @@ class NetworkStats:
     dropped_loss: int = 0
     dropped_unbound: int = 0
     bytes_sent: int = 0
+    faults_injected: int = 0
 
 
 class Network:
@@ -121,6 +123,30 @@ class Network:
         if link.loss_rate > 0 and self.rng.random() < link.loss_rate:
             self.stats.dropped_loss += 1
             return
+
+        extra_latency = 0.0
+        copies = 1
+        plan = faults.current_plan()
+        if plan is not None:
+            action = plan.network_action(f"net:{datagram.src}->{datagram.dst}")
+            if action is not None:
+                kind, rule = action
+                self.stats.faults_injected += 1
+                if kind == faults.DROP:
+                    return
+                if kind == faults.CORRUPT:
+                    datagram = dataclasses.replace(
+                        datagram, payload=plan.corrupt_payload(datagram.payload)
+                    )
+                elif kind == faults.DUPLICATE:
+                    copies = 2
+                    extra_latency = plan.extra_delay(rule, 4 * link.latency)
+                elif kind in (faults.REORDER, faults.DELAY):
+                    # Extra latency on this datagram only: it bypasses
+                    # the FIFO guarantee below, so later packets on the
+                    # same link overtake it.
+                    extra_latency = plan.extra_delay(rule, 4 * link.latency)
+
         # FIFO serialization per directed link: a packet starts
         # transmitting only when the previous one finished, so small
         # packets never overtake large ones (in-order delivery per
@@ -129,7 +155,13 @@ class Network:
         start = max(self.sim.now, self._busy_until.get(key, 0.0))
         done = start + datagram.size / link.bandwidth
         self._busy_until[key] = done
-        self.sim.call_later(done - self.sim.now + link.latency, self._deliver, datagram)
+        base_delay = done - self.sim.now + link.latency
+        if copies > 1:
+            # Duplicate: one on-time copy plus a late echo.
+            self.sim.call_later(base_delay, self._deliver, datagram)
+            self.sim.call_later(base_delay + extra_latency, self._deliver, datagram)
+        else:
+            self.sim.call_later(base_delay + extra_latency, self._deliver, datagram)
 
     def _deliver(self, datagram: Datagram) -> None:
         host = self._hosts.get(datagram.dst)

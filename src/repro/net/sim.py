@@ -131,7 +131,7 @@ class MessageQueue:
         while self._waiters:
             process, token = self._waiters.popleft()
             if process.alive and process._wake_token == token:
-                self._sim.call_later(0, process._resume, item)
+                self._sim.call_later(0, self._wake, process, token, item)
                 return
         self._items.append(item)
 
@@ -141,12 +141,25 @@ class MessageQueue:
 
     def _register(self, process: Process, timeout: Optional[float]) -> None:
         if self._items:
-            self._sim.call_later(0, process._resume, self._items.popleft())
+            self._sim.call_later(
+                0, self._wake, process, process._wake_token, self._items.popleft()
+            )
             return
         token = process._wake_token
         self._waiters.append((process, token))
         if timeout is not None:
             self._sim.call_later(0 + timeout, self._timeout, process, token)
+
+    def _wake(self, process: Process, token: int, item: Any) -> None:
+        """Deliver ``item`` iff the wait it was scheduled for is still
+        current.  If the process moved on in the meantime (e.g. its
+        timeout fired at this same timestamp, beating the delivery in
+        the event heap), the item is re-queued instead of being
+        injected into whatever the process is now waiting on."""
+        if process.alive and process._wake_token == token:
+            process._resume(item)
+        else:
+            self.put(item)
 
     def _timeout(self, process: Process, token: int) -> None:
         if process.alive and process._wake_token == token:

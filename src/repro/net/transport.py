@@ -21,6 +21,7 @@ Usage inside simulator processes::
 from __future__ import annotations
 
 import enum
+import zlib
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.errors import NetworkError
@@ -34,6 +35,7 @@ _HEADER_BYTES = 16
 MSS = MTU - _HEADER_BYTES  # payload bytes per segment
 
 _MAX_MESSAGE = 1 << 24
+_CRC_BYTES = 3  # fits in the header allowance: 13 encoded + 3 crc = 16
 
 
 class SegmentKind(enum.IntEnum):
@@ -44,16 +46,34 @@ class SegmentKind(enum.IntEnum):
     FIN = 5
 
 
+def _crc(data: bytes) -> bytes:
+    return (zlib.crc32(data) & 0xFFFFFF).to_bytes(_CRC_BYTES, "big")
+
+
 def _encode_segment(kind: SegmentKind, seq: int, ack: int, payload: bytes = b"") -> bytes:
-    return Writer().u8(int(kind)).u32(seq).u32(ack).varbytes(payload).getvalue()
+    body = Writer().u8(int(kind)).u32(seq).u32(ack).varbytes(payload).getvalue()
+    return body + _crc(body)
 
 
 def _decode_segment(data: bytes) -> Tuple[SegmentKind, int, int, bytes]:
-    reader = Reader(data)
-    kind = SegmentKind(reader.u8())
-    seq = reader.u32()
-    ack = reader.u32()
-    payload = reader.varbytes()
+    """Decode one segment, raising :class:`NetworkError` on any damage
+    (short datagram, checksum mismatch, malformed fields).  Receivers
+    treat a damaged segment exactly like a lost one — the ARQ layer
+    retransmits — so injected bit-flips can never surface as silently
+    corrupted application data."""
+    if len(data) < _CRC_BYTES:
+        raise NetworkError("segment too short")
+    body, checksum = data[:-_CRC_BYTES], data[-_CRC_BYTES:]
+    if _crc(body) != checksum:
+        raise NetworkError("segment checksum mismatch")
+    try:
+        reader = Reader(body)
+        kind = SegmentKind(reader.u8())
+        seq = reader.u32()
+        ack = reader.u32()
+        payload = reader.varbytes()
+    except Exception as exc:
+        raise NetworkError(f"malformed segment: {exc}") from exc
     return kind, seq, ack, payload
 
 
@@ -62,6 +82,7 @@ class StreamSocket:
 
     WINDOW = 64
     RTO = 0.25
+    MAX_RTO = 4.0  # exponential-backoff ceiling
     EOF = None  # what recv_message resolves to after the peer's FIN
 
     def __init__(
@@ -94,6 +115,8 @@ class StreamSocket:
         self.segments_sent = 0
         self.retransmissions = 0
         self.messages_delivered = 0
+        self.damaged_segments = 0  # dropped by the checksum check
+        self._rto = self.RTO
 
     # -- public API ------------------------------------------------------------
 
@@ -163,19 +186,28 @@ class StreamSocket:
                 continue
 
             try:
-                yield self._ack_event.get(timeout=self.RTO)
+                yield self._ack_event.get(timeout=self._rto)
             except SimTimeout:
-                # Go-back-N: resend the whole outstanding window.
+                # Go-back-N: resend the whole outstanding window, then
+                # back off exponentially so a congested/faulty link is
+                # not hammered with the full window at a fixed cadence.
                 self.retransmissions += self._next - self._base
                 for index in range(self._base, self._next):
                     self._transmit_data(index)
+                self._rto = min(self._rto * 2, self.MAX_RTO)
 
     def _dispatcher(self) -> Generator:
         while not (self._remote_closed and self._closing):
             # A blocked get() schedules nothing, so idle connections do
             # not keep the simulation alive.
             datagram: Datagram = yield self._queue.get()
-            kind, seq, ack, payload = _decode_segment(datagram.payload)
+            try:
+                kind, seq, ack, payload = _decode_segment(datagram.payload)
+            except NetworkError:
+                # Damaged on the wire: identical to a loss, the sender
+                # retransmits.
+                self.damaged_segments += 1
+                continue
             if kind is SegmentKind.DATA:
                 if seq == self._recv_expected:
                     self._recv_expected += 1
@@ -184,6 +216,7 @@ class StreamSocket:
             elif kind is SegmentKind.ACK:
                 if ack > self._base:
                     self._base = ack
+                    self._rto = self.RTO  # progress: reset the backoff
                     self._ack_event.put(None)
             elif kind is SegmentKind.FIN:
                 if not self._remote_closed:
@@ -225,7 +258,10 @@ class StreamListener:
     def _listen(self) -> Generator:
         while True:
             datagram: Datagram = yield self._queue.get()
-            kind, _seq, _ack, _payload = _decode_segment(datagram.payload)
+            try:
+                kind, _seq, _ack, _payload = _decode_segment(datagram.payload)
+            except NetworkError:
+                continue
             if kind is not SegmentKind.SYN:
                 continue
             key = (datagram.src, datagram.src_port)
@@ -252,15 +288,21 @@ def connect(
     """Sub-generator establishing a stream: ``sock = yield from connect(...)``."""
     local_port, queue = host.bind_ephemeral()
     sock = StreamSocket(host, local_port, queue, dst, peer_port=None)
+    attempt_timeout = timeout
     for _ in range(retries):
         host.send(
             dst, dst_port, _encode_segment(SegmentKind.SYN, 0, 0), src_port=local_port
         )
         try:
-            datagram: Datagram = yield queue.get(timeout=timeout)
+            datagram: Datagram = yield queue.get(timeout=attempt_timeout)
         except SimTimeout:
+            # Exponential backoff between SYN retries.
+            attempt_timeout = min(attempt_timeout * 2, 4.0)
             continue
-        kind, _seq, _ack, _payload = _decode_segment(datagram.payload)
+        try:
+            kind, _seq, _ack, _payload = _decode_segment(datagram.payload)
+        except NetworkError:
+            continue
         if kind is SegmentKind.SYN_ACK:
             sock.peer_port = datagram.src_port
             sock._send_segment(SegmentKind.ACK, 0, 0)

@@ -79,12 +79,37 @@ class InterDomainControllerProgram(SecureApplicationProgram):
         if session_id in self._session_asn:
             return msg.encode_error_msg("policy already submitted on this session")
         if policy.asn in self._asn_session:
-            return msg.encode_error_msg(f"AS{policy.asn} already represented")
+            return self._handle_policy_failover(session_id, policy)
         self._controller.submit_policy(policy)
         self._session_asn[session_id] = policy.asn
         self._asn_session[policy.asn] = session_id
         if self._expected and self._controller.participant_count >= self._expected:
             self._distribute_routes()
+        return None
+
+    def _handle_policy_failover(
+        self, session_id: str, policy: LocalPolicy
+    ) -> Optional[bytes]:
+        """An already-represented AS re-registered on a fresh session.
+
+        This is the fault-recovery path: the AS lost its channel (drop,
+        rejected record, crashed pump) and re-attested.  The byte-identical
+        policy is required — a *different* policy from a live ASN is
+        refused, so failover can never be abused to swap policies.  When
+        routes were already distributed, this AS's slice is re-sent on
+        the new session (it may have been lost with the old one).
+        """
+        if policy.encode() != self._controller.policy_of(policy.asn).encode():
+            return msg.encode_error_msg(f"AS{policy.asn} already represented")
+        old_session = self._asn_session[policy.asn]
+        self._session_asn.pop(old_session, None)
+        self._session_asn[session_id] = policy.asn
+        self._asn_session[policy.asn] = session_id
+        if self._routes_distributed:
+            routes = self._controller.routes_for(policy.asn)
+            encoded = msg.encode_routes_msg(routes)
+            _charge_serialize(len(encoded))
+            self._send_secure(session_id, encoded)
         return None
 
     def _distribute_routes(self) -> None:

@@ -29,13 +29,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, FrozenSet, Optional
 
+from repro import faults
 from repro.cost import context as cost_context
 from repro.crypto import dh
 from repro.crypto.hashes import sha256
 from repro.crypto.kdf import hkdf
 from repro.crypto.mac import hmac_sha256, hmac_verify
 from repro.crypto.numtheory import is_probable_prime
-from repro.errors import AttestationError
+from repro.errors import AttestationError, SgxError
 from repro.sgx.measurement import EnclaveIdentity
 from repro.sgx.quoting import Quote, QuoteVerificationInfo, verify_quote
 from repro.sgx.report import Report, verify_report_mac
@@ -222,8 +223,17 @@ class TargetAttestor:
         qe_report = Report.decode(reader.varbytes())
         # Authenticate the quoting enclave's answer: its reciprocal
         # REPORT must MAC-verify under *our* report key and bind the
-        # quote bytes.
-        report_key = self._ctx.egetkey_report(qe_report.key_id)
+        # quote bytes.  EGETKEY can abort transiently (an injectable
+        # fault), so it gets a bounded retry.
+        report_key = None
+        for attempt in range(3):
+            try:
+                report_key = self._ctx.egetkey_report(qe_report.key_id)
+                break
+            except SgxError:
+                if attempt == 2:
+                    raise
+        assert report_key is not None
         verify_report_mac(qe_report, report_key)
         if qe_report.report_data[:32] != sha256(quote_bytes)[:32]:
             raise AttestationError("quoting enclave response does not bind quote")
@@ -340,6 +350,12 @@ class ChallengerAttestor:
         if has_dh != self._config.with_dh:
             raise AttestationError("peer disagreed on channel bootstrap")
 
+        plan = faults.current_plan()
+        if plan is not None and plan.decide(faults.QUOTE_REJECT, "attest:quote"):
+            # Models e.g. a stale revocation list or an IAS outage: the
+            # quote is refused even though it would verify.  The
+            # handshake fails cleanly and callers may re-attest.
+            raise AttestationError("quote rejected by verifier (injected fault)")
         quote = verify_quote(quote_bytes, self._info)
         self._policy.check(quote.identity)
         self.peer_identity = quote.identity

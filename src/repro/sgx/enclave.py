@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
+from repro import faults
 from repro.cost import context as cost_context
 from repro.errors import EnclaveAccessError, SgxError
 from repro.sgx.epc import EpcPage
@@ -78,6 +79,7 @@ class Enclave:
                     return handler(self._program, *args, **kwargs)
                 finally:
                     self._charge_async_exits(accountant, before)
+                    self._charge_aex_storm(accountant, method)
                     execute_user(UserInstruction.EEXIT)
 
     def _resolve_ecall(self, method: str):
@@ -144,6 +146,26 @@ class Enclave:
             return
         model = cost_context.current_model()
         accountant.charge_sgx(2 * events)          # AEX + ERESUME
+        accountant.charge_crossing(events)
+        accountant.charge_normal(model.aex_ssa_normal * events)
+
+    #: AEX+ERESUME pairs charged per injected interrupt storm.
+    AEX_STORM_EVENTS = 32
+
+    def _charge_aex_storm(self, accountant, method: str) -> None:
+        """Fault hook: a burst of asynchronous exits hits this ecall
+        (the host's scheduler preempting the enclave repeatedly).
+        Purely a cost fault — correctness is unaffected, the SSA
+        save/restore just makes the call more expensive."""
+        plan = faults.current_plan()
+        if plan is None:
+            return
+        rule = plan.decide(faults.AEX_STORM, f"ecall:{self.name}:{method}")
+        if rule is None:
+            return
+        events = int(rule.param) if rule.param is not None else self.AEX_STORM_EVENTS
+        model = cost_context.current_model()
+        accountant.charge_sgx(2 * events)
         accountant.charge_crossing(events)
         accountant.charge_normal(model.aex_ssa_normal * events)
 

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro import faults
 from repro.cost import context as cost_context
 from repro.crypto.drbg import Rng
-from repro.errors import SgxError
+from repro.errors import OcallError, SgxError
 from repro.sgx import sealing
 from repro.sgx.isa import UserInstruction, execute_user
 from repro.sgx.keys import SealPolicy, derive_report_key, derive_seal_key
@@ -99,8 +100,18 @@ class EnclaveContext:
         )
 
     def egetkey_report(self, key_id: bytes) -> bytes:
-        """EGETKEY(REPORT): this enclave's own report-MAC key."""
+        """EGETKEY(REPORT): this enclave's own report-MAC key.
+
+        An active fault plan can make this fail transiently (modeling
+        e.g. a power-transition abort); callers on the attestation path
+        retry a bounded number of times.
+        """
         execute_user(UserInstruction.EGETKEY)
+        plan = faults.current_plan()
+        if plan is not None and plan.decide(
+            faults.EGETKEY_FAIL, f"egetkey:report:{self._enclave.name}"
+        ):
+            raise SgxError("EGETKEY failed transiently (injected fault)")
         return derive_report_key(
             self._platform.device_secret, self.identity.mrenclave, key_id
         )
@@ -178,6 +189,18 @@ class EnclaveContext:
         accountant = self._platform.accountant
         accountant.charge_crossing()
         cost_context.charge_normal(cost_context.current_model().trampoline_normal)
+        plan = faults.current_plan()
+        if plan is not None and plan.decide(
+            faults.OCALL_FAIL,
+            f"ocall:{getattr(func, '__name__', 'anonymous')}",
+        ):
+            # The crossing already happened; the untrusted side hands
+            # back a failure code and the enclave re-enters.
+            execute_user(UserInstruction.ERESUME)
+            raise OcallError(
+                f"ocall '{getattr(func, '__name__', 'anonymous')}' "
+                "returned failure (injected fault)"
+            )
         with accountant.attribute(self._platform.untrusted_domain):
             result = func(*args, **kwargs)
         execute_user(UserInstruction.ERESUME)
@@ -191,14 +214,26 @@ class EnclaveContext:
             raise SgxError("platform has no quoting enclave (no authority)")
         return TargetInfo(mrenclave=quoting.identity.mrenclave)
 
+    #: Bounded retries for transient quoting failures (injected ocall
+    #: faults, transient EGETKEY aborts inside the quoting enclave).
+    QUOTE_ATTEMPTS = 3
+
     def request_quote(self, report_bytes: bytes) -> Any:
         """Ask the platform's quoting enclave to turn a REPORT into a QUOTE.
 
         The exchange transits untrusted memory (an ocall) and enters
-        the quoting enclave (an ecall), exactly as in Figure 1.
+        the quoting enclave (an ecall), exactly as in Figure 1.  The
+        untrusted leg can fail transiently, so the request is retried a
+        bounded number of times before the failure propagates.
         """
         quoting = self._platform.quoting_enclave
-        return self.ocall(quoting.ecall, "create_quote", report_bytes)
+        last_error: Optional[SgxError] = None
+        for _ in range(self.QUOTE_ATTEMPTS):
+            try:
+                return self.ocall(quoting.ecall, "create_quote", report_bytes)
+            except (OcallError, SgxError) as exc:
+                last_error = exc
+        raise last_error
 
     # -- dynamic memory ----------------------------------------------------
 
@@ -290,6 +325,10 @@ class EnclaveContext:
         cost_context.charge_sgx(model.send_per_packet_sgx * len(packets))
         accountant = self._platform.accountant
         accountant.charge_crossing()
+        plan = faults.current_plan()
+        if plan is not None and plan.decide(faults.OCALL_FAIL, "ocall:send_packets"):
+            execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
+            raise OcallError("send_packets ocall returned failure (injected fault)")
         with accountant.attribute(self._platform.untrusted_domain):
             result = sender(list(packets))
         execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
@@ -330,6 +369,14 @@ class EnclaveContext:
             cost_context.charge_normal(model.send_call_fixed_normal)
             accountant = self._platform.accountant
             accountant.charge_crossing()
+            plan = faults.current_plan()
+            if plan is not None and plan.decide(
+                faults.OCALL_FAIL, "ocall:recv_packets"
+            ):
+                execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
+                raise OcallError(
+                    "recv_packets ocall returned failure (injected fault)"
+                )
             with accountant.attribute(self._platform.untrusted_domain):
                 raw = receiver()
             execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)

@@ -38,6 +38,7 @@ import dataclasses
 from collections import deque
 from typing import Any, Callable, Deque, Iterator, Optional, Tuple
 
+from repro import faults
 from repro.cost import context as cost_context
 from repro.errors import SgxError
 from repro.sgx.isa import UserInstruction, execute_user
@@ -144,7 +145,13 @@ class SwitchlessQueue:
         """
         kwargs = {} if kwargs is None else kwargs
         with self._context():
-            if not self._worker_running:
+            plan = faults.current_plan()
+            stalled = plan is not None and plan.decide(
+                faults.WORKER_STALL, f"switchless:{self.direction}:{self.name}"
+            )
+            if not self._worker_running or stalled:
+                # Worker descheduled (for real, or by an injected
+                # stall): degrade to one genuine crossing.
                 return self._fallback(func, args, kwargs, validate)
             if len(self._pending) >= self.capacity:
                 self._service()  # worker frees the slots; still no crossing

@@ -26,7 +26,7 @@ from repro.core import AttestedServer, EnclaveNode, open_attested_session
 from repro.core.untrusted import open_untrusted_session
 from repro.crypto.drbg import Rng
 from repro.crypto.rsa import generate_rsa_keypair
-from repro.errors import AttestationError, TorError
+from repro.errors import AttestationError, ReproError, TorError
 from repro.net.network import LinkParams, Network
 from repro.net.sim import Simulator
 from repro.net.transport import StreamListener
@@ -364,6 +364,11 @@ class TorDeployment:
                     policy=self._authority_policy(),
                     config=AttestationConfig(mutual=True),
                     handshake_timeout=10.0,
+                    # A refused registration is admission control, not a
+                    # transient: retrying a tampered relay's quote would
+                    # only multiply the measured attestation cost.  Lost
+                    # registrations degrade gracefully at path selection.
+                    attempts=1,
                 )
             except AttestationError:
                 results[name] = False
@@ -545,30 +550,58 @@ class TorDeployment:
         payload: bytes = b"GET /index.html",
         forced_path: Optional[List[str]] = None,
         exit_port: int = 80,
+        attempts: int = 3,
     ) -> Dict[str, object]:
-        """Build a circuit, fetch through it, report what happened."""
+        """Build a circuit, fetch through it, report what happened.
+
+        A failed circuit (build timeout, torn-down channel, faulted
+        relay) is rebuilt through a freshly selected path up to
+        ``attempts`` times — the graceful-degradation story for Tor:
+        one bad router costs a rebuild, not the request.  A forced path
+        is never re-selected (attack experiments need the exact path).
+        """
         routers = self.usable_routers()
         by_name = {entry.nickname: entry for entry in routers}
         if forced_path is not None:
             missing = [n for n in forced_path if n not in by_name]
             if missing:
                 raise TorError(f"forced path not in consensus: {missing}")
-            path = [by_name[n] for n in forced_path]
-        else:
-            path = select_path(routers, self._rng.fork("path"), exit_port=exit_port)
+            attempts = 1
 
-        outcome: Dict[str, object] = {"path": [e.nickname for e in path]}
+        outcome: Dict[str, object] = {}
+        path_rng = self._rng.fork("path")
+        tried: List[List[str]] = []
+        for attempt in range(attempts):
+            if forced_path is not None:
+                path = [by_name[n] for n in forced_path]
+            else:
+                path = select_path(routers, path_rng, exit_port=exit_port)
+                # Rebuild through a different path when possible: a
+                # re-selection matching an already-failed path draws
+                # again (bounded — small networks may have no choice).
+                names = [e.nickname for e in path]
+                for _ in range(4):
+                    if names not in tried:
+                        break
+                    path = select_path(routers, path_rng, exit_port=exit_port)
+                    names = [e.nickname for e in path]
+            outcome["path"] = [e.nickname for e in path]
 
-        def client_proc() -> Generator:
-            circuit = yield from self.client.build_circuit(path)
-            stream = yield from circuit.open_stream("web", 80)
-            circuit.send(stream, payload)
-            reply = yield circuit.recv(stream)
-            outcome["reply"] = reply
-            outcome["intact"] = reply == WEB_RESPONSE_PREFIX + payload
+            def client_proc() -> Generator:
+                try:
+                    circuit = yield from self.client.build_circuit(path)
+                    stream = yield from circuit.open_stream("web", 80)
+                    circuit.send(stream, payload)
+                    reply = yield circuit.recv(stream)
+                except ReproError:
+                    return  # this attempt failed; the loop rebuilds
+                outcome["reply"] = reply
+                outcome["intact"] = reply == WEB_RESPONSE_PREFIX + payload
 
-        self.sim.spawn(client_proc(), "tor-client")
-        self.sim.run(until=self.sim.now + 600.0)
-        if "reply" not in outcome:
-            raise TorError("client request did not complete")
-        return outcome
+            self.sim.spawn(client_proc(), "tor-client")
+            self.sim.run(until=self.sim.now + 600.0)
+            if "reply" in outcome:
+                outcome["rebuilds"] = attempt
+                return outcome
+            tried.append(list(outcome["path"]))
+        raise TorError("client request did not complete")

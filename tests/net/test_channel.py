@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import faults
 from repro.errors import ProtocolError
 from repro.net.channel import SecureRecordChannel
 from repro.sgx.attestation import SessionKeys
@@ -85,6 +86,61 @@ class TestEcbChannel:
         ctr_len = len(a_ctr.protect(b"x" * 64))
         ecb_len = len(a_ecb.protect(b"x" * 64))
         assert ctr_len - ecb_len >= 16
+
+
+class TestDamagedRecords:
+    """``open`` on truncated, bit-flipped and replayed records."""
+
+    def test_truncated_at_every_boundary_rejected(self):
+        a, _ = make_pair()
+        record = a.protect(b"payload-to-truncate")
+        for cut in (0, 1, 8, 31, len(record) // 2, len(record) - 1):
+            _, fresh_b = make_pair()
+            with pytest.raises(ProtocolError):
+                fresh_b.open(record[:cut])
+
+    def test_bit_flip_at_every_position_rejected(self):
+        a, _ = make_pair()
+        record = a.protect(b"bit-flip sweep")
+        for position in range(len(record)):
+            damaged = bytearray(record)
+            damaged[position] ^= 0x80
+            _, fresh_b = make_pair()
+            with pytest.raises(ProtocolError, match="MAC"):
+                fresh_b.open(bytes(damaged))
+
+    def test_replay_after_progress_rejected(self):
+        a, b = make_pair()
+        first = a.protect(b"one")
+        assert b.open(first) == b"one"
+        assert b.open(a.protect(b"two")) == b"two"
+        with pytest.raises(ProtocolError, match="sequence|MAC"):
+            b.open(first)
+
+    def test_mac_corrupt_fault_is_detected_not_silent(self):
+        plan = faults.FaultPlan(
+            seed=3, rules=[faults.FaultRule(faults.MAC_CORRUPT, max_count=1)]
+        )
+        a, b = make_pair()
+        with faults.active(plan):
+            record = a.protect(b"faulted record")
+        assert [e.kind for e in plan.log] == [faults.MAC_CORRUPT]
+        # One flipped bit: the receiver's MAC check must catch it.
+        with pytest.raises(ProtocolError, match="MAC"):
+            b.open(record)
+
+    def test_mac_corrupt_rule_exhausts_after_max_count(self):
+        plan = faults.FaultPlan(
+            seed=3, rules=[faults.FaultRule(faults.MAC_CORRUPT, max_count=1)]
+        )
+        a, _ = make_pair()
+        twin, _ = make_pair()  # identical keys, no faults
+        with faults.active(plan):
+            first = a.protect(b"first record")
+            second = a.protect(b"second record")
+        assert len(plan.log) == 1  # max_count stops after one injection
+        assert first != twin.protect(b"first record")  # the corrupted one
+        assert second == twin.protect(b"second record")  # untouched
 
 
 class TestValidation:

@@ -248,6 +248,27 @@ class TestQueues:
         sim.run()
         assert got == ["x", "y"]
 
+    def test_timeout_and_delivery_at_same_timestamp(self):
+        # Regression: an item put at exactly the waiter's timeout
+        # instant must not be lost (or delivered to the timed-out
+        # get).  The timeout wins the tie; the delivery wake-up sees
+        # the stale token and re-buffers the item for the next get.
+        sim = Simulator()
+        q = sim.queue()
+        events = []
+
+        def consumer():
+            try:
+                yield q.get(timeout=1.0)
+            except SimTimeout:
+                events.append(("timeout", sim.now))
+            events.append(("got", (yield q.get())))
+
+        sim.spawn(consumer())
+        sim.call_later(1.0, q.put, "raced")
+        sim.run()
+        assert events == [("timeout", 1.0), ("got", "raced")]
+
     def test_len_reports_buffered(self):
         sim = Simulator()
         q = sim.queue()

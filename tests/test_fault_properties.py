@@ -1,0 +1,105 @@
+"""Hypothesis properties for the fault-injection subsystem.
+
+Two invariants hold for *any* rule set and any fault schedule:
+
+* determinism — the same seed and the same opportunity sequence
+  always produce a byte-identical :class:`~repro.faults.FaultLog`;
+* transport correctness — the reliable stream delivers exactly the
+  sent payloads, in order, under any drop/duplicate/reorder/corrupt
+  schedule the plan can generate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults
+from repro.crypto.drbg import Rng
+from repro.net.network import LinkParams, Network
+from repro.net.sim import Simulator
+from repro.net.transport import StreamListener, connect
+
+_kinds = st.sampled_from(faults.ALL_KINDS)
+_sites = st.sampled_from(
+    [
+        "net:a->b",
+        "net:b->a",
+        "ocall:send_packets",
+        "ecall:mbox:inspect_record",
+        "channel:initiator",
+        "egetkey:report:idc",
+    ]
+)
+_rules = st.builds(
+    faults.FaultRule,
+    kind=_kinds,
+    rate=st.sampled_from([0.0, 0.1, 0.5, 1.0]),
+    max_count=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    rules=st.lists(_rules, min_size=1, max_size=4),
+    opportunities=st.lists(st.tuples(_kinds, _sites), max_size=60),
+)
+def test_property_same_seed_same_fault_log(seed, rules, opportunities):
+    outcomes = []
+    for _ in range(2):
+        plan = faults.FaultPlan(seed, rules)
+        decisions = [
+            plan.decide(kind, site) is not None for kind, site in opportunities
+        ]
+        outcomes.append((decisions, plan.log.digest(), plan.log.counts()))
+    assert outcomes[0] == outcomes[1]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    messages=st.lists(
+        st.binary(min_size=0, max_size=3000), min_size=1, max_size=5
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+    drop_pct=st.integers(min_value=0, max_value=8),
+    dup_pct=st.integers(min_value=0, max_value=8),
+    reorder_pct=st.integers(min_value=0, max_value=8),
+    corrupt_pct=st.integers(min_value=0, max_value=4),
+)
+def test_property_stream_exact_under_any_fault_schedule(
+    messages, seed, drop_pct, dup_pct, reorder_pct, corrupt_pct
+):
+    plan = faults.FaultPlan(
+        seed,
+        [
+            faults.FaultRule(faults.DROP, rate=drop_pct / 100, max_count=30),
+            faults.FaultRule(faults.DUPLICATE, rate=dup_pct / 100, max_count=30),
+            faults.FaultRule(
+                faults.REORDER, rate=reorder_pct / 100, max_count=30, param=0.02
+            ),
+            faults.FaultRule(faults.CORRUPT, rate=corrupt_pct / 100, max_count=20),
+        ],
+    )
+    sim = Simulator()
+    net = Network(
+        sim, rng=Rng(b"fault-prop-net"), default_link=LinkParams(latency=0.002)
+    )
+    client_host = net.add_host("client")
+    server_host = net.add_host("server")
+    listener = StreamListener(server_host, 7)
+    got = []
+
+    def server():
+        conn = yield listener.accept()
+        for _ in messages:
+            got.append((yield conn.recv_message()))
+
+    def client():
+        conn = yield from connect(client_host, "server", 7, retries=30)
+        for m in messages:
+            conn.send_message(m)
+
+    with faults.active(plan):
+        sim.spawn(server())
+        sim.spawn(client())
+        sim.run(until=600.0)
+    assert got == list(messages)

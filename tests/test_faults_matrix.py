@@ -1,0 +1,110 @@
+"""Fault-matrix regression suite (EXPERIMENTS.md A9).
+
+Each app scenario (routing, Tor, middlebox) runs under every
+single-fault class from :data:`repro.faults.FAULT_CLASSES`.  The
+contract: the scenario either recovers to a result *byte-identical*
+to its fault-free run, or fails with a typed ``repro.errors``
+exception — never a hang, never a silent wrong answer.  The matrix
+itself is computed once (module fixture); the parametrized tests
+pin each cell's obligations.
+"""
+
+import os
+
+import pytest
+
+from repro import experiments, faults
+
+SCENARIOS = experiments.FAULT_SCENARIOS
+CLASSES = sorted(faults.FAULT_CLASSES)
+# Go-back-N + the segment checksum must fully absorb pure network
+# faults: these cells are required to be "ok", not just typed.
+NETWORK_CLASSES = ("drop", "duplicate", "reorder", "delay", "corrupt")
+# CI runs the suite once per seed; locally the default seed is 0.
+SEED = int(os.environ.get("FAULT_MATRIX_SEED", "0"))
+
+
+def _dump_logs(result):
+    """Write each cell's FaultLog to $FAULT_LOG_DIR (CI artifacts)."""
+    out_dir = os.environ.get("FAULT_LOG_DIR")
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    for (scenario, fault_class), cell in result["matrix"].items():
+        name = f"{scenario}-{fault_class}-seed{SEED}.json"
+        with open(os.path.join(out_dir, name), "w") as fh:
+            fh.write(cell["log"].to_json())
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    result = experiments.run_fault_matrix(seed=SEED)
+    _dump_logs(result)
+    return result
+
+
+@pytest.mark.parametrize("fault_class", CLASSES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_cell_never_silently_wrong(matrix, scenario, fault_class):
+    cell = matrix["matrix"][(scenario, fault_class)]
+    # "diverged" means the run completed with a result that differs
+    # from the fault-free fingerprint — always a bug.  (A typed
+    # failure is recorded as the exception's class name; a hang is
+    # impossible because every scenario bounds its sim.run.)
+    assert cell["outcome"] != "diverged", cell
+
+
+@pytest.mark.parametrize("fault_class", NETWORK_CLASSES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_network_faults_always_recover(matrix, scenario, fault_class):
+    cell = matrix["matrix"][(scenario, fault_class)]
+    assert cell["outcome"] == "ok", cell
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_recovers_under_at_least_five_classes(matrix, scenario):
+    ok = [
+        fault_class
+        for fault_class in CLASSES
+        if matrix["matrix"][(scenario, fault_class)]["outcome"] == "ok"
+    ]
+    assert len(ok) >= 5, ok
+
+
+@pytest.mark.parametrize(
+    "fault_class", ["ocall_fail", "egetkey_fail", "quote_reject", "aex_storm"]
+)
+def test_platform_faults_really_injected_and_absorbed(matrix, fault_class):
+    # The routing scenario exercises every platform site; its cells
+    # must show real injections (not vacuous zero-fault "ok"s).
+    cell = matrix["matrix"][("routing", fault_class)]
+    assert cell["faults_injected"] > 0
+    assert cell["outcome"] == "ok", cell
+
+
+def test_worker_stall_exercises_switchless_fallback(matrix):
+    cell = matrix["matrix"][("middlebox", "worker_stall")]
+    assert cell["faults_injected"] > 0
+    assert cell["outcome"] == "ok", cell
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fault_log_reproducible_across_runs(scenario):
+    # Same seed, same workload -> byte-identical FaultLog.
+    digests = []
+    counts = []
+    for _ in range(2):
+        plan = faults.matrix_plan("drop", seed=7)
+        with faults.active(plan):
+            experiments.run_fault_scenario(scenario)
+        digests.append(plan.log.digest())
+        counts.append(plan.log.counts())
+    assert digests[0] == digests[1]
+    assert counts[0] == counts[1]
+
+
+def test_matrix_rejects_unknown_fault_class():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError, match="unknown fault class"):
+        faults.matrix_plan("cosmic_ray")

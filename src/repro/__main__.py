@@ -10,6 +10,14 @@ Usage::
     python -m repro switchless      # switchless-transition ablation
     python -m repro faults          # fault-injection matrix (--seed N)
     python -m repro all             # everything above, in order
+    python -m repro trace table4    # run traced, emit a cycle-accurate trace
+        [--format json|folded|prom] [--out DIR]
+
+``trace`` runs one scenario with the span tracer attached, asserts the
+trace reconciles exactly against the cost accountants, and writes the
+export: Chrome/Perfetto ``trace_event`` JSON (open in
+https://ui.perfetto.dev or chrome://tracing), folded stacks for
+flamegraph tooling, or Prometheus-style metrics text.
 
 Ablations and the full statistical harness live under ``benchmarks/``
 (``pytest benchmarks/ --benchmark-only -s``); this CLI is the quick,
@@ -20,10 +28,18 @@ numbers.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro import experiments
+
+SCENARIOS = (
+    "table1", "table2", "table3", "table4", "figure3", "switchless", "faults",
+)
+
+#: export format -> file extension for --out
+_TRACE_EXT = {"json": "json", "folded": "folded", "prom": "prom"}
 
 
 def _table1() -> None:
@@ -59,6 +75,57 @@ def _faults(seed: int) -> None:
     print(experiments.format_fault_matrix(experiments.run_fault_matrix(seed=seed)))
 
 
+def _trace(scenario: str, fmt: str, out: str, n_ases: int, seed: int) -> None:
+    """Run ``scenario`` traced, reconcile exactly, emit the export."""
+    from repro import obs
+
+    runners = {
+        "table1": lambda t: experiments.run_table1(trace=t),
+        "table2": lambda t: experiments.run_table2(trace=t),
+        "table3": lambda t: experiments.run_table3(trace=t),
+        "table4": lambda t: experiments.run_table4(n_ases=n_ases, trace=t),
+        "figure3": lambda t: experiments.run_figure3(trace=t),
+        "switchless": lambda t: experiments.run_switchless_ablation(trace=t),
+        "faults": lambda t: experiments.run_fault_matrix(seed=seed, trace=t),
+    }
+    tracer = obs.Tracer()
+    runners[scenario](tracer)
+    obs.reconcile(tracer)
+
+    if fmt == "json":
+        text = obs.trace_event_json(tracer, indent=2)
+    elif fmt == "folded":
+        text = obs.folded_stacks(tracer)
+    else:
+        text = obs.prometheus_text(tracer)
+
+    if out:
+        os.makedirs(out, exist_ok=True)
+        path = os.path.join(out, f"trace-{scenario}.{_TRACE_EXT[fmt]}")
+        with open(path, "w") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+    sgx_clock, normal_clock = tracer.clock
+    print(
+        f"[trace {scenario}: {len(tracer.spans)} spans, "
+        f"{len(tracer.instants)} instants, "
+        f"clock {sgx_clock} sgx + {normal_clock} normal instructions "
+        f"= {tracer.cycles_at(sgx_clock, normal_clock):.0f} cycles]",
+        file=sys.stderr,
+    )
+    print("[top cost sites]", file=sys.stderr)
+    for name, kind, self_cycles, count in obs.top_cost_sites(tracer, n=5):
+        print(
+            f"  {name} ({kind}): {self_cycles:.0f} self-cycles over {count} span(s)",
+            file=sys.stderr,
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -69,11 +136,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[
-            "table1", "table2", "table3", "table4", "figure3", "switchless",
-            "faults", "all",
-        ],
-        help="which paper artifact to regenerate",
+        choices=list(SCENARIOS) + ["all", "trace"],
+        help="which paper artifact to regenerate (or 'trace' to record one)",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        choices=SCENARIOS,
+        help="scenario to trace (required for 'trace', meaningless otherwise)",
     )
     parser.add_argument(
         "--ases",
@@ -87,7 +157,25 @@ def main(argv=None) -> int:
         default=0,
         help="fault-plan seed for the faults job (default: 0)",
     )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        choices=sorted(_TRACE_EXT),
+        default="json",
+        help="trace export format (default: json — Chrome/Perfetto trace_event)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="directory to write the trace export into (default: stdout)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "trace":
+        if args.scenario is None:
+            parser.error("'trace' needs a scenario, e.g. python -m repro trace table4")
+    elif args.scenario is not None:
+        parser.error(f"unexpected positional {args.scenario!r} after {args.experiment!r}")
 
     jobs = {
         "table1": _table1,
@@ -97,11 +185,21 @@ def main(argv=None) -> int:
         "figure3": _figure3,
         "switchless": _switchless,
         "faults": lambda: _faults(args.seed),
+        "trace": lambda: _trace(
+            args.scenario, args.format, args.out, args.ases, args.seed
+        ),
     }
-    selected = list(jobs) if args.experiment == "all" else [args.experiment]
+    selected = ["trace"] if args.experiment == "trace" else (
+        [s for s in jobs if s != "trace"] if args.experiment == "all"
+        else [args.experiment]
+    )
     for name in selected:
         start = time.time()
-        jobs[name]()
+        try:
+            jobs[name]()
+        except Exception as exc:  # noqa: BLE001 — CLI boundary
+            print(f"[{name} failed: {type(exc).__name__}: {exc}]", file=sys.stderr)
+            return 1
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
     return 0
 

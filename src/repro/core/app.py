@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import AttestationError, ProtocolError
 from repro.net.channel import SecureRecordChannel
 from repro.net.transport import MSS
@@ -225,6 +226,7 @@ class SecureApplicationProgram(EnclaveProgram):
             f"attestation frame in state '{session.state}' ({session.role})"
         )
 
+    @obs.traced("app:handle_record", kind="app")
     def _handle_record(
         self, session_id: str, session: _Session, body: bytes
     ) -> Optional[bytes]:
@@ -232,7 +234,8 @@ class SecureApplicationProgram(EnclaveProgram):
             raise ProtocolError("record frame before channel establishment")
         self._charge_recv(len(body))
         payload = session.channel.open(body)
-        reply = self._on_secure_message(session_id, payload)
+        with obs.span("app:on_secure_message", kind="app"):
+            reply = self._on_secure_message(session_id, payload)
         if reply is None:
             return None
         self._charge_send(len(reply))

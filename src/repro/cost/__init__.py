@@ -1,7 +1,14 @@
 """Cost accounting: the paper's instruction/cycle evaluation methodology."""
 
-from repro.cost.accountant import UNTRUSTED, CostAccountant, Counter, disabled
-from repro.cost.model import DEFAULT_MODEL, CostModel
+from repro.cost.accountant import (
+    UNTRUSTED,
+    CostAccountant,
+    Counter,
+    active_tracer,
+    disabled,
+    set_active_tracer,
+)
+from repro.cost.model import DEFAULT_MODEL, CostModel, cycles
 from repro.cost.report import (
     comparison_row,
     counter_row,
@@ -18,6 +25,9 @@ __all__ = [
     "disabled",
     "CostModel",
     "DEFAULT_MODEL",
+    "cycles",
+    "active_tracer",
+    "set_active_tracer",
     "format_count",
     "format_table",
     "counter_row",

@@ -19,9 +19,29 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-from typing import Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 UNTRUSTED = "untrusted"
+
+#: The tracer new accountants attach to, if any.  Lives here (not in
+#: :mod:`repro.obs`) so the cost layer never imports the observability
+#: layer; :func:`repro.obs.tracing` flips it for the duration of a
+#: traced run.  ``None`` (the default) keeps every charge a plain
+#: counter increment — tracing is strictly opt-in and zero-cost off.
+_ACTIVE_TRACER: Optional[Any] = None
+
+
+def set_active_tracer(tracer: Optional[Any]) -> Optional[Any]:
+    """Install ``tracer`` as the auto-attach target; returns the prior one."""
+    global _ACTIVE_TRACER
+    prior = _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    return prior
+
+
+def active_tracer() -> Optional[Any]:
+    """The tracer newly created accountants attach to (``None`` = off)."""
+    return _ACTIVE_TRACER
 
 
 @dataclasses.dataclass
@@ -37,6 +57,10 @@ class Counter:
 
     def copy(self) -> "Counter":
         return dataclasses.replace(self)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Field-name → count mapping (for exporters and reports)."""
+        return dataclasses.asdict(self)
 
     def __iadd__(self, other: "Counter") -> "Counter":
         self.sgx_instructions += other.sgx_instructions
@@ -66,10 +90,19 @@ class CostAccountant:
     enclave) unwinds correctly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._domain_stack = [UNTRUSTED]
         self.enabled = True
+        self.name = name
+        #: Set by ``Tracer.attach``: the tracer observing this
+        #: accountant (or ``None``) and the unique source label the
+        #: tracer knows it by.  When no tracer is active this stays
+        #: ``None`` and every charge is a plain counter increment.
+        self.tracer: Optional[Any] = None
+        self.source: str = name or "acct"
+        if _ACTIVE_TRACER is not None:
+            _ACTIVE_TRACER.attach(self)
 
     # -- domain management -------------------------------------------------
 
@@ -79,7 +112,16 @@ class CostAccountant:
 
     @contextlib.contextmanager
     def attribute(self, domain: str) -> Iterator[None]:
-        """Attribute all charges inside the ``with`` block to ``domain``."""
+        """Attribute all charges inside the ``with`` block to ``domain``.
+
+        The domain stack is orthogonal to the counters: a
+        :meth:`reset` issued *inside* an open ``attribute`` block zeroes
+        the counters but leaves the stack intact, so subsequent charges
+        keep flowing into the still-stacked domain (its counter is
+        simply recreated on first use).  The stack also unwinds
+        correctly when the block exits via an exception — attribution
+        never leaks into the caller's domain.
+        """
         self._domain_stack.append(domain)
         try:
             yield
@@ -99,16 +141,24 @@ class CostAccountant:
         """Record ``count`` user-mode SGX instructions in the current domain."""
         if self.enabled:
             self.counter().sgx_instructions += count
+            if self.tracer is not None:
+                self.tracer.on_charge(self.source, self.current_domain, count, 0)
 
     def charge_normal(self, count: int) -> None:
         """Record ``count`` normal x86 instructions in the current domain."""
         if self.enabled:
             self.counter().normal_instructions += int(count)
+            if self.tracer is not None:
+                self.tracer.on_charge(self.source, self.current_domain, 0, int(count))
 
     def charge_crossing(self, count: int = 1) -> None:
         """Record ``count`` enclave entry/exit transitions."""
         if self.enabled:
             self.counter().enclave_crossings += count
+            if self.tracer is not None:
+                self.tracer.on_instant(
+                    "crossing", self.source, self.current_domain, count=count
+                )
 
     def charge_allocation(self, count: int = 1) -> None:
         """Record ``count`` in-enclave dynamic memory allocations."""
@@ -119,9 +169,18 @@ class CostAccountant:
         """Record ``count`` boundary calls served without a crossing."""
         if self.enabled:
             self.counter().switchless_calls += count
+            if self.tracer is not None:
+                self.tracer.on_instant(
+                    "switchless_hit", self.source, self.current_domain, count=count
+                )
 
     def charge_fault(self, count: int = 1) -> None:
-        """Record ``count`` injected faults (see :mod:`repro.faults`)."""
+        """Record ``count`` injected faults (see :mod:`repro.faults`).
+
+        No instant event is emitted here: :func:`repro.faults._record`
+        publishes a richer ``fault`` instant (kind + site) alongside
+        this charge, and one event per fault is enough.
+        """
         if self.enabled:
             self.counter().faults_injected += count
 
@@ -151,8 +210,17 @@ class CostAccountant:
         return out
 
     def reset(self) -> None:
-        """Zero all counters (domain stack is preserved)."""
+        """Zero all counters.
+
+        The domain stack is deliberately *not* touched: ``reset()``
+        inside an open :meth:`attribute` block keeps attributing later
+        charges to the still-stacked domain (see ``attribute``'s
+        docstring).  An attached tracer is told so exact span/counter
+        reconciliation knows this source's history was discarded.
+        """
         self._counters.clear()
+        if self.tracer is not None:
+            self.tracer.on_reset(self.source)
 
 
 @contextlib.contextmanager

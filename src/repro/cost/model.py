@@ -155,3 +155,14 @@ class CostModel:
 #: Default model used throughout the library unless a component is
 #: configured with a custom one.
 DEFAULT_MODEL = CostModel()
+
+
+def cycles(counter, model: CostModel = DEFAULT_MODEL) -> float:
+    """Cycle cost of a :class:`repro.cost.Counter` under ``model``.
+
+    Accepts anything with ``sgx_instructions`` / ``normal_instructions``
+    attributes (duck-typed to avoid importing the accountant module).
+    This is *the* conversion used by every report and exporter; charging
+    sites should not hand-roll ``model.cycles(c.sgx..., c.normal...)``.
+    """
+    return model.cycles(counter.sgx_instructions, counter.normal_instructions)

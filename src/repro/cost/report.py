@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cost.accountant import Counter
-from repro.cost.model import CostModel, DEFAULT_MODEL
+from repro.cost.model import CostModel, DEFAULT_MODEL, cycles
 
 
 def format_count(value: float) -> str:
@@ -49,12 +49,11 @@ def format_table(
 
 def counter_row(label: str, counter: Counter, model: CostModel = DEFAULT_MODEL) -> List[str]:
     """One formatted row: label, SGX(U), normal, cycles."""
-    cycles = model.cycles(counter.sgx_instructions, counter.normal_instructions)
     return [
         label,
         str(counter.sgx_instructions),
         format_count(counter.normal_instructions),
-        format_count(cycles),
+        format_count(cycles(counter, model)),
     ]
 
 

@@ -10,9 +10,11 @@ code paths the tests assert on.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Optional, Tuple
 
-from repro.cost import DEFAULT_MODEL, Counter, format_count, format_table
+from repro import obs
+from repro.cost import Counter, cycles, format_count, format_table
 from repro.errors import ReproError
 from repro.crypto.aes import AES
 from repro.crypto.drbg import Rng
@@ -48,6 +50,25 @@ __all__ = [
     "run_fault_matrix",
     "format_fault_matrix",
 ]
+
+
+@contextlib.contextmanager
+def _traced(trace: Optional[obs.Tracer], name: str):
+    """Run one scenario under an optional tracer.
+
+    ``trace=None`` (the default everywhere) is a pass-through, so
+    untraced runs stay byte-identical to the pre-tracing code paths.
+    With a tracer, the whole scenario runs inside a root ``scenario``
+    span so every charge — including ones made outside any
+    instrumented site — lands somewhere :func:`repro.obs.reconcile`
+    can account for.
+    """
+    if trace is None:
+        yield
+        return
+    with obs.tracing(trace), trace.span(name, kind="scenario"):
+        yield
+
 
 # ---------------------------------------------------------------------------
 # Table 1 — remote attestation
@@ -92,9 +113,10 @@ def _one_attestation(with_dh: bool) -> Dict[str, Counter]:
     }
 
 
-def run_table1() -> Dict[bool, Dict[str, Counter]]:
+def run_table1(trace: Optional[obs.Tracer] = None) -> Dict[bool, Dict[str, Counter]]:
     """Both columns of Table 1 (one attestation each)."""
-    return {False: _one_attestation(False), True: _one_attestation(True)}
+    with _traced(trace, "table1"):
+        return {False: _one_attestation(False), True: _one_attestation(True)}
 
 
 def format_table1(results: Dict[bool, Dict[str, Counter]]) -> str:
@@ -113,13 +135,11 @@ def format_table1(results: Dict[bool, Dict[str, Counter]]) -> str:
                 ]
             )
     dh = results[True]
-    challenger_cycles = DEFAULT_MODEL.cycles(
-        dh["challenger"].sgx_instructions, dh["challenger"].normal_instructions
-    )
-    remote_cycles = DEFAULT_MODEL.cycles(
-        dh["target"].sgx_instructions + dh["quoting"].sgx_instructions,
-        dh["target"].normal_instructions + dh["quoting"].normal_instructions,
-    )
+    challenger_cycles = cycles(dh["challenger"])
+    remote = Counter()
+    remote += dh["target"]
+    remote += dh["quoting"]
+    remote_cycles = cycles(remote)
     table = format_table(
         ["role", "SGX(U)", "paper", "normal", "paper"],
         rows,
@@ -176,12 +196,13 @@ def _measure_send(n_packets: int, with_crypto: bool) -> Counter:
     return counter
 
 
-def run_table2() -> Dict[tuple, Counter]:
-    return {
-        (n, crypto): _measure_send(n, crypto)
-        for n in (1, 100)
-        for crypto in (False, True)
-    }
+def run_table2(trace: Optional[obs.Tracer] = None) -> Dict[tuple, Counter]:
+    with _traced(trace, "table2"):
+        return {
+            (n, crypto): _measure_send(n, crypto)
+            for n in (1, 100)
+            for crypto in (False, True)
+        }
 
 
 def format_table2(results: Dict[tuple, Counter]) -> str:
@@ -214,6 +235,17 @@ def run_table3(
     n_relays: int = 4,
     n_authorities: int = 3,
     n_middleboxes: int = 3,
+    trace: Optional[obs.Tracer] = None,
+) -> Dict[str, Dict]:
+    with _traced(trace, "table3"):
+        return _run_table3(n_ases, n_relays, n_authorities, n_middleboxes)
+
+
+def _run_table3(
+    n_ases: int,
+    n_relays: int,
+    n_authorities: int,
+    n_middleboxes: int,
 ) -> Dict[str, Dict]:
     from repro.middlebox.scenarios import MiddleboxScenario
     from repro.routing.deployment import run_sgx_routing
@@ -293,12 +325,15 @@ TABLE4_PAPER = {
 }
 
 
-def run_table4(n_ases: int = 30, seed: bytes = b"table4"):
+def run_table4(
+    n_ases: int = 30, seed: bytes = b"table4", trace: Optional[obs.Tracer] = None
+):
     from repro.routing.deployment import run_native_routing, run_sgx_routing
 
-    sgx = run_sgx_routing(n_ases=n_ases, seed=seed)
-    native = run_native_routing(n_ases=n_ases, seed=seed)
-    return sgx, native
+    with _traced(trace, "table4"):
+        sgx = run_sgx_routing(n_ases=n_ases, seed=seed)
+        native = run_native_routing(n_ases=n_ases, seed=seed)
+        return sgx, native
 
 
 def format_table4(sgx, native) -> str:
@@ -394,7 +429,9 @@ def _measure_workload(method: str, *args) -> Counter:
 
 
 def run_switchless_ablation(
-    batch_sizes=(1, 10, 100), n_ocalls: int = 100
+    batch_sizes=(1, 10, 100),
+    n_ocalls: int = 100,
+    trace: Optional[obs.Tracer] = None,
 ) -> Dict[str, Dict]:
     """Crossings and modeled cycles with the switchless queue on/off.
 
@@ -404,24 +441,23 @@ def run_switchless_ablation(
     ``batch_sizes`` (where batching already amortizes the crossing and
     switchless removes the remainder).
     """
-    ocalls = {
-        switchless: _measure_workload("burst_ocalls", n_ocalls, switchless)
-        for switchless in (False, True)
-    }
-    packets = {
-        (n, switchless): _measure_workload("send_batch", n, switchless)
-        for n in batch_sizes
-        for switchless in (False, True)
-    }
-    return {"n_ocalls": n_ocalls, "ocalls": ocalls, "packets": packets}
+    with _traced(trace, "switchless"):
+        ocalls = {
+            switchless: _measure_workload("burst_ocalls", n_ocalls, switchless)
+            for switchless in (False, True)
+        }
+        packets = {
+            (n, switchless): _measure_workload("send_batch", n, switchless)
+            for n in batch_sizes
+            for switchless in (False, True)
+        }
+        return {"n_ocalls": n_ocalls, "ocalls": ocalls, "packets": packets}
 
 
 def format_switchless_ablation(results: Dict[str, Dict]) -> str:
     def row(label: str, off: Counter, on: Counter) -> List:
-        off_cycles = DEFAULT_MODEL.cycles(
-            off.sgx_instructions, off.normal_instructions
-        )
-        on_cycles = DEFAULT_MODEL.cycles(on.sgx_instructions, on.normal_instructions)
+        off_cycles = cycles(off)
+        on_cycles = cycles(on)
         return [
             label,
             off.enclave_crossings,
@@ -448,27 +484,26 @@ def format_switchless_ablation(results: Dict[str, Dict]) -> str:
     )
 
 
-def run_figure3(sweep: List[int] = (5, 10, 15, 20, 25, 30), seed: bytes = b"figure3"):
+def run_figure3(
+    sweep: List[int] = (5, 10, 15, 20, 25, 30),
+    seed: bytes = b"figure3",
+    trace: Optional[obs.Tracer] = None,
+):
     from repro.routing.deployment import run_native_routing, run_sgx_routing
 
     series = []
-    for n_ases in sweep:
-        sgx = run_sgx_routing(n_ases=n_ases, seed=seed)
-        native = run_native_routing(n_ases=n_ases, seed=seed)
-        assert sgx.routes == native.routes
-        series.append(
-            {
-                "n": n_ases,
-                "native": DEFAULT_MODEL.cycles(
-                    native.controller_steady.sgx_instructions,
-                    native.controller_steady.normal_instructions,
-                ),
-                "sgx": DEFAULT_MODEL.cycles(
-                    sgx.controller_steady.sgx_instructions,
-                    sgx.controller_steady.normal_instructions,
-                ),
-            }
-        )
+    with _traced(trace, "figure3"):
+        for n_ases in sweep:
+            sgx = run_sgx_routing(n_ases=n_ases, seed=seed)
+            native = run_native_routing(n_ases=n_ases, seed=seed)
+            assert sgx.routes == native.routes
+            series.append(
+                {
+                    "n": n_ases,
+                    "native": cycles(native.controller_steady),
+                    "sgx": cycles(sgx.controller_steady),
+                }
+            )
     return series
 
 
@@ -551,6 +586,7 @@ def run_fault_matrix(
     seed: object = 0,
     fault_classes: Optional[List[str]] = None,
     scenarios: Tuple[str, ...] = FAULT_SCENARIOS,
+    trace: Optional[obs.Tracer] = None,
 ) -> Dict[str, object]:
     """The fault-matrix experiment (EXPERIMENTS.md A9).
 
@@ -560,6 +596,15 @@ def run_fault_matrix(
     ``diverged`` (it completed with a *different* result — always a
     bug), or the typed ``repro.errors`` exception that stopped it.
     """
+    with _traced(trace, "faults"):
+        return _run_fault_matrix(seed, fault_classes, scenarios)
+
+
+def _run_fault_matrix(
+    seed: object,
+    fault_classes: Optional[List[str]],
+    scenarios: Tuple[str, ...],
+) -> Dict[str, object]:
     from repro import faults
 
     classes = list(fault_classes) if fault_classes else sorted(faults.FAULT_CLASSES)

@@ -51,6 +51,7 @@ import hashlib
 import json
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.cost import accountant as cost_accountant_mod
 from repro.cost import context as cost_context
 from repro.crypto.drbg import Rng
 from repro.errors import ReproError
@@ -227,6 +228,21 @@ class FaultPlan:
             accountant = self.accountant
         if accountant is not None:
             accountant.charge_fault()
+        # Publish the injection on the trace timeline (richer than the
+        # bare faults_injected counter: carries kind + site).
+        tracer = accountant.tracer if accountant is not None else None
+        if tracer is not None:
+            tracer.on_instant(
+                "fault",
+                accountant.source,
+                accountant.current_domain,
+                kind=kind,
+                site=site,
+            )
+        else:
+            fallback = cost_accountant_mod.active_tracer()
+            if fallback is not None:
+                fallback.on_instant("fault", "", "", kind=kind, site=site)
 
     # -- kind-specific randomness -----------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.app import SecureApplicationProgram
 from repro.errors import MiddleboxError, ProtocolError
 from repro.middlebox.dpi import DpiAction, DpiEngine, DpiRule
@@ -138,6 +139,7 @@ class MiddleboxProgram(SecureApplicationProgram):
 
     # -- the data path (ecall per transiting record) -----------------------------------
 
+    @obs.traced("mbox:inspect_record", kind="app")
     def inspect_record(self, flow_id: str, direction: str, record: bytes) -> Tuple[str, List[str]]:
         """Inspect one transiting record.
 

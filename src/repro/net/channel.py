@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import faults
+from repro import faults, obs
 from repro.crypto.aes import AES
 from repro.crypto.mac import hmac_sha256, hmac_verify
 from repro.crypto.modes import CtrStream, ecb_decrypt, ecb_encrypt
@@ -63,6 +63,7 @@ class SecureRecordChannel:
 
     # -- sending ------------------------------------------------------------
 
+    @obs.traced("channel:protect", kind="channel")
     def protect(self, plaintext: bytes) -> bytes:
         """Encrypt (and MAC, for CTR) one application message."""
         seq = self._send_seq
@@ -88,6 +89,7 @@ class SecureRecordChannel:
 
     # -- receiving -----------------------------------------------------------
 
+    @obs.traced("channel:open", kind="channel")
     def open(self, record: bytes) -> bytes:
         """Verify and decrypt one record (strict in-order sequencing)."""
         if self.cipher == "ecb":

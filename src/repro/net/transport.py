@@ -24,6 +24,7 @@ import enum
 import zlib
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import NetworkError
 from repro.net.network import MTU, Datagram, Host
 from repro.net.sim import MessageQueue, SimTimeout
@@ -191,7 +192,14 @@ class StreamSocket:
                 # Go-back-N: resend the whole outstanding window, then
                 # back off exponentially so a congested/faulty link is
                 # not hammered with the full window at a fixed cadence.
-                self.retransmissions += self._next - self._base
+                window = self._next - self._base
+                self.retransmissions += window
+                obs.instant(
+                    "retransmission",
+                    count=window,
+                    stream=f"{self.host.name}:{self.local_port}",
+                    rto=self._rto,
+                )
                 for index in range(self._base, self._next):
                     self._transmit_data(index)
                 self._rto = min(self._rto * 2, self.MAX_RTO)

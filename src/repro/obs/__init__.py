@@ -1,0 +1,55 @@
+"""Observability: cycle-accurate span tracing + exporters.
+
+Quick start::
+
+    from repro import experiments, obs
+
+    tracer = obs.Tracer()
+    experiments.run_table2(trace=tracer)
+    obs.reconcile(tracer)                   # exact, or ReconcileError
+    open("t2.json", "w").write(obs.trace_event_json(tracer))
+
+Tracing is opt-in and zero-cost when off; see :mod:`repro.obs.tracer`.
+"""
+
+from repro.obs.export import (
+    CYCLES_PER_TRACE_US,
+    ReconcileError,
+    folded_stacks,
+    prometheus_text,
+    reconcile,
+    to_trace_events,
+    top_cost_sites,
+    trace_event_json,
+    validate_trace_events,
+)
+from repro.obs.tracer import (
+    Instant,
+    Span,
+    Tracer,
+    current_tracer,
+    instant,
+    span,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "CYCLES_PER_TRACE_US",
+    "Instant",
+    "ReconcileError",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "folded_stacks",
+    "instant",
+    "prometheus_text",
+    "reconcile",
+    "span",
+    "to_trace_events",
+    "top_cost_sites",
+    "traced",
+    "trace_event_json",
+    "tracing",
+    "validate_trace_events",
+]

@@ -1,0 +1,454 @@
+"""Exporters for :class:`repro.obs.Tracer` recordings.
+
+Three formats, all deterministic text so traces diff cleanly:
+
+* Chrome/Perfetto ``trace_event`` JSON — load in https://ui.perfetto.dev
+  or ``chrome://tracing``.  One trace "process" per cost source (one
+  simulated party / accountant), one "thread" per attribution domain.
+  The timeline unit is **1 trace microsecond = 1,000 modeled cycles**
+  (the cost model's clock, never wall time).
+* Folded-stack text — ``frame;frame;frame value`` lines, compatible
+  with inferno / flamegraph.pl (value = span self-cycles, rounded).
+* Prometheus-style text exposition — aggregate counters for dashboards
+  or plain grepping.
+
+:func:`reconcile` is the correctness anchor: it asserts that the sum
+of span self-instructions (plus the orphan bucket) equals every
+attached accountant's per-domain counters *exactly*, integer for
+integer — the trace is the table, redistributed over a timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import Tracer
+
+#: One trace-event microsecond per this many modeled cycles.
+CYCLES_PER_TRACE_US = 1_000.0
+
+
+class ReconcileError(AssertionError):
+    """Span self-cost totals disagree with the accountant counters."""
+
+
+# ---------------------------------------------------------------------------
+# Chrome / Perfetto trace_event JSON
+# ---------------------------------------------------------------------------
+
+
+def to_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a recording into Chrome ``trace_event`` dicts.
+
+    Events are ordered by the tracer's sequence numbers, which gives an
+    exact chronological order even when several events share a cycle
+    timestamp (the clock only advances on charges).
+    """
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    meta: List[Dict[str, Any]] = []
+
+    def pid_for(source: str) -> int:
+        label = source or "global"
+        if label not in pids:
+            pids[label] = len(pids) + 1
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pids[label],
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        return pids[label]
+
+    def tid_for(source: str, domain: str) -> int:
+        label = domain or "main"
+        pid = pid_for(source)
+        key = (source or "global", label)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == key[0]]) + 1
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": label},
+                }
+            )
+        return tids[key]
+
+    def ts(sgx: int, normal: int) -> float:
+        return tracer.cycles_at(sgx, normal) / CYCLES_PER_TRACE_US
+
+    timed: List[Tuple[int, Dict[str, Any]]] = []
+    final_seq = tracer._seq + 1
+    for s in tracer.spans:
+        pid = pid_for(s.source)
+        tid = tid_for(s.source, s.domain)
+        self_sgx, self_normal = s.self_instructions()
+        timed.append(
+            (
+                s.open_seq,
+                {
+                    "ph": "B",
+                    "name": s.name,
+                    "cat": s.kind,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ts(s.start_sgx, s.start_normal),
+                    "args": {
+                        "domain": s.domain,
+                        "source": s.source,
+                        "self_sgx_instructions": self_sgx,
+                        "self_normal_instructions": self_normal,
+                        "self_cycles": tracer.cycles_at(self_sgx, self_normal),
+                        "error": s.error,
+                    },
+                },
+            )
+        )
+        if s.closed:
+            end_seq, end_sgx, end_normal = s.close_seq, s.end_sgx, s.end_normal
+        else:  # never-closed span (crashed run): clamp to the final clock
+            end_seq, end_sgx, end_normal = final_seq, *tracer.clock
+        timed.append(
+            (
+                end_seq,
+                {
+                    "ph": "E",
+                    "name": s.name,
+                    "cat": s.kind,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ts(end_sgx, end_normal),
+                },
+            )
+        )
+    for i in tracer.instants:
+        args: Dict[str, Any] = {"count": i.count}
+        args.update(i.args)
+        timed.append(
+            (
+                i.seq,
+                {
+                    "ph": "i",
+                    "name": i.name,
+                    "cat": "event",
+                    "s": "t",
+                    "pid": pid_for(i.source),
+                    "tid": tid_for(i.source, i.domain),
+                    "ts": ts(i.ts_sgx, i.ts_normal),
+                    "args": args,
+                },
+            )
+        )
+    timed.sort(key=lambda pair: pair[0])
+    return meta + [event for _, event in timed]
+
+
+def trace_event_json(tracer: Tracer, indent: Optional[int] = None) -> str:
+    """Serialize to the Chrome/Perfetto JSON object format."""
+    payload = {
+        "traceEvents": to_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "clock": f"modeled cycles ({CYCLES_PER_TRACE_US:.0f} cycles per trace us)",
+            "sgx_instruction_cycles": tracer.model.sgx_instruction_cycles,
+            "cycles_per_instruction": tracer.model.cycles_per_instruction,
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def validate_trace_events(payload: Any) -> List[Dict[str, Any]]:
+    """Check trace_event shape; returns the event list or raises ValueError.
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or a
+    bare event list.  Checks the keys each phase requires, that ``ts``
+    is monotonically non-decreasing over the non-metadata stream, and
+    that B/E events balance per (pid, tid) with matching names.
+    """
+    events = payload.get("traceEvents") if isinstance(payload, dict) else payload
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    last_ts: Optional[float] = None
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for n, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{n} is not an object")
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                raise ValueError(f"event #{n} ({ph!r}) missing key {key!r}")
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"event #{n}: ts {ts} < previous {last_ts}")
+        last_ts = ts
+        thread = (event["pid"], event["tid"])
+        if ph == "B":
+            stacks.setdefault(thread, []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.get(thread) or []
+            if not stack:
+                raise ValueError(f"event #{n}: E with empty stack on {thread}")
+            top = stack.pop()
+            if top != event["name"]:
+                raise ValueError(
+                    f"event #{n}: E {event['name']!r} does not close {top!r}"
+                )
+        elif ph == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                raise ValueError(f"event #{n}: instant missing scope 's'")
+        else:
+            raise ValueError(f"event #{n}: unsupported phase {ph!r}")
+    unbalanced = {t: s for t, s in stacks.items() if s}
+    if unbalanced:
+        raise ValueError(f"unbalanced B events left open: {unbalanced}")
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Folded stacks (inferno / flamegraph.pl)
+# ---------------------------------------------------------------------------
+
+
+def folded_stacks(tracer: Tracer) -> str:
+    """Semicolon-folded stacks weighted by span self-cycles.
+
+    Feed to ``flamegraph.pl`` or ``inferno-flamegraph`` directly.
+    Charges recorded outside any span appear as single-frame
+    ``[unattributed source:domain]`` rows so the flamegraph's total
+    equals the run's total cycles.
+    """
+    by_id = {s.span_id: s for s in tracer.spans}
+    weights: Dict[str, int] = {}
+
+    def frame(s) -> str:
+        return s.name.replace(";", ",").replace("\n", " ")
+
+    for s in tracer.spans:
+        frames = [frame(s)]
+        parent = s.parent_id
+        while parent is not None:
+            p = by_id[parent]
+            frames.append(frame(p))
+            parent = p.parent_id
+        stack = ";".join(reversed(frames))
+        value = int(round(tracer.cycles_at(*s.self_instructions())))
+        if value:
+            weights[stack] = weights.get(stack, 0) + value
+    for (source, domain), (sgx, normal) in sorted(tracer.orphans.items()):
+        value = int(round(tracer.cycles_at(sgx, normal)))
+        if value:
+            stack = f"[unattributed {source}:{domain}]"
+            weights[stack] = weights.get(stack, 0) + value
+    return "".join(f"{stack} {value}\n" for stack, value in sorted(weights.items()))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style text metrics
+# ---------------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(**labels: str) -> str:
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def prometheus_text(tracer: Tracer) -> str:
+    """Aggregate the recording into Prometheus text exposition format."""
+    lines: List[str] = []
+
+    def header(name: str, help_text: str, kind: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    span_cycles: Dict[Tuple[str, str], float] = {}
+    span_counts: Dict[Tuple[str, str], int] = {}
+    for s in tracer.spans:
+        key = (s.name, s.kind)
+        span_cycles[key] = span_cycles.get(key, 0.0) + tracer.cycles_at(
+            *s.self_instructions()
+        )
+        span_counts[key] = span_counts.get(key, 0) + 1
+
+    header(
+        "repro_trace_span_self_cycles_total",
+        "Modeled cycles charged directly to spans with this name/kind.",
+        "counter",
+    )
+    for (name, kind), value in sorted(span_cycles.items()):
+        lines.append(
+            "repro_trace_span_self_cycles_total"
+            + _labels(name=name, kind=kind)
+            + f" {value:.1f}"
+        )
+    header(
+        "repro_trace_span_count", "Number of spans recorded per name/kind.", "counter"
+    )
+    for (name, kind), value in sorted(span_counts.items()):
+        lines.append(
+            "repro_trace_span_count" + _labels(name=name, kind=kind) + f" {value}"
+        )
+
+    event_counts: Dict[str, int] = {}
+    for i in tracer.instants:
+        event_counts[i.name] = event_counts.get(i.name, 0) + i.count
+    header(
+        "repro_trace_events_total",
+        "Instant events (crossings, AEX, switchless, faults, retransmissions).",
+        "counter",
+    )
+    for name, value in sorted(event_counts.items()):
+        lines.append("repro_trace_events_total" + _labels(name=name) + f" {value}")
+
+    header(
+        "repro_domain_sgx_instructions_total",
+        "User-mode SGX instructions per accountant source and domain.",
+        "counter",
+    )
+    sgx_lines: List[str] = []
+    normal_lines: List[str] = []
+    for acct in tracer.accountants:
+        for domain, counter in sorted(acct.domains().items()):
+            labels = _labels(source=acct.source, domain=domain)
+            sgx_lines.append(
+                "repro_domain_sgx_instructions_total"
+                + labels
+                + f" {counter.sgx_instructions}"
+            )
+            normal_lines.append(
+                "repro_domain_normal_instructions_total"
+                + labels
+                + f" {counter.normal_instructions}"
+            )
+    lines.extend(sgx_lines)
+    header(
+        "repro_domain_normal_instructions_total",
+        "Normal x86 instructions per accountant source and domain.",
+        "counter",
+    )
+    lines.extend(normal_lines)
+
+    header(
+        "repro_trace_clock_cycles",
+        "Final cycle-clock reading (total modeled cycles observed).",
+        "gauge",
+    )
+    lines.append(f"repro_trace_clock_cycles {tracer.cycles_at(*tracer.clock):.1f}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Summaries + reconciliation
+# ---------------------------------------------------------------------------
+
+
+def top_cost_sites(tracer: Tracer, n: int = 5) -> List[Tuple[str, str, float, int]]:
+    """The ``n`` hottest span names by summed self-cycles.
+
+    Returns (name, kind, self_cycles, span_count) tuples, hottest
+    first — the "top-5 cost sites" table of EXPERIMENTS.md ablation A10.
+    """
+    cycles: Dict[Tuple[str, str], float] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    for s in tracer.spans:
+        key = (s.name, s.kind)
+        cycles[key] = cycles.get(key, 0.0) + tracer.cycles_at(*s.self_instructions())
+        counts[key] = counts.get(key, 0) + 1
+    ranked = sorted(cycles.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(name, kind, value, counts[(name, kind)]) for (name, kind), value in ranked[:n]]
+
+
+def reconcile(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Assert span totals match the accountants exactly; return per-domain cycles.
+
+    For every attached accountant (except any that called ``reset()``,
+    whose history the trace can no longer account for), the sum of raw
+    (sgx, normal) instructions over all span self-counts and the orphan
+    bucket must equal its per-domain counters *as integers* — no
+    tolerance.  Raises :class:`ReconcileError` listing every mismatch
+    otherwise.
+
+    The return value maps ``source -> {domain: cycles}`` using the
+    tracer's model — the same numbers the Table 1-4 reports print.
+    """
+    traced: Dict[Tuple[str, str], List[int]] = {}
+
+    def add(counts: Dict[Tuple[str, str], Sequence[int]]) -> None:
+        for key, (sgx, normal) in counts.items():
+            cell = traced.setdefault(key, [0, 0])
+            cell[0] += sgx
+            cell[1] += normal
+
+    for s in tracer.spans:
+        add(s.self_counts)
+    add(tracer.orphans)
+
+    crossings: Dict[Tuple[str, str], int] = {}
+    switchless: Dict[Tuple[str, str], int] = {}
+    for i in tracer.instants:
+        if i.name == "crossing":
+            key = (i.source, i.domain)
+            crossings[key] = crossings.get(key, 0) + i.count
+        elif i.name == "switchless_hit":
+            key = (i.source, i.domain)
+            switchless[key] = switchless.get(key, 0) + i.count
+
+    mismatches: List[str] = []
+    totals: Dict[str, Dict[str, float]] = {}
+    seen: set = set()
+    for acct in tracer.accountants:
+        if acct.source in tracer.reset_sources:
+            continue
+        totals[acct.source] = {}
+        for domain, counter in acct.domains().items():
+            key = (acct.source, domain)
+            seen.add(key)
+            got = traced.get(key, [0, 0])
+            if (
+                got[0] != counter.sgx_instructions
+                or got[1] != counter.normal_instructions
+            ):
+                mismatches.append(
+                    f"{acct.source}/{domain}: traced sgx={got[0]} "
+                    f"normal={got[1]} != counter sgx={counter.sgx_instructions} "
+                    f"normal={counter.normal_instructions}"
+                )
+            got_x = crossings.get(key, 0)
+            if got_x != counter.enclave_crossings:
+                mismatches.append(
+                    f"{acct.source}/{domain}: {got_x} crossing events != "
+                    f"counter {counter.enclave_crossings}"
+                )
+            got_sl = switchless.get(key, 0)
+            if got_sl != counter.switchless_calls:
+                mismatches.append(
+                    f"{acct.source}/{domain}: {got_sl} switchless_hit events != "
+                    f"counter {counter.switchless_calls}"
+                )
+            totals[acct.source][domain] = tracer.cycles_at(
+                counter.sgx_instructions, counter.normal_instructions
+            )
+    reset = {acct.source for acct in tracer.accountants} & tracer.reset_sources
+    for key in traced:
+        if key not in seen and key[0] not in reset and traced[key] != [0, 0]:
+            mismatches.append(
+                f"{key[0]}/{key[1]}: traced charges with no matching counter"
+            )
+    if mismatches:
+        raise ReconcileError(
+            "trace does not reconcile with accountants:\n  "
+            + "\n  ".join(mismatches)
+        )
+    return totals

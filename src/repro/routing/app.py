@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.cost import context as cost_context
 from repro.core.app import SecureApplicationProgram
 from repro.errors import PolicyError, ProtocolError
@@ -75,6 +76,7 @@ class InterDomainControllerProgram(SecureApplicationProgram):
             return self._handle_predicate_query(session_id, body)  # type: ignore[arg-type]
         return msg.encode_error_msg(f"unexpected message tag {tag}")
 
+    @obs.traced("routing:handle_policy", kind="app")
     def _handle_policy(self, session_id: str, policy: LocalPolicy) -> Optional[bytes]:
         if session_id in self._session_asn:
             return msg.encode_error_msg("policy already submitted on this session")
@@ -112,6 +114,7 @@ class InterDomainControllerProgram(SecureApplicationProgram):
             self._send_secure(session_id, encoded)
         return None
 
+    @obs.traced("routing:distribute_routes", kind="app")
     def _distribute_routes(self) -> None:
         """Compute all routes and push each AS exactly its own slice."""
         self._controller.compute_routes()
@@ -164,6 +167,7 @@ class AsLocalControllerProgram(SecureApplicationProgram):
         self._policy = policy
         return policy.asn
 
+    @obs.traced("routing:send_policy", kind="app")
     def send_policy(self) -> None:
         """Ship the policy to the inter-domain controller (steady-state
         start; separated from attestation so experiments can exclude

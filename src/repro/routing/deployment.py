@@ -71,13 +71,9 @@ class RoutingRunResult:
     )
 
     def controller_cycles(self, model=None) -> float:
-        from repro.cost import DEFAULT_MODEL
+        from repro.cost import DEFAULT_MODEL, cycles
 
-        model = model or DEFAULT_MODEL
-        return model.cycles(
-            self.controller_steady.sgx_instructions,
-            self.controller_steady.normal_instructions,
-        )
+        return cycles(self.controller_steady, model or DEFAULT_MODEL)
 
 
 def _sum_domains(delta: Dict[str, Counter], prefix: str) -> Counter:
@@ -331,8 +327,8 @@ def run_native_routing(
         sim, rng=Rng(seed, "net-native"), default_link=LinkParams(latency=0.002)
     )
 
-    controller_acct = CostAccountant()
-    as_accts = {asn: CostAccountant() for asn in topology.asns}
+    controller_acct = CostAccountant(name="idc-native")
+    as_accts = {asn: CostAccountant(name=f"as{asn}-native") for asn in topology.asns}
     controller = InterDomainController()
     controller_host = network.add_host("idc")
     listener = StreamListener(controller_host, CONTROLLER_PORT)

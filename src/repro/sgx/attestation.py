@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, FrozenSet, Optional
 
-from repro import faults
+from repro import faults, obs
 from repro.cost import context as cost_context
 from repro.crypto import dh
 from repro.crypto.hashes import sha256
@@ -197,6 +197,7 @@ class TargetAttestor:
         self.peer_identity: Optional[EnclaveIdentity] = None
         self.complete = False
 
+    @obs.traced("attest:handle_challenge", kind="attest")
     def handle_challenge(self, data: bytes) -> bytes:
         """Steps 2-3: quote ourselves, optionally offering DH."""
         model = cost_context.current_model()
@@ -252,6 +253,7 @@ class TargetAttestor:
         self._ctx.send_packets(lambda _p: None, _mtu_chunks(response))
         return response
 
+    @obs.traced("attest:handle_confirm", kind="attest")
     def handle_confirm(self, data: bytes) -> bytes:
         """Steps 5-6: derive keys, verify confirmation, finish."""
         if self._keypair is None or self._nonce is None:
@@ -329,12 +331,14 @@ class ChallengerAttestor:
     def session_keys(self) -> Optional[SessionKeys]:
         return self._keys
 
+    @obs.traced("attest:start", kind="attest")
     def start(self) -> bytes:
         """Step 1: emit the challenge."""
         self._nonce = self._rng.bytes(32)
         self._challenge = _encode_challenge(self._nonce, self._config)
         return self._challenge
 
+    @obs.traced("attest:handle_quote_response", kind="attest")
     def handle_quote_response(self, data: bytes) -> Optional[bytes]:
         """Step 4-5: verify the quote; emit confirm when DH is on."""
         if self._nonce is None or self._challenge is None:
@@ -402,6 +406,7 @@ class ChallengerAttestor:
             writer.varbytes(my_quote)
         return writer.getvalue()
 
+    @obs.traced("attest:handle_finish", kind="attest")
     def handle_finish(self, data: bytes) -> None:
         """Step 6: verify the target's key confirmation."""
         if self._keys is None:

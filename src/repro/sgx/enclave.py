@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
-from repro import faults
+from repro import faults, obs
 from repro.cost import context as cost_context
 from repro.errors import EnclaveAccessError, SgxError
 from repro.sgx.epc import EpcPage
@@ -69,18 +69,19 @@ class Enclave:
         accountant = self._platform.accountant
         with cost_context.use_accountant(accountant, self._platform.model):
             with accountant.attribute(self.domain):
-                execute_user(UserInstruction.EENTER)
-                accountant.charge_crossing()
-                cost_context.charge_normal(
-                    cost_context.current_model().trampoline_normal
-                )
-                before = accountant.counter(self.domain).normal_instructions
-                try:
-                    return handler(self._program, *args, **kwargs)
-                finally:
-                    self._charge_async_exits(accountant, before)
-                    self._charge_aex_storm(accountant, method)
-                    execute_user(UserInstruction.EEXIT)
+                with obs.span(f"ecall:{self.name}.{method}", kind="ecall"):
+                    execute_user(UserInstruction.EENTER)
+                    accountant.charge_crossing()
+                    cost_context.charge_normal(
+                        cost_context.current_model().trampoline_normal
+                    )
+                    before = accountant.counter(self.domain).normal_instructions
+                    try:
+                        return handler(self._program, *args, **kwargs)
+                    finally:
+                        self._charge_async_exits(accountant, before)
+                        self._charge_aex_storm(accountant, method)
+                        execute_user(UserInstruction.EEXIT)
 
     def _resolve_ecall(self, method: str):
         """Shared ecall validation: exported, existing, enclave alive."""
@@ -148,6 +149,7 @@ class Enclave:
         accountant.charge_sgx(2 * events)          # AEX + ERESUME
         accountant.charge_crossing(events)
         accountant.charge_normal(model.aex_ssa_normal * events)
+        obs.instant("aex", count=events, cause="interrupt_rate")
 
     #: AEX+ERESUME pairs charged per injected interrupt storm.
     AEX_STORM_EVENTS = 32
@@ -168,6 +170,7 @@ class Enclave:
         accountant.charge_sgx(2 * events)
         accountant.charge_crossing(events)
         accountant.charge_normal(model.aex_ssa_normal * events)
+        obs.instant("aex", count=events, cause="aex_storm", site=f"ecall:{self.name}:{method}")
 
     # -- lifecycle -----------------------------------------------------------
 

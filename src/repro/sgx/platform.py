@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.cost import CostAccountant
 from repro.cost import context as cost_context
 from repro.cost.model import CostModel
@@ -49,7 +50,9 @@ class SgxPlatform:
     ) -> None:
         self.name = name
         self.rng = rng if rng is not None else Rng(name, "platform")
-        self.accountant = accountant if accountant is not None else CostAccountant()
+        self.accountant = (
+            accountant if accountant is not None else CostAccountant(name=name)
+        )
         self.model = model
         self.authority = authority
         self.untrusted_domain = "untrusted"
@@ -110,7 +113,8 @@ class SgxPlatform:
             raise SgxError(f"enclave name '{name}' already in use")
 
         with cost_context.use_accountant(self.accountant, self.model):
-            return self._do_load(program, author_key, sigstruct, name)
+            with obs.span(f"load:{name}", kind="launch"):
+                return self._do_load(program, author_key, sigstruct, name)
 
     def _do_load(
         self,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro import faults
+from repro import faults, obs
 from repro.cost import context as cost_context
 from repro.crypto.drbg import Rng
 from repro.errors import OcallError, SgxError
@@ -88,16 +88,17 @@ class EnclaveContext:
 
     def ereport(self, target: TargetInfo, report_data: bytes, key_id: Optional[bytes] = None) -> Report:
         """EREPORT: produce a MAC'd report destined for ``target``."""
-        execute_user(UserInstruction.EREPORT)
-        if key_id is None:
-            key_id = self._rng.bytes(32)
-        return create_report(
-            self._platform.device_secret,
-            self.identity,
-            target,
-            report_data,
-            key_id,
-        )
+        with obs.span(f"ereport:{self._enclave.name}", kind="sgx"):
+            execute_user(UserInstruction.EREPORT)
+            if key_id is None:
+                key_id = self._rng.bytes(32)
+            return create_report(
+                self._platform.device_secret,
+                self.identity,
+                target,
+                report_data,
+                key_id,
+            )
 
     def egetkey_report(self, key_id: bytes) -> bytes:
         """EGETKEY(REPORT): this enclave's own report-MAC key.
@@ -106,22 +107,24 @@ class EnclaveContext:
         e.g. a power-transition abort); callers on the attestation path
         retry a bounded number of times.
         """
-        execute_user(UserInstruction.EGETKEY)
-        plan = faults.current_plan()
-        if plan is not None and plan.decide(
-            faults.EGETKEY_FAIL, f"egetkey:report:{self._enclave.name}"
-        ):
-            raise SgxError("EGETKEY failed transiently (injected fault)")
-        return derive_report_key(
-            self._platform.device_secret, self.identity.mrenclave, key_id
-        )
+        with obs.span("egetkey:report", kind="sgx"):
+            execute_user(UserInstruction.EGETKEY)
+            plan = faults.current_plan()
+            if plan is not None and plan.decide(
+                faults.EGETKEY_FAIL, f"egetkey:report:{self._enclave.name}"
+            ):
+                raise SgxError("EGETKEY failed transiently (injected fault)")
+            return derive_report_key(
+                self._platform.device_secret, self.identity.mrenclave, key_id
+            )
 
     def egetkey_seal(self, policy: SealPolicy, key_id: bytes) -> bytes:
         """EGETKEY(SEAL): a sealing key under the given policy."""
-        execute_user(UserInstruction.EGETKEY)
-        return derive_seal_key(
-            self._platform.device_secret, self.identity, policy, key_id
-        )
+        with obs.span("egetkey:seal", kind="sgx"):
+            execute_user(UserInstruction.EGETKEY)
+            return derive_seal_key(
+                self._platform.device_secret, self.identity, policy, key_id
+            )
 
     # -- sealing ---------------------------------------------------------
 
@@ -178,33 +181,32 @@ class EnclaveContext:
         call is instead written to the shared-memory queue and serviced
         by the untrusted worker — no crossing, no SGX instructions.
         """
+        name = getattr(func, "__name__", "anonymous")
         if switchless:
             if self._switchless is None:
                 raise SgxError(
                     "switchless ocall requested but enable_switchless() "
                     "was never called on this enclave"
                 )
-            return self._switchless.call(func, args, kwargs)
-        execute_user(UserInstruction.EEXIT)
-        accountant = self._platform.accountant
-        accountant.charge_crossing()
-        cost_context.charge_normal(cost_context.current_model().trampoline_normal)
-        plan = faults.current_plan()
-        if plan is not None and plan.decide(
-            faults.OCALL_FAIL,
-            f"ocall:{getattr(func, '__name__', 'anonymous')}",
-        ):
-            # The crossing already happened; the untrusted side hands
-            # back a failure code and the enclave re-enters.
+            with obs.span(f"ocall:{name}", kind="switchless"):
+                return self._switchless.call(func, args, kwargs)
+        with obs.span(f"ocall:{name}", kind="ocall"):
+            execute_user(UserInstruction.EEXIT)
+            accountant = self._platform.accountant
+            accountant.charge_crossing()
+            cost_context.charge_normal(cost_context.current_model().trampoline_normal)
+            plan = faults.current_plan()
+            if plan is not None and plan.decide(faults.OCALL_FAIL, f"ocall:{name}"):
+                # The crossing already happened; the untrusted side hands
+                # back a failure code and the enclave re-enters.
+                execute_user(UserInstruction.ERESUME)
+                raise OcallError(
+                    f"ocall '{name}' returned failure (injected fault)"
+                )
+            with accountant.attribute(self._platform.untrusted_domain):
+                result = func(*args, **kwargs)
             execute_user(UserInstruction.ERESUME)
-            raise OcallError(
-                f"ocall '{getattr(func, '__name__', 'anonymous')}' "
-                "returned failure (injected fault)"
-            )
-        with accountant.attribute(self._platform.untrusted_domain):
-            result = func(*args, **kwargs)
-        execute_user(UserInstruction.ERESUME)
-        return result
+            return result
 
     @property
     def quoting_target_info(self) -> TargetInfo:
@@ -228,12 +230,13 @@ class EnclaveContext:
         """
         quoting = self._platform.quoting_enclave
         last_error: Optional[SgxError] = None
-        for _ in range(self.QUOTE_ATTEMPTS):
-            try:
-                return self.ocall(quoting.ecall, "create_quote", report_bytes)
-            except (OcallError, SgxError) as exc:
-                last_error = exc
-        raise last_error
+        with obs.span("request_quote", kind="attest"):
+            for _ in range(self.QUOTE_ATTEMPTS):
+                try:
+                    return self.ocall(quoting.ecall, "create_quote", report_bytes)
+                except (OcallError, SgxError) as exc:
+                    last_error = exc
+            raise last_error
 
     # -- dynamic memory ----------------------------------------------------
 
@@ -316,23 +319,31 @@ class EnclaveContext:
                     "switchless send_packets requested but "
                     "enable_switchless() was never called on this enclave"
                 )
+            with obs.span("send_packets", kind="switchless"):
+                cost_context.charge_normal(
+                    model.send_per_packet_normal * len(packets)
+                )
+                self._switchless.post(sender, (list(packets),))
+                return None
+        with obs.span("send_packets", kind="io"):
+            execute_user(UserInstruction.EEXIT, model.send_call_fixed_sgx // 2)
+            cost_context.charge_normal(model.send_call_fixed_normal)
             cost_context.charge_normal(model.send_per_packet_normal * len(packets))
-            self._switchless.post(sender, (list(packets),))
-            return None
-        execute_user(UserInstruction.EEXIT, model.send_call_fixed_sgx // 2)
-        cost_context.charge_normal(model.send_call_fixed_normal)
-        cost_context.charge_normal(model.send_per_packet_normal * len(packets))
-        cost_context.charge_sgx(model.send_per_packet_sgx * len(packets))
-        accountant = self._platform.accountant
-        accountant.charge_crossing()
-        plan = faults.current_plan()
-        if plan is not None and plan.decide(faults.OCALL_FAIL, "ocall:send_packets"):
+            cost_context.charge_sgx(model.send_per_packet_sgx * len(packets))
+            accountant = self._platform.accountant
+            accountant.charge_crossing()
+            plan = faults.current_plan()
+            if plan is not None and plan.decide(
+                faults.OCALL_FAIL, "ocall:send_packets"
+            ):
+                execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
+                raise OcallError(
+                    "send_packets ocall returned failure (injected fault)"
+                )
+            with accountant.attribute(self._platform.untrusted_domain):
+                result = sender(list(packets))
             execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
-            raise OcallError("send_packets ocall returned failure (injected fault)")
-        with accountant.attribute(self._platform.untrusted_domain):
-            result = sender(list(packets))
-        execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
-        return result
+            return result
 
     #: Upper bound on what an ocall may hand back per packet.  The OS
     #: is untrusted (Iago attacks, paper Section 6): "the enclave
@@ -361,10 +372,15 @@ class EnclaveContext:
                     "switchless recv_packets requested but "
                     "enable_switchless() was never called on this enclave"
                 )
-            packets = self._switchless.call(
-                receiver, validate=self._validate_recv_packets
-            )
-        else:
+            with obs.span("recv_packets", kind="switchless"):
+                packets = self._switchless.call(
+                    receiver, validate=self._validate_recv_packets
+                )
+                cost_context.charge_normal(
+                    model.send_per_packet_normal * len(packets)
+                )
+                return packets
+        with obs.span("recv_packets", kind="io"):
             execute_user(UserInstruction.EEXIT, model.send_call_fixed_sgx // 2)
             cost_context.charge_normal(model.send_call_fixed_normal)
             accountant = self._platform.accountant
@@ -382,8 +398,8 @@ class EnclaveContext:
             execute_user(UserInstruction.ERESUME, model.send_call_fixed_sgx // 2)
             packets = self._validate_recv_packets(raw)
             cost_context.charge_sgx(model.send_per_packet_sgx * len(packets))
-        cost_context.charge_normal(model.send_per_packet_normal * len(packets))
-        return packets
+            cost_context.charge_normal(model.send_per_packet_normal * len(packets))
+            return packets
 
     def _validate_recv_packets(self, raw: Any) -> List[bytes]:
         """Iago checks: validate untrusted output before enclave use."""

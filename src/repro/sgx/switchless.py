@@ -38,7 +38,7 @@ import dataclasses
 from collections import deque
 from typing import Any, Callable, Deque, Iterator, Optional, Tuple
 
-from repro import faults
+from repro import faults, obs
 from repro.cost import context as cost_context
 from repro.errors import SgxError
 from repro.sgx.isa import UserInstruction, execute_user
@@ -233,12 +233,13 @@ class SwitchlessQueue:
         self.stats.polls += 1
         self._posts_since_poll = 0
         with accountant.attribute(self._worker_domain()):
-            cost_context.charge_normal(model.switchless_poll_normal)
-            while self._pending:
-                slot = self._pending.popleft()
-                slot.result = slot.func(*slot.args, **slot.kwargs)
-                slot.done = True
-                self.stats.serviced += 1
+            with obs.span(f"switchless:service:{self.name}", kind="switchless"):
+                cost_context.charge_normal(model.switchless_poll_normal)
+                while self._pending:
+                    slot = self._pending.popleft()
+                    slot.result = slot.func(*slot.args, **slot.kwargs)
+                    slot.done = True
+                    self.stats.serviced += 1
 
     def _fallback(self, func, args, kwargs, validate) -> Any:
         """No worker slot available: pay one genuine boundary crossing.
@@ -250,26 +251,30 @@ class SwitchlessQueue:
         model = cost_context.current_model()
         accountant = self._platform.accountant
         self.stats.fallback_crossings += 1
+        obs.instant(
+            "switchless_fallback", queue=self.name, backlog=len(self._pending)
+        )
         enter, leave = (
             (UserInstruction.EEXIT, UserInstruction.ERESUME)
             if self.direction == "ocall"
             else (UserInstruction.EENTER, UserInstruction.EEXIT)
         )
-        with accountant.attribute(self.enclave_domain):
-            execute_user(enter)
-            accountant.charge_crossing()
-            cost_context.charge_normal(
-                model.trampoline_normal + model.switchless_fallback_normal
-            )
-        result = None
-        with accountant.attribute(self._worker_domain()):
-            while self._pending:
-                slot = self._pending.popleft()
-                slot.result = slot.func(*slot.args, **slot.kwargs)
-                slot.done = True
-                self.stats.serviced += 1
-            if func is not None:
-                result = func(*args, **kwargs)
-        with accountant.attribute(self.enclave_domain):
-            execute_user(leave)
-        return validate(result) if validate is not None else result
+        with obs.span(f"switchless:fallback:{self.name}", kind="switchless"):
+            with accountant.attribute(self.enclave_domain):
+                execute_user(enter)
+                accountant.charge_crossing()
+                cost_context.charge_normal(
+                    model.trampoline_normal + model.switchless_fallback_normal
+                )
+            result = None
+            with accountant.attribute(self._worker_domain()):
+                while self._pending:
+                    slot = self._pending.popleft()
+                    slot.result = slot.func(*slot.args, **slot.kwargs)
+                    slot.done = True
+                    self.stats.serviced += 1
+                if func is not None:
+                    result = func(*args, **kwargs)
+            with accountant.attribute(self.enclave_domain):
+                execute_user(leave)
+            return validate(result) if validate is not None else result

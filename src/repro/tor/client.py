@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Generator, List, Optional
 
+from repro import obs
 from repro.crypto.drbg import Rng
 from repro.errors import TorError
 from repro.net.network import Host
@@ -54,6 +55,7 @@ class ClientCircuit:
 
     # -- cell plumbing (driven by the client's pump) -----------------------------
 
+    @obs.traced("tor:client_handle_cell", kind="app")
     def _handle_cell(self, cell: Cell) -> None:
         if cell.command is CellCommand.CREATED:
             self._control_q.put(cell.payload)
@@ -83,6 +85,7 @@ class ClientCircuit:
 
     # -- sending --------------------------------------------------------------------
 
+    @obs.traced("tor:client_send_relay", kind="app")
     def _send_relay(self, command: RelayCommand, stream_id: int, data: bytes) -> None:
         """Seal a relay payload to the last hop and ship it."""
         if not self.hops:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.crypto.drbg import Rng
 from repro.errors import TorError
 from repro.tor.cell import (
@@ -80,6 +81,7 @@ class RelayCore:
 
     # -- host events ---------------------------------------------------------
 
+    @obs.traced("tor:handle_cell", kind="app")
     def handle_cell(self, link_id: int, cell_bytes: bytes) -> List[Directive]:
         """Process one inbound cell from a link."""
         self.cells_processed += 1

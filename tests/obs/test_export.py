@@ -1,0 +1,237 @@
+"""Exporter tests: trace_event JSON, folded stacks, Prometheus text,
+top-cost-sites, and exact reconciliation."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cost import DEFAULT_MODEL, CostAccountant
+from repro.obs import CYCLES_PER_TRACE_US
+
+
+def _small_recording():
+    """One source, one enclave domain, two nested spans + instants."""
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        acct = CostAccountant(name="host")
+        with acct.attribute("enclave:e"):
+            with tracer.span("outer", kind="ecall", domain="enclave:e", source="host"):
+                acct.charge_sgx(2)
+                acct.charge_normal(100)
+                acct.charge_crossing(2)
+                with tracer.span(
+                    "inner", kind="io", domain="enclave:e", source="host"
+                ):
+                    acct.charge_normal(50)
+        acct.charge_normal(7)  # orphan, untrusted
+    return tracer, acct
+
+
+class TestTraceEvents:
+    def test_json_round_trip_validates(self):
+        tracer, _ = _small_recording()
+        payload = json.loads(obs.trace_event_json(tracer, indent=2))
+        events = obs.validate_trace_events(payload)
+        assert any(e["ph"] == "B" for e in events)
+        assert payload["metadata"]["sgx_instruction_cycles"] == (
+            DEFAULT_MODEL.sgx_instruction_cycles
+        )
+
+    def test_process_and_thread_metadata(self):
+        tracer, _ = _small_recording()
+        events = obs.to_trace_events(tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "host") in names
+        assert ("thread_name", "enclave:e") in names
+
+    def test_timestamps_are_cycles_over_1000(self):
+        tracer, _ = _small_recording()
+        events = obs.to_trace_events(tracer)
+        ends = [e for e in events if e["ph"] == "E" and e["name"] == "outer"]
+        expected = DEFAULT_MODEL.cycles(2, 150) / CYCLES_PER_TRACE_US
+        assert ends[0]["ts"] == pytest.approx(expected)
+
+    def test_b_args_carry_self_cost(self):
+        tracer, _ = _small_recording()
+        events = obs.to_trace_events(tracer)
+        outer = next(e for e in events if e["ph"] == "B" and e["name"] == "outer")
+        assert outer["args"]["self_sgx_instructions"] == 2
+        assert outer["args"]["self_normal_instructions"] == 100
+        assert outer["cat"] == "ecall"
+
+    def test_instants_present_with_scope(self):
+        tracer, _ = _small_recording()
+        events = obs.to_trace_events(tracer)
+        crossings = [e for e in events if e["ph"] == "i" and e["name"] == "crossing"]
+        assert crossings and crossings[0]["s"] == "t"
+        assert crossings[0]["args"]["count"] == 2
+
+    def test_unclosed_span_clamped_to_final_clock(self):
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            cm = tracer.span("never-closed")
+            cm.__enter__()
+            acct.charge_normal(10)
+        # The recording ends with the span still open (crashed run):
+        # export must still emit a balanced, validating stream.
+        events = obs.validate_trace_events(obs.to_trace_events(tracer))
+        end = next(e for e in events if e["ph"] == "E")
+        assert end["ts"] == pytest.approx(
+            DEFAULT_MODEL.cycles(0, 10) / CYCLES_PER_TRACE_US
+        )
+
+
+class TestValidateTraceEvents:
+    def test_accepts_bare_list(self):
+        assert obs.validate_trace_events([]) == []
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            obs.validate_trace_events({"traceEvents": "nope"})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing key"):
+            obs.validate_trace_events([{"ph": "B", "name": "x", "pid": 1, "tid": 1}])
+
+    def test_rejects_decreasing_ts(self):
+        events = [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 5.0},
+            {"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 4.0},
+        ]
+        with pytest.raises(ValueError, match="ts"):
+            obs.validate_trace_events(events)
+
+    def test_rejects_unbalanced_begin(self):
+        events = [{"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0.0}]
+        with pytest.raises(ValueError, match="unbalanced"):
+            obs.validate_trace_events(events)
+
+    def test_rejects_mismatched_end(self):
+        events = [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0.0},
+            {"ph": "E", "name": "b", "pid": 1, "tid": 1, "ts": 0.0},
+        ]
+        with pytest.raises(ValueError, match="does not close"):
+            obs.validate_trace_events(events)
+
+    def test_rejects_end_with_empty_stack(self):
+        events = [{"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 0.0}]
+        with pytest.raises(ValueError, match="empty stack"):
+            obs.validate_trace_events(events)
+
+    def test_rejects_instant_without_scope(self):
+        events = [{"ph": "i", "name": "a", "pid": 1, "tid": 1, "ts": 0.0}]
+        with pytest.raises(ValueError, match="scope"):
+            obs.validate_trace_events(events)
+
+    def test_rejects_unknown_phase(self):
+        events = [{"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0.0}]
+        with pytest.raises(ValueError, match="unsupported phase"):
+            obs.validate_trace_events(events)
+
+
+class TestFoldedStacks:
+    def test_nested_frames_and_orphans(self):
+        tracer, _ = _small_recording()
+        out = obs.folded_stacks(tracer)
+        lines = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in out.strip().splitlines()
+        )
+        assert lines["outer"] == int(round(DEFAULT_MODEL.cycles(2, 100)))
+        assert lines["outer;inner"] == int(round(DEFAULT_MODEL.cycles(0, 50)))
+        assert lines["[unattributed host:untrusted]"] == int(
+            round(DEFAULT_MODEL.cycles(0, 7))
+        )
+
+    def test_zero_value_spans_skipped(self):
+        tracer = obs.Tracer()
+        with tracer.span("idle"):
+            pass
+        assert obs.folded_stacks(tracer) == ""
+
+    def test_semicolons_in_names_sanitized(self):
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            with tracer.span("a;b"):
+                acct.charge_normal(1000)
+        assert "a,b " in obs.folded_stacks(tracer)
+
+
+class TestPrometheusText:
+    def test_contains_all_metric_families(self):
+        tracer, _ = _small_recording()
+        text = obs.prometheus_text(tracer)
+        assert 'repro_trace_span_self_cycles_total{name="outer",kind="ecall"}' in text
+        assert 'repro_trace_span_count{name="inner",kind="io"} 1' in text
+        assert 'repro_trace_events_total{name="crossing"} 2' in text
+        assert (
+            'repro_domain_sgx_instructions_total{source="host",domain="enclave:e"} 2'
+            in text
+        )
+        assert "repro_trace_clock_cycles" in text
+
+    def test_label_escaping(self):
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            with tracer.span('we"ird'):
+                acct.charge_normal(1)
+        assert 'name="we\\"ird"' in obs.prometheus_text(tracer)
+
+
+class TestTopCostSites:
+    def test_ranked_by_self_cycles(self):
+        tracer, _ = _small_recording()
+        sites = obs.top_cost_sites(tracer, n=2)
+        assert [s[0] for s in sites] == ["outer", "inner"]
+        name, kind, cycles, count = sites[0]
+        assert kind == "ecall"
+        assert cycles == pytest.approx(DEFAULT_MODEL.cycles(2, 100))
+        assert count == 1
+
+
+class TestReconcile:
+    def test_exact_match_passes(self):
+        tracer, acct = _small_recording()
+        totals = obs.reconcile(tracer)
+        assert totals["host"]["enclave:e"] == pytest.approx(
+            DEFAULT_MODEL.cycles(2, 150)
+        )
+        assert totals["host"]["untrusted"] == pytest.approx(DEFAULT_MODEL.cycles(0, 7))
+
+    def test_counter_tamper_detected(self):
+        tracer, acct = _small_recording()
+        acct.counter("enclave:e").normal_instructions += 1
+        with pytest.raises(obs.ReconcileError, match="enclave:e"):
+            obs.reconcile(tracer)
+
+    def test_missing_crossing_instant_detected(self):
+        tracer, acct = _small_recording()
+        acct.counter("enclave:e").enclave_crossings += 1
+        with pytest.raises(obs.ReconcileError, match="crossing"):
+            obs.reconcile(tracer)
+
+    def test_reset_source_is_skipped(self):
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            acct.charge_normal(5)
+            acct.reset()
+            acct.charge_normal(3)
+        # Counters no longer cover the trace's history; reconcile must
+        # neither fail nor report the reset source.
+        assert "x" not in obs.reconcile(tracer)
+
+    def test_traced_charges_without_counter_detected(self):
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            acct.charge_normal(5)
+            acct._counters.clear()  # counters vanish without on_reset
+        with pytest.raises(obs.ReconcileError, match="no matching counter"):
+            obs.reconcile(tracer)

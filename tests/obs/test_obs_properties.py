@@ -1,0 +1,129 @@
+"""Hypothesis properties for the tracer.
+
+Two invariants, checked both on synthetic recordings (any valid
+sequence of spans and charges) and on real traced experiments
+(table2 and the switchless ablation):
+
+* **Strict nesting** — spans never partially overlap: any two spans
+  are either disjoint in sequence numbers or one contains the other,
+  and that also holds within every attribution domain.
+* **Exact self-cost sums** — the sum of span self-instructions plus
+  the orphan bucket equals each accountant's per-domain counters,
+  integer for integer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import experiments, obs
+from repro.cost import CostAccountant
+
+# One synthetic op: 0 = open span, 1 = close innermost span, 2 = charge
+# normal, 3 = charge sgx, 4 = switch domain (push/pop alternating).
+_ops = st.lists(st.integers(min_value=0, max_value=4), max_size=60)
+
+
+def _interpret(tracer, acct, ops):
+    """Play an op sequence against the tracer, keeping nesting valid."""
+    open_spans = []
+    domains = []
+    try:
+        for n, op in enumerate(ops):
+            if op == 0:
+                cm = tracer.span(f"s{n}")
+                cm.__enter__()
+                open_spans.append(cm)
+            elif op == 1 and open_spans:
+                open_spans.pop().__exit__(None, None, None)
+            elif op == 2:
+                acct.charge_normal(10 + n)
+            elif op == 3:
+                acct.charge_sgx(1)
+            elif op == 4:
+                if domains:
+                    domains.pop().__exit__(None, None, None)
+                else:
+                    cm = acct.attribute(f"enclave:d{n % 3}")
+                    cm.__enter__()
+                    domains.append(cm)
+    finally:
+        while open_spans:
+            open_spans.pop().__exit__(None, None, None)
+        while domains:
+            domains.pop().__exit__(None, None, None)
+
+
+def assert_strictly_nested(tracer):
+    spans = [s for s in tracer.spans if s.closed]
+    for a in spans:
+        assert a.open_seq < a.close_seq
+        for b in spans:
+            if a is b:
+                continue
+            disjoint = a.close_seq < b.open_seq or b.close_seq < a.open_seq
+            a_in_b = b.open_seq < a.open_seq and a.close_seq < b.close_seq
+            b_in_a = a.open_seq < b.open_seq and b.close_seq < a.close_seq
+            assert disjoint or a_in_b or b_in_a, (
+                f"spans {a.name} and {b.name} partially overlap"
+            )
+    # Parent links agree with the interval containment.
+    by_id = {s.span_id: s for s in tracer.spans}
+    for s in spans:
+        if s.parent_id is not None:
+            p = by_id[s.parent_id]
+            if p.closed:
+                assert p.open_seq < s.open_seq and s.close_seq <= p.close_seq
+
+
+def assert_sums_match(tracer):
+    sums = {}
+    for span in tracer.spans:
+        for key, (sgx, normal) in span.self_counts.items():
+            cell = sums.setdefault(key, [0, 0])
+            cell[0] += sgx
+            cell[1] += normal
+    for key, (sgx, normal) in tracer.orphans.items():
+        cell = sums.setdefault(key, [0, 0])
+        cell[0] += sgx
+        cell[1] += normal
+    for acct in tracer.accountants:
+        if acct.source in tracer.reset_sources:
+            continue
+        for domain, counter in acct.domains().items():
+            got = sums.get((acct.source, domain), [0, 0])
+            assert got[0] == counter.sgx_instructions
+            assert got[1] == counter.normal_instructions
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=_ops)
+def test_property_synthetic_recordings_nest_and_reconcile(ops):
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        acct = CostAccountant(name="synth")
+        _interpret(tracer, acct, ops)
+        assert_strictly_nested(tracer)
+        assert_sums_match(tracer)
+        obs.reconcile(tracer)
+
+
+def test_property_table2_trace_nests_and_reconciles():
+    tracer = obs.Tracer()
+    experiments.run_table2(trace=tracer)
+    assert_strictly_nested(tracer)
+    assert_sums_match(tracer)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    n_ocalls=st.integers(min_value=1, max_value=12),
+    batch=st.integers(min_value=1, max_value=8),
+)
+def test_property_switchless_trace_nests_and_reconciles(n_ocalls, batch):
+    tracer = obs.Tracer()
+    experiments.run_switchless_ablation(
+        batch_sizes=(batch,), n_ocalls=n_ocalls, trace=tracer
+    )
+    assert_strictly_nested(tracer)
+    assert_sums_match(tracer)
+    obs.reconcile(tracer)

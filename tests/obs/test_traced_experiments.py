@@ -1,0 +1,167 @@
+"""End-to-end tracing of the paper experiments.
+
+The acceptance bar for the tracer: a traced ``run_table4`` emits a
+Perfetto-loadable trace whose per-domain span cycle totals reconcile
+*exactly* (integer instruction counts, asserted — not eyeballed) with
+the Table 4 accountant numbers, and every golden table output is
+byte-identical with tracing off and on.
+"""
+
+import json
+
+import pytest
+
+from repro import experiments, obs
+from repro.cost import DEFAULT_MODEL
+
+
+def _span_sums(tracer):
+    """Independent tally of (sgx, normal) per (source, domain) from the
+    raw spans + orphan bucket — deliberately not reusing reconcile()."""
+    sums = {}
+    for span in tracer.spans:
+        for key, (sgx, normal) in span.self_counts.items():
+            cell = sums.setdefault(key, [0, 0])
+            cell[0] += sgx
+            cell[1] += normal
+    for key, (sgx, normal) in tracer.orphans.items():
+        cell = sums.setdefault(key, [0, 0])
+        cell[0] += sgx
+        cell[1] += normal
+    return sums
+
+
+class TestTable4Acceptance:
+    @pytest.fixture(scope="class")
+    def traced_table4(self):
+        tracer = obs.Tracer()
+        sgx, native = experiments.run_table4(n_ases=30, trace=tracer)
+        return tracer, sgx, native
+
+    def test_reconciles_exactly(self, traced_table4):
+        tracer, sgx, native = traced_table4
+        totals = obs.reconcile(tracer)  # raises on any integer mismatch
+        # The per-domain cycles reconcile() returns are exactly the
+        # numbers the Table 4 report is built from.
+        for acct in tracer.accountants:
+            if acct.source in tracer.reset_sources:
+                continue
+            for domain, counter in acct.domains().items():
+                assert totals[acct.source][domain] == DEFAULT_MODEL.cycles(
+                    counter.sgx_instructions, counter.normal_instructions
+                )
+
+    def test_span_sums_equal_accountant_counters(self, traced_table4):
+        tracer, _, _ = traced_table4
+        sums = _span_sums(tracer)
+        checked = 0
+        for acct in tracer.accountants:
+            assert acct.source not in tracer.reset_sources
+            for domain, counter in acct.domains().items():
+                got = sums.get((acct.source, domain), [0, 0])
+                assert got[0] == counter.sgx_instructions, (acct.source, domain)
+                assert got[1] == counter.normal_instructions, (acct.source, domain)
+                checked += 1
+        assert checked > 0
+
+    def test_clock_equals_total_charges(self, traced_table4):
+        tracer, _, _ = traced_table4
+        total_sgx = sum(c[0] for c in _span_sums(tracer).values())
+        total_normal = sum(c[1] for c in _span_sums(tracer).values())
+        assert tracer.clock == (total_sgx, total_normal)
+
+    def test_json_export_is_perfetto_loadable(self, traced_table4):
+        tracer, _, _ = traced_table4
+        payload = json.loads(obs.trace_event_json(tracer))
+        events = obs.validate_trace_events(payload)
+        assert len(events) > len(tracer.spans)  # B + E + instants + meta
+        assert "traceEvents" in payload and "metadata" in payload
+
+    def test_controller_domains_are_in_the_trace(self, traced_table4):
+        tracer, sgx, _ = traced_table4
+        sources = {a.source for a in tracer.accountants}
+        assert "idc" in sources           # the SGX controller platform
+        assert "idc-native" in sources    # the native baseline
+        span_names = {s.name for s in tracer.spans}
+        assert "routing:distribute_routes" in span_names
+        assert any(name.startswith("ecall:") for name in span_names)
+        assert any(name.startswith("attest:") for name in span_names)
+
+
+class TestGoldenOutputsUnchangedByTracing:
+    """Tracing must observe, never perturb: formatted tables are
+    byte-identical with tracing off and on."""
+
+    def test_table1(self):
+        off = experiments.format_table1(experiments.run_table1())
+        on = experiments.format_table1(experiments.run_table1(trace=obs.Tracer()))
+        assert off == on
+
+    def test_table2(self):
+        off = experiments.format_table2(experiments.run_table2())
+        on = experiments.format_table2(experiments.run_table2(trace=obs.Tracer()))
+        assert off == on
+
+    def test_table3(self):
+        off = experiments.format_table3(experiments.run_table3())
+        on = experiments.format_table3(experiments.run_table3(trace=obs.Tracer()))
+        assert off == on
+
+    def test_table4(self):
+        off = experiments.format_table4(
+            *experiments.run_table4(n_ases=8, seed=b"golden")
+        )
+        on = experiments.format_table4(
+            *experiments.run_table4(n_ases=8, seed=b"golden", trace=obs.Tracer())
+        )
+        assert off == on
+
+    def test_switchless(self):
+        off = experiments.format_switchless_ablation(
+            experiments.run_switchless_ablation(batch_sizes=(1, 10), n_ocalls=20)
+        )
+        on = experiments.format_switchless_ablation(
+            experiments.run_switchless_ablation(
+                batch_sizes=(1, 10), n_ocalls=20, trace=obs.Tracer()
+            )
+        )
+        assert off == on
+
+
+class TestTracedScenarios:
+    def test_table1_reconciles(self):
+        tracer = obs.Tracer()
+        experiments.run_table1(trace=tracer)
+        obs.reconcile(tracer)
+        kinds = {s.kind for s in tracer.spans}
+        assert {"scenario", "ecall", "attest", "launch", "sgx"} <= kinds
+
+    def test_table2_reconciles_and_is_deterministic(self):
+        traces = []
+        for _ in range(2):
+            tracer = obs.Tracer()
+            experiments.run_table2(trace=tracer)
+            obs.reconcile(tracer)
+            traces.append(obs.trace_event_json(tracer))
+        # Cycle clock + fixed seeds -> byte-identical traces.
+        assert traces[0] == traces[1]
+
+    def test_fault_matrix_trace_has_fault_instants(self):
+        tracer = obs.Tracer()
+        experiments.run_fault_matrix(
+            seed=0, fault_classes=["drop"], scenarios=("middlebox",),
+            trace=tracer,
+        )
+        fault_instants = [i for i in tracer.instants if i.name == "fault"]
+        assert fault_instants
+        assert all("kind" in i.args and "site" in i.args for i in fault_instants)
+
+    def test_switchless_trace_has_hits_and_fallbacks(self):
+        tracer = obs.Tracer()
+        experiments.run_switchless_ablation(
+            batch_sizes=(1,), n_ocalls=40, trace=tracer
+        )
+        obs.reconcile(tracer)
+        names = {i.name for i in tracer.instants}
+        assert "switchless_hit" in names
+        assert "crossing" in names

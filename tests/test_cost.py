@@ -10,6 +10,7 @@ from repro.cost import (
     Counter,
     CostModel,
     DEFAULT_MODEL,
+    cycles,
     disabled,
     format_count,
     format_table,
@@ -33,6 +34,26 @@ class TestCounter:
         b = a.copy()
         b.sgx_instructions += 1
         assert a.sgx_instructions == 1
+
+    def test_as_dict_covers_every_field(self):
+        c = Counter(1, 2, 3, 4, 5, 6)
+        assert c.as_dict() == {
+            "sgx_instructions": 1,
+            "normal_instructions": 2,
+            "enclave_crossings": 3,
+            "allocations": 4,
+            "switchless_calls": 5,
+            "faults_injected": 6,
+        }
+
+    def test_cycles_helper_matches_model(self):
+        c = Counter(sgx_instructions=8, normal_instructions=348_000_000)
+        assert cycles(c) == DEFAULT_MODEL.cycles(8, 348e6)
+
+    def test_cycles_helper_custom_model(self):
+        model = CostModel(sgx_instruction_cycles=100)
+        c = Counter(sgx_instructions=2, normal_instructions=0)
+        assert cycles(c, model) == model.cycles(2, 0)
 
 
 class TestCostAccountant:
@@ -99,6 +120,42 @@ class TestCostAccountant:
         acct.charge_normal(5)
         acct.reset()
         assert acct.total() == Counter()
+
+    def test_reset_inside_open_attribute_block_keeps_domain(self):
+        # reset() zeroes counters but must NOT touch the domain stack:
+        # charges after the reset keep flowing to the still-stacked
+        # domain (its counter is recreated on first use).
+        acct = CostAccountant()
+        with acct.attribute("enclave:x"):
+            acct.charge_normal(5)
+            acct.reset()
+            assert acct.current_domain == "enclave:x"
+            acct.charge_normal(7)
+            acct.charge_sgx(2)
+        assert acct.counter("enclave:x").normal_instructions == 7
+        assert acct.counter("enclave:x").sgx_instructions == 2
+        assert acct.total().normal_instructions == 7
+
+    def test_reset_inside_nested_attribute_unwinds_cleanly(self):
+        acct = CostAccountant()
+        with acct.attribute("enclave:outer"):
+            with acct.attribute("enclave:inner"):
+                acct.reset()
+            # Inner frame popped normally even though its counter died.
+            assert acct.current_domain == "enclave:outer"
+            acct.charge_normal(1)
+        assert acct.counter("enclave:outer").normal_instructions == 1
+        assert acct.current_domain == UNTRUSTED
+
+    def test_exception_after_reset_still_unwinds_domain_stack(self):
+        acct = CostAccountant()
+        with pytest.raises(ValueError):
+            with acct.attribute("enclave:x"):
+                acct.reset()
+                raise ValueError
+        assert acct.current_domain == UNTRUSTED
+        acct.charge_normal(3)
+        assert acct.counter(UNTRUSTED).normal_instructions == 3
 
 
 class TestCostModel:

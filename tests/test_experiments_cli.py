@@ -1,8 +1,11 @@
 """The reusable experiment layer and the CLI entry point."""
 
+import json
+
 import pytest
 
-from repro import experiments
+import repro.__main__ as cli
+from repro import experiments, obs
 from repro.__main__ import main
 
 
@@ -49,3 +52,83 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["table9"])
+
+    def test_failing_scenario_exits_nonzero(self, monkeypatch, capsys):
+        def boom():
+            raise RuntimeError("scenario exploded")
+
+        monkeypatch.setattr(cli, "_table2", boom)
+        assert main(["table2"]) == 1
+        err = capsys.readouterr().err
+        assert "table2 failed" in err
+        assert "scenario exploded" in err
+
+    def test_all_stops_at_first_failure(self, monkeypatch, capsys):
+        ran = []
+        monkeypatch.setattr(cli, "_table1", lambda: ran.append("table1"))
+        monkeypatch.setattr(
+            cli, "_table2", lambda: (_ for _ in ()).throw(ValueError("nope"))
+        )
+        monkeypatch.setattr(cli, "_table3", lambda: ran.append("table3"))
+        assert main(["all"]) == 1
+        assert ran == ["table1"]
+
+    def test_all_honors_ases_and_seed(self, monkeypatch, capsys):
+        seen = {}
+        monkeypatch.setattr(cli, "_table1", lambda: None)
+        monkeypatch.setattr(cli, "_table2", lambda: None)
+        monkeypatch.setattr(cli, "_table3", lambda: None)
+        monkeypatch.setattr(cli, "_table4", lambda n: seen.setdefault("ases", n))
+        monkeypatch.setattr(cli, "_figure3", lambda: None)
+        monkeypatch.setattr(cli, "_switchless", lambda: None)
+        monkeypatch.setattr(cli, "_faults", lambda s: seen.setdefault("seed", s))
+        assert main(["all", "--ases", "7", "--seed", "3"]) == 0
+        assert seen == {"ases": 7, "seed": 3}
+        out = capsys.readouterr().out
+        assert out.count("regenerated") == 7
+
+
+class TestTraceCli:
+    def test_trace_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_scenario_positional_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "table3"])
+
+    def test_trace_table2_json_to_stdout(self, capsys):
+        assert main(["trace", "table2"]) == 0
+        captured = capsys.readouterr()
+        # stdout = the JSON payload followed by the "[... regenerated]"
+        # status line; parse up to the payload's closing brace.
+        payload = json.loads(captured.out[: captured.out.rindex("}") + 1])
+        events = obs.validate_trace_events(payload)
+        assert events
+        assert "top cost sites" in captured.err
+
+    def test_trace_table2_folded(self, capsys):
+        assert main(["trace", "table2", "--format", "folded"]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.startswith("table2;") for line in out.splitlines() if line
+        )
+
+    def test_trace_table2_prom(self, capsys):
+        assert main(["trace", "table2", "--format", "prom"]) == 0
+        assert "repro_trace_span_count" in capsys.readouterr().out
+
+    def test_trace_out_writes_file(self, tmp_path, capsys):
+        assert main(["trace", "table2", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "trace-table2.json"
+        assert path.exists()
+        obs.validate_trace_events(json.loads(path.read_text()))
+        assert str(path) in capsys.readouterr().out
+
+    def test_trace_failure_exits_nonzero(self, monkeypatch, capsys):
+        def boom(trace=None):
+            raise RuntimeError("traced scenario exploded")
+
+        monkeypatch.setattr(experiments, "run_table2", boom)
+        assert main(["trace", "table2"]) == 1
+        assert "trace failed" in capsys.readouterr().err

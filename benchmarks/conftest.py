@@ -6,16 +6,39 @@ paper's reported values, and records machine-readable numbers in
 ``benchmark.extra_info``.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+World-construction and output helpers are shared with the test suite
+(see ``tests/fixtures.py``); this conftest only re-exports them and
+adds the pytest-benchmark glue.
 """
 
+import os
 import sys
 
 import pytest
 
+# benchmarks/ is not a package; make the repo root importable so the
+# harness can share tests/fixtures.py instead of duplicating it.
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
-def emit(text: str) -> None:
-    """Print a result block (visible with -s; always flushed)."""
-    print("\n" + text, flush=True)
+from tests.fixtures import (  # noqa: E402  (path bootstrap above)
+    emit,
+    make_accountant,
+    make_author_key,
+    make_authority,
+    make_platform,
+)
+
+__all__ = [
+    "emit",
+    "make_accountant",
+    "make_author_key",
+    "make_authority",
+    "make_platform",
+    "once",
+]
 
 
 @pytest.fixture()

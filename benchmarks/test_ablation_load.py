@@ -1,0 +1,56 @@
+"""Ablation A11: controller scale-out (S shards) x crossing batch (K).
+
+The load engine replays the same seeded open-loop client population
+against the routing controller sharded across S enclave instances,
+with K requests amortizing each enclave crossing.  The paper's thesis
+is that the enclave boundary is the dominant avoidable cost; this
+ablation measures exactly that: crossings per served event must fall
+roughly as 1/K, while every reply stays byte-identical to the
+unsharded controller (pinned separately in tests/load/).
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    format_load_ablation,
+    run_load_ablation,
+)
+
+SHARDS = (1, 2, 4, 8)
+BATCHES = (1, 8, 32)
+
+
+def test_ablation_load_scaleout(once, benchmark):
+    grid = once(
+        run_load_ablation,
+        "routing",
+        clients=200,
+        shard_counts=SHARDS,
+        batch_sizes=BATCHES,
+        seed=0,
+    )
+    emit(format_load_ablation(grid))
+
+    for (shards, batch), doc in grid.items():
+        crossings = doc["crossings"]["per_event"]
+        benchmark.extra_info[f"s{shards}_k{batch}_crossings_per_event"] = crossings
+        benchmark.extra_info[f"s{shards}_k{batch}_events_per_gcycle"] = (
+            doc["throughput"]["events_per_gcycle"]
+        )
+
+    # ---- Batching amortizes the boundary: at every shard count,
+    # crossings per event fall monotonically with K, and K=32 beats
+    # K=1 by at least 4x (acceptance bar; measured ~13x).
+    for shards in SHARDS:
+        per_event = [grid[(shards, k)]["crossings"]["per_event"] for k in BATCHES]
+        assert per_event == sorted(per_event, reverse=True), (shards, per_event)
+        assert per_event[-1] <= per_event[0] / 4, (shards, per_event)
+
+    # ---- Every cell served the full population with no losses.
+    for (shards, batch), doc in grid.items():
+        assert doc["outcomes"] == {"ok": doc["throughput"]["events"]}, (shards, batch)
+
+    # ---- Same seed, same event stream in every cell: the ablation
+    # varies deployment shape only.
+    fingerprints = {doc["event_fingerprint"] for doc in grid.values()}
+    assert len(fingerprints) == 1

@@ -12,6 +12,16 @@ Usage::
     python -m repro all             # everything above, in order
     python -m repro trace table4    # run traced, emit a cycle-accurate trace
         [--format json|folded|prom] [--out DIR]
+    python -m repro load routing    # deterministic open-loop load run
+        [--clients N] [--shards S] [--batch K] [--seed N] [--out FILE]
+
+``load`` drives the seeded open-loop workload engine (``repro.load``)
+against one of the case studies (``routing``, ``tor``, ``middlebox``)
+— for routing, against the controller sharded across S enclave
+instances with K-request ecall batching — prints the summary table,
+and writes the machine-readable ``BENCH_load.json``.  Everything is
+clocked by the cost model, so the same seed yields a byte-identical
+report file.
 
 ``trace`` runs one scenario with the span tracer attached, asserts the
 trace reconciles exactly against the cost accountants, and writes the
@@ -75,6 +85,35 @@ def _faults(seed: int) -> None:
     print(experiments.format_fault_matrix(experiments.run_fault_matrix(seed=seed)))
 
 
+def _load(args) -> None:
+    """Run the load engine and write BENCH_load.json."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.load.engine import run_load_engine
+    from repro.load.report import bench_json, validate_bench
+
+    result = run_load_engine(
+        args.scenario,
+        n_clients=args.clients,
+        n_shards=args.shards,
+        batch=args.batch,
+        seed=args.seed,
+    )
+    text = bench_json(result)
+    problems = validate_bench(json.loads(text))
+    if problems:  # pragma: no cover — would be a bug in bench_doc itself
+        raise ReproError(
+            "generated report fails its own schema: " + "; ".join(problems)
+        )
+    doc = json.loads(text)
+    print(experiments.format_load(doc))
+    out = args.out or "BENCH_load.json"
+    with open(out, "w") as fh:
+        fh.write(text)
+    print(f"wrote {out}", file=sys.stderr)
+
+
 def _trace(scenario: str, fmt: str, out: str, n_ases: int, seed: int) -> None:
     """Run ``scenario`` traced, reconcile exactly, emit the export."""
     from repro import obs
@@ -136,14 +175,34 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=list(SCENARIOS) + ["all", "trace"],
-        help="which paper artifact to regenerate (or 'trace' to record one)",
+        choices=list(SCENARIOS) + ["all", "trace", "load"],
+        help="which paper artifact to regenerate ('trace' records one, "
+             "'load' runs the workload engine)",
     )
     parser.add_argument(
         "scenario",
         nargs="?",
-        choices=SCENARIOS,
-        help="scenario to trace (required for 'trace', meaningless otherwise)",
+        choices=sorted(set(SCENARIOS) | set(experiments.LOAD_SCENARIOS)),
+        help="scenario to trace or load (required for 'trace' and 'load')",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=1000,
+        help="load: open-loop client population size (default: 1000)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="load: controller shard count for the routing scenario "
+             "(default: 1 — unsharded)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="load: requests amortized per enclave crossing (default: 1)",
     )
     parser.add_argument(
         "--ases",
@@ -174,6 +233,16 @@ def main(argv=None) -> int:
     if args.experiment == "trace":
         if args.scenario is None:
             parser.error("'trace' needs a scenario, e.g. python -m repro trace table4")
+        if args.scenario not in SCENARIOS:
+            parser.error(f"'trace' scenario must be one of {', '.join(SCENARIOS)}")
+    elif args.experiment == "load":
+        if args.scenario is None:
+            parser.error("'load' needs a scenario, e.g. python -m repro load routing")
+        if args.scenario not in experiments.LOAD_SCENARIOS:
+            parser.error(
+                "'load' scenario must be one of "
+                + ", ".join(experiments.LOAD_SCENARIOS)
+            )
     elif args.scenario is not None:
         parser.error(f"unexpected positional {args.scenario!r} after {args.experiment!r}")
 
@@ -188,11 +257,14 @@ def main(argv=None) -> int:
         "trace": lambda: _trace(
             args.scenario, args.format, args.out, args.ases, args.seed
         ),
+        "load": lambda: _load(args),
     }
-    selected = ["trace"] if args.experiment == "trace" else (
-        [s for s in jobs if s != "trace"] if args.experiment == "all"
-        else [args.experiment]
-    )
+    if args.experiment in ("trace", "load"):
+        selected = [args.experiment]
+    elif args.experiment == "all":
+        selected = [s for s in jobs if s not in ("trace", "load")]
+    else:
+        selected = [args.experiment]
     for name in selected:
         start = time.time()
         try:

@@ -34,10 +34,16 @@ from repro.sgx.measurement import EnclaveIdentity
 from repro.sgx.quoting import QuoteVerificationInfo
 from repro.sgx.runtime import EnclaveContext, EnclaveProgram
 
-__all__ = ["SecureApplicationProgram", "FRAME_ATTEST", "FRAME_RECORD"]
+__all__ = [
+    "SecureApplicationProgram",
+    "FRAME_ATTEST",
+    "FRAME_RECORD",
+    "FRAME_RECORD_BATCH",
+]
 
 FRAME_ATTEST = 0
 FRAME_RECORD = 1
+FRAME_RECORD_BATCH = 2
 
 
 @dataclasses.dataclass
@@ -149,6 +155,8 @@ class SecureApplicationProgram(EnclaveProgram):
             return self._handle_attest(session_id, session, body)
         if kind == FRAME_RECORD:
             return self._handle_record(session_id, session, body)
+        if kind == FRAME_RECORD_BATCH:
+            return self._handle_record_batch(session_id, session, body)
         raise ProtocolError(f"unknown frame kind {kind}")
 
     def collect_outgoing(self, session_id: str) -> List[bytes]:
@@ -241,6 +249,29 @@ class SecureApplicationProgram(EnclaveProgram):
         self._charge_send(len(reply))
         return _frame(FRAME_RECORD, session.channel.protect(reply))
 
+    @obs.traced("app:handle_record_batch", kind="app")
+    def _handle_record_batch(
+        self, session_id: str, session: _Session, body: bytes
+    ) -> Optional[bytes]:
+        """One batched record: K application messages, one crossing's
+        worth of channel work (see :meth:`SecureRecordChannel.open_many`).
+        Replies, if any, ride back as one batched record too."""
+        if session.state != "established" or session.channel is None:
+            raise ProtocolError("record frame before channel establishment")
+        self._charge_recv(len(body))
+        payloads = session.channel.open_many(body)
+        replies: List[bytes] = []
+        for payload in payloads:
+            with obs.span("app:on_secure_message", kind="app"):
+                reply = self._on_secure_message(session_id, payload)
+            if reply is not None:
+                replies.append(reply)
+        if not replies:
+            return None
+        record = session.channel.protect_many(replies)
+        self._charge_send(len(record))
+        return _frame(FRAME_RECORD_BATCH, record)
+
     # -- in-enclave API for subclasses ----------------------------------------------
 
     def _send_secure(self, session_id: str, payload: bytes) -> None:
@@ -249,6 +280,15 @@ class SecureApplicationProgram(EnclaveProgram):
         if session.state != "established" or session.channel is None:
             raise ProtocolError("cannot send before channel establishment")
         session.outbox.append(_frame(FRAME_RECORD, session.channel.protect(payload)))
+
+    def _send_secure_batch(self, session_id: str, payloads: List[bytes]) -> None:
+        """Queue K messages as one batched record (one seq, one MAC)."""
+        session = self._session(session_id)
+        if session.state != "established" or session.channel is None:
+            raise ProtocolError("cannot send before channel establishment")
+        session.outbox.append(
+            _frame(FRAME_RECORD_BATCH, session.channel.protect_many(payloads))
+        )
 
     def _established_sessions(self) -> List[str]:
         return [

@@ -45,6 +45,10 @@ class PolicyError(ReproError):
     """A routing policy or verification predicate was malformed or denied."""
 
 
+class ShardError(ReproError):
+    """A sharded-controller operation failed (dead shard, bad ownership)."""
+
+
 class TorError(ReproError):
     """Tor case-study specific failure (circuit, directory, consensus)."""
 

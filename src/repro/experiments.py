@@ -49,6 +49,11 @@ __all__ = [
     "run_fault_scenario",
     "run_fault_matrix",
     "format_fault_matrix",
+    "LOAD_SCENARIOS",
+    "run_load",
+    "format_load",
+    "run_load_ablation",
+    "format_load_ablation",
 ]
 
 
@@ -643,3 +648,119 @@ def format_fault_matrix(results: Dict[str, object]) -> str:
         "(ok = result identical to the fault-free run)",
     )
     return f"{table}\nrecovered {recovered}/{len(matrix)} cells"
+
+
+# ---------------------------------------------------------------------------
+# Load — sharded controller scale-out under a seeded open-loop population
+# ---------------------------------------------------------------------------
+
+LOAD_SCENARIOS = ("middlebox", "routing", "tor")
+
+
+def run_load(
+    scenario: str = "routing",
+    clients: int = 200,
+    shards: int = 2,
+    batch: int = 8,
+    seed: int = 0,
+    events: Optional[int] = None,
+    n_ases: int = 24,
+    trace: Optional[obs.Tracer] = None,
+) -> Dict[str, object]:
+    """One deterministic load run; returns the BENCH_load.json document.
+
+    The workload engine is clocked entirely by the cost model (see
+    :mod:`repro.load.engine`): with a fixed seed the returned document
+    is byte-identical run over run, so CI can diff two consecutive
+    invocations.
+    """
+    from repro.load.engine import run_load_engine
+    from repro.load.report import bench_doc
+
+    with _traced(trace, "load"):
+        result = run_load_engine(
+            scenario,
+            n_clients=clients,
+            n_shards=shards,
+            batch=batch,
+            seed=seed,
+            n_events=events,
+            n_ases=n_ases,
+        )
+    return bench_doc(result)
+
+
+def format_load(doc: Dict[str, object]) -> str:
+    config: Dict[str, object] = doc["config"]  # type: ignore[assignment]
+    latency: Dict[str, float] = doc["latency_cycles"]  # type: ignore[assignment]
+    throughput: Dict[str, float] = doc["throughput"]  # type: ignore[assignment]
+    crossings: Dict[str, float] = doc["crossings"]  # type: ignore[assignment]
+    outcomes: Dict[str, int] = doc["outcomes"]  # type: ignore[assignment]
+    rows = [
+        ["events served", throughput["events"]],
+        ["makespan (cycles)", format_count(throughput["makespan_cycles"])],
+        ["throughput (events/Gcycle)", f"{throughput['events_per_gcycle']:.2f}"],
+        ["latency p50 (cycles)", format_count(latency["p50"])],
+        ["latency p90 (cycles)", format_count(latency["p90"])],
+        ["latency p99 (cycles)", format_count(latency["p99"])],
+        ["enclave crossings / event", f"{crossings['per_event']:.2f}"],
+        ["outcomes", ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))],
+    ]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=(
+            f"Load — {doc['scenario']} with {config['clients']} clients, "
+            f"{config['shards']} shard(s), batch {config['batch']}, "
+            f"seed {config['seed']}"
+        ),
+    )
+
+
+def run_load_ablation(
+    scenario: str = "routing",
+    clients: int = 200,
+    shard_counts: Tuple[int, ...] = (1, 2, 4, 8),
+    batch_sizes: Tuple[int, ...] = (1, 8, 32),
+    seed: int = 0,
+    n_ases: int = 24,
+    trace: Optional[obs.Tracer] = None,
+) -> Dict[Tuple[int, int], Dict[str, object]]:
+    """Throughput/latency/crossings over the S x K grid (EXPERIMENTS A11)."""
+    grid: Dict[Tuple[int, int], Dict[str, object]] = {}
+    with _traced(trace, "load-ablation"):
+        for shards in shard_counts:
+            for batch in batch_sizes:
+                grid[(shards, batch)] = run_load(
+                    scenario,
+                    clients=clients,
+                    shards=shards,
+                    batch=batch,
+                    seed=seed,
+                    n_ases=n_ases,
+                )
+    return grid
+
+
+def format_load_ablation(grid: Dict[Tuple[int, int], Dict[str, object]]) -> str:
+    rows = []
+    for (shards, batch), doc in sorted(grid.items()):
+        throughput: Dict[str, float] = doc["throughput"]  # type: ignore[assignment]
+        latency: Dict[str, float] = doc["latency_cycles"]  # type: ignore[assignment]
+        crossings: Dict[str, float] = doc["crossings"]  # type: ignore[assignment]
+        rows.append(
+            [
+                shards,
+                batch,
+                f"{throughput['events_per_gcycle']:.2f}",
+                format_count(latency["p50"]),
+                format_count(latency["p99"]),
+                f"{crossings['per_event']:.2f}",
+            ]
+        )
+    return format_table(
+        ["shards", "batch", "events/Gcycle", "p50 cycles", "p99 cycles",
+         "crossings/event"],
+        rows,
+        title="Load ablation — scale-out (S) x crossing batch (K)",
+    )

@@ -41,6 +41,11 @@ Channel (injected in :class:`repro.net.channel.SecureRecordChannel`):
 
 * ``mac_corrupt`` — a protected record is emitted with a flipped bit,
   so the receiver's MAC check fails (:class:`ProtocolError`).
+
+Scale-out (injected in :mod:`repro.load`):
+
+* ``shard_crash`` — one controller shard enclave dies mid-run; the
+  load engine's failover re-homes its ASes onto surviving shards.
 """
 
 from __future__ import annotations
@@ -59,7 +64,7 @@ from repro.errors import ReproError
 __all__ = [
     "DROP", "DUPLICATE", "REORDER", "DELAY", "CORRUPT",
     "OCALL_FAIL", "AEX_STORM", "EGETKEY_FAIL", "QUOTE_REJECT",
-    "WORKER_STALL", "MAC_CORRUPT",
+    "WORKER_STALL", "MAC_CORRUPT", "SHARD_CRASH",
     "NETWORK_KINDS", "ALL_KINDS", "FAULT_CLASSES",
     "FaultRule", "FaultEvent", "FaultLog", "FaultPlan",
     "activate", "deactivate", "current_plan", "active", "matrix_plan",
@@ -78,11 +83,12 @@ EGETKEY_FAIL = "egetkey_fail"
 QUOTE_REJECT = "quote_reject"
 WORKER_STALL = "worker_stall"
 MAC_CORRUPT = "mac_corrupt"
+SHARD_CRASH = "shard_crash"
 
 NETWORK_KINDS = (DROP, DUPLICATE, REORDER, DELAY, CORRUPT)
 ALL_KINDS = NETWORK_KINDS + (
     OCALL_FAIL, AEX_STORM, EGETKEY_FAIL, QUOTE_REJECT, WORKER_STALL,
-    MAC_CORRUPT,
+    MAC_CORRUPT, SHARD_CRASH,
 )
 
 
@@ -321,6 +327,10 @@ FAULT_CLASSES: Dict[str, List[FaultRule]] = {
     "worker_stall": [FaultRule(WORKER_STALL, rate=0.25, max_count=50)],
     "aex_storm": [FaultRule(AEX_STORM, rate=0.25, max_count=50)],
     "mac_corrupt": [FaultRule(MAC_CORRUPT, max_count=1)],
+    # Kills one controller shard mid-run; only the scale-out load
+    # engine (repro.load) has shards, so this class is a no-op for the
+    # single-controller app scenarios.
+    "shard_crash": [FaultRule(SHARD_CRASH, max_count=1)],
 }
 
 

@@ -1,0 +1,130 @@
+"""BENCH_load.json: the load run's machine-readable report.
+
+The document is fully deterministic: ``json.dumps`` with sorted keys
+over values derived only from seeded state and modeled clocks, so two
+runs with the same arguments produce byte-identical files (the CI load
+job diffs two consecutive runs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.load.engine import LoadResult
+
+__all__ = ["SCHEMA", "bench_doc", "bench_json", "validate_bench"]
+
+SCHEMA = "repro.load/1"
+
+#: Required top-level keys and the type each must carry.
+_REQUIRED: Dict[str, type] = {
+    "schema": str,
+    "scenario": str,
+    "config": dict,
+    "throughput": dict,
+    "latency_cycles": dict,
+    "crossings": dict,
+    "outcomes": dict,
+    "shards": dict,
+    "counters": dict,
+    "event_fingerprint": str,
+}
+
+_REQUIRED_CONFIG = ("clients", "shards", "batch", "seed", "events")
+_REQUIRED_LATENCY = ("p50", "p90", "p99", "max", "mean")
+_REQUIRED_THROUGHPUT = ("events", "makespan_cycles", "events_per_gcycle")
+
+
+def bench_doc(result: LoadResult) -> dict:
+    """Shape a :class:`LoadResult` into the BENCH_load.json document."""
+    lats = result.latencies
+    mean = sum(lats) / len(lats) if lats else 0.0
+    crossings = result.steady_counters.get("enclave_crossings", 0)
+    makespan = result.makespan_cycles
+    return {
+        "schema": SCHEMA,
+        "scenario": result.scenario,
+        "config": {
+            "clients": result.n_clients,
+            "shards": result.n_shards,
+            "batch": result.batch,
+            "seed": result.seed,
+            "events": result.n_events,
+        },
+        "throughput": {
+            "events": len(result.events),
+            "makespan_cycles": makespan,
+            "events_per_gcycle": (
+                len(result.events) / (makespan / 1e9) if makespan > 0 else 0.0
+            ),
+        },
+        "latency_cycles": {
+            "p50": result.percentile(50),
+            "p90": result.percentile(90),
+            "p99": result.percentile(99),
+            "max": lats[-1] if lats else 0.0,
+            "mean": mean,
+        },
+        "crossings": {
+            "total": crossings,
+            "per_event": crossings / len(result.events) if result.events else 0.0,
+        },
+        "outcomes": dict(sorted(result.outcomes.items())),
+        "shards": {
+            str(shard_id): dict(sorted(stats.items()))
+            for shard_id, stats in sorted(result.shard_stats.items())
+        },
+        "counters": dict(sorted(result.steady_counters.items())),
+        "setup_cycles": result.setup_cycles,
+        "event_fingerprint": result.event_fingerprint,
+    }
+
+
+def bench_json(result: LoadResult) -> str:
+    """The canonical byte-stable serialization of the report."""
+    return json.dumps(bench_doc(result), sort_keys=True, indent=2) + "\n"
+
+
+def validate_bench(doc: object) -> List[str]:
+    """Schema check for a BENCH_load.json document.
+
+    Returns a list of human-readable problems — empty means valid.
+    Raises :class:`ReproError` only when the document is not a mapping
+    at all (nothing sensible to enumerate).
+    """
+    if not isinstance(doc, dict):
+        raise ReproError("BENCH_load document must be a JSON object")
+    problems: List[str] = []
+    for key, expected in _REQUIRED.items():
+        if key not in doc:
+            problems.append(f"missing key '{key}'")
+        elif not isinstance(doc[key], expected):
+            problems.append(
+                f"key '{key}' should be {expected.__name__}, "
+                f"got {type(doc[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["schema"] != SCHEMA:
+        problems.append(f"schema '{doc['schema']}' != '{SCHEMA}'")
+    for key in _REQUIRED_CONFIG:
+        if key not in doc["config"]:
+            problems.append(f"config missing '{key}'")
+    for key in _REQUIRED_LATENCY:
+        if key not in doc["latency_cycles"]:
+            problems.append(f"latency_cycles missing '{key}'")
+        elif not isinstance(doc["latency_cycles"][key], (int, float)):
+            problems.append(f"latency_cycles['{key}'] is not a number")
+    for key in _REQUIRED_THROUGHPUT:
+        if key not in doc["throughput"]:
+            problems.append(f"throughput missing '{key}'")
+    outcomes = doc["outcomes"]
+    served = sum(v for v in outcomes.values() if isinstance(v, int))
+    if served != doc["throughput"].get("events"):
+        problems.append("outcome counts do not sum to served events")
+    for name in outcomes:
+        if name not in ("ok", "recovered", "failed"):
+            problems.append(f"unknown outcome class '{name}'")
+    return problems

@@ -122,6 +122,28 @@ class InterDomainController:
         self._results = results
         return results
 
+    def compute_partition(
+        self, origins: "List[int]"
+    ) -> Dict[int, Dict[str, Route]]:
+        """Routes contributed by prefixes originated by ``origins`` only.
+
+        The per-prefix computation is independent across origins, so a
+        sharded deployment can partition origin ASes across controller
+        instances: the union of every shard's partition over disjoint
+        origin sets equals :meth:`compute_routes` exactly (prefixes are
+        unique per origin, so the union is disjoint too).  Results are
+        not memoized — the sharding layer owns merge and caching.
+        """
+        self._check_symmetry()
+        results: Dict[int, Dict[str, Route]] = {asn: {} for asn in self._policies}
+        for origin_asn in sorted(set(origins)):
+            if origin_asn not in self._policies:
+                raise PolicyError(f"AS{origin_asn} has not submitted a policy")
+            for prefix in self._policies[origin_asn].prefixes:
+                self.stats.prefixes += 1
+                self._compute_prefix(prefix, origin_asn, results)
+        return results
+
     def _compute_prefix(
         self,
         prefix: str,

@@ -1,0 +1,420 @@
+"""Sharding the inter-domain controller across N instances.
+
+The paper's controller is logically centralized; one enclave collects
+every policy and computes every route.  That single instance is the
+scalability wall between the prototype and the ROADMAP's "millions of
+users".  This module partitions the controller with a consistent-hash
+ring over ASes:
+
+* each shard *owns* the ASes the ring maps to it — it is the only
+  instance allowed to release those ASes' routes (the per-AS
+  confidentiality boundary moves with ownership);
+* every shard holds the full policy set (policies are broadcast once,
+  after registration), but computes routes only for prefixes
+  *originated* by its owned ASes — the per-prefix computation in
+  :meth:`InterDomainController.compute_partition` is independent
+  across origins, so S shards split the route computation S ways;
+* after computing, shards exchange *route slices*: the routes shard A
+  computed that belong to an AS owned by shard B travel to B, which
+  merges them into the full per-AS RIB.  The union over disjoint
+  origin partitions equals the unsharded computation byte-for-byte —
+  the load test suite pins this;
+* a request landing on a non-owner shard is forwarded to the owner
+  (a *cross-shard route query*), so any shard can front any client.
+
+This module is the hosting-independent core (plain objects, ambient
+cost charging) plus a reference :class:`ShardedInterDomainController`
+that drives S cores in-process.  The enclave-hosted deployment — one
+enclave per shard, attested inter-shard record channels, batched
+ecalls — lives in :mod:`repro.load.shards` and reuses these cores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Set
+
+from repro.cost import context as cost_context
+from repro.errors import PolicyError, ShardError
+from repro.routing.bgp import Route
+from repro.routing.controller import InterDomainController
+from repro.routing.policy import LocalPolicy
+
+__all__ = [
+    "ShardRing",
+    "ShardStats",
+    "ShardCore",
+    "ShardedInterDomainController",
+]
+
+#: Virtual nodes per shard on the hash ring.  Enough that removing one
+#: shard re-homes only (about) its own 1/S of the ASes.
+VNODES = 64
+
+
+def _ring_hash(label: str) -> int:
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+class ShardRing:
+    """Deterministic consistent-hash ring mapping ASN -> shard id."""
+
+    def __init__(self, shard_ids: List[int], vnodes: int = VNODES) -> None:
+        if not shard_ids:
+            raise ShardError("a ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ShardError("duplicate shard ids on the ring")
+        self.vnodes = vnodes
+        self._points: List[tuple] = []
+        self._shards: Set[int] = set()
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(self._shards)
+
+    def add_shard(self, shard_id: int) -> None:
+        if shard_id in self._shards:
+            raise ShardError(f"shard {shard_id} already on the ring")
+        self._shards.add(shard_id)
+        for v in range(self.vnodes):
+            self._points.append((_ring_hash(f"shard{shard_id}#v{v}"), shard_id))
+        self._points.sort()
+
+    def remove_shard(self, shard_id: int) -> None:
+        if shard_id not in self._shards:
+            raise ShardError(f"shard {shard_id} is not on the ring")
+        if len(self._shards) == 1:
+            raise ShardError("cannot remove the last shard")
+        self._shards.remove(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+
+    def owner(self, asn: int) -> int:
+        """The shard owning ``asn``: first vnode clockwise of its hash."""
+        key = _ring_hash(f"as{asn}")
+        # First point with hash > key; wrap to the smallest point.
+        for point_hash, shard_id in self._points:
+            if point_hash > key:
+                return shard_id
+        return self._points[0][1]
+
+    def partition(self, asns: List[int]) -> Dict[int, List[int]]:
+        """Owner map for a whole AS set (each AS to exactly one shard)."""
+        out: Dict[int, List[int]] = {shard_id: [] for shard_id in self.shard_ids}
+        for asn in sorted(asns):
+            out[self.owner(asn)].append(asn)
+        return out
+
+
+@dataclasses.dataclass
+class ShardStats:
+    """Scale-out work counters for one shard."""
+
+    policies_owned: int = 0
+    policies_synced_in: int = 0
+    cross_shard_queries: int = 0
+    slice_routes_in: int = 0
+    slice_routes_out: int = 0
+    rehomed_ases: int = 0
+
+
+class ShardCore:
+    """One shard's state: owned ASes, full policy set, partial RIB.
+
+    Hosting-independent (like :class:`InterDomainController`): the
+    reference in-process controller below and the enclave program in
+    :mod:`repro.load.shards` both drive this object.
+    """
+
+    def __init__(self, shard_id: int, alloc_hook=None) -> None:
+        self.shard_id = shard_id
+        self.controller = InterDomainController(alloc_hook=alloc_hook)
+        self.owned: Set[int] = set()
+        self.stats = ShardStats()
+        #: This shard's computed partition: routes contributed by
+        #: prefixes originated by owned ASes, for EVERY AS.  Kept after
+        #: the slice exchange so failover can replay slices for
+        #: re-homed ASes.
+        self.computed: Optional[Dict[int, Dict[str, Route]]] = None
+        #: Merged full RIB for owned ASes (union of every shard's slice).
+        self.rib: Dict[int, Dict[str, Route]] = {}
+
+    # -- registration / sync ------------------------------------------------
+
+    def submit_policy(self, policy: LocalPolicy) -> None:
+        """A client registered an AS this shard owns."""
+        self.controller.submit_policy(policy)
+        self.owned.add(policy.asn)
+        self.stats.policies_owned += 1
+        self.computed = None
+
+    def ingest_policy(self, policy: LocalPolicy) -> None:
+        """A peer shard's broadcast: known for compute, NOT owned."""
+        self.controller.submit_policy(policy)
+        self.stats.policies_synced_in += 1
+        self.computed = None
+
+    def adopt(self, asn: int, policy_bytes: bytes) -> None:
+        """Failover re-registration: take ownership of a re-homed AS.
+
+        The policy must be byte-identical to the already-synced one —
+        failover can never be abused to swap a live AS's policy (same
+        contract as the controller's session failover path).
+        """
+        known = self.controller.policy_of(asn)
+        if known.encode() != policy_bytes:
+            raise ShardError(f"AS{asn} re-registration policy mismatch")
+        self.owned.add(asn)
+        self.stats.rehomed_ases += 1
+
+    # -- compute / slice exchange ------------------------------------------
+
+    def compute(self) -> Dict[int, Dict[str, Route]]:
+        """Compute this shard's origin partition (memoized)."""
+        if self.computed is None:
+            self.computed = self.controller.compute_partition(sorted(self.owned))
+        return self.computed
+
+    def slices_for(self, owner_map: Dict[int, int]) -> Dict[int, Dict[int, Dict[str, Route]]]:
+        """Split the computed partition by each AS's owner shard.
+
+        ``owner_map`` maps ASN -> owning shard id; the result maps
+        peer shard id -> {asn: {prefix: Route}} (this shard's own
+        slice included under its own id).
+        """
+        computed = self.compute()
+        out: Dict[int, Dict[int, Dict[str, Route]]] = {}
+        for asn in sorted(computed):
+            routes = computed[asn]
+            if not routes:
+                continue
+            owner = owner_map.get(asn)
+            if owner is None:
+                raise ShardError(f"AS{asn} has no owner in the slice map")
+            out.setdefault(owner, {})[asn] = dict(routes)
+            if owner != self.shard_id:
+                self.stats.slice_routes_out += len(routes)
+        return out
+
+    def merge_slice(self, slices: Dict[int, Dict[str, Route]]) -> None:
+        """Absorb a peer's (or our own) slice into the owned RIB."""
+        for asn in sorted(slices):
+            if asn not in self.owned:
+                raise ShardError(
+                    f"shard {self.shard_id} received a slice for "
+                    f"unowned AS{asn}"
+                )
+            self.rib.setdefault(asn, {}).update(slices[asn])
+        self.stats.slice_routes_in += sum(len(v) for v in slices.values())
+
+    # -- serving ------------------------------------------------------------
+
+    def routes_for(self, asn: int) -> Dict[str, Route]:
+        """This owned AS's full RIB (exactly what it may learn)."""
+        if asn not in self.owned:
+            raise ShardError(f"shard {self.shard_id} does not own AS{asn}")
+        return dict(self.rib.get(asn, {}))
+
+
+class ShardedInterDomainController:
+    """Reference in-process deployment of S shard cores.
+
+    Answers are byte-for-byte the unsharded controller's; the
+    inter-shard traffic (policy broadcast, slice exchange, forwarded
+    queries) is charged as serialization work against the ambient cost
+    accountant.  ``shards=1`` short-circuits every inter-shard step, so
+    its cost counters equal the unsharded controller's exactly —
+    integer for integer (the load suite pins this).
+    """
+
+    def __init__(self, n_shards: int, alloc_hook=None) -> None:
+        if n_shards < 1:
+            raise ShardError("need at least one shard")
+        self.ring = ShardRing(list(range(n_shards)))
+        self.cores: Dict[int, ShardCore] = {
+            shard_id: ShardCore(shard_id, alloc_hook=alloc_hook)
+            for shard_id in range(n_shards)
+        }
+        self.dead: Set[int] = set()
+        self._sealed = False
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.cores) - len(self.dead)
+
+    def _live(self) -> List[ShardCore]:
+        return [
+            core
+            for shard_id, core in sorted(self.cores.items())
+            if shard_id not in self.dead
+        ]
+
+    def _charge_wire(self, n_bytes: int) -> None:
+        model = cost_context.current_model()
+        cost_context.charge_normal(model.serialize_byte_normal * n_bytes)
+
+    def owner_of(self, asn: int) -> int:
+        return self.ring.owner(asn)
+
+    # -- registration -------------------------------------------------------
+
+    def submit_policy(self, policy: LocalPolicy) -> None:
+        if self._sealed:
+            raise ShardError("cannot register after the controller sealed")
+        self.cores[self.ring.owner(policy.asn)].submit_policy(policy)
+
+    def participants(self) -> List[int]:
+        return sorted(asn for core in self._live() for asn in core.owned)
+
+    # -- seal: broadcast, compute, exchange ---------------------------------
+
+    def seal(self) -> None:
+        """Registration closed: sync policies, compute, exchange slices."""
+        if self._sealed:
+            return
+        live = self._live()
+        if len(live) > 1:
+            for core in live:
+                payload = sum(
+                    len(core.controller.policy_of(asn).encode())
+                    for asn in sorted(core.owned)
+                )
+                for peer in live:
+                    if peer is core:
+                        continue
+                    # One broadcast copy per peer: encode on the way
+                    # out, decode on the way in.
+                    self._charge_wire(payload)
+                    self._charge_wire(payload)
+                    for asn in sorted(core.owned):
+                        peer.ingest_policy(core.controller.policy_of(asn))
+        owner_map = {
+            asn: self.ring.owner(asn)
+            for core in live
+            for asn in core.owned
+        }
+        for core in live:
+            core.compute()
+        for core in live:
+            for peer_id, slices in sorted(core.slices_for(owner_map).items()):
+                if peer_id != core.shard_id:
+                    n_bytes = sum(
+                        len(route.encode())
+                        for per_as in slices.values()
+                        for route in per_as.values()
+                    )
+                    self._charge_wire(n_bytes)
+                    self._charge_wire(n_bytes)
+                self.cores[peer_id].merge_slice(slices)
+        self._sealed = True
+
+    # -- serving ------------------------------------------------------------
+
+    def routes_for(self, asn: int, via_shard: Optional[int] = None) -> Dict[str, Route]:
+        """Serve one AS's routes, through an arbitrary front shard.
+
+        ``via_shard`` models a client hitting any frontend: a non-owner
+        front forwards the query to the owner over the inter-shard
+        link (one cross-shard query, charged both ways).
+        """
+        self.seal()
+        owner = self.ring.owner(asn)
+        if owner in self.dead:
+            raise ShardError(f"shard {owner} (owner of AS{asn}) is dead")
+        if via_shard is not None and via_shard != owner:
+            if via_shard in self.dead or via_shard not in self.cores:
+                raise ShardError(f"front shard {via_shard} is dead")
+            front = self.cores[via_shard]
+            front.stats.cross_shard_queries += 1
+            routes = self.cores[owner].routes_for(asn)
+            n_bytes = sum(len(route.encode()) for route in routes.values())
+            self._charge_wire(8)        # the query: one ASN
+            self._charge_wire(n_bytes)  # the reply: the route slice
+            return routes
+        return self.cores[owner].routes_for(asn)
+
+    # -- failover -----------------------------------------------------------
+
+    def fail_shard(self, shard_id: int) -> List[int]:
+        """Kill one shard; re-home its ASes onto the survivors.
+
+        Returns the re-homed ASNs.  Survivors already hold the full
+        policy set (broadcast at seal) and their own computed
+        partitions; the dead shard's partition is recomputed by the new
+        owners and its ASes' RIBs are rebuilt from every survivor's
+        retained slices — no client data is lost, clients only need to
+        re-register ownership (see :meth:`ShardCore.adopt`).
+        """
+        if shard_id in self.dead:
+            raise ShardError(f"shard {shard_id} is already dead")
+        if shard_id not in self.cores:
+            raise ShardError(f"no shard {shard_id}")
+        dead_core = self.cores[shard_id]
+        self.ring.remove_shard(shard_id)
+        self.dead.add(shard_id)
+        rehomed = sorted(dead_core.owned)
+        if not self._sealed:
+            # Registration still open: surviving owners just take the
+            # re-registrations as they arrive.
+            return rehomed
+
+        live = self._live()
+        owner_map = {
+            asn: self.ring.owner(asn)
+            for core in live
+            for asn in core.owned
+        }
+        for asn in rehomed:
+            owner_map[asn] = self.ring.owner(asn)
+
+        # 1. New owners adopt the re-homed ASes (policies were synced).
+        for asn in rehomed:
+            new_owner = self.cores[owner_map[asn]]
+            new_owner.adopt(
+                asn, dead_core.controller.policy_of(asn).encode()
+            )
+
+        # 2. New owners recompute the dead shard's origin partition for
+        #    the origins they inherited, and redistribute those slices.
+        for core in live:
+            inherited = sorted(
+                asn for asn in rehomed if owner_map[asn] == core.shard_id
+            )
+            if not inherited:
+                continue
+            extra = core.controller.compute_partition(inherited)
+            if core.computed is None:
+                core.computed = {}
+            for asn, routes in extra.items():
+                if routes:
+                    core.computed.setdefault(asn, {}).update(routes)
+
+        # 3. Every survivor replays its retained slice for the re-homed
+        #    ASes to the new owners (the dead shard held their RIBs).
+        rehomed_set = set(rehomed)
+        for core in live:
+            computed = core.computed or {}
+            for peer_id, slices in sorted(
+                core.slices_for(owner_map).items()
+            ):
+                narrowed = {
+                    asn: routes
+                    for asn, routes in slices.items()
+                    if asn in rehomed_set
+                }
+                if not narrowed:
+                    continue
+                if peer_id != core.shard_id:
+                    n_bytes = sum(
+                        len(route.encode())
+                        for per_as in narrowed.values()
+                        for route in per_as.values()
+                    )
+                    self._charge_wire(n_bytes)
+                    self._charge_wire(n_bytes)
+                self.cores[peer_id].merge_slice(narrowed)
+        return rehomed

@@ -83,6 +83,52 @@ class Enclave:
                         self._charge_aex_storm(accountant, method)
                         execute_user(UserInstruction.EEXIT)
 
+    def ecall_batch(self, calls: Any) -> List[Any]:
+        """Run several exported methods under ONE enclave crossing.
+
+        ``calls`` is a sequence of ``(method, args, kwargs)`` tuples.
+        The batch pays a single EENTER/EEXIT pair, one crossing and one
+        trampoline — K requests amortize the boundary cost that
+        :meth:`ecall` pays per call.  A one-element batch charges
+        exactly what the equivalent :meth:`ecall` charges (the load
+        suite pins this), so ``batch=1`` runs reconcile integer-for-
+        integer against the unbatched path.
+
+        Error semantics match a plain ecall: the first raising handler
+        aborts the batch (EEXIT and interrupt modeling still charged),
+        and the exception propagates — partial results are discarded.
+        """
+        resolved = [
+            (self._resolve_ecall(method), method, args, kwargs)
+            for method, args, kwargs in calls
+        ]
+        if not resolved:
+            raise SgxError(f"enclave '{self.name}': empty ecall batch")
+        label = (
+            resolved[0][1]
+            if len(resolved) == 1
+            else f"batch[{len(resolved)}]"
+        )
+        accountant = self._platform.accountant
+        with cost_context.use_accountant(accountant, self._platform.model):
+            with accountant.attribute(self.domain):
+                with obs.span(f"ecall:{self.name}.{label}", kind="ecall"):
+                    execute_user(UserInstruction.EENTER)
+                    accountant.charge_crossing()
+                    cost_context.charge_normal(
+                        cost_context.current_model().trampoline_normal
+                    )
+                    before = accountant.counter(self.domain).normal_instructions
+                    try:
+                        return [
+                            handler(self._program, *args, **kwargs)
+                            for handler, _method, args, kwargs in resolved
+                        ]
+                    finally:
+                        self._charge_async_exits(accountant, before)
+                        self._charge_aex_storm(accountant, label)
+                        execute_user(UserInstruction.EEXIT)
+
     def _resolve_ecall(self, method: str):
         """Shared ecall validation: exported, existing, enclave alive."""
         if self._destroyed:

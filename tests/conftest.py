@@ -1,0 +1,42 @@
+"""Suite-wide fixtures, built on the shared factories in tests/fixtures.py.
+
+These replace the per-module copies of the same recipes that used to
+be scattered across ``tests/sgx``, ``tests/core`` and ``benchmarks``:
+every test that just needs "an authority", "a platform", "an author
+key" or "a fresh accountant" can take the fixture instead of
+re-deriving it.  Modules that need a *specifically* seeded world keep
+calling the ``make_*`` factories with their own seed.
+"""
+
+import pytest
+
+from tests.fixtures import (
+    make_accountant,
+    make_author_key,
+    make_authority,
+    make_platform,
+)
+
+
+@pytest.fixture(scope="session")
+def author_key():
+    """One deterministic enclave-author RSA key for the whole run."""
+    return make_author_key()
+
+
+@pytest.fixture()
+def authority():
+    """A fresh attestation authority (stateful: per-test isolation)."""
+    return make_authority()
+
+
+@pytest.fixture()
+def platform(authority):
+    """A fresh platform named host-a, quoting enclave registered."""
+    return make_platform("host-a", authority)
+
+
+@pytest.fixture()
+def accountant():
+    """A fresh, empty cost accountant."""
+    return make_accountant()

@@ -2,6 +2,8 @@
 
 import pytest
 
+from tests.fixtures import make_author_key, make_authority
+
 from repro.core import (
     AttestedServer,
     EnclaveNode,
@@ -57,8 +59,8 @@ class TamperedEchoProgram(EchoServiceProgram):
 def world():
     sim = Simulator()
     network = Network(sim, rng=Rng(b"core-net"), default_link=LinkParams(latency=0.002))
-    authority = AttestationAuthority(Rng(b"core-authority"))
-    author = generate_rsa_keypair(512, Rng(b"core-author"))
+    authority = make_authority(b"core-authority")
+    author = make_author_key(b"core-author")
     return sim, network, authority, author
 
 

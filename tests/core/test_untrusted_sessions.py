@@ -2,6 +2,8 @@
 
 import pytest
 
+from tests.fixtures import make_author_key, make_authority
+
 from repro.core import AttestedServer, EnclaveNode, SecureApplicationProgram
 from repro.core.untrusted import open_untrusted_session
 from repro.crypto.drbg import Rng
@@ -27,8 +29,8 @@ class OtherProgram(SecureApplicationProgram):
 def build(server_program):
     sim = Simulator()
     network = Network(sim, rng=Rng(b"unt"), default_link=LinkParams(latency=0.002))
-    authority = AttestationAuthority(Rng(b"unt-auth"))
-    author = generate_rsa_keypair(512, Rng(b"unt-author"))
+    authority = make_authority(b"unt-auth")
+    author = make_author_key(b"unt-author")
     node = EnclaveNode(network, "server", authority, rng=Rng(b"unt-node"))
     enclave = node.load(server_program, author_key=author, name="svc")
     enclave.ecall("configure_trust", authority.verification_info())

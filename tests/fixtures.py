@@ -1,0 +1,60 @@
+"""Shared test/benchmark construction helpers.
+
+Both the test suite (via ``tests/conftest.py`` fixtures) and the
+benchmark harness (``benchmarks/conftest.py``) build the same basic
+SGX world over and over: a seeded attestation authority, a platform
+with its quoting enclave, an RSA author key, a fresh cost accountant.
+The factories here are the single place those recipes live; every
+seed is explicit so call sites stay deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.cost import CostAccountant
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import RsaPrivateKey, generate_rsa_keypair
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.quoting import AttestationAuthority
+
+__all__ = [
+    "make_author_key",
+    "make_authority",
+    "make_platform",
+    "make_accountant",
+    "emit",
+]
+
+
+def make_author_key(seed: bytes = b"test-author", bits: int = 512) -> RsaPrivateKey:
+    """A deterministic enclave-author signing key (small, fast RSA)."""
+    return generate_rsa_keypair(bits, Rng(seed))
+
+
+def make_authority(seed: bytes = b"test-authority") -> AttestationAuthority:
+    """A fresh attestation authority with its own seeded RNG."""
+    return AttestationAuthority(Rng(seed))
+
+
+def make_platform(
+    name: str = "host-a",
+    authority: AttestationAuthority | None = None,
+    seed: bytes | None = None,
+) -> SgxPlatform:
+    """A platform (with quoting enclave) named ``name``.
+
+    With no ``authority`` a private one is created, seeded from the
+    platform name so distinct names never share RNG streams.
+    """
+    if authority is None:
+        authority = make_authority(b"authority:" + name.encode())
+    return SgxPlatform(name, authority, rng=Rng(seed or name.encode()))
+
+
+def make_accountant() -> CostAccountant:
+    """A fresh, empty cost accountant."""
+    return CostAccountant()
+
+
+def emit(text: str) -> None:
+    """Print a result block (visible with -s; always flushed)."""
+    print("\n" + text, flush=True)

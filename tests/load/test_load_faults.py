@@ -1,0 +1,105 @@
+"""The load engine under deterministic fault injection (shard crashes).
+
+Extends the fault matrix (``repro.faults``) to the scale-out layer:
+a seeded plan kills a controller shard mid-run, the deployment
+re-homes its ASes onto survivors, clients re-register, and — the
+property that matters — no request is ever *silently* lost: every
+event ends in exactly one of ``ok``/``recovered``/``failed``.
+"""
+
+import pytest
+
+from repro import faults
+from repro.load.engine import run_load_engine
+from repro.load.report import validate_bench, bench_doc
+from repro.routing.controller import InterDomainController
+from repro.routing.deployment import build_policies
+from repro.routing.messages import encode_routes_msg
+
+
+def _run_with_crash(seed, n_shards=2, n_events=60):
+    plan = faults.matrix_plan("shard_crash", seed)
+    with faults.active(plan):
+        result = run_load_engine(
+            "routing",
+            n_clients=20,
+            n_shards=n_shards,
+            batch=4,
+            seed=seed,
+            n_events=n_events,
+            keep_payloads=True,
+        )
+    return result, plan
+
+
+class TestShardCrashFailover:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_no_request_silently_lost(self, seed):
+        result, plan = _run_with_crash(seed)
+        assert plan.log.events, "the plan never fired — test proves nothing"
+        assert sum(result.outcomes.values()) == len(result.events) == 60
+        assert set(result.outcomes) <= {"ok", "recovered", "failed"}
+        # Two shards: the survivor adopts, so nothing may hard-fail.
+        assert "failed" not in result.outcomes
+        assert result.outcomes.get("recovered", 0) >= 1
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_failover_rehomes_and_stays_correct(self, seed):
+        result, _plan = _run_with_crash(seed)
+        rehomed = sum(
+            stats.get("rehomed_ases", 0) for stats in result.shard_stats.values()
+        )
+        assert rehomed > 0
+
+        # Served answers — including post-failover ones — still match
+        # the unsharded controller byte for byte.
+        _topology, policies = build_policies(24, b"load-routing-%d" % seed)
+        reference = InterDomainController()
+        for policy in policies.values():
+            reference.submit_policy(policy)
+        reference.compute_routes()
+        for record in result.events:
+            payload = result.payloads[record.seq]
+            assert payload == encode_routes_msg(reference.routes_for(record.key))
+
+    def test_crash_report_still_validates(self):
+        result, _plan = _run_with_crash(0)
+        assert validate_bench(bench_doc(result)) == []
+
+    def test_single_shard_crash_fails_loudly(self):
+        """With S=1 there is nowhere to re-home: remaining events are
+        reported as failed — never dropped, never fabricated."""
+        result, plan = _run_with_crash(0, n_shards=1, n_events=40)
+        assert plan.log.events
+        assert sum(result.outcomes.values()) == len(result.events) == 40
+        assert result.outcomes.get("failed", 0) >= 1
+        for record in result.events:
+            if record.outcome == "failed":
+                assert record.reply_digest == ""
+
+    def test_plan_is_deterministic(self):
+        first, _ = _run_with_crash(0)
+        second, _ = _run_with_crash(0)
+        assert first.outcomes == second.outcomes
+        assert [r.outcome for r in first.events] == [
+            r.outcome for r in second.events
+        ]
+
+
+class TestMatrixIntegration:
+    def test_shard_crash_is_a_registered_class(self):
+        assert "shard_crash" in faults.FAULT_CLASSES
+        plan = faults.matrix_plan("shard_crash", 0)
+        assert plan.decide(faults.SHARD_CRASH, "shard:0") is not None
+        # max_count=1: the second opportunity must not fire.
+        assert plan.decide(faults.SHARD_CRASH, "shard:1") is None
+
+    def test_other_fault_classes_leave_load_unaffected(self):
+        """A network-fault plan has no instrumented sites in the load
+        path's direct shuttling — the run completes clean."""
+        plan = faults.matrix_plan("drop", 0)
+        with faults.active(plan):
+            result = run_load_engine(
+                "routing", n_clients=10, n_shards=2, batch=4, seed=0, n_events=20
+            )
+        assert result.outcomes == {"ok": 20}

@@ -21,14 +21,7 @@ from repro.sgx.report import Report, TargetInfo, create_report, verify_report_ma
 from repro.sgx.keys import derive_report_key
 
 
-@pytest.fixture(scope="module")
-def authority():
-    return AttestationAuthority(Rng(b"attestation-tests"))
-
-
-@pytest.fixture(scope="module")
-def author_key():
-    return generate_rsa_keypair(512, Rng(b"ra-author"))
+# authority / author_key fixtures come from tests/conftest.py
 
 
 def make_pair(authority, author_key, config=AttestationConfig(), policy=None):

@@ -2,8 +2,10 @@
 
 import pytest
 
+from tests.fixtures import make_author_key
+
 from repro.crypto.drbg import Rng
-from repro.crypto.rsa import generate_rsa_keypair
+
 from repro.errors import AttestationError
 from repro.sgx.local_attestation import (
     LocalAttestationPartyProgram,
@@ -29,7 +31,7 @@ def platform():
 
 @pytest.fixture(scope="module")
 def author():
-    return generate_rsa_keypair(512, Rng(b"la-author"))
+    return make_author_key(b"la-author")
 
 
 class TestLocalAttestation:

@@ -54,19 +54,7 @@ class OtherProgram(EnclaveProgram):
         return self.ctx.seal(b"other enclave data", policy)
 
 
-@pytest.fixture(scope="module")
-def authority():
-    return AttestationAuthority(Rng(b"platform-tests"))
-
-
-@pytest.fixture()
-def platform(authority):
-    return SgxPlatform("host-a", authority, rng=Rng(b"host-a"))
-
-
-@pytest.fixture(scope="module")
-def author_key():
-    return generate_rsa_keypair(512, Rng(b"app-author"))
+# authority / platform / author_key fixtures come from tests/conftest.py
 
 
 class TestLifecycle:

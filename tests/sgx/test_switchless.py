@@ -8,9 +8,11 @@ the routing deployment, and the heap-index construction fix.
 
 import pytest
 
+from tests.fixtures import make_author_key
+
 from repro.cost import DEFAULT_MODEL
 from repro.crypto.drbg import Rng
-from repro.crypto.rsa import generate_rsa_keypair
+
 from repro.errors import SgxError
 from repro.sgx import EnclaveProgram, SgxPlatform, SwitchlessQueue
 from repro.sgx.runtime import EnclaveContext
@@ -47,7 +49,7 @@ def platform():
 
 @pytest.fixture()
 def author():
-    return generate_rsa_keypair(512, Rng(b"switchless-author"))
+    return make_author_key(b"switchless-author")
 
 
 @pytest.fixture()

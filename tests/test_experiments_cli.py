@@ -132,3 +132,54 @@ class TestTraceCli:
         monkeypatch.setattr(experiments, "run_table2", boom)
         assert main(["trace", "table2"]) == 1
         assert "trace failed" in capsys.readouterr().err
+
+
+class TestLoadCli:
+    def test_load_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["load"])
+
+    def test_load_rejects_table_scenarios(self):
+        with pytest.raises(SystemExit):
+            main(["load", "table2"])
+
+    def test_load_writes_valid_report(self, tmp_path, capsys, monkeypatch):
+        from repro.load.report import validate_bench
+
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["load", "routing", "--clients", "20", "--shards", "2",
+             "--batch", "4", "--seed", "0"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Load — routing" in captured.out
+        assert "BENCH_load.json" in captured.err
+        doc = json.loads((tmp_path / "BENCH_load.json").read_text())
+        assert validate_bench(doc) == []
+        assert doc["config"] == {
+            "clients": 20, "shards": 2, "batch": 4, "seed": 0, "events": 20,
+        }
+
+    def test_load_out_flag_and_determinism(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        base = ["load", "routing", "--clients", "15", "--shards", "2",
+                "--batch", "2", "--seed", "5"]
+        assert main(base + ["--out", str(a)]) == 0
+        assert main(base + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_run_load_experiment_layer(self):
+        doc = experiments.run_load("routing", clients=10, shards=1, batch=1, seed=0)
+        assert doc["schema"] == "repro.load/1"
+        text = experiments.format_load(doc)
+        assert "Load — routing" in text
+        assert "crossings / event" in text
+
+    def test_load_ablation_formats(self):
+        grid = experiments.run_load_ablation(
+            "routing", clients=8, shard_counts=(1, 2), batch_sizes=(1, 4), seed=0
+        )
+        assert set(grid) == {(1, 1), (1, 4), (2, 1), (2, 4)}
+        text = experiments.format_load_ablation(grid)
+        assert "Load ablation" in text
+        assert "crossings/event" in text

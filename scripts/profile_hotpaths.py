@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Profile the load-engine hot paths with cProfile.
+
+Answers "where do the wall seconds actually go?" for the scenarios the
+perf harness times, without any external profiler:
+
+    PYTHONPATH=src python scripts/profile_hotpaths.py
+    PYTHONPATH=src python scripts/profile_hotpaths.py --scenario routing \
+        --clients 500 --no-cache --folded profile.folded
+
+Prints the cumulative-time top table per scenario and, with
+``--folded``, writes flamegraph-ready folded stacks
+(``caller;callee N`` lines, N in microseconds of cumulative time —
+feed to flamegraph.pl or speedscope).  ``--no-cache`` profiles the
+cold pure-Python path instead, which is how the crypto kernels were
+found in the first place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.crypto import cache  # noqa: E402
+from repro.load.engine import LOAD_SCENARIOS, run_load_engine  # noqa: E402
+
+
+def _fold(stats: pstats.Stats) -> list:
+    """Two-frame folded stacks: ``caller;callee microseconds``.
+
+    cProfile records a call graph, not full stacks, so the folding is
+    one level deep — enough for a flamegraph that shows which callers
+    pay for each hot primitive.
+    """
+
+    def name(func):
+        filename, line, funcname = func
+        base = os.path.basename(filename)
+        return f"{base}:{funcname}"
+
+    lines = []
+    for func, (_cc, _nc, _tt, ct, callers) in stats.stats.items():
+        if not callers:
+            lines.append((name(func), int(ct * 1e6)))
+            continue
+        for caller, (_ccc, _cnc, _ctt, cct) in callers.items():
+            lines.append((f"{name(caller)};{name(func)}", int(cct * 1e6)))
+    return sorted((entry for entry in lines if entry[1] > 0), key=lambda e: -e[1])
+
+
+def profile_scenario(scenario: str, n_clients: int, top: int, folded_out):
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_load_engine(scenario, n_clients=n_clients, n_shards=2, batch=8, seed=0)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    print(f"\n=== {scenario} ({n_clients} clients, caches "
+          f"{'on' if cache.enabled() else 'off'}) ===")
+    stats.sort_stats("cumulative").print_stats(top)
+
+    if folded_out:
+        for stack, micros in _fold(stats):
+            folded_out.write(f"{scenario};{stack} {micros}\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(LOAD_SCENARIOS),
+        default=None,
+        help="profile one scenario (default: all of them)",
+    )
+    parser.add_argument("--clients", type=int, default=200)
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows of the cumulative-time table (default: 15)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="profile the cold pure-Python crypto path")
+    parser.add_argument("--folded", metavar="FILE", default=None,
+                        help="also write flamegraph-ready folded stacks")
+    args = parser.parse_args(argv)
+
+    scenarios = [args.scenario] if args.scenario else sorted(LOAD_SCENARIOS)
+    folded_out = open(args.folded, "w") if args.folded else None
+    try:
+        if args.no_cache:
+            cache.configure(False)
+        cache.clear_all()
+        for scenario in scenarios:
+            profile_scenario(scenario, args.clients, args.top, folded_out)
+    finally:
+        if args.no_cache:
+            cache.configure(True)
+        if folded_out:
+            folded_out.close()
+            print(f"wrote {args.folded}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Usage::
         [--format json|folded|prom] [--out DIR]
     python -m repro load routing    # deterministic open-loop load run
         [--clients N] [--shards S] [--batch K] [--seed N] [--out FILE]
+        [--workers W]               # parallel replay, byte-identical output
+    python -m repro bench           # wall-clock perf benchmark
+        [--smoke] [--repeat N] [--ablation] [--out FILE]
 
 ``load`` drives the seeded open-loop workload engine (``repro.load``)
 against one of the case studies (``routing``, ``tor``, ``middlebox``)
@@ -22,6 +25,12 @@ instances with K-request ecall batching — prints the summary table,
 and writes the machine-readable ``BENCH_load.json``.  Everything is
 clocked by the cost model, so the same seed yields a byte-identical
 report file.
+
+``bench`` is the one wall-clock job: it times the hot scenarios cold
+(crypto caches disabled) and warm (caches enabled) in the same
+process and writes ``BENCH_perf.json`` with medians and speedups
+(``--ablation`` runs the A12 caches × workers grid instead).  Wall
+seconds never feed back into any modeled number.
 
 ``trace`` runs one scenario with the span tracer attached, asserts the
 trace reconciles exactly against the cost accountants, and writes the
@@ -90,16 +99,29 @@ def _load(args) -> None:
     import json
 
     from repro.errors import ReproError
-    from repro.load.engine import run_load_engine
     from repro.load.report import bench_json, validate_bench
 
-    result = run_load_engine(
-        args.scenario,
-        n_clients=args.clients,
-        n_shards=args.shards,
-        batch=args.batch,
-        seed=args.seed,
-    )
+    if args.workers is not None:
+        from repro.load.parallel import run_load_parallel
+
+        result = run_load_parallel(
+            args.scenario,
+            n_clients=args.clients,
+            n_shards=args.shards,
+            batch=args.batch,
+            seed=args.seed,
+            workers=args.workers,
+        )
+    else:
+        from repro.load.engine import run_load_engine
+
+        result = run_load_engine(
+            args.scenario,
+            n_clients=args.clients,
+            n_shards=args.shards,
+            batch=args.batch,
+            seed=args.seed,
+        )
     text = bench_json(result)
     problems = validate_bench(json.loads(text))
     if problems:  # pragma: no cover — would be a bug in bench_doc itself
@@ -111,6 +133,27 @@ def _load(args) -> None:
     out = args.out or "BENCH_load.json"
     with open(out, "w") as fh:
         fh.write(text)
+    print(f"wrote {out}", file=sys.stderr)
+
+
+def _bench(args) -> None:
+    """Run the wall-clock perf benchmark and write BENCH_perf.json."""
+    from repro import perfbench
+    from repro.errors import ReproError
+
+    if args.ablation:
+        doc = perfbench.run_ablation(smoke=args.smoke)
+    else:
+        doc = perfbench.run_perf(smoke=args.smoke, repeats=args.repeat)
+    problems = perfbench.validate_perf(doc)
+    if problems:  # pragma: no cover — would be a bug in run_perf itself
+        raise ReproError(
+            "generated report fails its own schema: " + "; ".join(problems)
+        )
+    print(perfbench.format_perf(doc))
+    out = args.out or "BENCH_perf.json"
+    with open(out, "w") as fh:
+        fh.write(perfbench.perf_json(doc))
     print(f"wrote {out}", file=sys.stderr)
 
 
@@ -175,9 +218,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=list(SCENARIOS) + ["all", "trace", "load"],
+        choices=list(SCENARIOS) + ["all", "trace", "load", "bench"],
         help="which paper artifact to regenerate ('trace' records one, "
-             "'load' runs the workload engine)",
+             "'load' runs the workload engine, 'bench' times wall-clock "
+             "fast paths)",
     )
     parser.add_argument(
         "scenario",
@@ -203,6 +247,29 @@ def main(argv=None) -> int:
         type=int,
         default=1,
         help="load: requests amortized per enclave crossing (default: 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="load: replay the dispatch plan across N worker processes "
+             "(byte-identical to the serial engine; default: serial)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bench: small problem sizes suitable for CI",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="bench: timing repeats per scenario arm (default: 3)",
+    )
+    parser.add_argument(
+        "--ablation",
+        action="store_true",
+        help="bench: run the A12 caches x workers ablation grid instead",
     )
     parser.add_argument(
         "--ases",
@@ -246,6 +313,9 @@ def main(argv=None) -> int:
     elif args.scenario is not None:
         parser.error(f"unexpected positional {args.scenario!r} after {args.experiment!r}")
 
+    if args.experiment != "bench" and (args.smoke or args.ablation):
+        parser.error("--smoke/--ablation only apply to 'bench'")
+
     jobs = {
         "table1": _table1,
         "table2": _table2,
@@ -258,11 +328,12 @@ def main(argv=None) -> int:
             args.scenario, args.format, args.out, args.ases, args.seed
         ),
         "load": lambda: _load(args),
+        "bench": lambda: _bench(args),
     }
-    if args.experiment in ("trace", "load"):
+    if args.experiment in ("trace", "load", "bench"):
         selected = [args.experiment]
     elif args.experiment == "all":
-        selected = [s for s in jobs if s not in ("trace", "load")]
+        selected = [s for s in jobs if s not in ("trace", "load", "bench")]
     else:
         selected = [args.experiment]
     for name in selected:

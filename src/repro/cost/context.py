@@ -57,6 +57,20 @@ def charge_normal(count: float) -> None:
         accountant.charge_normal(int(count))
 
 
+def charge_normal_repeat(count: float, times: int) -> None:
+    """Charge ``times`` identical normal-instruction charges at once.
+
+    Integer-exact equivalent of calling :func:`charge_normal` with
+    ``count`` ``times`` times (each call truncates independently, so
+    the batch charges ``int(count) * times``).  Lets bulk kernels —
+    e.g. a CTR keystream refill of N blocks — pay per-block model costs
+    without N trips through the ambient context.
+    """
+    accountant = _ACCOUNTANT.get()
+    if accountant is not None and times > 0:
+        accountant.charge_normal(int(count) * times)
+
+
 def charge_app_normal(count: float) -> None:
     """Charge application-level work, inflated when running in-enclave.
 

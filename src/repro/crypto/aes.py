@@ -15,12 +15,13 @@ derived from the paper's Table 2).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cost import context as cost_context
+from repro.crypto import cache
 from repro.errors import CryptoError
 
-__all__ = ["AES", "SBOX", "INV_SBOX"]
+__all__ = ["AES", "SBOX", "INV_SBOX", "key_schedule_stats"]
 
 
 def _gf_mul(a: int, b: int) -> int:
@@ -88,6 +89,20 @@ def _build_enc_tables() -> Tuple[List[int], ...]:
 _TE0, _TE1, _TE2, _TE3 = _build_enc_tables()
 
 
+#: key bytes -> (round keys, optional fast-kernel (enc, dec) contexts).
+#: The key schedule is a pure function of the key, so every cipher
+#: instance for the same key shares one expansion; the modeled
+#: ``cipher_init_normal`` charge is still paid per instance, exactly as
+#: on the cold path — the cache is wall-clock only.
+_SCHEDULES: Dict[bytes, Tuple[List[int], Optional[Tuple[Any, Any]]]] = {}
+_SCHEDULE_STATS = cache.register(_SCHEDULES, "aes-key-schedule")
+
+
+def key_schedule_stats() -> Dict[str, int]:
+    """Hit/miss counters for the key-schedule cache (regression tests)."""
+    return _SCHEDULE_STATS.as_dict()
+
+
 class AES:
     """AES block cipher with 128-, 192- or 256-bit keys."""
 
@@ -98,7 +113,18 @@ class AES:
             raise CryptoError(f"invalid AES key length {len(key)}")
         self.key_size = len(key)
         self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
-        self._round_keys = self._expand_key(key)
+        self._fast: Optional[Tuple[Any, Any]] = None
+        if cache.enabled():
+            entry = _SCHEDULES.get(key)
+            if entry is None:
+                _SCHEDULE_STATS.misses += 1
+                entry = (self._expand_key(key), cache.fast_aes_factory(key))
+                _SCHEDULES[key] = entry
+            else:
+                _SCHEDULE_STATS.hits += 1
+            self._round_keys, self._fast = entry
+        else:
+            self._round_keys = self._expand_key(key)
         model = cost_context.current_model()
         cost_context.charge_normal(model.cipher_init_normal)
 
@@ -132,10 +158,53 @@ class AES:
     # -- block operations ----------------------------------------------
 
     def encrypt_block(self, block: bytes) -> bytes:
-        """Encrypt one 16-byte block (T-table implementation)."""
+        """Encrypt one 16-byte block (T-table or C-kernel path)."""
         if len(block) != 16:
             raise CryptoError("AES block must be 16 bytes")
         cost_context.charge_normal(cost_context.current_model().aes_block_normal)
+        if self._fast is not None:
+            return self._fast[0].update(block)
+        return self._encrypt_block_raw(block)
+
+    def ctr_keystream(self, counter: int, n_blocks: int) -> bytes:
+        """``n_blocks`` CTR keystream blocks starting at ``counter``.
+
+        Bulk equivalent of encrypting ``n_blocks`` successive counter
+        blocks: the model charge is ``n_blocks`` times the per-block
+        cost (integer-exact), and on the fast path the whole counter
+        buffer goes through the C kernel in one call.
+        """
+        if n_blocks <= 0:
+            return b""
+        model = cost_context.current_model()
+        cost_context.charge_normal_repeat(model.aes_block_normal, n_blocks)
+        buffer = b"".join(
+            ((counter + i) % (1 << 128)).to_bytes(16, "big")
+            for i in range(n_blocks)
+        )
+        if self._fast is not None:
+            return self._fast[0].update(buffer)
+        return b"".join(
+            self._encrypt_block_raw(buffer[i : i + 16])
+            for i in range(0, len(buffer), 16)
+        )
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """ECB over ``data`` (block-aligned), one kernel call when fast."""
+        if len(data) % 16 != 0:
+            raise CryptoError("AES bulk input not block aligned")
+        n_blocks = len(data) // 16
+        model = cost_context.current_model()
+        cost_context.charge_normal_repeat(model.aes_block_normal, n_blocks)
+        if self._fast is not None:
+            return self._fast[0].update(data)
+        return b"".join(
+            self._encrypt_block_raw(data[i : i + 16])
+            for i in range(0, len(data), 16)
+        )
+
+    def _encrypt_block_raw(self, block: bytes) -> bytes:
+        """The from-scratch T-table cipher (no charging, no kernel)."""
         rk = self._round_keys
         s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
         s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
@@ -205,11 +274,31 @@ class AES:
             (w & 0xFFFFFFFF).to_bytes(4, "big") for w in (out0, out1, out2, out3)
         )
 
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        """Inverse of :meth:`encrypt_blocks` (block-aligned input)."""
+        if len(data) % 16 != 0:
+            raise CryptoError("AES bulk input not block aligned")
+        n_blocks = len(data) // 16
+        model = cost_context.current_model()
+        cost_context.charge_normal_repeat(model.aes_block_normal, n_blocks)
+        if self._fast is not None:
+            return self._fast[1].update(data)
+        return b"".join(
+            self._decrypt_block_raw(data[i : i + 16])
+            for i in range(0, len(data), 16)
+        )
+
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 16-byte block (textbook inverse cipher)."""
         if len(block) != 16:
             raise CryptoError("AES block must be 16 bytes")
         cost_context.charge_normal(cost_context.current_model().aes_block_normal)
+        if self._fast is not None:
+            return self._fast[1].update(block)
+        return self._decrypt_block_raw(block)
+
+    def _decrypt_block_raw(self, block: bytes) -> bytes:
+        """The textbook inverse cipher (no charging, no kernel)."""
         # State is column-major: state[r][c] = block[4*c + r].
         state = [[block[4 * c + r] for c in range(4)] for r in range(4)]
         self._add_round_key(state, self.rounds)

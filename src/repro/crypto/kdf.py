@@ -7,6 +7,7 @@ keys from the per-CPU device secret.
 
 from __future__ import annotations
 
+from repro.crypto import cache
 from repro.crypto.mac import hmac_sha256
 from repro.errors import CryptoError
 
@@ -38,6 +39,12 @@ def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
     return b"".join(blocks)[:length]
 
 
+@cache.memoize_charged(name="hkdf")
 def hkdf(ikm: bytes, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
-    """One-shot extract-then-expand."""
+    """One-shot extract-then-expand.
+
+    Memoized with exact charge replay: EGETKEY derivations, sealing and
+    the MEE page streams call this with recurring arguments, and the
+    derived bytes are a pure function of them.
+    """
     return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -7,7 +7,10 @@ Both are implemented from the primitives in this package.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.cost import context as cost_context
+from repro.crypto import cache
 from repro.crypto.aes import AES
 from repro.crypto.hashes import sha256
 from repro.crypto.util import constant_time_equal, xor_bytes
@@ -17,10 +20,43 @@ __all__ = ["hmac_sha256", "hmac_verify", "aes_cmac", "cmac_verify"]
 
 _BLOCK = 64  # SHA-256 block size
 
+#: key -> (inner sha256 context over ipad, outer over opad, hashed key
+#: length or None).  The pads are a pure function of the key; caching
+#: the half-initialized hash contexts skips re-absorbing 64 pad bytes
+#: per direction on every record.  Charges replayed on hits keep the
+#: accountant integer-identical to the cold path.
+_HMAC_PADS: dict = {}
+_HMAC_STATS = cache.register(_HMAC_PADS, "hmac-pads")
+
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
     """RFC 2104 HMAC over SHA-256."""
-    cost_context.charge_normal(cost_context.current_model().hmac_fixed_normal)
+    model = cost_context.current_model()
+    cost_context.charge_normal(model.hmac_fixed_normal)
+    if cache.enabled():
+        entry = _HMAC_PADS.get(key)
+        if entry is None:
+            _HMAC_STATS.misses += 1
+            hashed_len = len(key) if len(key) > _BLOCK else None
+            material = sha256(key) if hashed_len is not None else key
+            padded = material.ljust(_BLOCK, b"\x00")
+            entry = (
+                hashlib.sha256(xor_bytes(padded, b"\x36" * _BLOCK)),
+                hashlib.sha256(xor_bytes(padded, b"\x5c" * _BLOCK)),
+                hashed_len,
+            )
+            _HMAC_PADS[key] = entry
+        else:
+            _HMAC_STATS.hits += 1
+            if entry[2] is not None:
+                cost_context.charge_normal(model.sha256_normal(entry[2]))
+        inner = entry[0].copy()
+        inner.update(message)
+        cost_context.charge_normal(model.sha256_normal(_BLOCK + len(message)))
+        outer = entry[1].copy()
+        outer.update(inner.digest())
+        cost_context.charge_normal(model.sha256_normal(_BLOCK + 32))
+        return outer.digest()
     if len(key) > _BLOCK:
         key = sha256(key)
     key = key.ljust(_BLOCK, b"\x00")
@@ -51,12 +87,35 @@ def _cmac_subkeys(cipher: AES) -> tuple:
     return k1, k2
 
 
+#: key -> (cipher, K1, K2).  The CMAC subkeys are derived from one
+#: encryption of the zero block; reusing them per key skips a cipher
+#: construction and that block per MAC.  Hits replay the modeled
+#: ``cipher_init_normal`` + one ``aes_block_normal`` exactly as the
+#: cold path charges them.
+_CMAC_CTX: dict = {}
+_CMAC_STATS = cache.register(_CMAC_CTX, "cmac-subkeys")
+
+
 def aes_cmac(key: bytes, message: bytes) -> bytes:
     """NIST SP 800-38B AES-CMAC (128-bit tag)."""
     if len(key) not in (16, 24, 32):
         raise CryptoError("CMAC key must be a valid AES key")
-    cipher = AES(key)
-    k1, k2 = _cmac_subkeys(cipher)
+    if cache.enabled():
+        entry = _CMAC_CTX.get(key)
+        if entry is None:
+            _CMAC_STATS.misses += 1
+            cipher = AES(key)
+            k1, k2 = _cmac_subkeys(cipher)
+            _CMAC_CTX[key] = (cipher, k1, k2)
+        else:
+            _CMAC_STATS.hits += 1
+            cipher, k1, k2 = entry
+            model = cost_context.current_model()
+            cost_context.charge_normal(model.cipher_init_normal)
+            cost_context.charge_normal(model.aes_block_normal)
+    else:
+        cipher = AES(key)
+        k1, k2 = _cmac_subkeys(cipher)
 
     if message and len(message) % 16 == 0:
         blocks = [message[i : i + 16] for i in range(0, len(message), 16)]

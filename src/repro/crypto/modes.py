@@ -19,20 +19,14 @@ __all__ = ["ecb_encrypt", "ecb_decrypt", "cbc_encrypt", "cbc_decrypt", "CtrStrea
 def ecb_encrypt(cipher: AES, plaintext: bytes) -> bytes:
     """ECB with PKCS#7 padding (matches the paper's channel cipher)."""
     padded = pad_pkcs7(plaintext, cipher.block_size)
-    return b"".join(
-        cipher.encrypt_block(padded[i : i + 16]) for i in range(0, len(padded), 16)
-    )
+    return cipher.encrypt_blocks(padded)
 
 
 def ecb_decrypt(cipher: AES, ciphertext: bytes) -> bytes:
     """Inverse of :func:`ecb_encrypt`."""
     if len(ciphertext) % 16 != 0:
         raise CryptoError("ECB ciphertext not block aligned")
-    padded = b"".join(
-        cipher.decrypt_block(ciphertext[i : i + 16])
-        for i in range(0, len(ciphertext), 16)
-    )
-    return unpad_pkcs7(padded, cipher.block_size)
+    return unpad_pkcs7(cipher.decrypt_blocks(ciphertext), cipher.block_size)
 
 
 def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
@@ -87,8 +81,13 @@ class CtrStream:
 
     def keystream(self, n: int) -> bytes:
         """The next ``n`` keystream bytes."""
-        while len(self._buffer) < n:
-            self._refill()
+        need = n - len(self._buffer)
+        if need > 0:
+            # Bulk refill: one kernel call for all missing blocks, with
+            # the same per-block model charge as block-at-a-time.
+            n_blocks = -(-need // 16)
+            self._buffer += self._cipher.ctr_keystream(self._counter, n_blocks)
+            self._counter = (self._counter + n_blocks) % (1 << 128)
         out, self._buffer = self._buffer[:n], self._buffer[n:]
         return out
 

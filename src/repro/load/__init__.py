@@ -15,11 +15,14 @@ Modules:
   channels, crash failover);
 * :mod:`repro.load.engine`  — the modeled-cycle queueing engine
   (per-shard busy clocks, ecall batching, latency percentiles);
+* :mod:`repro.load.parallel` — multi-process replay of the dispatch
+  plan, byte-identical to the serial engine at any worker count;
 * :mod:`repro.load.report`  — the ``BENCH_load.json`` writer/validator.
 """
 
 from repro.load.clients import ClientEvent, generate_events
 from repro.load.engine import LoadEngine, LoadResult, run_load_engine
+from repro.load.parallel import run_load_parallel
 from repro.load.report import bench_json, validate_bench
 from repro.load.shards import ShardedRoutingDeployment
 
@@ -29,6 +32,7 @@ __all__ = [
     "LoadEngine",
     "LoadResult",
     "run_load_engine",
+    "run_load_parallel",
     "bench_json",
     "validate_bench",
     "ShardedRoutingDeployment",

@@ -30,7 +30,15 @@ from repro.errors import ReproError, ShardError
 from repro.load.clients import ClientEvent, event_log_fingerprint, generate_events
 from repro.load.shards import ShardedRoutingDeployment
 
-__all__ = ["EventRecord", "LoadResult", "LoadEngine", "run_load_engine"]
+__all__ = [
+    "EventRecord",
+    "LoadResult",
+    "LoadEngine",
+    "run_load_engine",
+    "plan_dispatches",
+    "population_keys",
+    "default_n_events",
+]
 
 
 @dataclasses.dataclass
@@ -87,10 +95,39 @@ def _digest(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+def plan_dispatches(
+    events: Sequence[ClientEvent], n_slots: int, batch: int
+) -> List[Tuple[int, List[ClientEvent]]]:
+    """The dispatch plan: ordered ``(slot, batch_events)`` pairs.
+
+    A pure function of the event log — exactly the flush order
+    :class:`LoadEngine` executes (batch-full flushes as events stream
+    in, then leftover slots in sorted order).  The parallel runner
+    partitions this plan across workers and the replay merge re-walks
+    it, so it must stay the single source of dispatch order.
+    """
+    plan: List[Tuple[int, List[ClientEvent]]] = []
+    queues: Dict[int, List[ClientEvent]] = {}
+    for event in events:
+        slot = event.client_id % n_slots
+        queue = queues.setdefault(slot, [])
+        queue.append(event)
+        if len(queue) >= batch:
+            plan.append((slot, queues.pop(slot)))
+    for slot in sorted(queues):
+        plan.append((slot, queues[slot]))
+    return plan
+
+
 class _RoutingBackend:
     """Full-fidelity backend: the sharded controller enclaves."""
 
     scenario = "routing"
+    #: Dispatch charges are interleaving-independent (fixed-size seq
+    #: headers, length-based serialization costs, read-only lookups,
+    #: idempotent re-registration), so disjoint dispatch subsets on
+    #: seed-identical replicas sum to the serial totals.
+    parallel_safe = True
 
     def __init__(self, n_shards: int, batch: int, n_ases: int, seed: int) -> None:
         self.dep = ShardedRoutingDeployment(
@@ -108,6 +145,9 @@ class _RoutingBackend:
             for shard_id, acct in self.dep.accountants().items()
         }
         self._lost = False
+        #: (owner, asn) -> encoded routes reply, for skip_dispatch
+        #: fast-forwarding (the RIB is frozen once sealed).
+        self._reply_bytes: Dict[Tuple[int, int], bytes] = {}
 
     def keys(self) -> List[int]:
         return sorted(self.dep.topology.asns)
@@ -118,6 +158,104 @@ class _RoutingBackend:
             model = self.dep.platforms[shard_id].model or DEFAULT_MODEL
             out[shard_id] = counter_cycles(acct.total(), model)
         return out
+
+    def skip_dispatch(
+        self, slot: int, events: Sequence[ClientEvent], index: int
+    ) -> None:
+        """Advance channel state past a dispatch another worker runs.
+
+        The inter-shard record channels are stateful: sequence numbers
+        and the CTR keystream position advance with every record, and
+        leftover keystream straddles records (so a dispatch's AES block
+        count depends on the bytes sent before it).  A worker replaying
+        a plan *subset* reproduces the serial run's exact charges by
+        fast-forwarding the skipped dispatches' channel traffic —
+        sequence bumps plus keystream consumption for the records the
+        skipped dispatch would have exchanged — without executing them
+        and without charging anything (every record length here is a
+        pure function of the replica's own frozen RIB).
+        """
+        from repro.crypto.cache import _ChargeRecorder
+        from repro.net.channel import encode_record_batch
+        from repro.routing import messages as routing_msg
+        from repro.load.shards import SMSG_QUERY, SMSG_REPLY
+        from repro.wire import Writer
+        from repro.cost import context as cost_context
+
+        live = self.dep._live_ids()
+        front = live[slot % len(live)]
+        owner_map = self.dep.owner_map()
+        by_owner: Dict[int, List[Tuple[int, int]]] = {}
+        for ev in events:
+            if ev.op != "route_request":
+                continue
+            owner = owner_map[ev.key]
+            if owner != front:
+                by_owner.setdefault(owner, []).append((ev.seq, ev.key))
+        if not by_owner:
+            return
+
+        # Emulator-internal access: the replay harness is part of the
+        # simulator, not the modeled untrusted host, so it may reach
+        # past the ecall boundary to mirror state it already determines.
+        front_prog = self.dep.enclaves[front]._program
+        step = max(1, self.dep.batch)
+        with cost_context.use_accountant(_ChargeRecorder(None)):
+            for owner, items in by_owner.items():
+                owner_prog = self.dep.enclaves[owner]._program
+                session_id = self.dep.sessions[(front, owner)]
+                front_chan = front_prog._sessions[session_id].channel
+                owner_chan = owner_prog._sessions[session_id].channel
+                core = owner_prog._core
+                for i in range(0, len(items), step):
+                    chunk = items[i : i + step]
+                    queries = [
+                        Writer().u8(SMSG_QUERY).u64(req_id).u64(asn).getvalue()
+                        for req_id, asn in chunk
+                    ]
+                    replies = []
+                    for req_id, asn in chunk:
+                        encoded = self._reply_bytes.get((owner, asn))
+                        if encoded is None:
+                            encoded = routing_msg.encode_routes_msg(
+                                core.routes_for(asn)
+                            )
+                            self._reply_bytes[(owner, asn)] = encoded
+                        replies.append(
+                            Writer()
+                            .u8(SMSG_REPLY)
+                            .u64(req_id)
+                            .varbytes(encoded)
+                            .getvalue()
+                        )
+                    if len(chunk) == 1:
+                        q_len, r_len = len(queries[0]), len(replies[0])
+                    else:
+                        q_len = len(encode_record_batch(queries))
+                        r_len = len(encode_record_batch(replies))
+                    self._advance(front_chan, owner_chan, q_len)
+                    self._advance(owner_chan, front_chan, r_len)
+
+    @staticmethod
+    def _advance(sender, receiver, plaintext_len: int) -> None:
+        """One record of ``plaintext_len`` flowed sender -> receiver."""
+        sender._send_seq += 1
+        receiver._recv_seq += 1
+        if sender.cipher != "ecb":
+            sender._send_stream.keystream(plaintext_len)
+            receiver._recv_stream.keystream(plaintext_len)
+
+    def rebase_steady(self) -> None:
+        """Restart the steady-counter window at the current totals.
+
+        The parallel runner reads base shard stats (charged ecalls)
+        before replaying its plan slice; rebasing afterwards keeps the
+        steady window serving-only, as in the serial run.
+        """
+        self._snapshots = {
+            shard_id: acct.snapshot()
+            for shard_id, acct in self.dep.accountants().items()
+        }
 
     def steady_counters(self) -> Dict[str, int]:
         total: Dict[str, int] = {}
@@ -131,7 +269,7 @@ class _RoutingBackend:
         return self.dep.shard_stats()
 
     def dispatch(
-        self, slot: int, events: Sequence[ClientEvent]
+        self, slot: int, events: Sequence[ClientEvent], index: int = 0
     ) -> Tuple[Dict[int, float], Dict[int, Tuple[str, Optional[bytes]]]]:
         requests = [(ev.seq, ev.key, ev.op) for ev in events]
         if self._lost:
@@ -145,7 +283,11 @@ class _RoutingBackend:
             for attempt in (0, 1):
                 live = self.dep._live_ids()
                 front = live[slot % len(live)]
-                before = self._cycles()
+                accountants = self.dep.accountants()
+                before = {
+                    shard_id: acct.snapshot()
+                    for shard_id, acct in accountants.items()
+                }
                 try:
                     replies = self.dep.serve_batch(front, requests)
                 except ShardError:
@@ -153,12 +295,19 @@ class _RoutingBackend:
                         outcome = "recovered"
                         continue
                     raise
-                after = self._cycles()
-                costs = {
-                    shard_id: after[shard_id] - before[shard_id]
-                    for shard_id in after
-                    if after[shard_id] > before[shard_id]
-                }
+                # Cycles from this dispatch's own integer counter
+                # deltas: a pure function of what the dispatch charged,
+                # independent of accumulated float totals — which makes
+                # partitioned replay byte-identical to serial.
+                costs = {}
+                for shard_id, acct in accountants.items():
+                    model = self.dep.platforms[shard_id].model or DEFAULT_MODEL
+                    cyc = sum(
+                        counter_cycles(counter, model)
+                        for counter in acct.delta(before[shard_id]).values()
+                    )
+                    if cyc > 0:
+                        costs[shard_id] = cyc
                 return costs, {
                     seq: (outcome, replies[seq]) for seq, _a, _o in requests
                 }
@@ -180,6 +329,10 @@ class _TorBackend:
     """
 
     scenario = "tor"
+    #: NOT parallel-safe: consensus validity windows are coupled to the
+    #: globally accumulated simulation clock, so a dispatch's retry
+    #: behaviour depends on every dispatch before it.
+    parallel_safe = False
 
     def __init__(self, n_shards: int, batch: int, n_ases: int, seed: int) -> None:
         from repro.tor.deployment import TorDeployment, TorDeploymentConfig
@@ -221,7 +374,7 @@ class _TorBackend:
     def shard_stats(self) -> Dict[int, Dict[str, int]]:
         return {}
 
-    def dispatch(self, slot, events):
+    def dispatch(self, slot, events, index=0):
         costs_total = 0.0
         per_event: Dict[int, Tuple[str, Optional[bytes]]] = {}
         for ev in events:
@@ -262,10 +415,12 @@ class _MiddleboxBackend:
     """
 
     scenario = "middlebox"
+    #: Each dispatch is a self-contained flow seeded by its dispatch
+    #: index — no state shared between flows beyond the counters sum.
+    parallel_safe = True
 
     def __init__(self, n_shards: int, batch: int, n_ases: int, seed: int) -> None:
         self._seed = seed
-        self._flow_index = 0
         self.setup_cycles = 0.0
         self._counters: Dict[str, int] = {}
 
@@ -278,13 +433,14 @@ class _MiddleboxBackend:
     def shard_stats(self) -> Dict[int, Dict[str, int]]:
         return {}
 
-    def dispatch(self, slot, events):
+    def dispatch(self, slot, events, index=0):
         from repro.middlebox.scenarios import MiddleboxScenario
 
-        flow = self._flow_index
-        self._flow_index += 1
+        # The flow seed is the *dispatch-plan index*, which equals the
+        # serial dispatch order — workers executing disjoint plan
+        # subsets therefore build the exact flows the serial run built.
         scn = MiddleboxScenario(
-            n_middleboxes=1, seed=b"load-mbox-%d-%d" % (self._seed, flow)
+            n_middleboxes=1, seed=b"load-mbox-%d-%d" % (self._seed, index)
         )
         accts = [box.node.accountant for box in scn.middleboxes]
         snapshots = [acct.snapshot() for acct in accts]
@@ -330,24 +486,19 @@ class LoadEngine:
         self.payloads: Dict[int, bytes] = {}
 
     def run(self, events: Sequence[ClientEvent]) -> List[EventRecord]:
-        queues: Dict[int, List[ClientEvent]] = {}
-        for event in events:
-            slot = event.client_id % self.n_slots
-            queue = queues.setdefault(slot, [])
-            queue.append(event)
-            if len(queue) >= self.batch:
-                self._flush(slot, queues.pop(slot))
-        for slot in sorted(queues):
-            self._flush(slot, queues[slot])
+        for index, (slot, batch_events) in enumerate(
+            plan_dispatches(events, self.n_slots, self.batch)
+        ):
+            self._flush(slot, batch_events, index)
         self.records.sort(key=lambda r: r.seq)
         return self.records
 
-    def _flush(self, slot: int, batch_events: List[ClientEvent]) -> None:
+    def _flush(self, slot: int, batch_events: List[ClientEvent], index: int) -> None:
         start = max(
             self.busy_until.get(slot, 0.0),
             float(batch_events[-1].arrival),
         )
-        costs, per_event = self.backend.dispatch(slot, batch_events)
+        costs, per_event = self.backend.dispatch(slot, batch_events, index)
         completion = start
         for server, cost in sorted(costs.items()):
             t = max(self.busy_until.get(server, 0.0), start) + cost
@@ -375,6 +526,71 @@ class LoadEngine:
             )
 
 
+def default_n_events(scenario: str, n_clients: int) -> int:
+    """The event count used when the caller leaves it unspecified."""
+    # Full-fidelity routing serves cheap lookups; the simulator-
+    # backed scenarios pay a whole network round per event.
+    return n_clients if scenario == "routing" else min(n_clients, 24)
+
+
+def population_keys(scenario: str, n_ases: int, seed: int) -> List[int]:
+    """The key population a backend would expose — without building it.
+
+    Must match ``backend.keys()`` exactly (a cross-check test pins
+    this); the parallel runner uses it to generate the event log in the
+    parent process before any backend replica exists.
+    """
+    if scenario == "routing":
+        from repro.routing.deployment import build_policies
+
+        topology, _policies = build_policies(n_ases, b"load-routing-%d" % seed)
+        return sorted(topology.asns)
+    if scenario in _BACKENDS:
+        return list(range(256))
+    raise ReproError(
+        f"unknown load scenario '{scenario}' (have {', '.join(LOAD_SCENARIOS)})"
+    )
+
+
+def package_result(
+    scenario: str,
+    n_clients: int,
+    n_shards: int,
+    batch: int,
+    seed: int,
+    n_events: int,
+    events: Sequence[ClientEvent],
+    engine: LoadEngine,
+    setup_cycles: float,
+    steady_counters: Dict[str, int],
+    shard_stats: Dict[int, Dict[str, int]],
+    keep_payloads: bool,
+) -> LoadResult:
+    """Assemble a :class:`LoadResult` from a finished engine run."""
+    outcomes: Dict[str, int] = {}
+    for record in engine.records:
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+    makespan = max(
+        [engine.busy_until.get(s, 0.0) for s in engine.busy_until] or [0.0]
+    )
+    return LoadResult(
+        scenario=scenario,
+        n_clients=n_clients,
+        n_shards=n_shards,
+        batch=batch,
+        seed=seed,
+        n_events=n_events,
+        events=engine.records,
+        event_fingerprint=event_log_fingerprint(events),
+        setup_cycles=setup_cycles,
+        makespan_cycles=makespan,
+        steady_counters=steady_counters,
+        shard_stats=shard_stats,
+        outcomes=outcomes,
+        payloads=dict(engine.payloads) if keep_payloads else None,
+    )
+
+
 def run_load_engine(
     scenario: str,
     n_clients: int,
@@ -392,35 +608,24 @@ def run_load_engine(
             f"unknown load scenario '{scenario}' (have {', '.join(LOAD_SCENARIOS)})"
         )
     if n_events is None:
-        # Full-fidelity routing serves cheap lookups; the simulator-
-        # backed scenarios pay a whole network round per event.
-        n_events = n_clients if scenario == "routing" else min(n_clients, 24)
+        n_events = default_n_events(scenario, n_clients)
     backend = backend_class(n_shards, batch, n_ases, seed)
     events = generate_events(
         scenario, n_clients, n_events, backend.keys(), seed
     )
     engine = LoadEngine(backend, n_shards, batch)
-    records = engine.run(events)
-
-    outcomes: Dict[str, int] = {}
-    for record in records:
-        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
-    makespan = max(
-        [engine.busy_until.get(s, 0.0) for s in engine.busy_until] or [0.0]
-    )
-    return LoadResult(
-        scenario=scenario,
-        n_clients=n_clients,
-        n_shards=n_shards,
-        batch=batch,
-        seed=seed,
-        n_events=n_events,
-        events=records,
-        event_fingerprint=event_log_fingerprint(events),
-        setup_cycles=backend.setup_cycles,
-        makespan_cycles=makespan,
-        steady_counters=backend.steady_counters(),
-        shard_stats=backend.shard_stats(),
-        outcomes=outcomes,
-        payloads=dict(engine.payloads) if keep_payloads else None,
+    engine.run(events)
+    return package_result(
+        scenario,
+        n_clients,
+        n_shards,
+        batch,
+        seed,
+        n_events,
+        events,
+        engine,
+        backend.setup_cycles,
+        backend.steady_counters(),
+        backend.shard_stats(),
+        keep_payloads,
     )

@@ -1,0 +1,227 @@
+"""Parallel load replay: the serial engine's results, faster.
+
+The serial :class:`~repro.load.engine.LoadEngine` is the oracle — this
+module reproduces its output *byte-for-byte* at any worker count by
+exploiting what makes the load scenarios deterministic in the first
+place:
+
+* the event log and the dispatch plan are pure functions of the seed
+  (:func:`~repro.load.engine.plan_dispatches`);
+* for ``parallel_safe`` backends a dispatch's measured charges do not
+  depend on which other dispatches ran before it, so disjoint plan
+  subsets executed on seed-identical backend *replicas* produce the
+  exact per-dispatch costs the serial run measured;
+* the queueing math (busy clocks, latencies, makespan) is a fold over
+  the plan in order, so the parent re-walks it with a replay backend
+  that serves the stored per-dispatch results.
+
+Workers therefore each build a full deterministic deployment from the
+same seed, execute their slice of the plan, and ship back per-dispatch
+``(costs, per_event)`` plus their steady-counter and shard-stat
+deltas.  The parent merges:
+
+* records / latencies / makespan — from the replay walk (identical
+  fold, identical floats);
+* steady counters — sum of worker deltas (integer adds commute);
+* shard stats — base (pre-dispatch, same in every replica) plus the
+  per-worker serving deltas;
+* setup cycles — from any one replica (deterministic).
+
+Scenarios that are *not* interleaving-independent (Tor couples
+consensus validity to the globally accumulated clock) and any run with
+an active fault plan (crash decisions are plan-order-dependent) fall
+back to the serial engine — correctness first, wall-clock second.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cost import accountant as accountant_mod
+from repro.errors import ReproError
+from repro.load.clients import ClientEvent, generate_events
+from repro.load.engine import (
+    _BACKENDS,
+    LOAD_SCENARIOS,
+    LoadEngine,
+    LoadResult,
+    default_n_events,
+    package_result,
+    plan_dispatches,
+    population_keys,
+)
+
+__all__ = ["run_load_parallel"]
+
+#: One dispatch's stored outcome: (costs, per_event).
+_Dispatch = Tuple[Dict[int, float], Dict[int, Tuple[str, Optional[bytes]]]]
+
+
+class _ReplayBackend:
+    """Serves stored per-dispatch results so the parent can re-run the
+    queueing fold without touching any enclave."""
+
+    def __init__(self, scenario: str, dispatches: Dict[int, _Dispatch]) -> None:
+        self.scenario = scenario
+        self._dispatches = dispatches
+
+    def dispatch(
+        self, slot: int, events: Sequence[ClientEvent], index: int = 0
+    ) -> _Dispatch:
+        return self._dispatches[index]
+
+
+def _worker_run(
+    scenario: str,
+    n_clients: int,
+    n_shards: int,
+    batch: int,
+    n_ases: int,
+    seed: int,
+    n_events: int,
+    indices: List[int],
+) -> dict:
+    """Executed in a worker process: replay one slice of the plan."""
+    # A tracer attached in the parent would record this replica's spans
+    # as if they were the session's; workers account only locally.
+    accountant_mod.set_active_tracer(None)
+    backend = _BACKENDS[scenario](n_shards, batch, n_ases, seed)
+    events = generate_events(scenario, n_clients, n_events, backend.keys(), seed)
+    plan = plan_dispatches(events, n_shards, batch)
+    base_stats = backend.shard_stats()
+    # The base stats read itself crossed into the enclaves; re-snapshot
+    # so the steady window covers serving charges only, as it does in
+    # the serial run (which reads stats once, after the steady read).
+    rebase = getattr(backend, "rebase_steady", None)
+    if rebase is not None:
+        rebase()
+    mine = set(indices)
+    skip = getattr(backend, "skip_dispatch", None)
+    dispatches: Dict[int, _Dispatch] = {}
+    for index, (slot, batch_events) in enumerate(plan):
+        if index in mine:
+            dispatches[index] = backend.dispatch(slot, batch_events, index)
+        elif skip is not None:
+            # Fast-forward stateful backend context (channel sequence
+            # numbers, keystream position) past dispatches owned by
+            # other workers — uncharged, so this worker's measured
+            # costs match the serial run's exactly.
+            skip(slot, batch_events, index)
+    steady = backend.steady_counters()
+    final_stats = backend.shard_stats()
+    return {
+        "dispatches": dispatches,
+        "steady": steady,
+        "base_stats": base_stats,
+        "final_stats": final_stats,
+        "setup_cycles": backend.setup_cycles,
+    }
+
+
+def _merge_stats(
+    base: Dict[int, Dict[str, int]],
+    worker_results: List[dict],
+) -> Dict[int, Dict[str, int]]:
+    merged = {shard_id: dict(stats) for shard_id, stats in base.items()}
+    for result in worker_results:
+        for shard_id, final in result["final_stats"].items():
+            base_stats = result["base_stats"].get(shard_id, {})
+            target = merged.setdefault(shard_id, {})
+            for field, value in final.items():
+                target[field] = target.get(field, 0) + value - base_stats.get(field, 0)
+    return merged
+
+
+def run_load_parallel(
+    scenario: str,
+    n_clients: int,
+    n_shards: int,
+    batch: int,
+    seed: int,
+    workers: int,
+    n_events: Optional[int] = None,
+    n_ases: int = 24,
+    keep_payloads: bool = False,
+) -> LoadResult:
+    """Partitioned replay of one load run, byte-identical to serial.
+
+    ``workers`` worker processes each replay a round-robin slice of
+    the dispatch plan on their own backend replica; the parent merges.
+    Falls back to the serial engine when the scenario is not
+    interleaving-independent or a fault plan is active.
+    """
+    from repro import faults
+    from repro.load.engine import run_load_engine
+
+    backend_class = _BACKENDS.get(scenario)
+    if backend_class is None:
+        raise ReproError(
+            f"unknown load scenario '{scenario}' (have {', '.join(LOAD_SCENARIOS)})"
+        )
+    if workers < 1:
+        raise ReproError("need at least one worker")
+    if not backend_class.parallel_safe or faults.current_plan() is not None:
+        return run_load_engine(
+            scenario,
+            n_clients,
+            n_shards,
+            batch,
+            seed,
+            n_events=n_events,
+            n_ases=n_ases,
+            keep_payloads=keep_payloads,
+        )
+    if n_events is None:
+        n_events = default_n_events(scenario, n_clients)
+
+    keys = population_keys(scenario, n_ases, seed)
+    events = generate_events(scenario, n_clients, n_events, keys, seed)
+    plan = plan_dispatches(events, n_shards, batch)
+    workers = max(1, min(workers, len(plan) or 1))
+    partitions: List[List[int]] = [[] for _ in range(workers)]
+    for index in range(len(plan)):
+        partitions[index % workers].append(index)
+
+    # Keep partition 0 even when empty: its worker still builds the
+    # replica, so setup cycles / base stats / empty-plan steady deltas
+    # match the serial run exactly.
+    job_args = [
+        (scenario, n_clients, n_shards, batch, n_ases, seed, n_events, part)
+        for i, part in enumerate(partitions)
+        if part or i == 0
+    ]
+    if len(job_args) == 1:
+        worker_results = [_worker_run(*job_args[0])]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=len(job_args)
+        ) as pool:
+            futures = [pool.submit(_worker_run, *args) for args in job_args]
+            worker_results = [f.result() for f in futures]
+
+    dispatches: Dict[int, _Dispatch] = {}
+    steady: Dict[str, int] = {}
+    for result in worker_results:
+        dispatches.update(result["dispatches"])
+        for field, value in result["steady"].items():
+            steady[field] = steady.get(field, 0) + value
+    setup_cycles = worker_results[0]["setup_cycles"]
+    shard_stats = _merge_stats(worker_results[0]["base_stats"], worker_results)
+
+    engine = LoadEngine(_ReplayBackend(scenario, dispatches), n_shards, batch)
+    engine.run(events)
+    return package_result(
+        scenario,
+        n_clients,
+        n_shards,
+        batch,
+        seed,
+        n_events,
+        events,
+        engine,
+        setup_cycles,
+        steady,
+        shard_stats,
+        keep_payloads,
+    )

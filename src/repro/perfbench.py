@@ -1,0 +1,370 @@
+"""Wall-clock performance benchmark (``python -m repro bench``).
+
+Everything else in this repo measures *modeled* cycles; this module is
+the one place that measures *wall seconds* — how long the reproduction
+itself takes to run.  It times the hot scenarios twice in the same
+process:
+
+* **cold** — every crypto cache disabled and emptied
+  (:func:`repro.crypto.cache.disabled`), the pure-Python oracle path;
+* **warm** — caches enabled, cleared first so each repeat earns its
+  own hits (the steady-state the CLI and CI actually run in).
+
+and writes a schema-validated ``BENCH_perf.json`` with an environment
+fingerprint, per-scenario medians and the speedup of warm over cold.
+The cost-model invariant is pinned elsewhere (the cache-equivalence
+tests); this harness only answers "how much wall time do the fast
+paths buy on this machine?".
+
+The A12 ablation (:func:`run_ablation`) extends the grid with the
+parallel load runner: caches on/off crossed with worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto import cache
+
+__all__ = [
+    "SCHEMA",
+    "run_perf",
+    "run_ablation",
+    "validate_perf",
+    "format_perf",
+    "perf_json",
+]
+
+SCHEMA = "repro.perf/1"
+
+#: scenario name -> builder returning a zero-argument timed body.
+_SCENARIOS: Dict[str, Callable] = {}
+
+
+def _scenario(name: str):
+    def register(builder: Callable) -> Callable:
+        _SCENARIOS[name] = builder
+        return builder
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Timed bodies
+# ---------------------------------------------------------------------------
+
+
+@_scenario("record_channel")
+def _record_channel(smoke: bool):
+    """Record protect/open across fresh per-session keys.
+
+    Mirrors the paper's secure-channel steady state: every session
+    derives its own keys (HKDF), then streams MACed CTR records both
+    ways.  Fresh keys per session make the key-schedule and HMAC-pad
+    caches earn their keep the way real sessions would.
+    """
+    from repro.net.channel import SecureRecordChannel
+    from repro.sgx.attestation import SessionKeys
+
+    n_sessions = 4 if smoke else 16
+    n_records = 8 if smoke else 32
+    payload = b"x" * 512
+
+    def body() -> int:
+        moved = 0
+        for s in range(n_sessions):
+            keys = SessionKeys.derive(b"perf-shared-%d" % s, b"\x42" * 32)
+            initiator = SecureRecordChannel(keys, "initiator")
+            responder = SecureRecordChannel(keys, "responder")
+            for _ in range(n_records):
+                record = initiator.protect(payload)
+                moved += len(responder.open(record))
+                record = responder.protect(payload)
+                moved += len(initiator.open(record))
+        return moved
+
+    return body, {"sessions": n_sessions, "records": n_records, "payload": 512}
+
+
+@_scenario("attestation")
+def _attestation(smoke: bool):
+    """The full remote-attestation handshake (Table 1 live run)."""
+    from repro import experiments
+
+    def body():
+        return experiments.run_table1()
+
+    return body, {"experiment": "table1"}
+
+
+def _load_scenario(scenario: str, smoke: bool):
+    from repro.load.engine import run_load_engine
+
+    n_clients = 100 if smoke else 1000
+    n_shards = 2
+    batch = 8
+
+    def body():
+        return run_load_engine(
+            scenario, n_clients=n_clients, n_shards=n_shards, batch=batch, seed=0
+        )
+
+    return body, {"clients": n_clients, "shards": n_shards, "batch": batch}
+
+
+@_scenario("load_routing")
+def _load_routing(smoke: bool):
+    return _load_scenario("routing", smoke)
+
+
+@_scenario("load_tor")
+def _load_tor(smoke: bool):
+    return _load_scenario("tor", smoke)
+
+
+@_scenario("load_middlebox")
+def _load_middlebox(smoke: bool):
+    return _load_scenario("middlebox", smoke)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def _environment() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "fast_aes_kernel": cache.fast_kernels_available(),
+    }
+
+
+def _time_repeats(body: Callable, repeats: int, cold: bool) -> List[float]:
+    samples = []
+    for _ in range(repeats):
+        cache.clear_all()
+        if cold:
+            with cache.disabled():
+                start = time.perf_counter()
+                body()
+                samples.append(time.perf_counter() - start)
+        else:
+            start = time.perf_counter()
+            body()
+            samples.append(time.perf_counter() - start)
+    return samples
+
+
+def run_perf(
+    smoke: bool = False,
+    repeats: int = 3,
+    scenarios: Optional[List[str]] = None,
+) -> dict:
+    """Time every scenario cold and warm; return the BENCH_perf doc."""
+    names = scenarios or sorted(_SCENARIOS)
+    out: Dict[str, dict] = {}
+    for name in names:
+        builder = _SCENARIOS.get(name)
+        if builder is None:
+            raise ValueError(
+                f"unknown perf scenario '{name}' (have {', '.join(sorted(_SCENARIOS))})"
+            )
+        body, params = builder(smoke)
+        cold = _time_repeats(body, repeats, cold=True)
+        warm = _time_repeats(body, repeats, cold=False)
+        cold_median = statistics.median(cold)
+        warm_median = statistics.median(warm)
+        out[name] = {
+            "params": params,
+            "cold_seconds": [round(s, 6) for s in cold],
+            "warm_seconds": [round(s, 6) for s in warm],
+            "cold_median_s": round(cold_median, 6),
+            "warm_median_s": round(warm_median, 6),
+            "speedup": round(cold_median / warm_median, 3) if warm_median else 0.0,
+        }
+    cache.clear_all()
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro bench",
+        "smoke": smoke,
+        "repeats": repeats,
+        "env": _environment(),
+        "scenarios": out,
+    }
+
+
+def run_ablation(smoke: bool = True, workers_grid: Optional[List[int]] = None) -> dict:
+    """A12: caches on/off crossed with load-replay worker counts.
+
+    Every cell reruns the routing load scenario and records wall
+    seconds; the caches flag is exported through the environment so
+    forked replay workers inherit it.
+    """
+    from repro.load.parallel import run_load_parallel
+
+    workers_grid = workers_grid or [1, 2, 4]
+    n_clients = 100 if smoke else 1000
+    cells = []
+    prior_env = os.environ.get("REPRO_NO_CRYPTO_CACHE")
+    prior_enabled = cache.enabled()
+    try:
+        for caches_on in (True, False):
+            if caches_on:
+                os.environ.pop("REPRO_NO_CRYPTO_CACHE", None)
+            else:
+                os.environ["REPRO_NO_CRYPTO_CACHE"] = "1"
+            cache.configure(caches_on)
+            for workers in workers_grid:
+                cache.clear_all()
+                start = time.perf_counter()
+                result = run_load_parallel(
+                    "routing",
+                    n_clients=n_clients,
+                    n_shards=2,
+                    batch=8,
+                    seed=0,
+                    workers=workers,
+                )
+                elapsed = time.perf_counter() - start
+                cells.append(
+                    {
+                        "caches": caches_on,
+                        "workers": workers,
+                        "seconds": round(elapsed, 6),
+                        "events": result.n_events,
+                    }
+                )
+    finally:
+        if prior_env is None:
+            os.environ.pop("REPRO_NO_CRYPTO_CACHE", None)
+        else:
+            os.environ["REPRO_NO_CRYPTO_CACHE"] = prior_env
+        cache.configure(prior_enabled)
+        cache.clear_all()
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro bench --ablation",
+        "smoke": smoke,
+        "env": _environment(),
+        "ablation": "A12",
+        "cells": cells,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+
+def perf_json(doc: dict) -> str:
+    """Canonical serialization (stable key order, trailing newline)."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def validate_perf(doc: dict) -> List[str]:
+    """Schema check for a BENCH_perf document; returns problems."""
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        problems.append("env missing or not an object")
+    else:
+        for field in ("python", "platform", "cpu_count", "fast_aes_kernel"):
+            if field not in env:
+                problems.append(f"env.{field} missing")
+    if "cells" in doc:
+        cells = doc["cells"]
+        if not isinstance(cells, list) or not cells:
+            problems.append("cells missing or empty")
+        else:
+            for i, cell in enumerate(cells):
+                for field in ("caches", "workers", "seconds"):
+                    if field not in cell:
+                        problems.append(f"cells[{i}].{field} missing")
+        return problems
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        problems.append("scenarios missing or empty")
+        return problems
+    for name, entry in sorted(scenarios.items()):
+        for field in (
+            "params",
+            "cold_seconds",
+            "warm_seconds",
+            "cold_median_s",
+            "warm_median_s",
+            "speedup",
+        ):
+            if field not in entry:
+                problems.append(f"scenarios.{name}.{field} missing")
+        for field in ("cold_median_s", "warm_median_s"):
+            value = entry.get(field)
+            if isinstance(value, (int, float)) and value <= 0:
+                problems.append(f"scenarios.{name}.{field} not positive")
+        if len(entry.get("cold_seconds", [])) != len(entry.get("warm_seconds", [])):
+            problems.append(f"scenarios.{name} repeat counts differ")
+    return problems
+
+
+def format_perf(doc: dict) -> str:
+    """Human-readable table of a BENCH_perf document."""
+    lines = [
+        "Wall-clock fast paths"
+        + (" (smoke)" if doc.get("smoke") else "")
+        + f" — fast AES kernel: {doc['env']['fast_aes_kernel']}",
+        f"{'scenario':<18} {'cold (s)':>10} {'warm (s)':>10} {'speedup':>9}",
+    ]
+    if "cells" in doc:
+        lines[1] = f"{'caches':<8} {'workers':>8} {'seconds':>10}"
+        for cell in doc["cells"]:
+            lines.append(
+                f"{'on' if cell['caches'] else 'off':<8} "
+                f"{cell['workers']:>8} {cell['seconds']:>10.3f}"
+            )
+        return "\n".join(lines)
+    for name, entry in sorted(doc["scenarios"].items()):
+        lines.append(
+            f"{name:<18} {entry['cold_median_s']:>10.3f} "
+            f"{entry['warm_median_s']:>10.3f} {entry['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:  # pragma: no cover — exercised via __main__
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--ablation", action="store_true")
+    parser.add_argument("--out", default="BENCH_perf.json")
+    args = parser.parse_args(argv)
+    doc = (
+        run_ablation(smoke=args.smoke)
+        if args.ablation
+        else run_perf(smoke=args.smoke, repeats=args.repeat)
+    )
+    problems = validate_perf(doc)
+    if problems:
+        print("; ".join(problems), file=sys.stderr)
+        return 1
+    print(format_perf(doc))
+    with open(args.out, "w") as fh:
+        fh.write(perf_json(doc))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

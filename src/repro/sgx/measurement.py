@@ -17,8 +17,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import inspect
-from typing import Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
+from repro.crypto import cache
 from repro.crypto.hashes import sha256
 
 __all__ = [
@@ -94,6 +95,7 @@ class MeasurementLog:
         return self._finalized
 
 
+@cache.memoize_charged(name="mrenclave")
 def compute_mrenclave(code: bytes, page_size: int = 4096) -> bytes:
     """Predict the MRENCLAVE an :class:`~repro.sgx.platform.SgxPlatform`
     computes when loading ``code`` — without touching a platform.
@@ -120,6 +122,14 @@ def measure_program(program_class: Type, version: str = "1") -> bytes:
     return compute_mrenclave(program_code_bytes(program_class, version))
 
 
+#: (class, version) -> code bytes.  ``inspect.getsource`` re-reads and
+#: re-parses the defining module on every call — pure wall-clock waste
+#: (no charges happen here), and the answer is fixed for the process
+#: lifetime of a class.
+_CODE_BYTES: Dict[Tuple[Type, str], bytes] = {}
+_CODE_STATS = cache.register(_CODE_BYTES, "program-code-bytes")
+
+
 def program_code_bytes(program_class: Type, version: str = "1") -> bytes:
     """Canonical code bytes of an enclave program class.
 
@@ -131,9 +141,18 @@ def program_code_bytes(program_class: Type, version: str = "1") -> bytes:
     explicit = getattr(program_class, "CODE_BYTES", None)
     if explicit is not None:
         return bytes(explicit)
+    if cache.enabled():
+        cached = _CODE_BYTES.get((program_class, version))
+        if cached is not None:
+            _CODE_STATS.hits += 1
+            return cached
+        _CODE_STATS.misses += 1
     try:
         source = inspect.getsource(program_class)
     except (OSError, TypeError):
         source = f"{program_class.__module__}.{program_class.__qualname__}"
     header = f"{program_class.__module__}.{program_class.__qualname__}:{version}\n"
-    return (header + source).encode("utf-8")
+    code = (header + source).encode("utf-8")
+    if cache.enabled():
+        _CODE_BYTES[(program_class, version)] = code
+    return code

@@ -15,6 +15,7 @@ import dataclasses
 from typing import FrozenSet, Optional
 
 from repro.cost import context as cost_context
+from repro.crypto import cache
 from repro.crypto.drbg import Rng
 from repro.crypto.epid import (
     EpidGroupManager,
@@ -217,9 +218,16 @@ class AttestationAuthority:
         )
 
 
+@cache.memoize_charged(name="verify-quote")
 def verify_quote(quote_bytes: bytes, info: QuoteVerificationInfo) -> Quote:
     """Remote verification of a QUOTE (paper Figure 1, step 'verify
-    signature').  Returns the decoded quote on success."""
+    signature').  Returns the decoded quote on success.
+
+    Memoized (exact charge replay): verification is a pure function of
+    the quote bytes and the published info, and services that attest
+    many clients check the same quoting-enclave group repeatedly.
+    Failing verifications raise and are never cached.
+    """
     quote = Quote.decode(quote_bytes)
     if quote.qe_identity.mrenclave != info.qe_mrenclave:
         raise AttestationError("quote not signed by a recognized quoting enclave")

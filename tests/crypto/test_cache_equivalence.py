@@ -1,0 +1,196 @@
+"""Cache equivalence: the fast paths are invisible to the cost model.
+
+The contract behind every cache in :mod:`repro.crypto.cache` is that
+it may change *wall time only*.  For any input, running a primitive
+
+* cold (caches disabled — the pure-Python oracle),
+* on a cache **miss** (caches enabled, freshly cleared), and
+* on a cache **hit** (caches enabled, warmed by a prior call)
+
+must produce byte-identical output and *integer-equal* cost counters.
+These hypothesis properties pin that contract for every cached kernel:
+AES block ops, CTR keystreams, ECB/CBC, HMAC, CMAC and HKDF.
+
+The record-channel regression at the bottom pins the satellite fix:
+one key-schedule expansion per distinct session key, while
+``cipher_init_normal`` is still charged once per cipher instance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import context as cost_context
+from repro.cost.accountant import CostAccountant
+from repro.crypto import cache
+from repro.crypto.aes import AES, key_schedule_stats
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import aes_cmac, cmac_verify, hmac_sha256, hmac_verify
+from repro.crypto.modes import CtrStream, cbc_encrypt, ecb_decrypt, ecb_encrypt
+
+KEYS = st.binary(min_size=16, max_size=16) | st.binary(min_size=32, max_size=32)
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _measure(op):
+    """Run ``op`` under a fresh accountant; return (output, counters)."""
+    acct = CostAccountant()
+    with cost_context.use_accountant(acct):
+        out = op()
+    counters = {
+        domain: counter.as_dict() for domain, counter in acct.snapshot().items()
+    }
+    return out, counters
+
+
+def assert_equivalent(op):
+    """Cold, cache-miss and cache-hit runs of ``op`` must agree exactly."""
+    cache.clear_all()
+    with cache.disabled():
+        cold_out, cold_counters = _measure(op)
+    cache.clear_all()
+    miss_out, miss_counters = _measure(op)  # populates the caches
+    hit_out, hit_counters = _measure(op)  # served from them
+    assert miss_out == cold_out
+    assert hit_out == cold_out
+    assert miss_counters == cold_counters
+    assert hit_counters == cold_counters
+
+
+class TestCacheEquivalence:
+    @SETTINGS
+    @given(key=KEYS, block=st.binary(min_size=16, max_size=16))
+    def test_aes_block(self, key, block):
+        assert_equivalent(lambda: AES(key).encrypt_block(block))
+        assert_equivalent(
+            lambda: AES(key).decrypt_block(AES(key).encrypt_block(block))
+        )
+
+    @SETTINGS
+    @given(
+        key=KEYS,
+        lengths=st.lists(st.integers(min_value=0, max_value=100), max_size=5),
+    )
+    def test_ctr_keystream(self, key, lengths):
+        def op():
+            stream = CtrStream(key, b"nonce")
+            return b"".join(stream.keystream(n) for n in lengths)
+
+        assert_equivalent(op)
+
+    @SETTINGS
+    @given(key=KEYS, plaintext=st.binary(max_size=96))
+    def test_ecb_cbc(self, key, plaintext):
+        padded = plaintext + b"\x00" * (-len(plaintext) % 16)
+        assert_equivalent(
+            lambda: ecb_decrypt(AES(key), ecb_encrypt(AES(key), padded))
+        )
+        assert_equivalent(lambda: cbc_encrypt(AES(key), b"\x01" * 16, padded))
+
+    @SETTINGS
+    @given(key=st.binary(max_size=80), message=st.binary(max_size=200))
+    def test_hmac(self, key, message):
+        def op():
+            tag = hmac_sha256(key, message)
+            assert hmac_verify(key, message, tag)
+            return tag
+
+        assert_equivalent(op)
+
+    @SETTINGS
+    @given(key=st.binary(min_size=16, max_size=16), message=st.binary(max_size=100))
+    def test_cmac(self, key, message):
+        def op():
+            tag = aes_cmac(key, message)
+            assert cmac_verify(key, message, tag)
+            return tag
+
+        assert_equivalent(op)
+
+    @SETTINGS
+    @given(
+        ikm=st.binary(min_size=1, max_size=64),
+        salt=st.binary(max_size=32),
+        info=st.binary(max_size=32),
+        length=st.integers(min_value=1, max_value=128),
+    )
+    def test_hkdf(self, ikm, salt, info, length):
+        assert_equivalent(lambda: hkdf(ikm, salt=salt, info=info, length=length))
+
+
+class TestRecordChannelKeySchedule:
+    """Satellite fix: one key-schedule expansion per session key."""
+
+    def _channel_pair(self):
+        from repro.net.channel import SecureRecordChannel
+        from repro.sgx.attestation import SessionKeys
+
+        keys = SessionKeys.derive(b"cache-regression", b"\x24" * 32)
+        return (
+            SecureRecordChannel(keys, "initiator"),
+            SecureRecordChannel(keys, "responder"),
+        )
+
+    def test_one_expansion_per_session_key(self):
+        cache.clear_all()
+        base = key_schedule_stats()
+        initiator, responder = self._channel_pair()
+        for _ in range(20):
+            assert responder.open(initiator.protect(b"payload")) == b"payload"
+        after = key_schedule_stats()
+        misses = after["misses"] - base["misses"]
+        # A channel pair touches exactly two distinct AES session keys
+        # (initiator-enc and responder-enc); every further cipher
+        # construction and record must hit the schedule cache.
+        assert misses == 2
+        assert after["hits"] > base["hits"]
+
+    def test_cipher_init_still_charged_per_instance(self):
+        cache.clear_all()
+        key = b"\x13" * 16
+        model = cost_context.current_model()
+
+        def build_twice():
+            AES(key)
+            AES(key)
+
+        _, counters = _measure(build_twice)
+        normal = counters["untrusted"]["normal_instructions"]
+        assert normal == 2 * model.cipher_init_normal
+
+    def test_channel_bytes_unchanged_by_cache_state(self):
+        cache.clear_all()
+        with cache.disabled():
+            initiator, _ = self._channel_pair()
+            cold = [initiator.protect(b"rec-%d" % i) for i in range(5)]
+        cache.clear_all()
+        initiator, _ = self._channel_pair()
+        warm = [initiator.protect(b"rec-%d" % i) for i in range(5)]
+        assert warm == cold
+
+
+class TestCachePlumbing:
+    def test_disabled_context_restores(self):
+        assert cache.enabled()
+        with cache.disabled():
+            assert not cache.enabled()
+        assert cache.enabled()
+
+    def test_memoize_replays_charges_on_raise(self):
+        calls = []
+
+        @cache.memoize_charged(name="raise-probe")
+        def sometimes(fail):
+            calls.append(fail)
+            cost_context.charge_normal(7)
+            if fail:
+                raise ValueError("boom")
+            return b"ok"
+
+        cache.clear_all()
+        _, counters = _measure(lambda: pytest.raises(ValueError, sometimes, True))
+        assert counters["untrusted"]["normal_instructions"] == 7
+        # Raising calls are never cached: the next call runs again.
+        _, counters = _measure(lambda: pytest.raises(ValueError, sometimes, True))
+        assert counters["untrusted"]["normal_instructions"] == 7
+        assert calls == [True, True]

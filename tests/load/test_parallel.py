@@ -1,0 +1,101 @@
+"""Parallel load replay is byte-identical to the serial oracle.
+
+The serial :class:`~repro.load.engine.LoadEngine` defines the answer;
+:func:`~repro.load.parallel.run_load_parallel` must reproduce its
+``BENCH_load.json`` *byte-for-byte* at every worker count (satellite
+c).  The worker-count sweeps here run real multi-process replays, so
+they also exercise the fast-forward path that keeps per-worker channel
+state (sequence numbers, CTR keystream position) aligned with the
+serial interleaving.
+"""
+
+import pytest
+
+from repro import faults
+from repro.errors import ReproError
+from repro.load.engine import (
+    default_n_events,
+    plan_dispatches,
+    population_keys,
+    run_load_engine,
+)
+from repro.load.clients import generate_events
+from repro.load.parallel import run_load_parallel
+from repro.load.report import bench_json
+
+ROUTING_KW = dict(n_clients=60, n_shards=2, batch=4, seed=0)
+
+
+def _serial(scenario, **kwargs):
+    return bench_json(run_load_engine(scenario, **kwargs))
+
+
+def _parallel(scenario, workers, **kwargs):
+    return bench_json(run_load_parallel(scenario, workers=workers, **kwargs))
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_routing_matches_serial(self, workers):
+        serial = _serial("routing", **ROUTING_KW)
+        assert _parallel("routing", workers, **ROUTING_KW) == serial
+
+    def test_routing_three_shards(self):
+        kwargs = dict(n_clients=45, n_shards=3, batch=4, seed=7)
+        assert _parallel("routing", 3, **kwargs) == _serial("routing", **kwargs)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_middlebox_matches_serial(self, workers):
+        kwargs = dict(n_clients=40, n_shards=2, batch=4, seed=1)
+        assert _parallel("middlebox", workers, **kwargs) == _serial(
+            "middlebox", **kwargs
+        )
+
+    def test_tor_falls_back_to_serial(self):
+        # Tor couples consensus validity to the global clock, so the
+        # parallel runner must refuse to partition it — and still
+        # return the serial answer.
+        kwargs = dict(n_clients=12, n_shards=1, batch=2, seed=0)
+        assert _parallel("tor", 4, **kwargs) == _serial("tor", **kwargs)
+
+    def test_fault_plan_falls_back_to_serial(self):
+        kwargs = dict(n_clients=30, n_shards=2, batch=4, seed=0)
+        # Fresh plan per arm: plans consume decisions as they fire.
+        with faults.active(faults.matrix_plan("shard_crash", 3)):
+            parallel = _parallel("routing", 2, **kwargs)
+        with faults.active(faults.matrix_plan("shard_crash", 3)):
+            serial = _serial("routing", **kwargs)
+        assert parallel == serial
+
+
+class TestPlanHelpers:
+    def test_population_keys_match_backend(self):
+        from repro.load.engine import _BACKENDS
+
+        for scenario in ("routing", "tor", "middlebox"):
+            backend = _BACKENDS[scenario](1, 1, 24, 0)
+            assert population_keys(scenario, 24, 0) == backend.keys()
+
+    def test_population_keys_unknown_scenario(self):
+        with pytest.raises(ReproError):
+            population_keys("bogus", 24, 0)
+
+    def test_plan_covers_every_event_once(self):
+        events = generate_events(
+            "routing", 50, default_n_events("routing", 50),
+            population_keys("routing", 24, 0), 0,
+        )
+        plan = plan_dispatches(events, n_slots=3, batch=4)
+        dispatched = [e for _, batch_events in plan for e in batch_events]
+        assert sorted(id(e) for e in dispatched) == sorted(id(e) for e in events)
+        assert all(len(batch_events) <= 4 for _, batch_events in plan)
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ReproError):
+            run_load_parallel("routing", workers=0, **ROUTING_KW)
+        with pytest.raises(ReproError):
+            run_load_parallel("bogus", workers=1, **ROUTING_KW)
+
+    def test_oversubscribed_workers_clamp(self):
+        kwargs = dict(n_clients=6, n_shards=1, batch=8, seed=0)
+        assert _parallel("routing", 64, **kwargs) == _serial("routing", **kwargs)

@@ -1,0 +1,95 @@
+"""BENCH_perf schema, validator and formatter (repro.perfbench).
+
+The heavy cold/warm sweep lives in ``benchmarks/perf.py`` and the
+``python -m repro bench`` CLI; this suite keeps tier-1 fast by running
+one cheap scenario end-to-end and validating documents by hand.
+"""
+
+import json
+
+import pytest
+
+from repro import perfbench
+from repro.crypto import cache
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return perfbench.run_perf(smoke=True, repeats=1, scenarios=["record_channel"])
+
+
+class TestRunPerf:
+    def test_smoke_doc_validates(self, smoke_doc):
+        assert perfbench.validate_perf(smoke_doc) == []
+
+    def test_doc_shape(self, smoke_doc):
+        assert smoke_doc["schema"] == perfbench.SCHEMA
+        assert smoke_doc["smoke"] is True
+        entry = smoke_doc["scenarios"]["record_channel"]
+        assert len(entry["cold_seconds"]) == 1
+        assert entry["cold_median_s"] > 0
+        assert entry["warm_median_s"] > 0
+        assert entry["speedup"] > 0
+
+    def test_env_fingerprint(self, smoke_doc):
+        env = smoke_doc["env"]
+        assert env["cpu_count"] >= 1
+        assert isinstance(env["fast_aes_kernel"], bool)
+        assert env["python"]
+
+    def test_caches_left_enabled(self, smoke_doc):
+        # run_perf toggles the caches internally; the ambient state
+        # must survive untouched.
+        assert cache.enabled()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            perfbench.run_perf(smoke=True, repeats=1, scenarios=["bogus"])
+
+    def test_json_round_trips(self, smoke_doc):
+        text = perfbench.perf_json(smoke_doc)
+        assert text.endswith("\n")
+        assert json.loads(text) == smoke_doc
+
+    def test_format_mentions_every_scenario(self, smoke_doc):
+        table = perfbench.format_perf(smoke_doc)
+        assert "record_channel" in table
+        assert "speedup" in table
+
+
+class TestValidatePerf:
+    def test_catches_wrong_schema(self, smoke_doc):
+        doc = dict(smoke_doc, schema="bogus/9")
+        assert any("schema" in p for p in perfbench.validate_perf(doc))
+
+    def test_catches_missing_env_field(self, smoke_doc):
+        doc = dict(smoke_doc, env={"python": "3"})
+        problems = perfbench.validate_perf(doc)
+        assert any("cpu_count" in p for p in problems)
+
+    def test_catches_missing_scenarios(self, smoke_doc):
+        doc = dict(smoke_doc)
+        del doc["scenarios"]
+        assert any("scenarios" in p for p in perfbench.validate_perf(doc))
+
+    def test_catches_nonpositive_median(self, smoke_doc):
+        entry = dict(smoke_doc["scenarios"]["record_channel"], warm_median_s=0)
+        doc = dict(smoke_doc, scenarios={"record_channel": entry})
+        assert any("not positive" in p for p in perfbench.validate_perf(doc))
+
+    def test_validates_ablation_cells(self):
+        doc = {
+            "schema": perfbench.SCHEMA,
+            "env": {
+                "python": "3",
+                "platform": "x",
+                "cpu_count": 1,
+                "fast_aes_kernel": False,
+            },
+            "cells": [{"caches": True, "workers": 1, "seconds": 0.5}],
+        }
+        assert perfbench.validate_perf(doc) == []
+        doc["cells"] = [{"caches": True}]
+        problems = perfbench.validate_perf(doc)
+        assert any("workers" in p for p in problems)
+        assert any("seconds" in p for p in problems)

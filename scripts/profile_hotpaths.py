@@ -30,6 +30,7 @@ sys.path.insert(
 
 from repro.crypto import cache  # noqa: E402
 from repro.load.engine import LOAD_SCENARIOS, run_load_engine  # noqa: E402
+from repro.net.sim import use_kernel  # noqa: E402
 
 
 def _fold(stats: pstats.Stats) -> list:
@@ -84,6 +85,11 @@ def main(argv=None) -> int:
                         help="rows of the cumulative-time table (default: 15)")
     parser.add_argument("--no-cache", action="store_true",
                         help="profile the cold pure-Python crypto path")
+    parser.add_argument("--kernel", choices=("fast", "reference"),
+                        default="fast",
+                        help="event kernel to profile under (default: fast; "
+                             "'reference' is the frozen pre-rewrite heap "
+                             "scheduler, for before/after comparisons)")
     parser.add_argument("--folded", metavar="FILE", default=None,
                         help="also write flamegraph-ready folded stacks")
     args = parser.parse_args(argv)
@@ -94,8 +100,9 @@ def main(argv=None) -> int:
         if args.no_cache:
             cache.configure(False)
         cache.clear_all()
-        for scenario in scenarios:
-            profile_scenario(scenario, args.clients, args.top, folded_out)
+        with use_kernel(args.kernel):
+            for scenario in scenarios:
+                profile_scenario(scenario, args.clients, args.top, folded_out)
     finally:
         if args.no_cache:
             cache.configure(True)

@@ -16,7 +16,7 @@ Usage::
         [--clients N] [--shards S] [--batch K] [--seed N] [--out FILE]
         [--workers W]               # parallel replay, byte-identical output
     python -m repro bench           # wall-clock perf benchmark
-        [--smoke] [--repeat N] [--ablation] [--out FILE]
+        [--smoke] [--repeat N] [--ablation] [--ablation-kernel] [--out FILE]
 
 ``load`` drives the seeded open-loop workload engine (``repro.load``)
 against one of the case studies (``routing``, ``tor``, ``middlebox``)
@@ -28,9 +28,12 @@ report file.
 
 ``bench`` is the one wall-clock job: it times the hot scenarios cold
 (crypto caches disabled) and warm (caches enabled) in the same
-process and writes ``BENCH_perf.json`` with medians and speedups
-(``--ablation`` runs the A12 caches × workers grid instead).  Wall
-seconds never feed back into any modeled number.
+process and writes ``BENCH_perf.json`` with medians and speedups,
+plus the bench-kernel section timing the fast event kernel against the
+frozen reference scheduler (``--ablation`` runs the A12 caches ×
+workers grid instead; ``--ablation-kernel`` the A13 kernel ×
+burst-charging grid).  Wall seconds never feed back into any modeled
+number.
 
 ``trace`` runs one scenario with the span tracer attached, asserts the
 trace reconciles exactly against the cost accountants, and writes the
@@ -141,7 +144,9 @@ def _bench(args) -> None:
     from repro import perfbench
     from repro.errors import ReproError
 
-    if args.ablation:
+    if args.ablation_kernel:
+        doc = perfbench.run_kernel_ablation(smoke=args.smoke, repeats=args.repeat)
+    elif args.ablation:
         doc = perfbench.run_ablation(smoke=args.smoke)
     else:
         doc = perfbench.run_perf(smoke=args.smoke, repeats=args.repeat)
@@ -272,6 +277,11 @@ def main(argv=None) -> int:
         help="bench: run the A12 caches x workers ablation grid instead",
     )
     parser.add_argument(
+        "--ablation-kernel",
+        action="store_true",
+        help="bench: run the A13 event-kernel x burst-charging grid instead",
+    )
+    parser.add_argument(
         "--ases",
         type=int,
         default=30,
@@ -313,7 +323,9 @@ def main(argv=None) -> int:
     elif args.scenario is not None:
         parser.error(f"unexpected positional {args.scenario!r} after {args.experiment!r}")
 
-    if args.experiment != "bench" and (args.smoke or args.ablation):
+    if args.experiment != "bench" and (
+        args.smoke or args.ablation or args.ablation_kernel
+    ):
         parser.error("--smoke/--ablation only apply to 'bench'")
 
     jobs = {

@@ -19,9 +19,28 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
 from typing import Any, Dict, Iterator, Optional
 
 UNTRUSTED = "untrusted"
+
+#: When off, :func:`burst_enabled` callers (the crypto-cache replay)
+#: fall back to one ``charge_*`` call per counter field instead of a
+#: single :meth:`CostAccountant.charge_burst`.  Both paths produce
+#: integer-identical counters and traces — the toggle exists for the
+#: A13 ablation, which measures what the coalescing is worth.
+_BURST = os.environ.get("REPRO_NO_BURST_CHARGE", "") == ""
+
+
+def burst_enabled() -> bool:
+    """Whether per-burst charge coalescing is active."""
+    return _BURST
+
+
+def configure_burst(on: bool) -> None:
+    """Globally enable or disable per-burst charge coalescing."""
+    global _BURST
+    _BURST = bool(on)
 
 #: The tracer new accountants attach to, if any.  Lives here (not in
 #: :mod:`repro.obs`) so the cost layer never imports the observability
@@ -93,6 +112,13 @@ class CostAccountant:
     def __init__(self, name: Optional[str] = None) -> None:
         self._counters: Dict[str, Counter] = {}
         self._domain_stack = [UNTRUSTED]
+        #: Counter of the top-of-stack domain, or ``None`` if that
+        #: domain has never been charged — kept hot so charge calls
+        #: skip the property + dict probe without ever materializing a
+        #: zero counter (``domains()`` must only list charged domains).
+        #: Every path that changes the stack or the counter table keeps
+        #: it in sync.
+        self._current: Optional[Counter] = None
         self.enabled = True
         self.name = name
         #: Set by ``Tracer.attach``: the tracer observing this
@@ -123,55 +149,77 @@ class CostAccountant:
         never leaks into the caller's domain.
         """
         self._domain_stack.append(domain)
+        self._current = self._counters.get(domain)
         try:
             yield
         finally:
             self._domain_stack.pop()
+            self._current = self._counters.get(self._domain_stack[-1])
 
     # -- charging ----------------------------------------------------------
 
     def counter(self, domain: Optional[str] = None) -> Counter:
         """Return (creating if needed) the counter for ``domain``."""
-        key = domain if domain is not None else self.current_domain
-        if key not in self._counters:
-            self._counters[key] = Counter()
-        return self._counters[key]
+        key = domain if domain is not None else self._domain_stack[-1]
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+            if key == self._domain_stack[-1]:
+                self._current = counter
+        return counter
 
     def charge_sgx(self, count: int = 1) -> None:
         """Record ``count`` user-mode SGX instructions in the current domain."""
         if self.enabled:
-            self.counter().sgx_instructions += count
+            counter = self._current
+            if counter is None:
+                counter = self.counter()
+            counter.sgx_instructions += count
             if self.tracer is not None:
-                self.tracer.on_charge(self.source, self.current_domain, count, 0)
+                self.tracer.on_charge(self.source, self._domain_stack[-1], count, 0)
 
     def charge_normal(self, count: int) -> None:
         """Record ``count`` normal x86 instructions in the current domain."""
         if self.enabled:
-            self.counter().normal_instructions += int(count)
+            counter = self._current
+            if counter is None:
+                counter = self.counter()
+            counter.normal_instructions += int(count)
             if self.tracer is not None:
-                self.tracer.on_charge(self.source, self.current_domain, 0, int(count))
+                self.tracer.on_charge(
+                    self.source, self._domain_stack[-1], 0, int(count)
+                )
 
     def charge_crossing(self, count: int = 1) -> None:
         """Record ``count`` enclave entry/exit transitions."""
         if self.enabled:
-            self.counter().enclave_crossings += count
+            counter = self._current
+            if counter is None:
+                counter = self.counter()
+            counter.enclave_crossings += count
             if self.tracer is not None:
                 self.tracer.on_instant(
-                    "crossing", self.source, self.current_domain, count=count
+                    "crossing", self.source, self._domain_stack[-1], count=count
                 )
 
     def charge_allocation(self, count: int = 1) -> None:
         """Record ``count`` in-enclave dynamic memory allocations."""
         if self.enabled:
-            self.counter().allocations += count
+            counter = self._current
+            if counter is None:
+                counter = self.counter()
+            counter.allocations += count
 
     def charge_switchless(self, count: int = 1) -> None:
         """Record ``count`` boundary calls served without a crossing."""
         if self.enabled:
-            self.counter().switchless_calls += count
+            counter = self._current
+            if counter is None:
+                counter = self.counter()
+            counter.switchless_calls += count
             if self.tracer is not None:
                 self.tracer.on_instant(
-                    "switchless_hit", self.source, self.current_domain, count=count
+                    "switchless_hit", self.source, self._domain_stack[-1], count=count
                 )
 
     def charge_fault(self, count: int = 1) -> None:
@@ -182,7 +230,53 @@ class CostAccountant:
         this charge, and one event per fault is enough.
         """
         if self.enabled:
-            self.counter().faults_injected += count
+            counter = self._current
+            if counter is None:
+                counter = self.counter()
+            counter.faults_injected += count
+
+    def charge_burst(
+        self,
+        sgx: int = 0,
+        normal: int = 0,
+        crossings: int = 0,
+        allocations: int = 0,
+        switchless: int = 0,
+        faults: int = 0,
+    ) -> None:
+        """Charge one burst of pre-summed integer deltas in one call.
+
+        Exactly equivalent — counters, span self-counts, instant stream
+        and clock snapshots — to the per-field sequence
+        ``charge_normal; charge_sgx; charge_crossing;
+        charge_allocation; charge_switchless; charge_fault``: the
+        tracer sees a single combined ``on_charge`` (clocks advance by
+        the same totals before any instant is snapshotted) and the same
+        ``crossing``/``switchless_hit`` instants in the same order.
+        ``obs.reconcile()`` is the oracle for that equivalence.
+        """
+        if not self.enabled:
+            return
+        counter = self._current
+        if counter is None:
+            counter = self.counter()
+        counter.sgx_instructions += sgx
+        counter.normal_instructions += normal
+        counter.enclave_crossings += crossings
+        counter.allocations += allocations
+        counter.switchless_calls += switchless
+        counter.faults_injected += faults
+        tracer = self.tracer
+        if tracer is not None:
+            domain = self._domain_stack[-1]
+            if sgx or normal:
+                tracer.on_charge(self.source, domain, sgx, normal)
+            if crossings:
+                tracer.on_instant("crossing", self.source, domain, count=crossings)
+            if switchless:
+                tracer.on_instant(
+                    "switchless_hit", self.source, domain, count=switchless
+                )
 
     # -- reading results ---------------------------------------------------
 
@@ -219,6 +313,7 @@ class CostAccountant:
         reconciliation knows this source's history was discarded.
         """
         self._counters.clear()
+        self._current = None
         if self.tracer is not None:
             self.tracer.on_reset(self.source)
 

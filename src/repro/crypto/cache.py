@@ -32,6 +32,7 @@ import functools
 import os
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.cost import accountant as accountant_mod
 from repro.cost import context as cost_context
 
 __all__ = [
@@ -180,6 +181,22 @@ class _ChargeRecorder:
     def charge_fault(self, count: int = 1) -> None:
         self.faults += count
 
+    def charge_burst(
+        self,
+        sgx: int = 0,
+        normal: int = 0,
+        crossings: int = 0,
+        allocations: int = 0,
+        switchless: int = 0,
+        faults: int = 0,
+    ) -> None:
+        self.sgx += sgx
+        self.normal += normal
+        self.crossings += crossings
+        self.allocations += allocations
+        self.switchless += switchless
+        self.faults += faults
+
     def charges(self) -> Tuple[int, int, int, int, int, int]:
         return (
             self.normal,
@@ -195,6 +212,18 @@ def _replay(accountant: Optional[Any], charges: Tuple[int, ...]) -> None:
     if accountant is None:
         return
     normal, sgx, crossings, allocations, switchless, faults = charges
+    if accountant_mod.burst_enabled():
+        # One coalesced call per burst; integer- and trace-identical to
+        # the per-field sequence below (charge_burst's contract).
+        accountant.charge_burst(
+            sgx=sgx,
+            normal=normal,
+            crossings=crossings,
+            allocations=allocations,
+            switchless=switchless,
+            faults=faults,
+        )
+        return
     if normal:
         accountant.charge_normal(normal)
     if sgx:

@@ -37,6 +37,20 @@ class NetworkError(ReproError):
     """A simulated-network operation failed."""
 
 
+class SimTimeout(NetworkError):
+    """Raised inside a simulator process whose ``get`` timed out.
+
+    Lives here (not in :mod:`repro.net.sim`) so the fast kernel and the
+    frozen reference kernel (:mod:`repro.net.sim_reference`) raise the
+    *same* class — ``except SimTimeout`` clauses behave identically
+    whichever kernel is driving the run.
+    """
+
+
+class SimError(NetworkError):
+    """The simulator kernel itself gave up (e.g. ``max_events`` hit)."""
+
+
 class ProtocolError(ReproError):
     """A peer violated an application protocol."""
 

@@ -217,6 +217,22 @@ class FaultPlan:
             return rule
         return None
 
+    def exhausted(self) -> bool:
+        """True when no rule can ever fire again (every cap is spent).
+
+        Only capped rules can exhaust; any uncapped rule keeps the plan
+        live forever.  The parallel load runner uses this to downgrade
+        fault-forwarding of foreign dispatches to cheap channel
+        fast-forwarding once all deterministic faults have fired —
+        ``decide`` is then a guaranteed no-op that consumes no RNG.
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.max_count is None:
+                return False
+            if self._fired.get(index, 0) < rule.max_count:
+                return False
+        return True
+
     def network_action(self, site: str) -> Optional[Tuple[str, FaultRule]]:
         """One decision per datagram: the first network kind to fire."""
         for kind in NETWORK_KINDS:

@@ -21,6 +21,7 @@ The queueing model is open-loop with per-server busy clocks:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -244,6 +245,81 @@ class _RoutingBackend:
         if sender.cipher != "ecb":
             sender._send_stream.keystream(plaintext_len)
             receiver._recv_stream.keystream(plaintext_len)
+
+    def dead_shards(self) -> List[int]:
+        """Shard ids that have crashed so far (for the parallel merge)."""
+        return sorted(self.dep.dead)
+
+    @contextlib.contextmanager
+    def _uncharged(self):
+        """Run a dispatch without charging or tracing anything.
+
+        Disables every shard accountant, detaches their tracers and
+        clears the active tracer, so a foreign dispatch replayed for
+        its *state effects* (crash decisions, channel positions,
+        program-internal stats) leaves zero footprint in this worker's
+        counters and trace — the worker that owns the dispatch measures
+        it instead.
+        """
+        from repro.cost import accountant as accountant_mod
+
+        accts = list(self.dep.accountants().values())
+        prior = [(acct.enabled, acct.tracer) for acct in accts]
+        prior_tracer = accountant_mod.set_active_tracer(None)
+        for acct in accts:
+            acct.enabled = False
+            acct.tracer = None
+        try:
+            yield
+        finally:
+            accountant_mod.set_active_tracer(prior_tracer)
+            for acct, (enabled, tracer) in zip(accts, prior):
+                acct.enabled = enabled
+                acct.tracer = tracer
+
+    def fault_forward(
+        self, slot: int, events: Sequence[ClientEvent], index: int
+    ) -> Optional[Dict[int, Dict[str, int]]]:
+        """Replay a dispatch owned by another worker under a fault plan.
+
+        Crash decisions are plan-order-dependent: whether dispatch N
+        crashes a shard depends on how many faults fired before it.  A
+        worker under an active (deterministic, capped) plan therefore
+        *executes* foreign dispatches for real — uncharged and
+        untraced — so its replica's fault state, shard ownership and
+        channel positions evolve exactly as in the serial run.  Once
+        the plan is exhausted no decision can fire again and the cheap
+        channel fast-forward suffices.
+
+        Returns the program-internal stat deltas ("ghost stats") the
+        uncharged execution caused, which the parent subtracts so each
+        dispatch's stats are counted exactly once (by its owner).
+        """
+        from repro import faults as faults_mod
+
+        if self._lost:
+            # The serial run's dispatch is a pure bookkeeping failure
+            # here — no enclave, channel or plan state moves.
+            return None
+        plan = faults_mod.current_plan()
+        if plan is None or plan.exhausted():
+            self.skip_dispatch(slot, events, index)
+            return None
+        with self._uncharged():
+            before = self.dep.shard_stats()
+            self.dispatch(slot, events, index)
+            after = self.dep.shard_stats()
+        ghost: Dict[int, Dict[str, int]] = {}
+        for shard_id, stats in after.items():
+            base = before.get(shard_id, {})
+            delta = {
+                field: value - base.get(field, 0)
+                for field, value in stats.items()
+                if value - base.get(field, 0)
+            }
+            if delta:
+                ghost[shard_id] = delta
+        return ghost
 
     def rebase_steady(self) -> None:
         """Restart the steady-counter window at the current totals.

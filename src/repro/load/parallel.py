@@ -24,19 +24,36 @@ deltas.  The parent merges:
   fold, identical floats);
 * steady counters — sum of worker deltas (integer adds commute);
 * shard stats — base (pre-dispatch, same in every replica) plus the
-  per-worker serving deltas;
+  per-worker serving deltas (minus any ghost deltas from uncharged
+  fault-forwarding), with end-of-run dead shards dropped;
 * setup cycles — from any one replica (deterministic).
 
+Traced runs replay in parallel too: each worker traces its replica
+with a private :class:`~repro.obs.Tracer` and ships the exported
+state; the parent absorbs every worker's state (ghost accountants,
+rebased clocks/seqs/span ids) so ``obs.reconcile`` holds exactly on
+the merged trace.
+
+Fault-injected runs replay in parallel when the plan is
+*deterministic and capped* (every rule rate-1.0 with a ``max_count``,
+e.g. the ``shard_crash`` class) and the backend can fault-forward
+foreign dispatches (routing).  Each worker then walks the *full* plan
+— executing foreign dispatches uncharged so crash decisions and shard
+ownership evolve exactly as in the serial run — and the parent checks
+every worker saw the identical fault log before replaying it into the
+caller's plan.  Probabilistic plans (decisions consume shared RNG
+draws) and backends without ``fault_forward`` fall back to the serial
+engine — correctness first, wall-clock second.
+
 Scenarios that are *not* interleaving-independent (Tor couples
-consensus validity to the globally accumulated clock) and any run with
-an active fault plan (crash decisions are plan-order-dependent) fall
-back to the serial engine — correctness first, wall-clock second.
+consensus validity to the globally accumulated clock) always fall back
+to the serial engine.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cost import accountant as accountant_mod
 from repro.errors import ReproError
@@ -72,6 +89,23 @@ class _ReplayBackend:
         return self._dispatches[index]
 
 
+def _plan_parallel_safe(plan) -> bool:
+    """Whether fault decisions can be replayed identically by every worker.
+
+    True iff every rule is deterministic (rate 1.0, so ``decide`` never
+    consumes an RNG draw) and capped (``max_count`` set, so
+    :meth:`~repro.faults.FaultPlan.exhausted` can downgrade foreign
+    dispatches to cheap fast-forwarding), and the plan carries no
+    fallback accountant (accountants don't cross process boundaries).
+    """
+    if plan.accountant is not None:
+        return False
+    for rule in plan.rules:
+        if rule.rate < 1.0 or rule.max_count is None:
+            return False
+    return True
+
+
 def _worker_run(
     scenario: str,
     n_clients: int,
@@ -81,42 +115,102 @@ def _worker_run(
     seed: int,
     n_events: int,
     indices: List[int],
+    traced: bool = False,
+    fault_state: Optional[Tuple[Any, tuple, Dict[int, int]]] = None,
 ) -> dict:
     """Executed in a worker process: replay one slice of the plan."""
+    from repro import faults as faults_mod
+
     # A tracer attached in the parent would record this replica's spans
-    # as if they were the session's; workers account only locally.
-    accountant_mod.set_active_tracer(None)
-    backend = _BACKENDS[scenario](n_shards, batch, n_ases, seed)
-    events = generate_events(scenario, n_clients, n_events, backend.keys(), seed)
-    plan = plan_dispatches(events, n_shards, batch)
-    base_stats = backend.shard_stats()
-    # The base stats read itself crossed into the enclaves; re-snapshot
-    # so the steady window covers serving charges only, as it does in
-    # the serial run (which reads stats once, after the steady read).
-    rebase = getattr(backend, "rebase_steady", None)
-    if rebase is not None:
-        rebase()
-    mine = set(indices)
-    skip = getattr(backend, "skip_dispatch", None)
-    dispatches: Dict[int, _Dispatch] = {}
-    for index, (slot, batch_events) in enumerate(plan):
-        if index in mine:
-            dispatches[index] = backend.dispatch(slot, batch_events, index)
-        elif skip is not None:
-            # Fast-forward stateful backend context (channel sequence
-            # numbers, keystream position) past dispatches owned by
-            # other workers — uncharged, so this worker's measured
-            # costs match the serial run's exactly.
-            skip(slot, batch_events, index)
-    steady = backend.steady_counters()
-    final_stats = backend.shard_stats()
-    return {
-        "dispatches": dispatches,
-        "steady": steady,
-        "base_stats": base_stats,
-        "final_stats": final_stats,
-        "setup_cycles": backend.setup_cycles,
-    }
+    # as if they were the session's, and a forked copy of the parent's
+    # fault plan would double-decide; workers run on private state and
+    # restore the priors (the single-partition path runs in-process).
+    prior_tracer = accountant_mod.set_active_tracer(None)
+    prior_plan = faults_mod.current_plan()
+    if prior_plan is not None:
+        faults_mod.deactivate()
+    local_tracer = None
+    local_plan = None
+    try:
+        if traced:
+            from repro.obs.tracer import Tracer
+
+            local_tracer = Tracer()
+            accountant_mod.set_active_tracer(local_tracer)
+        backend = _BACKENDS[scenario](n_shards, batch, n_ases, seed)
+        events = generate_events(scenario, n_clients, n_events, backend.keys(), seed)
+        plan = plan_dispatches(events, n_shards, batch)
+        base_stats = backend.shard_stats()
+        # The base stats read itself crossed into the enclaves; re-snapshot
+        # so the steady window covers serving charges only, as it does in
+        # the serial run (which reads stats once, after the steady read).
+        rebase = getattr(backend, "rebase_steady", None)
+        if rebase is not None:
+            rebase()
+        if fault_state is not None:
+            f_seed, f_rules, f_fired = fault_state
+            local_plan = faults_mod.FaultPlan(f_seed, list(f_rules))
+            local_plan._fired = dict(f_fired)
+            faults_mod.activate(local_plan)
+        mine = set(indices)
+        skip = getattr(backend, "skip_dispatch", None)
+        forward = (
+            getattr(backend, "fault_forward", None)
+            if fault_state is not None
+            else None
+        )
+        dispatches: Dict[int, _Dispatch] = {}
+        ghost_stats: Dict[int, Dict[str, int]] = {}
+        for index, (slot, batch_events) in enumerate(plan):
+            if index in mine:
+                dispatches[index] = backend.dispatch(slot, batch_events, index)
+            elif forward is not None:
+                # Execute the foreign dispatch uncharged so fault
+                # decisions and replica state track the serial run;
+                # remember its stat footprint for the parent to deduct.
+                ghost = forward(slot, batch_events, index)
+                if ghost:
+                    for shard_id, delta in ghost.items():
+                        target = ghost_stats.setdefault(shard_id, {})
+                        for field, value in delta.items():
+                            target[field] = target.get(field, 0) + value
+            elif skip is not None:
+                # Fast-forward stateful backend context (channel sequence
+                # numbers, keystream position) past dispatches owned by
+                # other workers — uncharged, so this worker's measured
+                # costs match the serial run's exactly.
+                skip(slot, batch_events, index)
+        steady = backend.steady_counters()
+        final_stats = backend.shard_stats()
+        dead = getattr(backend, "dead_shards", None)
+        result = {
+            "dispatches": dispatches,
+            "steady": steady,
+            "base_stats": base_stats,
+            "final_stats": final_stats,
+            "ghost_stats": ghost_stats,
+            "dead": dead() if dead is not None else [],
+            "setup_cycles": backend.setup_cycles,
+            "trace": None,
+            "fault": None,
+        }
+        if local_plan is not None:
+            result["fault"] = {
+                "events": [
+                    (e.kind, e.site, e.detail) for e in local_plan.log
+                ],
+                "fired": dict(local_plan._fired),
+                "digest": local_plan.log.digest(),
+            }
+        if local_tracer is not None:
+            result["trace"] = local_tracer.export_state()
+        return result
+    finally:
+        if local_plan is not None and faults_mod.current_plan() is local_plan:
+            faults_mod.deactivate()
+        if prior_plan is not None and faults_mod.current_plan() is None:
+            faults_mod.activate(prior_plan)
+        accountant_mod.set_active_tracer(prior_tracer)
 
 
 def _merge_stats(
@@ -124,13 +218,46 @@ def _merge_stats(
     worker_results: List[dict],
 ) -> Dict[int, Dict[str, int]]:
     merged = {shard_id: dict(stats) for shard_id, stats in base.items()}
+    dead: set = set()
     for result in worker_results:
+        ghost_stats = result.get("ghost_stats") or {}
         for shard_id, final in result["final_stats"].items():
             base_stats = result["base_stats"].get(shard_id, {})
+            ghost = ghost_stats.get(shard_id, {})
             target = merged.setdefault(shard_id, {})
             for field, value in final.items():
-                target[field] = target.get(field, 0) + value - base_stats.get(field, 0)
+                target[field] = (
+                    target.get(field, 0)
+                    + value
+                    - base_stats.get(field, 0)
+                    - ghost.get(field, 0)
+                )
+        dead.update(result.get("dead") or [])
+    # A shard dead at end of run is absent from the serial run's stats
+    # (shard_stats only reads live shards); drop it from the merge too.
+    for shard_id in dead:
+        merged.pop(shard_id, None)
     return merged
+
+
+def _merge_fault_logs(plan, worker_results: List[dict]) -> None:
+    """Replay the (identical) worker fault logs into the caller's plan."""
+    from repro.faults import FaultEvent
+
+    digests = {result["fault"]["digest"] for result in worker_results}
+    if len(digests) != 1:
+        raise ReproError(
+            "parallel fault replay diverged: workers saw different fault logs "
+            f"({sorted(digests)})"
+        )
+    first = worker_results[0]["fault"]
+    for kind, site, detail in first["events"]:
+        plan.log.record(
+            FaultEvent(
+                index=len(plan.log.events), kind=kind, site=site, detail=detail
+            )
+        )
+    plan._fired = dict(first["fired"])
 
 
 def run_load_parallel(
@@ -148,8 +275,9 @@ def run_load_parallel(
 
     ``workers`` worker processes each replay a round-robin slice of
     the dispatch plan on their own backend replica; the parent merges.
-    Falls back to the serial engine when the scenario is not
-    interleaving-independent or a fault plan is active.
+    Traced runs and deterministic capped fault plans replay in
+    parallel too (see the module docstring); Tor and probabilistic
+    fault plans fall back to the serial engine.
     """
     from repro import faults
     from repro.load.engine import run_load_engine
@@ -161,7 +289,15 @@ def run_load_parallel(
         )
     if workers < 1:
         raise ReproError("need at least one worker")
-    if not backend_class.parallel_safe or faults.current_plan() is not None:
+    plan_active = faults.current_plan()
+    fault_parallel = (
+        plan_active is not None
+        and _plan_parallel_safe(plan_active)
+        and hasattr(backend_class, "fault_forward")
+    )
+    if not backend_class.parallel_safe or (
+        plan_active is not None and not fault_parallel
+    ):
         return run_load_engine(
             scenario,
             n_clients,
@@ -175,6 +311,14 @@ def run_load_parallel(
     if n_events is None:
         n_events = default_n_events(scenario, n_clients)
 
+    tracer = accountant_mod.active_tracer()
+    traced = tracer is not None
+    fault_state = (
+        (plan_active.seed, tuple(plan_active.rules), dict(plan_active._fired))
+        if fault_parallel
+        else None
+    )
+
     keys = population_keys(scenario, n_ases, seed)
     events = generate_events(scenario, n_clients, n_events, keys, seed)
     plan = plan_dispatches(events, n_shards, batch)
@@ -187,7 +331,18 @@ def run_load_parallel(
     # replica, so setup cycles / base stats / empty-plan steady deltas
     # match the serial run exactly.
     job_args = [
-        (scenario, n_clients, n_shards, batch, n_ases, seed, n_events, part)
+        (
+            scenario,
+            n_clients,
+            n_shards,
+            batch,
+            n_ases,
+            seed,
+            n_events,
+            part,
+            traced,
+            fault_state,
+        )
         for i, part in enumerate(partitions)
         if part or i == 0
     ]
@@ -208,6 +363,11 @@ def run_load_parallel(
             steady[field] = steady.get(field, 0) + value
     setup_cycles = worker_results[0]["setup_cycles"]
     shard_stats = _merge_stats(worker_results[0]["base_stats"], worker_results)
+    if traced:
+        for result in worker_results:
+            tracer.absorb(result["trace"])
+    if fault_parallel:
+        _merge_fault_logs(plan_active, worker_results)
 
     engine = LoadEngine(_ReplayBackend(scenario, dispatches), n_shards, batch)
     engine.run(events)

@@ -25,7 +25,7 @@ from repro.crypto.drbg import Rng
 from repro.crypto.rsa import generate_rsa_keypair
 from repro.errors import AttestationError, MiddleboxError, ProtocolError
 from repro.net.network import LinkParams, Network
-from repro.net.sim import SimTimeout, Simulator
+from repro.net.sim import SimTimeout, create as create_simulator
 from repro.sgx.attestation import IdentityPolicy
 from repro.sgx.measurement import measure_program
 from repro.sgx.quoting import AttestationAuthority
@@ -77,7 +77,7 @@ class MiddleboxScenario:
         switchless: bool = False,
         failure_policy: str = "closed",
     ) -> None:
-        self.sim = Simulator()
+        self.sim = create_simulator()
         self.network = Network(
             self.sim, rng=Rng(seed, "net"), default_link=LinkParams(latency=0.002)
         )

@@ -9,7 +9,15 @@ deterministic, so every experiment replays bit-identically.
 
 from repro.net.channel import SecureRecordChannel
 from repro.net.network import MTU, Datagram, Host, LinkParams, Network
-from repro.net.sim import MessageQueue, Process, SimTimeout, Simulator
+from repro.net.sim import (
+    MessageQueue,
+    Process,
+    SimError,
+    SimTimeout,
+    Simulator,
+    create,
+    use_kernel,
+)
 from repro.net.transport import MSS, StreamListener, StreamSocket, connect
 
 __all__ = [
@@ -17,6 +25,9 @@ __all__ = [
     "Process",
     "MessageQueue",
     "SimTimeout",
+    "SimError",
+    "create",
+    "use_kernel",
     "Network",
     "Host",
     "Datagram",

@@ -36,6 +36,8 @@ __all__ = [
     "SCHEMA",
     "run_perf",
     "run_ablation",
+    "run_kernel_bench",
+    "run_kernel_ablation",
     "validate_perf",
     "format_perf",
     "perf_json",
@@ -134,6 +136,159 @@ def _load_middlebox(smoke: bool):
 
 
 # ---------------------------------------------------------------------------
+# Kernel micro-benchmarks (bench-kernel)
+# ---------------------------------------------------------------------------
+#
+# Pure event-loop workloads timed on both the fast two-lane kernel
+# (repro.net.sim) and the frozen heap reference (repro.net.sim_reference).
+# No crypto, no cost model — these isolate the scheduler itself, so the
+# speedup column is the kernel rewrite's contribution and nothing else.
+# ``n_events`` is the nominal scheduled-event count (identical for both
+# kernels by construction), used for the events/sec figures.
+
+#: name -> builder(sim_module, smoke) returning (body, params, n_events).
+_KERNEL_SCENARIOS: Dict[str, Callable] = {}
+
+
+def _kernel_scenario(name: str):
+    def register(builder: Callable) -> Callable:
+        _KERNEL_SCENARIOS[name] = builder
+        return builder
+
+    return register
+
+
+@_kernel_scenario("kernel_events")
+def _kernel_events(sim_mod, smoke: bool):
+    """Empty-workload throughput: co-scheduled processes yielding.
+
+    Every yield is a zero-delay reschedule at the shared current
+    timestamp — the fast kernel's now-lane sweet spot and the dominant
+    event shape in the simulator-backed deployments (batched wakeups,
+    queue hand-offs).
+    """
+    n_procs = 40 if smoke else 200
+    n_yields = 100 if smoke else 500
+
+    def body():
+        simulator = sim_mod.Simulator()
+
+        def proc():
+            for _ in range(n_yields):
+                yield None
+
+        for i in range(n_procs):
+            simulator.spawn(proc(), f"p{i}")
+        simulator.run()
+
+    return (
+        body,
+        {"processes": n_procs, "yields": n_yields},
+        n_procs * (n_yields + 1),
+    )
+
+
+@_kernel_scenario("kernel_timers")
+def _kernel_timers(sim_mod, smoke: bool):
+    """10^5 timers at ~10^3 concurrency (mostly unique timestamps).
+
+    The calendar queue's worst shape — almost every push opens a fresh
+    bucket, so the heap is fully exercised; the rewrite must at least
+    hold parity here while winning on the bursty shapes.
+    """
+    n_procs = 100 if smoke else 1000
+    n_sleeps = 20 if smoke else 100
+
+    def body():
+        simulator = sim_mod.Simulator()
+
+        def proc(period):
+            for _ in range(n_sleeps):
+                yield simulator.sleep(period)
+
+        for i in range(n_procs):
+            simulator.spawn(proc(0.001 + i * 1e-6), f"t{i}")
+        simulator.run()
+
+    return (
+        body,
+        {"processes": n_procs, "sleeps": n_sleeps},
+        n_procs * (n_sleeps + 1),
+    )
+
+
+@_kernel_scenario("kernel_queues")
+def _kernel_queues(sim_mod, smoke: bool):
+    """10^3 producer/consumer pairs streaming through MessageQueues."""
+    n_pairs = 100 if smoke else 1000
+    n_items = 5 if smoke else 20
+
+    def body():
+        simulator = sim_mod.Simulator()
+
+        def producer(q):
+            for item in range(n_items):
+                q.put(item)
+                yield None
+
+        def consumer(q):
+            for _ in range(n_items):
+                yield q.get()
+
+        for i in range(n_pairs):
+            q = simulator.queue(f"q{i}")
+            simulator.spawn(producer(q), f"prod{i}")
+            simulator.spawn(consumer(q), f"cons{i}")
+        simulator.run()
+
+    # Per pair: producer resumes, consumer resumes + one delivery wake
+    # per item — the nominal count only needs to be kernel-independent.
+    return (
+        body,
+        {"pairs": n_pairs, "items": n_items},
+        n_pairs * (3 * n_items + 2),
+    )
+
+
+def _time_body(body: Callable, repeats: int) -> List[float]:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        body()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def run_kernel_bench(smoke: bool = False, repeats: int = 3) -> Dict[str, dict]:
+    """Time every kernel scenario on both kernels; return the section."""
+    from repro.net import sim, sim_reference
+
+    out: Dict[str, dict] = {}
+    for name in sorted(_KERNEL_SCENARIOS):
+        builder = _KERNEL_SCENARIOS[name]
+        body_fast, params, n_events = builder(sim, smoke)
+        body_ref, _, _ = builder(sim_reference, smoke)
+        fast = _time_body(body_fast, repeats)
+        reference = _time_body(body_ref, repeats)
+        fast_median = statistics.median(fast)
+        ref_median = statistics.median(reference)
+        out[name] = {
+            "params": params,
+            "n_events": n_events,
+            "fast_seconds": [round(s, 6) for s in fast],
+            "reference_seconds": [round(s, 6) for s in reference],
+            "fast_median_s": round(fast_median, 6),
+            "reference_median_s": round(ref_median, 6),
+            "fast_events_per_s": round(n_events / fast_median) if fast_median else 0,
+            "reference_events_per_s": (
+                round(n_events / ref_median) if ref_median else 0
+            ),
+            "speedup": round(ref_median / fast_median, 3) if fast_median else 0.0,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
 
@@ -200,6 +355,10 @@ def run_perf(
         "repeats": repeats,
         "env": _environment(),
         "scenarios": out,
+        # bench-kernel rides along in every run: the fast-kernel
+        # speedups are part of the repo's performance contract (CI
+        # fails the perf job if any drops below 1.0).
+        "kernel": run_kernel_bench(smoke=smoke, repeats=repeats),
     }
 
 
@@ -261,6 +420,70 @@ def run_ablation(smoke: bool = True, workers_grid: Optional[List[int]] = None) -
     }
 
 
+def run_kernel_ablation(smoke: bool = True, repeats: int = 3) -> dict:
+    """A13: event kernel crossed with burst charging, on the routing load.
+
+    Median-of-``repeats`` serial runs of the same routing load per cell
+    — {reference, fast} kernel x burst-coalesced charging {off, on} —
+    so EXPERIMENTS.md can attribute the wall-clock win between the
+    scheduler rewrite and the per-burst ``CostAccountant`` charging.
+    The burst toggle is also exported through ``REPRO_NO_BURST_CHARGE``
+    for consistency with how the CLI environment would configure it.
+    """
+    from repro.cost import accountant as accountant_mod
+    from repro.load.engine import run_load_engine
+    from repro.net.sim import use_kernel
+
+    n_clients = 100 if smoke else 1000
+    cells = []
+    prior_env = os.environ.get("REPRO_NO_BURST_CHARGE")
+    prior_burst = accountant_mod.burst_enabled()
+    try:
+        for kernel in ("reference", "fast"):
+            for burst in (False, True):
+                if burst:
+                    os.environ.pop("REPRO_NO_BURST_CHARGE", None)
+                else:
+                    os.environ["REPRO_NO_BURST_CHARGE"] = "1"
+                accountant_mod.configure_burst(burst)
+                cache.clear_all()
+                with use_kernel(kernel):
+                    timings = []
+                    for _ in range(repeats):
+                        start = time.perf_counter()
+                        result = run_load_engine(
+                            "routing",
+                            n_clients=n_clients,
+                            n_shards=2,
+                            batch=8,
+                            seed=0,
+                        )
+                        timings.append(time.perf_counter() - start)
+                cells.append(
+                    {
+                        "kernel": kernel,
+                        "burst_charging": burst,
+                        "seconds": round(statistics.median(timings), 6),
+                        "events": result.n_events,
+                    }
+                )
+    finally:
+        if prior_env is None:
+            os.environ.pop("REPRO_NO_BURST_CHARGE", None)
+        else:
+            os.environ["REPRO_NO_BURST_CHARGE"] = prior_env
+        accountant_mod.configure_burst(prior_burst)
+        cache.clear_all()
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro bench --ablation-kernel",
+        "smoke": smoke,
+        "env": _environment(),
+        "ablation": "A13",
+        "cells": cells,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Report plumbing
 # ---------------------------------------------------------------------------
@@ -285,11 +508,16 @@ def validate_perf(doc: dict) -> List[str]:
                 problems.append(f"env.{field} missing")
     if "cells" in doc:
         cells = doc["cells"]
+        grid_fields = (
+            ("kernel", "burst_charging", "seconds")
+            if doc.get("ablation") == "A13"
+            else ("caches", "workers", "seconds")
+        )
         if not isinstance(cells, list) or not cells:
             problems.append("cells missing or empty")
         else:
             for i, cell in enumerate(cells):
-                for field in ("caches", "workers", "seconds"):
+                for field in grid_fields:
                     if field not in cell:
                         problems.append(f"cells[{i}].{field} missing")
         return problems
@@ -297,6 +525,25 @@ def validate_perf(doc: dict) -> List[str]:
     if not isinstance(scenarios, dict) or not scenarios:
         problems.append("scenarios missing or empty")
         return problems
+    kernel = doc.get("kernel")
+    if not isinstance(kernel, dict) or not kernel:
+        problems.append("kernel section missing or empty")
+    else:
+        for name, entry in sorted(kernel.items()):
+            for field in (
+                "params",
+                "n_events",
+                "fast_median_s",
+                "reference_median_s",
+                "fast_events_per_s",
+                "reference_events_per_s",
+                "speedup",
+            ):
+                if field not in entry:
+                    problems.append(f"kernel.{name}.{field} missing")
+            speedup = entry.get("speedup")
+            if isinstance(speedup, (int, float)) and speedup <= 0:
+                problems.append(f"kernel.{name}.speedup not positive")
     for name, entry in sorted(scenarios.items()):
         for field in (
             "params",
@@ -325,6 +572,15 @@ def format_perf(doc: dict) -> str:
         + f" — fast AES kernel: {doc['env']['fast_aes_kernel']}",
         f"{'scenario':<18} {'cold (s)':>10} {'warm (s)':>10} {'speedup':>9}",
     ]
+    if doc.get("ablation") == "A13":
+        lines[1] = f"{'kernel':<10} {'burst':>6} {'seconds':>10}"
+        for cell in doc["cells"]:
+            lines.append(
+                f"{cell['kernel']:<10} "
+                f"{'on' if cell['burst_charging'] else 'off':>6} "
+                f"{cell['seconds']:>10.3f}"
+            )
+        return "\n".join(lines)
     if "cells" in doc:
         lines[1] = f"{'caches':<8} {'workers':>8} {'seconds':>10}"
         for cell in doc["cells"]:
@@ -338,6 +594,21 @@ def format_perf(doc: dict) -> str:
             f"{name:<18} {entry['cold_median_s']:>10.3f} "
             f"{entry['warm_median_s']:>10.3f} {entry['speedup']:>8.2f}x"
         )
+    if doc.get("kernel"):
+        lines.append("")
+        lines.append(
+            "Event kernel (bench-kernel) — fast vs frozen reference scheduler"
+        )
+        lines.append(
+            f"{'scenario':<18} {'ref (s)':>10} {'fast (s)':>10} "
+            f"{'fast ev/s':>12} {'speedup':>9}"
+        )
+        for name, entry in sorted(doc["kernel"].items()):
+            lines.append(
+                f"{name:<18} {entry['reference_median_s']:>10.3f} "
+                f"{entry['fast_median_s']:>10.3f} "
+                f"{entry['fast_events_per_s']:>12,} {entry['speedup']:>8.2f}x"
+            )
     return "\n".join(lines)
 
 
@@ -348,13 +619,19 @@ def main(argv=None) -> int:  # pragma: no cover — exercised via __main__
     parser.add_argument("--smoke", action="store_true")
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--ablation", action="store_true")
+    parser.add_argument(
+        "--ablation-kernel",
+        action="store_true",
+        help="A13: event kernel x burst charging over the routing load",
+    )
     parser.add_argument("--out", default="BENCH_perf.json")
     args = parser.parse_args(argv)
-    doc = (
-        run_ablation(smoke=args.smoke)
-        if args.ablation
-        else run_perf(smoke=args.smoke, repeats=args.repeat)
-    )
+    if args.ablation_kernel:
+        doc = run_kernel_ablation(smoke=args.smoke)
+    elif args.ablation:
+        doc = run_ablation(smoke=args.smoke)
+    else:
+        doc = run_perf(smoke=args.smoke, repeats=args.repeat)
     problems = validate_perf(doc)
     if problems:
         print("; ".join(problems), file=sys.stderr)

@@ -30,7 +30,7 @@ from repro.crypto.drbg import Rng
 from repro.crypto.rsa import generate_rsa_keypair
 from repro.errors import PolicyError, ReproError
 from repro.net.network import LinkParams, Network
-from repro.net.sim import Simulator
+from repro.net import sim as sim_kernel
 from repro.net.transport import StreamListener, connect
 from repro.routing import messages as msg
 from repro.routing.app import AsLocalControllerProgram, InterDomainControllerProgram
@@ -130,7 +130,7 @@ def run_sgx_routing(
     ordinary crossings.
     """
     topology, policies = build_policies(n_ases, seed)
-    sim = Simulator()
+    sim = sim_kernel.create()
     network = Network(
         sim, rng=Rng(seed, "net"), default_link=LinkParams(latency=0.002)
     )
@@ -322,7 +322,7 @@ def run_native_routing(
 ) -> RoutingRunResult:
     """The non-SGX baseline: same apps, plaintext, no enclaves."""
     topology, policies = build_policies(n_ases, seed)
-    sim = Simulator()
+    sim = sim_kernel.create()
     network = Network(
         sim, rng=Rng(seed, "net-native"), default_link=LinkParams(latency=0.002)
     )

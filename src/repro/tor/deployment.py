@@ -28,7 +28,7 @@ from repro.crypto.drbg import Rng
 from repro.crypto.rsa import generate_rsa_keypair
 from repro.errors import AttestationError, ReproError, TorError
 from repro.net.network import LinkParams, Network
-from repro.net.sim import Simulator
+from repro.net.sim import create as create_simulator
 from repro.net.transport import StreamListener
 from repro.sgx.attestation import AttestationConfig, IdentityPolicy
 from repro.sgx.measurement import measure_program
@@ -116,7 +116,7 @@ class TorDeployment:
 
     def __init__(self, config: TorDeploymentConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = create_simulator()
         self.network = Network(
             self.sim,
             rng=Rng(config.seed, "net"),

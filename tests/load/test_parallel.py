@@ -58,12 +58,45 @@ class TestByteIdentity:
         kwargs = dict(n_clients=12, n_shards=1, batch=2, seed=0)
         assert _parallel("tor", 4, **kwargs) == _serial("tor", **kwargs)
 
-    def test_fault_plan_falls_back_to_serial(self):
+    def test_deterministic_fault_plan_replays_in_parallel(self):
+        # A capped rate-1.0 shard_crash plan is parallel-safe: every
+        # worker fault-forwards foreign dispatches, so crash decisions
+        # replay identically and the merged result (and the fault log
+        # replayed into the caller's plan) match the serial oracle.
         kwargs = dict(n_clients=30, n_shards=2, batch=4, seed=0)
         # Fresh plan per arm: plans consume decisions as they fire.
-        with faults.active(faults.matrix_plan("shard_crash", 3)):
+        parallel_plan = faults.matrix_plan("shard_crash", 3)
+        with faults.active(parallel_plan):
             parallel = _parallel("routing", 2, **kwargs)
-        with faults.active(faults.matrix_plan("shard_crash", 3)):
+        serial_plan = faults.matrix_plan("shard_crash", 3)
+        with faults.active(serial_plan):
+            serial = _serial("routing", **kwargs)
+        assert parallel == serial
+        assert parallel_plan.log.digest() == serial_plan.log.digest()
+        assert parallel_plan._fired == serial_plan._fired
+        assert len(parallel_plan.log) == 1
+
+    def test_probabilistic_fault_plan_falls_back_to_serial(self):
+        # Probabilistic rules consume shared RNG draws, so replicas
+        # cannot replay decisions independently: the runner must
+        # refuse to partition and still return the serial answer.
+        kwargs = dict(n_clients=20, n_shards=2, batch=4, seed=0)
+        rules = [faults.FaultRule(faults.SHARD_CRASH, rate=0.5, max_count=1)]
+        with faults.active(faults.FaultPlan(11, rules)):
+            parallel = _parallel("routing", 2, **kwargs)
+        with faults.active(faults.FaultPlan(11, rules)):
+            serial = _serial("routing", **kwargs)
+        assert parallel == serial
+
+    def test_uncapped_fault_plan_falls_back_to_serial(self):
+        # Without max_count the plan never exhausts, so fault-forward
+        # can't downgrade — the gate must route this to the serial
+        # engine rather than risk divergence.
+        kwargs = dict(n_clients=20, n_shards=2, batch=4, seed=0)
+        rules = [faults.FaultRule(faults.SHARD_CRASH, rate=1.0)]
+        with faults.active(faults.FaultPlan(5, rules)):
+            parallel = _parallel("routing", 2, **kwargs)
+        with faults.active(faults.FaultPlan(5, rules)):
             serial = _serial("routing", **kwargs)
         assert parallel == serial
 
@@ -99,3 +132,65 @@ class TestPlanHelpers:
     def test_oversubscribed_workers_clamp(self):
         kwargs = dict(n_clients=6, n_shards=1, batch=8, seed=0)
         assert _parallel("routing", 64, **kwargs) == _serial("routing", **kwargs)
+
+
+class TestKernelAndReplayDifferential:
+    """Satellite (b): BENCH_load.json is byte-identical under the old
+    kernel, the new kernel, and the new kernel with parallel traced /
+    fault-injected replay — for seeds 0 and 1."""
+
+    KW = dict(n_clients=30, n_shards=2, batch=4)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_bench_load_bytes_across_kernels_and_replay(self, seed):
+        from repro.cost import accountant as accountant_mod
+        from repro.net.sim import use_kernel
+        from repro.obs.export import reconcile
+        from repro.obs.tracer import Tracer
+
+        kwargs = dict(self.KW, seed=seed)
+        fast_serial = _serial("routing", **kwargs)
+        with use_kernel("reference"):
+            reference_serial = _serial("routing", **kwargs)
+        assert reference_serial == fast_serial
+
+        # Parallel replay with a live tracer: same bytes, and the
+        # absorbed worker traces reconcile exactly against the parent
+        # tracer's ghost accountants (integer identity, no tolerance).
+        tracer = Tracer()
+        prior = accountant_mod.set_active_tracer(tracer)
+        try:
+            traced_parallel = _parallel("routing", 2, **kwargs)
+        finally:
+            accountant_mod.set_active_tracer(prior)
+        assert traced_parallel == fast_serial
+        reconcile(tracer)  # raises ReconcileError on any drift
+
+        # Parallel fault replay: same bytes as the serial run under an
+        # identical fresh plan, and the same injected-fault log.
+        parallel_plan = faults.matrix_plan("shard_crash", seed + 2)
+        with faults.active(parallel_plan):
+            fault_parallel = _parallel("routing", 2, **kwargs)
+        serial_plan = faults.matrix_plan("shard_crash", seed + 2)
+        with faults.active(serial_plan):
+            fault_serial = _serial("routing", **kwargs)
+        assert fault_parallel == fault_serial
+        assert parallel_plan.log.digest() == serial_plan.log.digest()
+
+    def test_traced_fault_parallel_replay_reconciles(self):
+        from repro.cost import accountant as accountant_mod
+        from repro.obs.export import reconcile
+        from repro.obs.tracer import Tracer
+
+        kwargs = dict(self.KW, seed=0)
+        with faults.active(faults.matrix_plan("shard_crash", 2)):
+            serial = _serial("routing", **kwargs)
+        tracer = Tracer()
+        prior = accountant_mod.set_active_tracer(tracer)
+        try:
+            with faults.active(faults.matrix_plan("shard_crash", 2)):
+                parallel = _parallel("routing", 2, **kwargs)
+        finally:
+            accountant_mod.set_active_tracer(prior)
+        assert parallel == serial
+        reconcile(tracer)

@@ -275,3 +275,98 @@ class TestQueues:
         q.put(1)
         q.put(2)
         assert len(q) == 2
+
+
+class TestKernelFailureReporting:
+    """The fast kernel's typed give-up paths (new in the rewrite)."""
+
+    def test_max_events_raises_typed_sim_error(self):
+        from repro.net.sim import SimError
+
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield None
+
+        sim.spawn(spinner(), "whirligig")
+        with pytest.raises(SimError) as excinfo:
+            sim.run(max_events=10)
+        # SimError subclasses NetworkError, so pre-rewrite callers
+        # catching the old type keep working.
+        assert isinstance(excinfo.value, NetworkError)
+        assert "exceeded 10 events" in str(excinfo.value)
+
+    def test_exhaustion_names_oldest_runnable_process(self):
+        from repro.net.sim import SimError
+
+        sim = Simulator()
+
+        def spinner():
+            while True:
+                yield None
+
+        def finisher():
+            yield sim.sleep(0.5)
+
+        sim.spawn(spinner(), "oldest-spinner")
+        sim.spawn(finisher(), "short-lived")
+        with pytest.raises(SimError, match="oldest still-runnable process: 'oldest-spinner'"):
+            sim.run(max_events=50)
+
+    def test_exhaustion_report_scans_calendar_lane_too(self):
+        from repro.net.sim import SimError
+
+        sim = Simulator()
+
+        def staller():
+            while True:
+                yield sim.sleep(1.0)
+
+        sim.spawn(staller(), "far-future")
+        with pytest.raises(SimError, match="far-future"):
+            sim.run(max_events=7)
+
+    def test_orphan_failure_report_records_process_and_error(self):
+        sim = Simulator()
+
+        def doomed():
+            yield sim.sleep(0.25)
+            raise RuntimeError("kaboom")
+
+        process = sim.spawn(doomed(), "doomed")
+        with pytest.raises(NetworkError, match="process 'doomed' failed at t=0.250000") as excinfo:
+            sim.run()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        # _report_orphan_failure stashed the (process, error) pair the
+        # run loop re-raised from.
+        assert sim._orphan_failures == [(process, excinfo.value.__cause__)]
+        assert str(excinfo.value.__cause__) == "kaboom"
+
+
+class TestKernelSelection:
+    def test_create_defaults_to_fast_kernel(self):
+        from repro.net import sim as sim_mod
+
+        assert sim_mod.current_kernel() == "fast"
+        assert type(sim_mod.create()) is Simulator
+
+    def test_use_kernel_reference_swaps_factory(self):
+        from repro.net import sim as sim_mod
+        from repro.net import sim_reference
+
+        with sim_mod.use_kernel("reference"):
+            assert sim_mod.current_kernel() == "reference"
+            assert type(sim_mod.create()) is sim_reference.Simulator
+            # Nested fast selection restores on exit.
+            with sim_mod.use_kernel("fast"):
+                assert type(sim_mod.create()) is Simulator
+            assert sim_mod.current_kernel() == "reference"
+        assert sim_mod.current_kernel() == "fast"
+
+    def test_use_kernel_rejects_unknown_name(self):
+        from repro.net import sim as sim_mod
+
+        with pytest.raises(NetworkError, match="unknown simulator kernel"):
+            with sim_mod.use_kernel("warp"):
+                pass

@@ -93,3 +93,62 @@ class TestValidatePerf:
         problems = perfbench.validate_perf(doc)
         assert any("workers" in p for p in problems)
         assert any("seconds" in p for p in problems)
+
+
+class TestKernelBench:
+    @pytest.fixture(scope="class")
+    def kernel_section(self):
+        return perfbench.run_kernel_bench(smoke=True, repeats=1)
+
+    def test_covers_all_kernel_scenarios(self, kernel_section):
+        assert sorted(kernel_section) == [
+            "kernel_events",
+            "kernel_queues",
+            "kernel_timers",
+        ]
+
+    def test_entry_shape(self, kernel_section):
+        for entry in kernel_section.values():
+            assert entry["n_events"] > 0
+            assert entry["fast_median_s"] > 0
+            assert entry["reference_median_s"] > 0
+            assert entry["fast_events_per_s"] > 0
+            assert entry["speedup"] > 0
+            assert len(entry["fast_seconds"]) == len(entry["reference_seconds"])
+
+    def test_validate_catches_missing_kernel_section(self):
+        doc = perfbench.run_perf(smoke=True, repeats=1, scenarios=["record_channel"])
+        del doc["kernel"]
+        assert any("kernel" in p for p in perfbench.validate_perf(doc))
+
+    def test_format_prints_kernel_table(self):
+        doc = perfbench.run_perf(smoke=True, repeats=1, scenarios=["record_channel"])
+        text = perfbench.format_perf(doc)
+        for name in ("kernel_events", "kernel_timers", "kernel_queues"):
+            assert name in text
+
+
+class TestKernelAblation:
+    def test_a13_grid_shape_and_validation(self):
+        doc = perfbench.run_kernel_ablation(smoke=True)
+        assert perfbench.validate_perf(doc) == []
+        assert doc["ablation"] == "A13"
+        grid = {(c["kernel"], c["burst_charging"]) for c in doc["cells"]}
+        assert grid == {
+            ("reference", False),
+            ("reference", True),
+            ("fast", False),
+            ("fast", True),
+        }
+        assert all(c["seconds"] > 0 for c in doc["cells"])
+        text = perfbench.format_perf(doc)
+        assert "reference" in text and "fast" in text
+
+    def test_a13_restores_burst_and_kernel_state(self):
+        from repro.cost import accountant as accountant_mod
+        from repro.net.sim import current_kernel
+
+        prior = accountant_mod.burst_enabled()
+        perfbench.run_kernel_ablation(smoke=True)
+        assert accountant_mod.burst_enabled() == prior
+        assert current_kernel() == "fast"

@@ -8,6 +8,7 @@ Usage::
     python -m repro table4          # routing cost, 30 ASes
     python -m repro figure3         # controller scaling sweep
     python -m repro switchless      # switchless-transition ablation
+    python -m repro rings           # sync-vs-async crossing grid (A14)
     python -m repro faults          # fault-injection matrix (--seed N)
     python -m repro all             # everything above, in order
     python -m repro trace table4    # run traced, emit a cycle-accurate trace
@@ -57,7 +58,8 @@ import time
 from repro import experiments
 
 SCENARIOS = (
-    "table1", "table2", "table3", "table4", "figure3", "switchless", "faults",
+    "table1", "table2", "table3", "table4", "figure3", "switchless", "rings",
+    "faults",
 )
 
 #: export format -> file extension for --out
@@ -91,6 +93,10 @@ def _switchless() -> None:
             experiments.run_switchless_ablation()
         )
     )
+
+
+def _rings() -> None:
+    print(experiments.format_rings_ablation(experiments.run_rings_ablation()))
 
 
 def _faults(seed: int) -> None:
@@ -173,6 +179,7 @@ def _trace(scenario: str, fmt: str, out: str, n_ases: int, seed: int) -> None:
         "table4": lambda t: experiments.run_table4(n_ases=n_ases, trace=t),
         "figure3": lambda t: experiments.run_figure3(trace=t),
         "switchless": lambda t: experiments.run_switchless_ablation(trace=t),
+        "rings": lambda t: experiments.run_rings_ablation(trace=t),
         "faults": lambda t: experiments.run_fault_matrix(seed=seed, trace=t),
     }
     tracer = obs.Tracer()
@@ -335,6 +342,7 @@ def main(argv=None) -> int:
         "table4": lambda: _table4(args.ases),
         "figure3": _figure3,
         "switchless": _switchless,
+        "rings": _rings,
         "faults": lambda: _faults(args.seed),
         "trace": lambda: _trace(
             args.scenario, args.format, args.out, args.ases, args.seed

@@ -102,6 +102,25 @@ class CostModel:
     switchless_poll_normal: int = 150         # one worker poll pass
     switchless_fallback_normal: int = 900     # give-up-and-cross bookkeeping
 
+    # ---- async I/O rings (switchless v2; Svenningsson et al.) ----
+    # Paired submission/completion rings decouple posting a request
+    # from harvesting its result: the caller writes a descriptor and
+    # moves on, a worker drains a whole batch per poll pass, and the
+    # caller reads completions later.  The submit/reap descriptors are
+    # cheaper than a synchronous switchless slot (no response spin is
+    # folded in); the worker's polling is adaptive — it spins a modeled
+    # budget waiting for more work, then sleeps, and a submission that
+    # finds it asleep pays a doorbell (futex-wake-style syscall) to
+    # rouse it.  A full submission ring either blocks-and-charges until
+    # the worker drains it or falls back to one genuine crossing that
+    # drains everything, per the ring's backpressure mode.
+    ring_submit_normal: int = 300             # write one submission descriptor
+    ring_reap_normal: int = 120               # read one completion descriptor
+    ring_poll_normal: int = 150               # one worker harvest pass
+    ring_spin_normal: int = 60                # one idle worker spin iteration
+    ring_wakeup_normal: int = 2_000           # doorbell to wake a slept worker
+    ring_fallback_normal: int = 900           # give-up-and-cross bookkeeping
+
     # ---- asynchronous exits (paper: enclaves run near-native "if no
     # external communications or interrupts (e.g., asynchronous exits
     # in SGX) are incurred") ----

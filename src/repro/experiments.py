@@ -45,6 +45,8 @@ __all__ = [
     "format_figure3",
     "run_switchless_ablation",
     "format_switchless_ablation",
+    "run_rings_ablation",
+    "format_rings_ablation",
     "FAULT_SCENARIOS",
     "run_fault_scenario",
     "run_fault_matrix",
@@ -489,6 +491,127 @@ def format_switchless_ablation(results: Dict[str, Dict]) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# Rings ablation (A14) — sync vs async crossings on the middlebox record path
+# ---------------------------------------------------------------------------
+
+
+def _measure_record_path(mode: str, depth: int, n_records: int) -> Counter:
+    """Cost of pushing ``n_records`` through ``inspect_record``.
+
+    A fresh platform hosts a real :class:`MiddleboxProgram` enclave —
+    the same code the proxy scenarios run — and the records transit one
+    of three boundary regimes: one genuine crossing per record
+    (``ecall``), the synchronous switchless queue (``switchless``), or
+    async rings reaped every ``depth`` submissions (``rings``, no
+    dedicated in-enclave worker — the exitless regime where one harvest
+    crossing drains the whole batch).
+    """
+    from repro.middlebox.mbox import MiddleboxProgram
+
+    platform = SgxPlatform("rings-ablation-host", rng=Rng(b"rings"))
+    author = generate_rsa_keypair(512, Rng(b"rings-author"))
+    enclave = platform.load_enclave(MiddleboxProgram(), author_key=author)
+    enclave.ecall("configure_dpi", [("r", b"NOMATCH", "alert")], False)
+    if mode == "switchless":
+        enclave.enable_switchless_ecalls()
+    elif mode == "rings":
+        enclave.enable_ring_ecalls(
+            capacity=max(64, depth), harvest_depth=depth
+        )
+    records = [b"record-%04d" % i for i in range(n_records)]
+    before = platform.accountant.snapshot()
+    if mode == "ecall":
+        for record in records:
+            enclave.ecall("inspect_record", "flow", "c2s", record)
+    elif mode == "switchless":
+        for record in records:
+            enclave.ecall_switchless("inspect_record", "flow", "c2s", record)
+    elif mode == "rings":
+        for start in range(0, n_records, depth):
+            for record in records[start : start + depth]:
+                enclave.ecall_submit("inspect_record", "flow", "c2s", record)
+            enclave.ecall_reap_all()
+    else:
+        raise ReproError(f"unknown rings-ablation mode {mode!r}")
+    counter = Counter()
+    for domain_counter in platform.accountant.delta(before).values():
+        counter += domain_counter
+    return counter
+
+
+def run_rings_ablation(
+    depths=(1, 2, 4, 8),
+    n_records: int = 64,
+    trace: Optional[obs.Tracer] = None,
+) -> Dict[str, object]:
+    """A14: the sync-vs-async crossing grid on the middlebox record path.
+
+    One row per (mode, depth) cell.  ``ecall`` and ``switchless`` are
+    depth-independent (recorded once, at depth 1); ``rings`` is swept
+    across ``depths``.  The synchronous switchless queue reaches zero
+    crossings only by dedicating an in-enclave worker thread (a TCS +
+    a core); the rings rows show what the *worker-less* exitless regime
+    costs — crossings per record fall as 1/depth while nothing polls.
+    """
+    with _traced(trace, "rings"):
+        grid: List[Dict[str, object]] = []
+        for mode, depth in [("ecall", 1), ("switchless", 1)] + [
+            ("rings", depth) for depth in depths
+        ]:
+            counter = _measure_record_path(mode, depth, n_records)
+            grid.append(
+                {
+                    "mode": mode,
+                    "depth": depth,
+                    "crossings": counter.enclave_crossings,
+                    "sgx": counter.sgx_instructions,
+                    "normal": round(counter.normal_instructions),
+                    "cycles": round(cycles(counter)),
+                    "crossings_per_record": round(
+                        counter.enclave_crossings / n_records, 4
+                    ),
+                }
+            )
+        baseline = grid[0]["crossings"]
+        for cell in grid:
+            cell["crossing_reduction"] = (
+                round(baseline / cell["crossings"], 2)
+                if cell["crossings"]
+                else float("inf")
+            )
+        return {"n_records": n_records, "depths": list(depths), "grid": grid}
+
+
+def format_rings_ablation(results: Dict[str, object]) -> str:
+    n_records = results["n_records"]
+    rows = []
+    for cell in results["grid"]:
+        label = (
+            cell["mode"]
+            if cell["mode"] != "rings"
+            else f"rings d={cell['depth']}"
+        )
+        reduction = cell["crossing_reduction"]
+        rows.append(
+            [
+                label,
+                cell["crossings"],
+                f"{cell['crossings_per_record']:.3f}",
+                format_count(cell["cycles"]),
+                "-" if reduction == float("inf") else f"{reduction:.1f}x",
+            ]
+        )
+    return format_table(
+        ["regime", "crossings", "per record", "cycles", "reduction"],
+        rows,
+        title=(
+            f"Rings ablation (A14) — {n_records} records through the "
+            "middlebox inspect path"
+        ),
+    )
+
+
 def run_figure3(
     sweep: List[int] = (5, 10, 15, 20, 25, 30),
     seed: bytes = b"figure3",
@@ -564,10 +687,13 @@ def run_fault_scenario(scenario: str) -> str:
     if scenario == "tor":
         from repro.tor.deployment import TorDeployment, TorDeploymentConfig
 
+        # rings=True so the ring fault classes have a hot path: the
+        # relays' per-cell data plane rides async ecall rings with a
+        # live in-enclave worker (stallable, losable completions).
         deployment = TorDeployment(
             TorDeploymentConfig(
                 phase=2, n_relays=4, n_exits=4, n_authorities=2,
-                seed=b"fault-matrix-tor",
+                seed=b"fault-matrix-tor", rings=True,
             )
         )
         outcome = deployment.run_client_request(payload=b"GET /faults")
@@ -576,12 +702,16 @@ def run_fault_scenario(scenario: str) -> str:
         from repro.middlebox.scenarios import MiddleboxScenario
 
         # switchless=True so the worker_stall class has a hot path to
-        # stall (the per-record inspect ecalls ride the call queue).
+        # stall (the provisioning pump rides the call queue);
+        # rings=True moves the per-record inspect ecalls onto the
+        # worker-less async rings, whose completion writes the
+        # lost_completion class can lose.
         result = MiddleboxScenario(
             n_middleboxes=2,
             rules=[("r", b"NOMATCH", "alert")],
             seed=b"fault-matrix-mbox",
             switchless=True,
+            rings=True,
         ).run([b"hello", b"fault-injection"])
         return _fingerprint((result.replies, result.blocked))
     raise ReproError(f"unknown fault scenario {scenario!r}")

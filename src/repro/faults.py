@@ -35,7 +35,13 @@ Platform (injected in ``repro.sgx``):
 * ``egetkey_fail`` — a transient EGETKEY failure (retried by callers);
 * ``quote_reject`` — the challenger rejects an otherwise-valid quote;
 * ``worker_stall`` — a switchless worker misses its polling window,
-  forcing the genuine-crossing fallback path.
+  forcing the genuine-crossing fallback path;
+* ``ring_worker_stall`` — an async-ring worker misses a harvest pass,
+  so the triggering submit/reap degrades to a genuine crossing that
+  drains the ring;
+* ``lost_completion`` — a ring completion write is lost after the work
+  ran; the reaper detects the still-pending entry and pays a recovery
+  crossing to fetch the result directly (the work is never re-run).
 
 Channel (injected in :class:`repro.net.channel.SecureRecordChannel`):
 
@@ -64,7 +70,8 @@ from repro.errors import ReproError
 __all__ = [
     "DROP", "DUPLICATE", "REORDER", "DELAY", "CORRUPT",
     "OCALL_FAIL", "AEX_STORM", "EGETKEY_FAIL", "QUOTE_REJECT",
-    "WORKER_STALL", "MAC_CORRUPT", "SHARD_CRASH",
+    "WORKER_STALL", "RING_WORKER_STALL", "LOST_COMPLETION",
+    "MAC_CORRUPT", "SHARD_CRASH",
     "NETWORK_KINDS", "ALL_KINDS", "FAULT_CLASSES",
     "FaultRule", "FaultEvent", "FaultLog", "FaultPlan",
     "activate", "deactivate", "current_plan", "active", "matrix_plan",
@@ -82,13 +89,15 @@ AEX_STORM = "aex_storm"
 EGETKEY_FAIL = "egetkey_fail"
 QUOTE_REJECT = "quote_reject"
 WORKER_STALL = "worker_stall"
+RING_WORKER_STALL = "ring_worker_stall"
+LOST_COMPLETION = "lost_completion"
 MAC_CORRUPT = "mac_corrupt"
 SHARD_CRASH = "shard_crash"
 
 NETWORK_KINDS = (DROP, DUPLICATE, REORDER, DELAY, CORRUPT)
 ALL_KINDS = NETWORK_KINDS + (
     OCALL_FAIL, AEX_STORM, EGETKEY_FAIL, QUOTE_REJECT, WORKER_STALL,
-    MAC_CORRUPT, SHARD_CRASH,
+    RING_WORKER_STALL, LOST_COMPLETION, MAC_CORRUPT, SHARD_CRASH,
 )
 
 
@@ -341,6 +350,12 @@ FAULT_CLASSES: Dict[str, List[FaultRule]] = {
     "egetkey_fail": [FaultRule(EGETKEY_FAIL, max_count=2)],
     "quote_reject": [FaultRule(QUOTE_REJECT, max_count=1)],
     "worker_stall": [FaultRule(WORKER_STALL, rate=0.25, max_count=50)],
+    # Async-ring (switchless v2) classes: a missed harvest pass and a
+    # lost completion write.  Both recover through a genuine crossing
+    # (drain / direct fetch), so scenarios that adopt rings stay
+    # byte-identical; scenarios without rings see no opportunities.
+    "ring_worker_stall": [FaultRule(RING_WORKER_STALL, rate=0.25, max_count=50)],
+    "lost_completion": [FaultRule(LOST_COMPLETION, rate=0.25, max_count=20)],
     "aex_storm": [FaultRule(AEX_STORM, rate=0.25, max_count=50)],
     "mac_corrupt": [FaultRule(MAC_CORRUPT, max_count=1)],
     # Kills one controller shard mid-run; only the scale-out load

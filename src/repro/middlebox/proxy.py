@@ -13,7 +13,8 @@ from typing import Dict, Generator, Optional
 
 from repro.core.endpoint import EnclaveNode
 from repro.core.service import AttestedServer
-from repro.errors import MiddleboxError, ReproError
+from repro.errors import MiddleboxError, NetworkError, ReproError
+from repro.net.sim import SimTimeout
 from repro.net.transport import StreamListener, StreamSocket, connect
 
 __all__ = ["MiddleboxNode", "PROXY_PORT", "PROVISION_PORT"]
@@ -25,6 +26,12 @@ PROVISION_PORT = 8443
 class MiddleboxNode:
     """One middlebox: enclave + provisioning endpoint + TCP relay."""
 
+    #: How long (simulated seconds) a ring pump lingers for another
+    #: record before harvesting a partial batch.  Small against every
+    #: link latency/RTO in the fabric, so it only coalesces arrivals
+    #: already in flight at the same instant.
+    REAP_LINGER = 1e-6
+
     def __init__(
         self,
         node: EnclaveNode,
@@ -35,6 +42,8 @@ class MiddleboxNode:
         provision_port: int = PROVISION_PORT,
         switchless: bool = False,
         failure_policy: str = "closed",
+        rings: bool = False,
+        ring_depth: int = 4,
     ) -> None:
         if failure_policy not in ("open", "closed"):
             raise MiddleboxError("failure_policy must be 'open' or 'closed'")
@@ -51,6 +60,13 @@ class MiddleboxNode:
         if switchless and enclave.switchless_ecalls is None:
             enclave.enable_switchless_ecalls()
         self._hot_ecall = enclave.ecall_switchless if switchless else enclave.ecall
+        # rings=True posts inspect_record into the enclave's async
+        # ecall rings instead: up to ring_depth records ride in flight
+        # per pump, and one harvest crossing resolves the whole batch.
+        self._rings = rings
+        self._ring_depth = max(1, ring_depth)
+        if rings and enclave.ring_ecalls is None:
+            enclave.enable_ring_ecalls(harvest_depth=self._ring_depth)
         self.provisioning = AttestedServer(
             node, enclave, provision_port, switchless=switchless
         )
@@ -86,6 +102,9 @@ class MiddleboxNode:
         sink: StreamSocket,
         direction: str,
     ) -> Generator:
+        if self._rings:
+            yield from self._pump_rings(flow_id, source, sink, direction)
+            return
         while True:
             message = yield source.recv_message()
             if message is None:
@@ -108,3 +127,67 @@ class MiddleboxNode:
                 sink.close()
                 return
             sink.send_message(message)
+
+    def _pump_rings(
+        self,
+        flow_id: str,
+        source: StreamSocket,
+        sink: StreamSocket,
+        direction: str,
+    ) -> Generator:
+        """Record inspection without awaiting the previous verdict.
+
+        Records are posted into the submission ring as they arrive; the
+        pump harvests verdicts (and forwards the held ciphertext) when
+        the batch reaches ``ring_depth``, or after lingering
+        ``REAP_LINGER`` simulated seconds with no further record
+        arriving — so a burst batches up while a lock-step peer is
+        never left waiting on an unreaped verdict.  Verdicts are reaped
+        per-ticket so a single failed inspection degrades per the
+        failure policy without poisoning the rest of the batch.
+        """
+        batch = []  # [(ticket, message), ...] awaiting verdicts, in order
+        while True:
+            if batch:
+                try:
+                    message = yield source.recv_message(timeout=self.REAP_LINGER)
+                except SimTimeout:
+                    if not self._flush_verdicts(batch, source, sink):
+                        return
+                    batch = []
+                    continue
+            else:
+                message = yield source.recv_message()
+            if message is None:
+                if self._flush_verdicts(batch, source, sink):
+                    sink.close()
+                return
+            ticket = self.enclave.ecall_submit(
+                "inspect_record", flow_id, direction, message
+            )
+            batch.append((ticket, message))
+            if len(batch) >= self._ring_depth:
+                if not self._flush_verdicts(batch, source, sink):
+                    return
+                batch = []
+
+    def _flush_verdicts(self, batch, source, sink) -> bool:
+        """Reap a batch's verdicts in order; False when the flow died."""
+        for ticket, message in batch:
+            try:
+                verdict, _alerts = self.enclave.ecall_reap(ticket)
+            except ReproError:
+                self.inspect_failures += 1
+                verdict = "forward" if self.failure_policy == "open" else "block"
+            if verdict == "block":
+                source.close()
+                sink.close()
+                return False
+            try:
+                sink.send_message(message)
+            except NetworkError:
+                # The other pump tore the flow down (block verdict)
+                # while this batch was in flight; drop the remainder.
+                source.close()
+                return False
+        return True

@@ -76,6 +76,8 @@ class MiddleboxScenario:
         seed: bytes = b"mbox-scenario",
         switchless: bool = False,
         failure_policy: str = "closed",
+        rings: bool = False,
+        ring_depth: int = 4,
     ) -> None:
         self.sim = create_simulator()
         self.network = Network(
@@ -83,6 +85,8 @@ class MiddleboxScenario:
         )
         self.seed = seed
         self.bilateral = bilateral
+        self.rings = rings
+        self.ring_depth = ring_depth
         self.rules = rules or [("r-exfil", b"SECRET-TOKEN", "alert")]
 
         self.sgx_authority = AttestationAuthority(Rng(seed, "sgx"))
@@ -132,6 +136,8 @@ class MiddleboxScenario:
                 *upstream,
                 switchless=switchless,
                 failure_policy=failure_policy,
+                rings=rings,
+                ring_depth=ring_depth,
             )
             self.middleboxes.insert(0, box)
             upstream = (name, PROXY_PORT)
@@ -187,7 +193,19 @@ class MiddleboxScenario:
         self,
         payloads: List[bytes],
         provision: bool = True,
+        pipeline: Optional[bool] = None,
     ) -> ScenarioResult:
+        """Run the scenario.
+
+        ``pipeline=True`` sends every payload before awaiting any reply
+        (the shape that lets records accumulate in a middlebox's
+        submission ring, so a depth-D batch actually forms); the
+        default lock-step client awaits each reply before the next
+        send.  ``pipeline=None`` pipelines exactly when the chain runs
+        with async rings.
+        """
+        if pipeline is None:
+            pipeline = self.rings
         replies: List[bytes] = []
         provisioned: List[str] = []
         failures: List[str] = []
@@ -212,14 +230,25 @@ class MiddleboxScenario:
                     yield from self._provision(
                         self._server_host, "server", keys, failures, provisioned
                     )
-            for payload in payloads:
-                tls.send(payload)
-                try:
-                    reply = yield from tls.recv(timeout=20.0)
-                except (ProtocolError, SimTimeout):
-                    blocked["flag"] = True
-                    return
-                replies.append(reply)
+            if pipeline:
+                for payload in payloads:
+                    tls.send(payload)
+                for _ in payloads:
+                    try:
+                        reply = yield from tls.recv(timeout=20.0)
+                    except (ProtocolError, SimTimeout):
+                        blocked["flag"] = True
+                        return
+                    replies.append(reply)
+            else:
+                for payload in payloads:
+                    tls.send(payload)
+                    try:
+                        reply = yield from tls.recv(timeout=20.0)
+                    except (ProtocolError, SimTimeout):
+                        blocked["flag"] = True
+                        return
+                    replies.append(reply)
 
         self.sim.spawn(client_proc(), "mbox-client")
         self.sim.run(until=self.sim.now + 900.0)

@@ -38,6 +38,7 @@ __all__ = [
     "run_ablation",
     "run_kernel_bench",
     "run_kernel_ablation",
+    "run_rings_section",
     "validate_perf",
     "format_perf",
     "perf_json",
@@ -288,6 +289,36 @@ def run_kernel_bench(smoke: bool = False, repeats: int = 3) -> Dict[str, dict]:
     return out
 
 
+def run_rings_section(smoke: bool = False) -> dict:
+    """A14: the sync-vs-async crossing grid, as a BENCH_perf section.
+
+    Unlike every other number in this file these are *modeled* counts
+    (deterministic — byte-identical across machines): crossings and
+    cycles for the middlebox record path under plain ecalls, the
+    synchronous switchless queue, and worker-less async rings swept
+    across reap depths.  They ride in BENCH_perf.json so the committed
+    report pins the exitless win next to the wall-clock ones.
+    ``crossing_reduction`` is ``null`` for zero-crossing cells (the
+    switchless queue's dedicated worker) — JSON has no infinity.
+    """
+    from repro import experiments
+
+    n_records = 16 if smoke else 64
+    results = experiments.run_rings_ablation(n_records=n_records)
+    grid = []
+    for cell in results["grid"]:
+        cell = dict(cell)
+        if cell["crossing_reduction"] == float("inf"):
+            cell["crossing_reduction"] = None
+        grid.append(cell)
+    return {
+        "ablation": "A14",
+        "n_records": results["n_records"],
+        "depths": results["depths"],
+        "grid": grid,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
@@ -359,6 +390,9 @@ def run_perf(
         # speedups are part of the repo's performance contract (CI
         # fails the perf job if any drops below 1.0).
         "kernel": run_kernel_bench(smoke=smoke, repeats=repeats),
+        # The A14 crossing grid rides along too — modeled, so it is
+        # the one deterministic section of this report.
+        "rings": run_rings_section(smoke=smoke),
     }
 
 
@@ -561,6 +595,37 @@ def validate_perf(doc: dict) -> List[str]:
                 problems.append(f"scenarios.{name}.{field} not positive")
         if len(entry.get("cold_seconds", [])) != len(entry.get("warm_seconds", [])):
             problems.append(f"scenarios.{name} repeat counts differ")
+    rings = doc.get("rings")
+    if not isinstance(rings, dict) or not rings.get("grid"):
+        problems.append("rings section missing or empty")
+    else:
+        for i, cell in enumerate(rings["grid"]):
+            for field in (
+                "mode",
+                "depth",
+                "crossings",
+                "cycles",
+                "crossings_per_record",
+                "crossing_reduction",
+            ):
+                if field not in cell:
+                    problems.append(f"rings.grid[{i}].{field} missing")
+        # The exitless contract: at reap depth >= 4 the rings must cut
+        # crossings/record by at least 2x versus the per-record ecall.
+        deep = [
+            c
+            for c in rings["grid"]
+            if c.get("mode") == "rings" and c.get("depth", 0) >= 4
+        ]
+        if not deep:
+            problems.append("rings.grid has no rings cell at depth >= 4")
+        for cell in deep:
+            reduction = cell.get("crossing_reduction")
+            if isinstance(reduction, (int, float)) and reduction < 2:
+                problems.append(
+                    f"rings depth {cell['depth']} crossing reduction "
+                    f"{reduction} < 2x"
+                )
     return problems
 
 
@@ -608,6 +673,28 @@ def format_perf(doc: dict) -> str:
                 f"{name:<18} {entry['reference_median_s']:>10.3f} "
                 f"{entry['fast_median_s']:>10.3f} "
                 f"{entry['fast_events_per_s']:>12,} {entry['speedup']:>8.2f}x"
+            )
+    if doc.get("rings"):
+        rings = doc["rings"]
+        lines.append("")
+        lines.append(
+            f"Async rings (A14, modeled) — {rings['n_records']} records "
+            "through the middlebox inspect path"
+        )
+        lines.append(
+            f"{'regime':<14} {'crossings':>10} {'per record':>11} {'reduction':>10}"
+        )
+        for cell in rings["grid"]:
+            label = (
+                cell["mode"]
+                if cell["mode"] != "rings"
+                else f"rings d={cell['depth']}"
+            )
+            reduction = cell["crossing_reduction"]
+            lines.append(
+                f"{label:<14} {cell['crossings']:>10} "
+                f"{cell['crossings_per_record']:>11.3f} "
+                + (f"{reduction:>9.1f}x" if reduction is not None else f"{'-':>10}")
             )
     return "\n".join(lines)
 

@@ -43,6 +43,7 @@ from repro.sgx.quoting import (
     verify_quote,
 )
 from repro.sgx.report import Report, TargetInfo
+from repro.sgx.rings import RingPair, RingStats
 from repro.sgx.runtime import EnclaveContext, EnclaveProgram
 from repro.sgx.sigstruct import SigStruct, sign_enclave
 from repro.sgx.switchless import SwitchlessQueue, SwitchlessStats
@@ -64,6 +65,8 @@ __all__ = [
     "PrivilegedInstruction",
     "SwitchlessQueue",
     "SwitchlessStats",
+    "RingPair",
+    "RingStats",
     "KeyName",
     "SealPolicy",
     "Report",

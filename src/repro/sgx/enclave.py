@@ -41,6 +41,7 @@ class Enclave:
         self._program = program
         self._destroyed = False
         self._switchless_ecalls = None  # installed by enable_switchless_ecalls()
+        self._ring_ecalls = None  # installed by enable_ring_ecalls()
         self.ctx = EnclaveContext(self, platform)
 
     # -- isolation boundary ------------------------------------------------
@@ -176,6 +177,75 @@ class Enclave:
         return self._switchless_ecalls.call(
             handler, (self._program,) + args, kwargs
         )
+
+    # -- async ecall rings (switchless v2) -----------------------------------
+
+    def enable_ring_ecalls(
+        self,
+        capacity: int = 64,
+        harvest_depth: int = 8,
+        spin_budget: int = 4,
+        backpressure: str = "fallback",
+        worker: Any = None,
+    ) -> Any:
+        """Attach paired submission/completion ecall rings.
+
+        :meth:`ecall_submit` then posts async ecalls into the
+        submission ring and :meth:`ecall_reap` / :meth:`ecall_reap_all`
+        harvest their results.  By default no in-enclave polling worker
+        runs (it would burn a TCS + core); instead one genuine harvest
+        crossing drains every posted call, so a depth-D batch pays
+        1/D crossings per call.  Returns the ring pair (its ``stats``
+        is what ablation A14 reports).  Re-enabling replaces the rings,
+        draining any pending backlog on the old pair first.
+        """
+        if self._ring_ecalls is not None:
+            self._ring_ecalls.flush()
+        self._ring_ecalls = self._platform.create_ring(
+            self,
+            direction="ecall",
+            capacity=capacity,
+            harvest_depth=harvest_depth,
+            spin_budget=spin_budget,
+            backpressure=backpressure,
+            worker=worker,
+        )
+        return self._ring_ecalls
+
+    @property
+    def ring_ecalls(self) -> Any:
+        """The attached ecall ring pair, or None."""
+        return self._ring_ecalls
+
+    def ecall_submit(self, method: str, *args: Any, **kwargs: Any) -> int:
+        """Post an async ecall into the submission ring; returns a ticket.
+
+        The caller does not wait for the result — harvest it later with
+        :meth:`ecall_reap`/:meth:`ecall_reap_all`.  The descriptor write
+        is exitless; the eventual harvest pays at most one crossing for
+        the whole batch.  Requires :meth:`enable_ring_ecalls` first.
+        """
+        if self._ring_ecalls is None:
+            raise SgxError(
+                f"enclave '{self.name}': no ecall rings attached "
+                "(call enable_ring_ecalls() first)"
+            )
+        handler = self._resolve_ecall(method)
+        return self._ring_ecalls.submit(
+            handler, (self._program,) + args, kwargs
+        )
+
+    def ecall_reap(self, ticket: int) -> Any:
+        """Harvest one async ecall completion by ticket."""
+        if self._ring_ecalls is None:
+            raise SgxError(f"enclave '{self.name}': no ecall rings attached")
+        return self._ring_ecalls.reap(ticket)
+
+    def ecall_reap_all(self) -> List[Any]:
+        """Harvest every outstanding async ecall, in submission order."""
+        if self._ring_ecalls is None:
+            raise SgxError(f"enclave '{self.name}': no ecall rings attached")
+        return self._ring_ecalls.reap_all()
 
     def _charge_async_exits(self, accountant, normal_before: int) -> None:
         """Interrupt model: the host's timer/device interrupts force

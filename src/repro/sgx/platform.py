@@ -232,6 +232,41 @@ class SgxPlatform:
             name=f"{enclave.name}-{direction}",
         )
 
+    # -- async I/O rings (switchless v2) -------------------------------------
+
+    def create_ring(
+        self,
+        enclave: Enclave,
+        direction: str = "ocall",
+        capacity: int = 64,
+        harvest_depth: int = 8,
+        spin_budget: int = 4,
+        backpressure: str = "fallback",
+        worker=None,
+    ):
+        """Set up paired submission/completion rings for ``enclave``.
+
+        ``direction="ocall"`` gives the enclave async ocalls serviced
+        by an adaptive untrusted worker (used by
+        ``EnclaveContext.ocall_submit``/``ocall_reap``);
+        ``direction="ecall"`` gives untrusted code async ecalls whose
+        harvest crossing drains the whole ring (used by
+        ``Enclave.ecall_submit``/``ecall_reap``).
+        """
+        from repro.sgx.rings import RingPair
+
+        return RingPair(
+            platform=self,
+            direction=direction,
+            enclave_domain=enclave.domain,
+            capacity=capacity,
+            harvest_depth=harvest_depth,
+            spin_budget=spin_budget,
+            backpressure=backpressure,
+            worker=worker,
+            name=f"{enclave.name}-{direction}",
+        )
+
     # -- heap growth (called from EnclaveContext.alloc) ----------------------
 
     def grow_enclave_heap(self, enclave: Enclave):

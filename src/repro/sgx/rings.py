@@ -1,0 +1,499 @@
+"""Exitless async I/O rings: switchless v2 (paired submission/completion).
+
+PR 1's :class:`~repro.sgx.switchless.SwitchlessQueue` removes the
+boundary crossing from *synchronous* call/response pairs, but the
+caller still stalls on every in-flight call: submit, spin, read the
+response, repeat.  Svenningsson et al. ("Speeding up enclave
+transitions for IO-intensive applications") take the next step for
+IO-heavy enclaves: a *submission ring* the caller posts request
+descriptors into without waiting, and a *completion ring* it harvests
+results from later.  N requests overlap; the worker drains a whole
+batch per poll pass; and even with no worker thread at all the design
+stays exitless-ish — one genuine crossing drains the entire ring, so
+N calls cost 1/N crossings each instead of one.
+
+:class:`RingPair` models that mechanism on the repo's cost accounting.
+One class serves both directions:
+
+* ``direction="ocall"`` — the enclave submits async ocalls serviced by
+  an untrusted host worker (``EnclaveContext.ocall_submit`` /
+  ``ocall_reap``).  The worker defaults to *running*: the host has
+  spare cores, and its polling is adaptive — it spins a modeled budget
+  (``spin_budget`` iterations, ``ring_spin_normal`` each) waiting for
+  more submissions, then sleeps; a submission that finds it asleep
+  pays a doorbell (``ring_wakeup_normal``) to rouse it.
+* ``direction="ecall"`` — untrusted code submits async ecalls serviced
+  inside the enclave (``Enclave.ecall_submit`` / ``ecall_reap``).  The
+  worker defaults to *not running*: a dedicated in-enclave polling
+  thread would burn a TCS and a core, so instead the harvest itself
+  pays one genuine crossing that drains every posted submission —
+  crossings per call fall as 1/depth, which is exactly the grid
+  ablation A14 measures on the middlebox record path.
+
+Backpressure when the submission ring fills is deterministic either
+way: ``backpressure="block"`` charges a modeled spin-wait while a live
+worker drains the ring (no crossing), ``backpressure="fallback"``
+degrades to one genuine crossing that drains everything.
+
+Fault hooks (:mod:`repro.faults`): ``ring_worker_stall`` makes a
+harvest pass miss — the operation degrades to the fallback crossing,
+which drains the ring, so results are unchanged; ``lost_completion``
+loses a completion-ring write *after* the work ran — the reaper
+detects the still-pending entry and pays a recovery crossing to fetch
+the result straight from the slot (the work is never re-executed, so
+side effects stay exactly-once).
+
+Results crossing *into* trusted code pass the caller-side ``validate``
+hook before any enclave code touches them — the same Iago-attack
+discipline as ordinary and switchless ocall returns (paper, Section 6).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro import faults, obs
+from repro.cost import context as cost_context
+from repro.errors import SgxError
+from repro.sgx.isa import UserInstruction, execute_user
+
+__all__ = ["RingPair", "RingStats"]
+
+
+@dataclasses.dataclass
+class RingStats:
+    """Telemetry from one ring pair (what ablation A14 reports)."""
+
+    submitted: int = 0           #: descriptors posted to the submission ring
+    completed: int = 0           #: entries executed by the worker/harvest
+    reaped: int = 0              #: completions read back by the caller
+    cancelled: int = 0           #: submissions withdrawn before service
+    polls: int = 0               #: worker harvest passes (no crossing)
+    spins: int = 0               #: idle worker spin iterations charged
+    sleeps: int = 0              #: spin budget exhausted -> worker slept
+    wakeups: int = 0             #: doorbells paid to wake a slept worker
+    overflows: int = 0           #: submissions that hit a full ring
+    overflow_spin: int = 0       #: spin-wait units charged by "block" mode
+    fallback_crossings: int = 0  #: genuine crossings that drained the ring
+    recovery_crossings: int = 0  #: crossings paid to fetch lost completions
+    max_depth: int = 0           #: high-water mark of in-flight entries
+
+
+@dataclasses.dataclass
+class _Entry:
+    """One submission descriptor and its (eventual) completion."""
+
+    seq: int
+    func: Callable[..., Any]
+    args: Tuple[Any, ...]
+    kwargs: dict
+    validate: Optional[Callable[[Any], Any]] = None
+    done: bool = False        #: completion visible in the completion ring
+    lost: bool = False        #: executed, but the completion write was lost
+    cancelled: bool = False
+    reaped: bool = False
+    result: Any = None
+    error: Optional[BaseException] = None
+
+
+class RingPair:
+    """Paired submission/completion rings across the enclave boundary."""
+
+    DIRECTIONS = ("ocall", "ecall")
+    BACKPRESSURE_MODES = ("block", "fallback")
+
+    def __init__(
+        self,
+        platform: Any,
+        direction: str,
+        enclave_domain: str,
+        capacity: int = 64,
+        harvest_depth: int = 8,
+        spin_budget: int = 4,
+        backpressure: str = "fallback",
+        worker: Optional[bool] = None,
+        name: str = "",
+    ) -> None:
+        if direction not in self.DIRECTIONS:
+            raise SgxError(f"unknown ring direction {direction!r}")
+        if backpressure not in self.BACKPRESSURE_MODES:
+            raise SgxError(f"unknown ring backpressure mode {backpressure!r}")
+        if capacity <= 0:
+            raise SgxError("ring needs at least one slot")
+        if harvest_depth <= 0:
+            raise SgxError("ring harvest depth must be positive")
+        if spin_budget < 0:
+            raise SgxError("ring spin budget must be non-negative")
+        self._platform = platform
+        self.direction = direction
+        self.enclave_domain = enclave_domain
+        self.capacity = capacity
+        #: a live worker drains the ring every this-many submissions
+        #: (models its polling period relative to caller progress).
+        self.harvest_depth = harvest_depth
+        self.spin_budget = spin_budget
+        self.backpressure = backpressure
+        self.name = name or f"rings-{direction}"
+        # An in-enclave polling worker would burn a TCS + core, so the
+        # ecall direction defaults to the worker-less exitless regime
+        # (harvest = one crossing draining the whole ring).
+        self._worker_running = worker if worker is not None else direction == "ocall"
+        self._worker_asleep = False
+        self._spin_credit = spin_budget
+        self._subs_since_harvest = 0
+        self._next_seq = 0
+        self._entries: Dict[int, _Entry] = {}
+        #: unserviced submission descriptors, seq order (the ring proper;
+        #: slot index is seq % capacity — wrap-around is implicit).
+        self._submission: Deque[int] = deque()
+        #: submitted-and-not-yet-reaped seqs, seq order (drives the
+        #: in-order walk of reap_all; reaped/cancelled removed lazily).
+        self._order: Deque[int] = deque()
+        self.stats = RingStats()
+
+    # -- worker lifecycle --------------------------------------------------
+
+    @property
+    def worker_running(self) -> bool:
+        return self._worker_running
+
+    def pause_worker(self) -> None:
+        """Model the worker descheduled: harvests degrade to genuine
+        crossings until :meth:`resume_worker`."""
+        self._worker_running = False
+
+    def resume_worker(self) -> None:
+        """Worker is back: it immediately catches up on the backlog."""
+        self._worker_running = True
+        self._worker_asleep = False
+        self._spin_credit = self.spin_budget
+        if self._submission:
+            with self._context():
+                self._harvest()
+
+    @property
+    def depth(self) -> int:
+        """Currently unserviced submission descriptors."""
+        return len(self._submission)
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted entries not yet reaped or cancelled."""
+        return sum(
+            1
+            for seq in self._order
+            if not self._entries[seq].reaped and not self._entries[seq].cancelled
+        )
+
+    # -- the async call interface ------------------------------------------
+
+    def submit(
+        self,
+        func: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        validate: Optional[Callable[[Any], Any]] = None,
+    ) -> int:
+        """Post one request descriptor; returns its ticket.
+
+        The caller does not wait: the entry is executed on the worker's
+        next harvest pass (every ``harvest_depth`` submissions), by a
+        later :meth:`reap`/:meth:`reap_all`, or — ring full, per the
+        backpressure mode — by a block-and-charge drain or one genuine
+        crossing.  ``validate`` runs on the caller's side at reap time,
+        before the result is returned.
+        """
+        kwargs = {} if kwargs is None else kwargs
+        with self._context():
+            model = cost_context.current_model()
+            if self._worker_running and self._worker_asleep:
+                # Doorbell: futex-wake the slept worker before posting.
+                cost_context.charge_normal(model.ring_wakeup_normal)
+                self._worker_asleep = False
+                self._spin_credit = self.spin_budget
+                self.stats.wakeups += 1
+                obs.instant("ring_worker_wake", ring=self.name)
+            if len(self._submission) >= self.capacity:
+                self._overflow()
+            self._platform.accountant.charge_switchless()
+            cost_context.charge_normal(model.ring_submit_normal)
+            seq = self._next_seq
+            self._next_seq += 1
+            entry = _Entry(seq, func, args, kwargs, validate)
+            self._entries[seq] = entry
+            self._submission.append(seq)
+            self._order.append(seq)
+            self.stats.submitted += 1
+            self.stats.max_depth = max(self.stats.max_depth, len(self._submission))
+            obs.instant("ring_submit", ring=self.name, ticket=seq)
+            self._subs_since_harvest += 1
+            if self._worker_running:
+                if self._subs_since_harvest >= self.harvest_depth:
+                    self._harvest()
+                elif self._spin_credit > 0:
+                    # The worker burns one spin iteration waiting for
+                    # more work to batch up.
+                    accountant = self._platform.accountant
+                    with accountant.attribute(self._worker_domain()):
+                        cost_context.charge_normal(model.ring_spin_normal)
+                    self.stats.spins += 1
+                    self._spin_credit -= 1
+                    if self._spin_credit == 0:
+                        self._worker_asleep = True
+                        self.stats.sleeps += 1
+                        obs.instant("ring_worker_sleep", ring=self.name)
+            return seq
+
+    def reap(self, ticket: int) -> Any:
+        """Read one completion; services the ring first if needed.
+
+        Raises the entry's stored ``repro.errors`` exception if its
+        execution failed, and :class:`SgxError` for unknown, cancelled
+        or already-reaped tickets.
+        """
+        with self._context():
+            entry = self._entries.get(ticket)
+            if entry is None:
+                raise SgxError(f"ring '{self.name}': unknown ticket {ticket}")
+            if entry.cancelled:
+                raise SgxError(f"ring '{self.name}': ticket {ticket} was cancelled")
+            if entry.reaped:
+                raise SgxError(f"ring '{self.name}': ticket {ticket} already reaped")
+            self._ensure_serviced(entry)
+            return self._read_completion(entry)
+
+    def reap_all(self) -> List[Tuple[int, Any]]:
+        """Harvest every outstanding completion, in submission order.
+
+        Returns ``[(ticket, result), ...]``.  The first entry whose
+        execution failed re-raises its stored exception; callers that
+        expect per-entry failures should :meth:`reap` tickets
+        individually instead.
+        """
+        with self._context():
+            if self._submission:
+                self._service_or_fallback()
+            results: List[Tuple[int, Any]] = []
+            while self._order:
+                entry = self._entries[self._order[0]]
+                if entry.reaped or entry.cancelled:
+                    self._order.popleft()
+                    continue
+                results.append((entry.seq, self._read_completion(entry)))
+            return results
+
+    def cancel(self, ticket: int) -> bool:
+        """Withdraw a still-pending submission; True on success.
+
+        Refused (False, strict no-op) once the entry has been serviced,
+        reaped, or cancelled — mirroring the calendar queue's
+        cancel-after-pop semantics, so a stale ticket can never corrupt
+        the ring's live bookkeeping.
+        """
+        entry = self._entries.get(ticket)
+        if entry is None or entry.done or entry.lost or entry.cancelled or entry.reaped:
+            return False
+        entry.cancelled = True
+        self._submission.remove(ticket)
+        self.stats.cancelled += 1
+        return True
+
+    def flush(self) -> int:
+        """Service every outstanding submission; returns how many ran."""
+        with self._context():
+            outstanding = len(self._submission)
+            if outstanding:
+                self._service_or_fallback()
+            return outstanding
+
+    # -- internals ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _context(self) -> Iterator[None]:
+        """Charges flow to the owning platform's accountant/model."""
+        with cost_context.use_accountant(
+            self._platform.accountant, self._platform.model
+        ):
+            yield
+
+    def _worker_domain(self) -> str:
+        return (
+            self.enclave_domain
+            if self.direction == "ecall"
+            else self._platform.untrusted_domain
+        )
+
+    def _site(self) -> str:
+        return f"rings:{self.direction}:{self.name}"
+
+    def _overflow(self) -> None:
+        """Submission ring full: block-and-charge or cross, both exact."""
+        self.stats.overflows += 1
+        obs.instant(
+            "ring_overflow",
+            ring=self.name,
+            backlog=len(self._submission),
+            mode=self.backpressure,
+        )
+        if self.backpressure == "block" and self._worker_running:
+            # The caller spins until the worker's drain frees the slots:
+            # one modeled spin iteration per occupied slot, no crossing.
+            backlog = len(self._submission)
+            cost_context.charge_normal(
+                cost_context.current_model().ring_spin_normal * backlog
+            )
+            self.stats.overflow_spin += backlog
+            self._harvest()
+        else:
+            self._fallback_harvest()
+
+    def _service_or_fallback(self) -> None:
+        if self._worker_running:
+            self._harvest()
+        else:
+            self._fallback_harvest()
+
+    def _ensure_serviced(self, entry: _Entry) -> None:
+        if entry.done or entry.lost:
+            return
+        self._service_or_fallback()
+
+    def _stalled(self) -> bool:
+        plan = faults.current_plan()
+        return plan is not None and plan.decide(
+            faults.RING_WORKER_STALL, self._site()
+        ) is not None
+
+    def _harvest(self) -> None:
+        """One worker harvest pass: drain the submission ring, no crossing."""
+        if self._stalled():
+            # The worker missed this pass (injected deschedule): the
+            # triggering operation degrades to a genuine crossing.
+            self._fallback_harvest()
+            return
+        model = cost_context.current_model()
+        accountant = self._platform.accountant
+        self.stats.polls += 1
+        self._subs_since_harvest = 0
+        self._spin_credit = self.spin_budget
+        plan = faults.current_plan()
+        with accountant.attribute(self._worker_domain()):
+            with obs.span(f"rings:harvest:{self.name}", kind="rings"):
+                cost_context.charge_normal(model.ring_poll_normal)
+                while self._submission:
+                    entry = self._entries[self._submission.popleft()]
+                    if entry.cancelled:
+                        continue
+                    self._execute(entry)
+                    if plan is not None and plan.decide(
+                        faults.LOST_COMPLETION, self._site()
+                    ):
+                        # The work ran; only the completion-ring write
+                        # is lost.  The reaper recovers it with one
+                        # direct-fetch crossing — never by re-running.
+                        entry.lost = True
+                    else:
+                        entry.done = True
+
+    def _fallback_harvest(self) -> None:
+        """No worker pass available: one genuine crossing drains the ring.
+
+        The drained entries' results still travel through completion-
+        ring writes (the caller reads them at reap time), so the
+        ``lost_completion`` fault applies here exactly as it does on a
+        worker harvest pass.
+        """
+        model = cost_context.current_model()
+        accountant = self._platform.accountant
+        self.stats.fallback_crossings += 1
+        self._subs_since_harvest = 0
+        self._spin_credit = self.spin_budget
+        obs.instant(
+            "ring_fallback", ring=self.name, backlog=len(self._submission)
+        )
+        enter, leave = (
+            (UserInstruction.EEXIT, UserInstruction.ERESUME)
+            if self.direction == "ocall"
+            else (UserInstruction.EENTER, UserInstruction.EEXIT)
+        )
+        with obs.span(f"rings:fallback:{self.name}", kind="rings"):
+            with accountant.attribute(self.enclave_domain):
+                execute_user(enter)
+                accountant.charge_crossing()
+                cost_context.charge_normal(
+                    model.trampoline_normal + model.ring_fallback_normal
+                )
+            plan = faults.current_plan()
+            with accountant.attribute(self._worker_domain()):
+                while self._submission:
+                    entry = self._entries[self._submission.popleft()]
+                    if entry.cancelled:
+                        continue
+                    self._execute(entry)
+                    if plan is not None and plan.decide(
+                        faults.LOST_COMPLETION, self._site()
+                    ):
+                        # The work ran; only the completion-ring write
+                        # is lost.  The reaper recovers it with one
+                        # direct-fetch crossing — never by re-running.
+                        entry.lost = True
+                    else:
+                        entry.done = True
+            with accountant.attribute(self.enclave_domain):
+                execute_user(leave)
+
+    def _execute(self, entry: _Entry) -> None:
+        from repro.errors import ReproError
+
+        try:
+            entry.result = entry.func(*entry.args, **entry.kwargs)
+        except ReproError as exc:
+            # Typed failures travel the completion ring like results
+            # and re-raise at reap time on the caller's side.
+            entry.error = exc
+        self.stats.completed += 1
+
+    def _recover_lost(self, entry: _Entry) -> None:
+        """Fetch a lost completion with one direct crossing."""
+        model = cost_context.current_model()
+        accountant = self._platform.accountant
+        self.stats.recovery_crossings += 1
+        obs.instant(
+            "ring_completion_recovered", ring=self.name, ticket=entry.seq
+        )
+        enter, leave = (
+            (UserInstruction.EEXIT, UserInstruction.ERESUME)
+            if self.direction == "ocall"
+            else (UserInstruction.EENTER, UserInstruction.EEXIT)
+        )
+        with obs.span(f"rings:recover:{self.name}", kind="rings"):
+            with accountant.attribute(self.enclave_domain):
+                execute_user(enter)
+                accountant.charge_crossing()
+                cost_context.charge_normal(
+                    model.trampoline_normal + model.ring_fallback_normal
+                )
+                execute_user(leave)
+        entry.lost = False
+        entry.done = True
+
+    def _read_completion(self, entry: _Entry) -> Any:
+        if entry.lost:
+            self._recover_lost(entry)
+        if not entry.done:  # pragma: no cover — service always resolves
+            raise SgxError(
+                f"ring '{self.name}': ticket {entry.seq} still pending"
+            )
+        cost_context.charge_normal(
+            cost_context.current_model().ring_reap_normal
+        )
+        entry.reaped = True
+        self.stats.reaped += 1
+        obs.instant("ring_reap", ring=self.name, ticket=entry.seq)
+        if entry.error is not None:
+            raise entry.error
+        result = entry.result
+        return entry.validate(result) if entry.validate is not None else result

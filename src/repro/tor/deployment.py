@@ -85,6 +85,10 @@ class TorDeploymentConfig:
     #: nickname -> "tamper" | "snoop" | "snoop-guard"
     malicious: Dict[str, str] = dataclasses.field(default_factory=dict)
     seed: bytes = b"tor-deploy"
+    #: route the SGX relays' per-cell data plane through async ecall
+    #: rings (switchless v2); only meaningful at phase >= 2.
+    rings: bool = False
+    ring_depth: int = 4
 
     def relay_names(self) -> List[str]:
         return [f"or{i}" for i in range(1, self.n_relays + 1)]
@@ -204,7 +208,13 @@ class TorDeployment:
                     "configure_trust",
                     self.attestation_authority.verification_info(),
                 )
-                OnionRouterNode(node.host, None, enclave=enclave)
+                OnionRouterNode(
+                    node.host,
+                    None,
+                    enclave=enclave,
+                    rings=self.config.rings,
+                    ring_depth=self.config.ring_depth,
+                )
                 handle = RelayHandle(
                     nickname=nickname,
                     descriptor=descriptor,

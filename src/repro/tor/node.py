@@ -15,6 +15,7 @@ from typing import Dict, Generator, Optional, Tuple
 
 from repro.errors import TorError
 from repro.net.network import Host
+from repro.net.sim import SimTimeout
 from repro.net.transport import StreamListener, StreamSocket, connect
 from repro.tor.relay import OR_PORT, RelayCore
 
@@ -24,11 +25,29 @@ __all__ = ["OnionRouterNode"]
 class OnionRouterNode:
     """The untrusted host process around a relay engine."""
 
-    def __init__(self, host: Host, engine, enclave=None, switchless: bool = False) -> None:
+    #: How long (simulated seconds) a ring pump lingers for another
+    #: cell before harvesting a partial batch.  Small against every
+    #: link latency in the fabric, so it only coalesces cells already
+    #: in flight at the same instant.
+    REAP_LINGER = 1e-6
+
+    def __init__(
+        self,
+        host: Host,
+        engine,
+        enclave=None,
+        switchless: bool = False,
+        rings: bool = False,
+        ring_depth: int = 4,
+    ) -> None:
         """``engine`` is a RelayCore for native mode; pass ``enclave``
         (hosting an OnionRouterEnclaveProgram) for SGX mode instead.
         ``switchless=True`` (SGX mode only) routes the per-cell data
-        plane through the enclave's switchless ecall queue."""
+        plane through the enclave's switchless ecall queue;
+        ``rings=True`` posts cells into the enclave's async ecall rings
+        instead — up to ``ring_depth`` cells ride in flight per link
+        before the pump harvests their directives, so the harvest
+        crossing is amortized over the whole batch."""
         if (engine is None) == (enclave is None):
             raise TorError("provide exactly one of engine / enclave")
         self.host = host
@@ -37,6 +56,16 @@ class OnionRouterNode:
         self._switchless = switchless and enclave is not None
         if self._switchless and enclave.switchless_ecalls is None:
             enclave.enable_switchless_ecalls()
+        self._rings = rings and enclave is not None
+        self._ring_depth = max(1, ring_depth)
+        if self._rings and enclave.ring_ecalls is None:
+            # A relay dedicates an in-enclave cell-service thread
+            # (worker=True): cells cross zero boundaries while it runs,
+            # and a missed pass degrades to one crossing that drains
+            # the ring.
+            enclave.enable_ring_ecalls(
+                harvest_depth=self._ring_depth, worker=True
+            )
         self._links: Dict[int, StreamSocket] = {}
         self._streams: Dict[Tuple, StreamSocket] = {}
         self._next_link = 1
@@ -47,10 +76,20 @@ class OnionRouterNode:
 
     def _invoke(self, method: str, *args):
         if self._enclave is not None:
+            if self._rings:
+                # Ordering barrier: control-plane ecalls must observe
+                # every data-plane cell already posted to the rings.
+                self._drain_ring()
             if self._switchless:
                 return self._enclave.ecall_switchless(method, *args)
             return self._enclave.ecall(method, *args)
         return getattr(self._engine, method)(*args)
+
+    def _drain_ring(self) -> None:
+        """Harvest outstanding async cells and run their directives
+        (in submission order — the rings guarantee it)."""
+        for _ticket, directives in self._enclave.ecall_reap_all():
+            self._execute(directives)
 
     # -- link management ----------------------------------------------------------
 
@@ -69,12 +108,46 @@ class OnionRouterNode:
             self._register_link(conn)
 
     def _link_pump(self, link_id: int, conn: StreamSocket) -> Generator:
+        if self._rings:
+            yield from self._link_pump_rings(link_id, conn)
+            return
         while True:
             message = yield conn.recv_message()
             if message is None:
                 return
             directives = self._invoke("handle_cell", link_id, message)
             self._execute(directives)
+
+    def _link_pump_rings(self, link_id: int, conn: StreamSocket) -> Generator:
+        """Cell forwarding without awaiting the previous completion.
+
+        Each cell is posted into the submission ring; the pump
+        harvests (and executes the resulting directives) when the
+        batch reaches ``ring_depth``, or after lingering
+        ``REAP_LINGER`` simulated seconds with no further cell
+        arriving — a burst batches up, but the pump never blocks
+        indefinitely with work in flight, so replies are never
+        withheld from a lock-step peer.
+        """
+        in_flight = 0
+        while True:
+            if in_flight:
+                try:
+                    message = yield conn.recv_message(timeout=self.REAP_LINGER)
+                except SimTimeout:
+                    self._drain_ring()
+                    in_flight = 0
+                    continue
+            else:
+                message = yield conn.recv_message()
+            if message is None:
+                self._drain_ring()
+                return
+            self._enclave.ecall_submit("handle_cell", link_id, message)
+            in_flight += 1
+            if in_flight >= self._ring_depth:
+                self._drain_ring()
+                in_flight = 0
 
     # -- directive execution ----------------------------------------------------------
 

@@ -1,0 +1,397 @@
+"""Ring-conformance differential suite (the switchless-v2 contract).
+
+Hypothesis generates random ocall programs — interleavings of calls
+carrying their own modeled payload cost, reap barriers and flushes —
+and runs each program through BOTH boundary regimes:
+
+* the **synchronous** switchless queue (PR 1): submit, spin, read;
+* the **async rings** (this PR): post N descriptors, harvest later.
+
+The contract asserted for every program:
+
+1. **identical results** — each call's return value, keyed by ticket;
+2. **identical final state** — the payload side-effect log, in order
+   (rings service strictly in submission order);
+3. **integer-equal cost counters modulo the modeled boundary layer** —
+   subtract each arm's boundary-layer charges (computed exactly from
+   its stats x the ``CostModel`` constants, never measured) and the
+   remaining payload cost must match to the instruction;
+4. **exact reconciliation** — a traced ring arm's span tree must
+   account for every charged instruction (``obs.reconcile``).
+
+A failing program is dumped to ``conformance-failures/`` as JSON so
+the nightly big-budget job (and a human) can replay it.  Example
+budget: ``REPRO_CONFORMANCE_EXAMPLES`` (default 25 for tier-1; the
+``slow``-marked sweep uses ``REPRO_CONFORMANCE_EXAMPLES_NIGHTLY``,
+default 500).
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.cost import DEFAULT_MODEL
+from repro.cost import context as cost_context
+from repro.crypto.drbg import Rng
+from repro.sgx import RingPair, SgxPlatform
+from repro.sgx.switchless import SwitchlessQueue
+
+EXAMPLES = int(os.environ.get("REPRO_CONFORMANCE_EXAMPLES", "25"))
+NIGHTLY_EXAMPLES = int(
+    os.environ.get("REPRO_CONFORMANCE_EXAMPLES_NIGHTLY", "500")
+)
+FAILURE_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                           "conformance-failures")
+
+ENCLAVE_DOMAIN = "enclave:conformance"
+
+
+# ---------------------------------------------------------------------------
+# Program generation
+# ---------------------------------------------------------------------------
+
+# A program is a list of:
+#   ("call", value)  — one async-able ocall carrying value-dependent cost
+#   ("barrier",)     — reap every outstanding ticket (in order)
+#   ("flush",)       — service the ring without reaping (sync: no-op)
+# Cancellation is deliberately absent: the sync arm has nothing to
+# cancel (every call completes inline), so cancel semantics are pinned
+# by tests/sgx/test_rings.py instead.
+_program = st.lists(
+    st.one_of(
+        st.tuples(st.just("call"), st.integers(min_value=0, max_value=99)),
+        st.tuples(st.just("barrier")),
+        st.tuples(st.just("flush")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+_geometry = st.fixed_dictionaries(
+    {
+        "harvest_depth": st.integers(min_value=1, max_value=10),
+        "spin_budget": st.integers(min_value=0, max_value=6),
+        "capacity": st.integers(min_value=1, max_value=8),
+        "backpressure": st.sampled_from(["block", "fallback"]),
+    }
+)
+
+
+def _payload(log, value):
+    """The ocall body: value-dependent modeled cost + a side effect."""
+    cost_context.charge_normal(23 + 7 * (value % 13))
+    log.append(value)
+    return value * value + 1
+
+
+# ---------------------------------------------------------------------------
+# The two arms
+# ---------------------------------------------------------------------------
+
+
+def _run_sync(program):
+    """The PR 1 regime: every call completes synchronously, inline."""
+    platform = SgxPlatform("conf-sync", rng=Rng(b"conf-sync"))
+    queue = SwitchlessQueue(platform, "ocall", ENCLAVE_DOMAIN)
+    log = []
+    results = {}
+    ticket = 0
+    before = platform.accountant.snapshot()
+    for op in program:
+        if op[0] == "call":
+            results[ticket] = queue.call(_payload, (log, op[1]))
+            ticket += 1
+        # barrier/flush: nothing in flight, nothing to do.
+    total = _sum_counters(platform.accountant.delta(before))
+    return results, log, total, queue.stats
+
+
+def _run_rings(program, geometry, tracer=None):
+    """The async regime: post, then harvest at barriers/boundaries."""
+    with obs.tracing(tracer) if tracer is not None else _null_context():
+        platform = SgxPlatform("conf-rings", rng=Rng(b"conf-rings"))
+        ring = RingPair(
+            platform,
+            "ocall",
+            ENCLAVE_DOMAIN,
+            capacity=geometry["capacity"],
+            harvest_depth=geometry["harvest_depth"],
+            spin_budget=geometry["spin_budget"],
+            backpressure=geometry["backpressure"],
+        )
+        log = []
+        results = {}
+        outstanding = []
+        before = platform.accountant.snapshot()
+        for op in program:
+            if op[0] == "call":
+                outstanding.append(ring.submit(_payload, (log, op[1])))
+            elif op[0] == "barrier":
+                for ticket in outstanding:
+                    results[ticket] = ring.reap(ticket)
+                outstanding = []
+            else:
+                ring.flush()
+        for ticket in outstanding:
+            results[ticket] = ring.reap(ticket)
+        total = _sum_counters(platform.accountant.delta(before))
+    return results, log, total, ring.stats
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+def _sum_counters(delta):
+    from repro.cost import Counter
+
+    total = Counter()
+    for counter in delta.values():
+        total += counter
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Exact boundary-layer cost, from stats x model constants
+# ---------------------------------------------------------------------------
+
+
+def _sync_boundary(stats, model):
+    """(normal, sgx, crossings) the switchless queue's plumbing cost."""
+    normal = (
+        stats.submitted * model.switchless_slot_normal
+        + stats.polls * model.switchless_poll_normal
+        + stats.fallback_crossings
+        * (model.trampoline_normal + model.switchless_fallback_normal)
+    )
+    return normal, 2 * stats.fallback_crossings, stats.fallback_crossings
+
+
+def _ring_boundary(stats, model):
+    """(normal, sgx, crossings) the ring plumbing cost."""
+    crossings = stats.fallback_crossings + stats.recovery_crossings
+    normal = (
+        stats.submitted * model.ring_submit_normal
+        + stats.reaped * model.ring_reap_normal
+        + stats.polls * model.ring_poll_normal
+        + (stats.spins + stats.overflow_spin) * model.ring_spin_normal
+        + stats.wakeups * model.ring_wakeup_normal
+        + crossings * (model.trampoline_normal + model.ring_fallback_normal)
+    )
+    return normal, 2 * crossings, crossings
+
+
+# ---------------------------------------------------------------------------
+# The differential check
+# ---------------------------------------------------------------------------
+
+
+def _check_conformance(program, geometry):
+    sync_results, sync_log, sync_total, sync_stats = _run_sync(program)
+    ring_results, ring_log, ring_total, ring_stats = _run_rings(
+        program, geometry
+    )
+    model = DEFAULT_MODEL  # both platforms run the paper's constants
+
+    # 1. identical results per ticket
+    assert ring_results == sync_results, "results diverged"
+    # 2. identical final state (submission-order servicing)
+    assert ring_log == sync_log, "side-effect log diverged"
+    # 3. counters integer-equal after subtracting each arm's modeled
+    #    boundary layer — the payload cost must be untouched by the
+    #    transport it rode on.
+    sync_b = _sync_boundary(sync_stats, model)
+    ring_b = _ring_boundary(ring_stats, model)
+    assert ring_total.normal_instructions - ring_b[0] == (
+        sync_total.normal_instructions - sync_b[0]
+    ), "payload normal-instruction cost diverged"
+    assert ring_total.sgx_instructions - ring_b[1] == (
+        sync_total.sgx_instructions - sync_b[1]
+    ), "sgx-instruction cost diverged"
+    assert ring_total.enclave_crossings - ring_b[2] == (
+        sync_total.enclave_crossings - sync_b[2]
+    ), "crossing count diverged"
+    assert (
+        ring_total.switchless_calls == sync_total.switchless_calls
+    ), "switchless-call count diverged"
+    # Books must balance internally too.
+    assert ring_stats.reaped == sync_stats.submitted
+    assert ring_stats.completed >= ring_stats.reaped
+
+
+def _dump_failure(program, geometry, error):
+    os.makedirs(FAILURE_DIR, exist_ok=True)
+    doc = {
+        "program": [list(op) for op in program],
+        "geometry": geometry,
+        "error": str(error),
+    }
+    blob = json.dumps(doc, sort_keys=True, indent=2)
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    path = os.path.join(FAILURE_DIR, f"program-{digest}.json")
+    with open(path, "w") as fh:
+        fh.write(blob + "\n")
+    return path
+
+
+def _differential(program, geometry):
+    try:
+        _check_conformance(program, geometry)
+    except AssertionError as exc:
+        path = _dump_failure(program, geometry, exc)
+        raise AssertionError(
+            f"conformance failure (program dumped to {path}): {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# The suites
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(program=_program, geometry=_geometry)
+def test_conformance_random_programs(program, geometry):
+    _differential(program, geometry)
+
+
+@pytest.mark.slow
+@settings(max_examples=NIGHTLY_EXAMPLES, deadline=None)
+@given(program=_program, geometry=_geometry)
+def test_conformance_big_budget(program, geometry):
+    """The nightly sweep: same property, 20x the example budget."""
+    _differential(program, geometry)
+
+
+def test_replay_dumped_failures():
+    """Any program previously dumped by a failing run must now pass —
+    the nightly job replays the corpus before the random sweep."""
+    if not os.path.isdir(FAILURE_DIR):
+        pytest.skip("no conformance failures on record")
+    dumps = sorted(os.listdir(FAILURE_DIR))
+    if not dumps:
+        pytest.skip("no conformance failures on record")
+    for name in dumps:
+        with open(os.path.join(FAILURE_DIR, name)) as fh:
+            doc = json.load(fh)
+        _check_conformance(
+            [tuple(op) for op in doc["program"]], doc["geometry"]
+        )
+
+
+class TestKnownPrograms:
+    """Deterministic corner programs, always run (no hypothesis)."""
+
+    GEOMETRY = {
+        "harvest_depth": 4,
+        "spin_budget": 2,
+        "capacity": 4,
+        "backpressure": "fallback",
+    }
+
+    def test_empty_barriers_only(self):
+        _differential([("barrier",), ("flush",), ("barrier",)], self.GEOMETRY)
+
+    def test_single_call(self):
+        _differential([("call", 7)], self.GEOMETRY)
+
+    def test_burst_past_every_boundary(self):
+        # 13 calls against capacity 4 / depth 4: overflows, harvests
+        # and the final implicit barrier all fire.
+        _differential(
+            [("call", v) for v in range(13)] + [("barrier",)], self.GEOMETRY
+        )
+
+    def test_flush_between_bursts(self):
+        _differential(
+            [("call", 1), ("call", 2), ("flush",), ("call", 3), ("barrier",)],
+            self.GEOMETRY,
+        )
+
+    def test_block_backpressure_geometry(self):
+        geometry = dict(self.GEOMETRY, backpressure="block", capacity=2)
+        _differential([("call", v) for v in range(9)], geometry)
+
+
+class TestTracedReconciliation:
+    def test_ring_arm_reconciles_exactly(self):
+        """Every instruction the ring arm charges is visible to the
+        span tree: obs.reconcile is exact, and the ring's typed
+        instants all appear."""
+        tracer = obs.Tracer()
+        program = [("call", v) for v in range(9)] + [("barrier",)]
+        geometry = {
+            "harvest_depth": 3,
+            "spin_budget": 1,
+            "capacity": 4,
+            "backpressure": "fallback",
+        }
+        _run_rings(program, geometry, tracer=tracer)
+        obs.reconcile(tracer)  # raises ReconcileError on any mismatch
+        names = {i.name for i in tracer.instants}
+        assert "ring_submit" in names
+        assert "ring_reap" in names
+        assert "switchless_hit" in names
+        assert "ring_worker_sleep" in names
+        assert "ring_worker_wake" in names
+
+
+class TestEndToEndAdoption:
+    """The rings knob must be invisible to application results."""
+
+    def test_middlebox_rings_byte_identical_lockstep(self):
+        from repro.middlebox.scenarios import MiddleboxScenario
+
+        payloads = [b"alpha", b"SECRET-TOKEN inside", b"omega"]
+        base = MiddleboxScenario(n_middleboxes=1, seed=b"conf-mbox").run(
+            payloads, pipeline=False
+        )
+        rung = MiddleboxScenario(
+            n_middleboxes=1, seed=b"conf-mbox", rings=True
+        ).run(payloads, pipeline=False)
+        assert rung.replies == base.replies
+        assert rung.alerts == base.alerts
+        assert rung.stats == base.stats
+        assert rung.provisioned == base.provisioned
+
+    def test_middlebox_rings_pipelined_same_replies(self):
+        from repro.middlebox.scenarios import MiddleboxScenario
+
+        payloads = [b"p%d" % i for i in range(8)]
+        base = MiddleboxScenario(n_middleboxes=2, seed=b"conf-pipe").run(
+            payloads, pipeline=True
+        )
+        rung = MiddleboxScenario(
+            n_middleboxes=2, seed=b"conf-pipe", rings=True, ring_depth=4
+        ).run(payloads, pipeline=True)
+        assert rung.replies == base.replies
+        assert rung.stats == base.stats
+
+    def test_middlebox_rings_block_rule_still_blocks(self):
+        from repro.middlebox.scenarios import MiddleboxScenario
+
+        rules = [("kill", b"DROP-ME", "block")]
+        rung = MiddleboxScenario(
+            n_middleboxes=1, rules=rules, seed=b"conf-block", rings=True
+        ).run([b"ok", b"please DROP-ME now", b"after"], pipeline=False)
+        assert rung.blocked
+        assert rung.replies == [b"OK:ok"]
+
+    def test_tor_rings_byte_identical_client_result(self):
+        from repro.tor.deployment import TorDeployment, TorDeploymentConfig
+
+        def run(rings):
+            deployment = TorDeployment(
+                TorDeploymentConfig(
+                    phase=2, n_relays=4, seed=b"conf-tor", rings=rings
+                )
+            )
+            return deployment.run_client_request(b"GET /conformance")
+
+        assert run(True) == run(False)

@@ -1,0 +1,226 @@
+"""Regression pins for the ring pumps' wait loop (PR 2 and PR 6 bugs).
+
+The ring pumps (``OnionRouterNode._link_pump_rings``,
+``MiddleboxNode._pump_rings``) sit in exactly the two traps this repo
+has already fixed once:
+
+* **PR 2** — a ``MessageQueue`` delivery and a ``get(timeout=...)``
+  timeout landing on the same timestamp: the earlier-scheduled event
+  must win and a losing delivery must re-buffer its item.  The pumps
+  linger with ``timeout=REAP_LINGER`` on *every* iteration with work
+  in flight, so this tie fires constantly — a regression would
+  silently drop cells/records.
+* **PR 6** — ``CalendarQueue.cancel()`` after ``pop()`` must be a
+  refused no-op.  Every linger timeout that *loses* (a message arrives
+  first) cancels its already-popped-or-pending timer; the ring's own
+  ``cancel()`` mirrors the same discipline for serviced tickets.
+
+Both are pinned here against the ring shapes, on both kernels.
+"""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import SgxError, SimTimeout
+from repro.net import sim, sim_reference
+from repro.net.sim import use_kernel
+from repro.sgx import RingPair, SgxPlatform
+
+#: Mirrors OnionRouterNode.REAP_LINGER / MiddleboxNode.REAP_LINGER.
+REAP_LINGER = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# PR 2: the linger timeout vs same-timestamp delivery tie
+# ---------------------------------------------------------------------------
+
+
+def _linger_tie(sim_module):
+    """A put scheduled before a REAP_LINGER timeout at the same
+    timestamp: the timeout still fires first (it entered the bucket
+    earlier), and the losing delivery re-buffers the item for the next
+    recv — exactly the PR 2 contract, at the pumps' tiny timeout."""
+    simulator = sim_module.Simulator()
+    queue = simulator.queue("linger-tie")
+    outcomes = []
+
+    def producer():
+        yield simulator.sleep(REAP_LINGER)
+        queue.put("cell")
+
+    def pump():
+        try:
+            item = yield queue.get(timeout=REAP_LINGER)
+            outcomes.append(("got", item))
+        except SimTimeout:
+            outcomes.append(("linger-expired",))
+        # The pump's next blocking recv must still see the item.
+        item = yield queue.get()
+        outcomes.append(("drained", item))
+
+    simulator.spawn(producer(), "producer")
+    simulator.spawn(pump(), "pump")
+    simulator.run()
+    return outcomes
+
+
+def test_linger_tie_fast_kernel():
+    assert _linger_tie(sim) == [("linger-expired",), ("drained", "cell")]
+
+
+def test_linger_tie_reference_kernel():
+    assert _linger_tie(sim_reference) == [
+        ("linger-expired",),
+        ("drained", "cell"),
+    ]
+
+
+def _ring_pump_batches(sim_module, arrivals):
+    """A miniature of the real ring pumps: blocking recv when idle,
+    linger recv with work in flight, flush on timeout or at depth 4.
+    Returns the batch partition — it must be deterministic and lose
+    nothing, whatever the arrival timestamps."""
+    simulator = sim_module.Simulator()
+    queue = simulator.queue("pump")
+    batches = []
+    depth = 4
+
+    def producer():
+        now = 0.0
+        for t, item in arrivals:
+            if t > now:
+                yield simulator.sleep(t - now)
+                now = t
+            queue.put(item)
+        yield simulator.sleep(1.0)
+        queue.put(None)  # EOF
+
+    def pump():
+        batch = []
+        while True:
+            if batch:
+                try:
+                    item = yield queue.get(timeout=REAP_LINGER)
+                except SimTimeout:
+                    batches.append(batch)
+                    batch = []
+                    continue
+            else:
+                item = yield queue.get()
+            if item is None:
+                if batch:
+                    batches.append(batch)
+                return
+            batch.append(item)
+            if len(batch) >= depth:
+                batches.append(batch)
+                batch = []
+
+    simulator.spawn(producer(), "producer")
+    simulator.spawn(pump(), "pump")
+    simulator.run()
+    return batches
+
+
+_ARRIVAL_SHAPES = [
+    # A same-instant burst coalesces into one batch under the linger.
+    [(0.0, i) for i in range(3)],
+    # A burst past the depth splits exactly at the depth boundary.
+    [(0.0, i) for i in range(6)],
+    # Spaced arrivals (beyond the linger) flush one by one.
+    [(0.1 * i, i) for i in range(3)],
+    # Burst, gap, burst.
+    [(0.0, 0), (0.0, 1), (0.5, 2), (0.5, 3), (0.5, 4)],
+]
+_EXPECTED_BATCHES = [
+    [[0, 1, 2]],
+    [[0, 1, 2, 3], [4, 5]],
+    [[0], [1], [2]],
+    [[0, 1], [2, 3, 4]],
+]
+
+
+@pytest.mark.parametrize(
+    "arrivals,expected", zip(_ARRIVAL_SHAPES, _EXPECTED_BATCHES)
+)
+def test_pump_batches_deterministic_fast_kernel(arrivals, expected):
+    assert _ring_pump_batches(sim, arrivals) == expected
+
+
+@pytest.mark.parametrize(
+    "arrivals,expected", zip(_ARRIVAL_SHAPES, _EXPECTED_BATCHES)
+)
+def test_pump_batches_deterministic_reference_kernel(arrivals, expected):
+    assert _ring_pump_batches(sim_reference, arrivals) == expected
+
+
+# ---------------------------------------------------------------------------
+# PR 6: cancel-after-service is a refused no-op
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def ring():
+    platform = SgxPlatform("ring-regr", rng=Rng(b"ring-regr"))
+    return RingPair(platform, "ecall", "enclave:regr")
+
+
+class TestCancelAfterService:
+    def test_cancel_after_flush_refused(self, ring):
+        ticket = ring.submit(lambda: 42)
+        ring.flush()  # serviced: the completion exists
+        assert ring.cancel(ticket) is False
+        assert ring.stats.cancelled == 0
+        assert ring.reap(ticket) == 42  # bookkeeping uncorrupted
+
+    def test_cancel_after_reap_refused(self, ring):
+        ticket = ring.submit(lambda: 1)
+        ring.reap(ticket)
+        assert ring.cancel(ticket) is False
+
+    def test_double_cancel_refused(self, ring):
+        ticket = ring.submit(lambda: 1)
+        assert ring.cancel(ticket) is True
+        assert ring.cancel(ticket) is False
+        assert ring.stats.cancelled == 1
+
+    def test_cancelled_entry_never_executes(self, ring):
+        ran = []
+        ticket = ring.submit(ran.append, (1,))
+        keeper = ring.submit(ran.append, (2,))
+        assert ring.cancel(ticket) is True
+        assert ring.reap_all() == [(keeper, None)]
+        assert ran == [2]
+        with pytest.raises(SgxError, match="cancelled"):
+            ring.reap(ticket)
+
+    def test_unknown_ticket_rejected(self, ring):
+        assert ring.cancel(999) is False
+        with pytest.raises(SgxError, match="unknown"):
+            ring.reap(999)
+
+
+# ---------------------------------------------------------------------------
+# End to end: the real middlebox ring pump on both kernels
+# ---------------------------------------------------------------------------
+
+
+class TestPumpCrossKernel:
+    def _run(self):
+        from repro.middlebox.scenarios import MiddleboxScenario
+
+        scenario = MiddleboxScenario(
+            n_middleboxes=1, seed=b"ring-kernels", rings=True, ring_depth=4
+        )
+        result = scenario.run([b"r%d" % i for i in range(6)])
+        return result.replies, result.stats
+
+    def test_ring_scenario_identical_on_both_kernels(self):
+        # The linger loop leans on same-timestamp scheduling; the two
+        # kernels must agree byte for byte or the pump is relying on
+        # kernel-private ordering.
+        fast = self._run()
+        with use_kernel("reference"):
+            reference = self._run()
+        assert fast == reference
+        assert fast[0] == [b"OK:r%d" % i for i in range(6)]

@@ -1,0 +1,541 @@
+"""Property and mechanics suite for the async I/O rings (repro.sgx.rings).
+
+The hypothesis property drives arbitrary interleavings of submit /
+reap / reap_all / cancel / flush against the dumbest correct model
+there is — a dict of entries walked in submission (seq) order — and
+:class:`~repro.sgx.rings.RingPair` must never disagree: not on ticket
+numbers, not on results, not on which cancels are refused, not on the
+order ``reap_all`` returns completions.  Wrap-around falls out of tiny
+ring capacities (slot index is seq mod capacity), and full-ring
+backpressure out of the overflow service points the model mirrors.
+
+The deterministic classes below pin the modeled costs against
+``DEFAULT_MODEL`` field by field: submit/reap marshalling, the
+adaptive spin -> sleep -> doorbell worker cycle, both backpressure
+modes, and the worker-less fallback crossing that ablation A14 rests
+on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.fixtures import make_author_key
+
+from repro.cost import DEFAULT_MODEL
+from repro.cost import context as cost_context
+from repro.crypto.drbg import Rng
+from repro.errors import SgxError
+from repro.sgx import EnclaveProgram, RingPair, SgxPlatform
+
+
+def _value_of(x: int) -> int:
+    return x * 3 + 1
+
+
+def _total(delta):
+    """Sum a domain->Counter delta into one Counter."""
+    total = None
+    for counter in delta.values():
+        if total is None:
+            total = counter.copy()
+        else:
+            total += counter
+    return total
+
+
+def _make_ring(platform, **kwargs) -> RingPair:
+    kwargs.setdefault("direction", "ecall")
+    return RingPair(platform, enclave_domain="enclave:model", **kwargs)
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform("ring-host", rng=Rng(b"ring-test"))
+
+
+# ---------------------------------------------------------------------------
+# The model
+# ---------------------------------------------------------------------------
+
+
+class _ModelRing:
+    """Reference semantics: entries in a dict, serviced in seq order.
+
+    Service points mirror the worker-less ring exactly: a submit that
+    finds the ring full, any reap of a still-pending entry, reap_all
+    with outstanding submissions, and flush — each drains *every*
+    pending entry (the fallback crossing drains the whole ring).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries = {}
+        self.order = []
+        self.pending = []
+        self.seq = 0
+
+    def _service(self):
+        for seq in self.pending:
+            self.entries[seq]["serviced"] = True
+        self.pending = []
+
+    def submit(self, value: int) -> int:
+        if len(self.pending) >= self.capacity:
+            self._service()
+        seq = self.seq
+        self.seq += 1
+        self.entries[seq] = {
+            "value": _value_of(value),
+            "serviced": False,
+            "reaped": False,
+            "cancelled": False,
+        }
+        self.order.append(seq)
+        self.pending.append(seq)
+        return seq
+
+    def reap(self, seq: int):
+        """The entry's value, or None where the real ring must raise."""
+        entry = self.entries.get(seq)
+        if entry is None or entry["cancelled"] or entry["reaped"]:
+            return None
+        if not entry["serviced"]:
+            self._service()
+        entry["reaped"] = True
+        return entry["value"]
+
+    def reap_all(self):
+        self._service()
+        out = []
+        for seq in self.order:
+            entry = self.entries[seq]
+            if entry["reaped"] or entry["cancelled"]:
+                continue
+            entry["reaped"] = True
+            out.append((seq, entry["value"]))
+        return out
+
+    def cancel(self, seq: int) -> bool:
+        entry = self.entries.get(seq)
+        if (
+            entry is None
+            or entry["serviced"]
+            or entry["reaped"]
+            or entry["cancelled"]
+        ):
+            return False
+        entry["cancelled"] = True
+        self.pending.remove(seq)
+        return True
+
+    def flush(self) -> int:
+        count = len(self.pending)
+        self._service()
+        return count
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(
+            1
+            for seq in self.order
+            if not self.entries[seq]["reaped"]
+            and not self.entries[seq]["cancelled"]
+        )
+
+
+# One program = a sequence of operations; indices address the k-th
+# ticket ever issued (mod count), so cancels and reaps hit live,
+# consumed and cancelled entries alike.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(min_value=0, max_value=99)),
+        st.tuples(st.just("reap"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("reap_all")),
+        st.tuples(st.just("flush")),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops, capacity=st.integers(min_value=1, max_value=5))
+def test_property_matches_model_worker_less(ops, capacity):
+    """Worker-less (ecall-direction) ring vs the model, tiny capacities."""
+    platform = SgxPlatform("ring-prop", rng=Rng(b"ring-prop"))
+    ring = _make_ring(platform, capacity=capacity)
+    model = _ModelRing(capacity)
+    tickets = []
+    for op in ops:
+        if op[0] == "submit":
+            real = ring.submit(_value_of, (op[1],))
+            assert real == model.submit(op[1])
+            tickets.append(real)
+        elif op[0] in ("reap", "cancel"):
+            if not tickets:
+                continue
+            ticket = tickets[op[1] % len(tickets)]
+            if op[0] == "cancel":
+                assert ring.cancel(ticket) == model.cancel(ticket)
+            else:
+                expected = model.reap(ticket)
+                if expected is None:
+                    with pytest.raises(SgxError):
+                        ring.reap(ticket)
+                else:
+                    assert ring.reap(ticket) == expected
+        elif op[0] == "reap_all":
+            assert ring.reap_all() == model.reap_all()
+        else:
+            assert ring.flush() == model.flush()
+        assert ring.depth == model.depth
+        assert ring.in_flight == model.in_flight
+    # Drain: the survivors come out in exact submission order.
+    assert ring.reap_all() == model.reap_all()
+    assert ring.in_flight == 0
+    assert ring.stats.submitted == model.seq
+    assert ring.stats.cancelled == sum(
+        1 for e in model.entries.values() if e["cancelled"]
+    )
+    assert ring.stats.reaped == sum(
+        1 for e in model.entries.values() if e["reaped"]
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=99), max_size=40),
+    harvest_depth=st.integers(min_value=1, max_value=10),
+    spin_budget=st.integers(min_value=0, max_value=6),
+)
+def test_property_live_worker_preserves_order_and_books(
+    values, harvest_depth, spin_budget
+):
+    """Ocall-direction ring with a live adaptive worker: completions
+    come back in submission order whatever the harvest/spin geometry,
+    and the spin/sleep/wakeup books stay consistent."""
+    platform = SgxPlatform("ring-prop-w", rng=Rng(b"ring-prop-w"))
+    ring = _make_ring(
+        platform,
+        direction="ocall",
+        harvest_depth=harvest_depth,
+        spin_budget=spin_budget,
+        capacity=64,
+    )
+    assert ring.worker_running
+    for value in values:
+        ring.submit(_value_of, (value,))
+    reaped = ring.reap_all()
+    assert reaped == [(i, _value_of(v)) for i, v in enumerate(values)]
+    stats = ring.stats
+    assert stats.submitted == stats.completed == stats.reaped == len(values)
+    assert stats.spins <= len(values)
+    # Every sleep is entered through an exhausted budget and left
+    # through exactly one doorbell (except a final sleep nothing woke).
+    assert stats.wakeups in (stats.sleeps, stats.sleeps - 1)
+    if spin_budget == 0:
+        assert stats.spins == 0
+    if len(values) >= harvest_depth:
+        assert stats.polls >= 1
+    # A live worker never needs the crossing fallback.
+    assert stats.fallback_crossings == 0
+
+
+# ---------------------------------------------------------------------------
+# Construction and parameter validation
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self, platform):
+        with pytest.raises(SgxError):
+            _make_ring(platform, direction="sideways")
+        with pytest.raises(SgxError):
+            _make_ring(platform, capacity=0)
+        with pytest.raises(SgxError):
+            _make_ring(platform, harvest_depth=0)
+        with pytest.raises(SgxError):
+            _make_ring(platform, spin_budget=-1)
+        with pytest.raises(SgxError):
+            _make_ring(platform, backpressure="panic")
+
+    def test_worker_defaults_by_direction(self, platform):
+        # Host cores are cheap: the ocall direction polls by default.
+        assert _make_ring(platform, direction="ocall").worker_running
+        # An in-enclave poller burns a TCS + core: ecall defaults off.
+        assert not _make_ring(platform, direction="ecall").worker_running
+        assert _make_ring(platform, direction="ecall", worker=True).worker_running
+
+
+# ---------------------------------------------------------------------------
+# Cost accounting against DEFAULT_MODEL
+# ---------------------------------------------------------------------------
+
+
+class TestCosts:
+    def test_submit_charges_marshalling_no_crossing(self, platform):
+        ring = _make_ring(platform)
+        before = platform.accountant.snapshot()
+        ring.submit(_value_of, (1,))
+        total = _total(platform.accountant.delta(before))
+        assert total.normal_instructions == DEFAULT_MODEL.ring_submit_normal
+        assert total.enclave_crossings == 0
+        assert total.sgx_instructions == 0
+        assert total.switchless_calls == 1
+
+    def test_worker_less_harvest_is_one_crossing(self, platform):
+        ring = _make_ring(platform)  # ecall, no worker
+        for i in range(6):
+            ring.submit(_value_of, (i,))
+        before = platform.accountant.snapshot()
+        assert ring.reap_all() == [(i, _value_of(i)) for i in range(6)]
+        delta = platform.accountant.delta(before)
+        enclave = delta["enclave:model"]
+        # One genuine crossing drains all six: EENTER + EEXIT, the
+        # trampoline, and the ring-drain fallback path.
+        assert enclave.enclave_crossings == 1
+        assert enclave.sgx_instructions == 2
+        assert enclave.normal_instructions == (
+            DEFAULT_MODEL.trampoline_normal + DEFAULT_MODEL.ring_fallback_normal
+        )
+        # The completion reads land on the (untrusted) caller's side.
+        assert delta[platform.untrusted_domain].normal_instructions == (
+            6 * DEFAULT_MODEL.ring_reap_normal
+        )
+        assert ring.stats.fallback_crossings == 1
+
+    def test_adaptive_worker_spin_sleep_doorbell_cycle(self, platform):
+        ring = _make_ring(
+            platform, direction="ocall", harvest_depth=8, spin_budget=4
+        )
+        for i in range(8):
+            ring.submit(_value_of, (i,))
+        stats = ring.stats
+        # Submissions 1-4 each burn a spin credit; the 4th exhausts the
+        # budget and the worker sleeps.  Submission 5 pays the doorbell
+        # (resetting the budget), 5-7 spin again, and the 8th hits the
+        # harvest depth: one poll pass drains all eight.
+        assert stats.spins == 7
+        assert stats.sleeps == 1
+        assert stats.wakeups == 1
+        assert stats.polls == 1
+        assert stats.completed == 8
+        assert stats.fallback_crossings == 0
+
+    def test_doorbell_charges_wakeup_cost(self, platform):
+        ring = _make_ring(
+            platform, direction="ocall", harvest_depth=64, spin_budget=1
+        )
+        ring.submit(_value_of, (0,))  # exhausts the 1-spin budget
+        assert ring.stats.sleeps == 1
+        before = platform.accountant.snapshot()
+        ring.submit(_value_of, (1,))
+        total = _total(platform.accountant.delta(before))
+        assert ring.stats.wakeups == 1
+        assert total.normal_instructions == (
+            DEFAULT_MODEL.ring_wakeup_normal
+            + DEFAULT_MODEL.ring_submit_normal
+            + DEFAULT_MODEL.ring_spin_normal
+        )
+
+    def test_worker_poll_charged_to_worker_domain(self, platform):
+        ring = _make_ring(platform, direction="ocall", harvest_depth=2)
+        before = platform.accountant.snapshot()
+        ring.submit(_value_of, (0,))
+        ring.submit(_value_of, (1,))  # hits harvest_depth: poll pass
+        delta = platform.accountant.delta(before)
+        assert ring.stats.polls == 1
+        untrusted = delta[platform.untrusted_domain]
+        # The ocall direction's worker lives on the host side.
+        assert untrusted.normal_instructions >= DEFAULT_MODEL.ring_poll_normal
+        assert untrusted.enclave_crossings == 0
+
+
+# ---------------------------------------------------------------------------
+# Backpressure (full submission ring)
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_block_mode_spins_without_crossing(self, platform):
+        ring = _make_ring(
+            platform,
+            direction="ocall",
+            capacity=2,
+            harvest_depth=100,
+            spin_budget=0,
+            backpressure="block",
+        )
+        before = platform.accountant.snapshot()
+        for i in range(5):
+            ring.submit(_value_of, (i,))
+        delta = platform.accountant.delta(before)
+        assert all(c.enclave_crossings == 0 for c in delta.values())
+        assert ring.stats.overflows == 2  # 3rd and 5th submit found it full
+        assert ring.stats.overflow_spin == 4  # backlog of 2, twice
+        assert ring.stats.fallback_crossings == 0
+        assert ring.stats.max_depth == 2
+        assert ring.reap_all() == [(i, _value_of(i)) for i in range(5)]
+
+    def test_block_without_worker_degrades_to_crossing(self, platform):
+        ring = _make_ring(platform, capacity=2, backpressure="block")
+        assert not ring.worker_running
+        for i in range(3):
+            ring.submit(_value_of, (i,))
+        # The blocked caller has no worker to wait on: the overflow
+        # must degrade to the fallback crossing, not hang.
+        assert ring.stats.overflows == 1
+        assert ring.stats.fallback_crossings == 1
+        assert ring.reap_all() == [(i, _value_of(i)) for i in range(3)]
+
+    def test_fallback_mode_crossing_drains_everything(self, platform):
+        ring = _make_ring(platform, capacity=3, backpressure="fallback")
+        before = platform.accountant.snapshot()
+        for i in range(7):  # overflows capacity 3 twice
+            ring.submit(_value_of, (i,))
+        delta = platform.accountant.delta(before)
+        assert delta["enclave:model"].enclave_crossings == 2
+        assert ring.stats.overflows == 2
+        assert ring.stats.fallback_crossings == 2
+
+
+# ---------------------------------------------------------------------------
+# Worker lifecycle, validation hooks, error transport
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycleAndHooks:
+    def test_pause_then_resume_catches_up(self, platform):
+        ring = _make_ring(platform, direction="ocall", harvest_depth=100)
+        ring.pause_worker()
+        ran = []
+        ring.submit(ran.append, (1,))
+        ring.submit(ran.append, (2,))
+        assert ran == []
+        ring.resume_worker()
+        assert ran == [1, 2]
+        assert ring.stats.polls == 1
+
+    def test_paused_worker_service_pays_crossing(self, platform):
+        ring = _make_ring(platform, direction="ocall", harvest_depth=100)
+        ring.pause_worker()
+        ring.submit(_value_of, (5,))
+        assert ring.reap_all() == [(0, _value_of(5))]
+        assert ring.stats.fallback_crossings == 1
+
+    def test_validate_runs_on_callers_side_at_reap(self, platform):
+        # The Iago discipline: untrusted results pass the enclave's
+        # validator before any trusted code consumes them.
+        ring = _make_ring(platform, direction="ocall")
+        ticket = ring.submit(
+            _value_of, (3,), validate=lambda v: v * 10
+        )
+        assert ring.reap(ticket) == _value_of(3) * 10
+
+    def test_validate_rejection_propagates(self, platform):
+        ring = _make_ring(platform, direction="ocall")
+
+        def reject(_value):
+            raise SgxError("iago: implausible ocall result")
+
+        ticket = ring.submit(_value_of, (3,), validate=reject)
+        with pytest.raises(SgxError, match="iago"):
+            ring.reap(ticket)
+
+    def test_typed_error_travels_completion_ring(self, platform):
+        ring = _make_ring(platform)
+
+        def boom():
+            raise SgxError("payload failed")
+
+        ticket = ring.submit(boom)
+        ok = ring.submit(_value_of, (1,))
+        with pytest.raises(SgxError, match="payload failed"):
+            ring.reap(ticket)
+        # The failure is per-entry: its neighbor reaps normally.
+        assert ring.reap(ok) == _value_of(1)
+
+    def test_flush_counts_and_is_idempotent(self, platform):
+        ring = _make_ring(platform)
+        ring.submit(_value_of, (1,))
+        ring.submit(_value_of, (2,))
+        assert ring.flush() == 2
+        assert ring.flush() == 0
+
+
+# ---------------------------------------------------------------------------
+# Runtime integration: ocall_submit / ecall_submit plumbing
+# ---------------------------------------------------------------------------
+
+
+class RingWorkload(EnclaveProgram):
+    def setup(self, **kwargs):
+        self.ctx.enable_rings(**kwargs)
+
+    def do_submits(self, n: int):
+        log = self._log = []
+        return [self.ctx.ocall_submit(log.append, i) for i in range(n)]
+
+    def reap_everything(self):
+        return self.ctx.ocall_reap_all()
+
+    def log_len(self):
+        return len(self._log)
+
+    def double(self, x: int):
+        return x * 2
+
+
+class TestRuntimeIntegration:
+    @pytest.fixture()
+    def author(self):
+        return make_author_key(b"ring-author")
+
+    def test_ocall_submit_requires_enable(self, platform, author):
+        enclave = platform.load_enclave(RingWorkload(), author_key=author)
+        with pytest.raises(SgxError, match="enable_rings"):
+            enclave.ecall("do_submits", 1)
+
+    def test_ocall_submit_batch_zero_extra_crossings(self, platform, author):
+        enclave = platform.load_enclave(RingWorkload(), author_key=author)
+        enclave.ecall("setup")
+        before = platform.accountant.snapshot()
+        tickets = enclave.ecall("do_submits", 10)
+        assert tickets == list(range(10))
+        enclave.ecall("reap_everything")
+        assert enclave.ecall("log_len") == 10
+        delta = platform.accountant.delta(before)
+        # The three ecalls themselves are the only crossings: the ten
+        # async ocalls ride the rings with a live host worker.
+        assert delta[enclave.domain].enclave_crossings == 3
+        assert delta[enclave.domain].switchless_calls == 10
+
+    def test_ecall_submit_requires_ring_attach(self, platform, author):
+        enclave = platform.load_enclave(RingWorkload(), author_key=author)
+        with pytest.raises(SgxError, match="enable_ring_ecalls"):
+            enclave.ecall_submit("double", 2)
+
+    def test_ecall_rings_amortize_crossings(self, platform, author):
+        enclave = platform.load_enclave(RingWorkload(), author_key=author)
+        enclave.enable_ring_ecalls(harvest_depth=4)
+        before = platform.accountant.snapshot()
+        tickets = [enclave.ecall_submit("double", i) for i in range(8)]
+        results = enclave.ecall_reap_all()
+        assert results == [(t, 2 * i) for i, t in enumerate(tickets)]
+        delta = platform.accountant.delta(before)
+        # 8 async ecalls, harvest drains on demand: 2 crossings total
+        # (one fallback drain per reap_all-visible batch boundary),
+        # never one per call.
+        assert delta[enclave.domain].enclave_crossings < 8
+        assert enclave.ring_ecalls.stats.submitted == 8
+
+    def test_ecall_reap_single_ticket(self, platform, author):
+        enclave = platform.load_enclave(RingWorkload(), author_key=author)
+        enclave.enable_ring_ecalls()
+        ticket = enclave.ecall_submit("double", 21)
+        assert enclave.ecall_reap(ticket) == 42

@@ -81,11 +81,12 @@ class TestCli:
         monkeypatch.setattr(cli, "_table4", lambda n: seen.setdefault("ases", n))
         monkeypatch.setattr(cli, "_figure3", lambda: None)
         monkeypatch.setattr(cli, "_switchless", lambda: None)
+        monkeypatch.setattr(cli, "_rings", lambda: None)
         monkeypatch.setattr(cli, "_faults", lambda s: seen.setdefault("seed", s))
         assert main(["all", "--ases", "7", "--seed", "3"]) == 0
         assert seen == {"ases": 7, "seed": 3}
         out = capsys.readouterr().out
-        assert out.count("regenerated") == 7
+        assert out.count("regenerated") == 8
 
 
 class TestTraceCli:

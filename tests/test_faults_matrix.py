@@ -88,6 +88,56 @@ def test_worker_stall_exercises_switchless_fallback(matrix):
     assert cell["outcome"] == "ok", cell
 
 
+RING_CLASSES = ("ring_worker_stall", "lost_completion")
+
+
+@pytest.mark.parametrize("fault_class", RING_CLASSES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_ring_faults_recover(matrix, scenario, fault_class):
+    # Ring faults hit the exitless v2 path: a stalled worker degrades
+    # to the one-crossing recovery drain, a lost completion is
+    # re-serviced at harvest.  Either way the result must match the
+    # fault-free fingerprint exactly.
+    cell = matrix["matrix"][(scenario, fault_class)]
+    assert cell["outcome"] == "ok", cell
+
+
+@pytest.mark.parametrize(
+    "scenario,fault_class",
+    [
+        ("tor", "ring_worker_stall"),
+        ("tor", "lost_completion"),
+        ("middlebox", "lost_completion"),
+    ],
+)
+def test_ring_faults_really_injected(matrix, scenario, fault_class):
+    # These cells run live ring workers, so the plan must have real
+    # injection sites — a vacuous zero-fault "ok" would mean the
+    # scenario stopped exercising the rings.  (The middlebox
+    # ring_worker_stall cell is deliberately absent: its ocall ring
+    # is worker-less, so there is no worker to stall.)
+    cell = matrix["matrix"][(scenario, fault_class)]
+    assert cell["faults_injected"] > 0, cell
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("fault_class", RING_CLASSES)
+def test_ring_fault_recovery_reproducible(fault_class, seed):
+    # Same seed -> byte-identical FaultLog for the ring classes, at
+    # both CI seeds.  Ring recovery must be as deterministic as the
+    # rings themselves.
+    digests = []
+    counts = []
+    for _ in range(2):
+        plan = faults.matrix_plan(fault_class, seed=seed)
+        with faults.active(plan):
+            experiments.run_fault_scenario("tor")
+        digests.append(plan.log.digest())
+        counts.append(plan.log.counts())
+    assert digests[0] == digests[1]
+    assert counts[0] == counts[1]
+
+
 @pytest.mark.parametrize("scenario", SCENARIOS)
 def test_fault_log_reproducible_across_runs(scenario):
     # Same seed, same workload -> byte-identical FaultLog.

@@ -128,6 +128,65 @@ class TestKernelBench:
             assert name in text
 
 
+class TestRingsSection:
+    @pytest.fixture(scope="class")
+    def rings_section(self):
+        return perfbench.run_rings_section(smoke=True)
+
+    def test_grid_shape(self, rings_section):
+        assert rings_section["ablation"] == "A14"
+        assert rings_section["n_records"] > 0
+        modes = {cell["mode"] for cell in rings_section["grid"]}
+        assert modes == {"ecall", "switchless", "rings"}
+        depths = [
+            cell["depth"]
+            for cell in rings_section["grid"]
+            if cell["mode"] == "rings"
+        ]
+        assert depths == list(rings_section["depths"])
+        for cell in rings_section["grid"]:
+            assert cell["crossings"] >= 0
+            assert cell["cycles"] > 0
+
+    def test_deep_rings_halve_crossings_twice(self, rings_section):
+        # The acceptance bar: >= 2x crossings/record reduction at
+        # depth >= 4 relative to the one-crossing-per-record baseline.
+        deep = [
+            cell
+            for cell in rings_section["grid"]
+            if cell["mode"] == "rings" and cell["depth"] >= 4
+        ]
+        assert deep
+        assert all(cell["crossing_reduction"] >= 2 for cell in deep)
+
+    def test_switchless_reduction_is_json_safe(self, rings_section):
+        # Zero-crossing cells report None, never Infinity (which would
+        # poison the committed BENCH_perf.json).
+        for cell in rings_section["grid"]:
+            if cell["crossings"] == 0:
+                assert cell["crossing_reduction"] is None
+        json.dumps(rings_section, allow_nan=False)
+
+    def test_validate_catches_missing_rings_section(self, smoke_doc):
+        doc = dict(smoke_doc)
+        del doc["rings"]
+        assert any("rings" in p for p in perfbench.validate_perf(doc))
+
+    def test_validate_catches_weak_reduction(self, smoke_doc):
+        rings = json.loads(json.dumps(smoke_doc["rings"]))
+        for cell in rings["grid"]:
+            if cell["mode"] == "rings" and cell["depth"] >= 4:
+                cell["crossing_reduction"] = 1.5
+        doc = dict(smoke_doc, rings=rings)
+        problems = perfbench.validate_perf(doc)
+        assert any("reduction" in p for p in problems)
+
+    def test_format_prints_rings_table(self, smoke_doc):
+        text = perfbench.format_perf(smoke_doc)
+        assert "A14" in text
+        assert "rings" in text
+
+
 class TestKernelAblation:
     def test_a13_grid_shape_and_validation(self):
         doc = perfbench.run_kernel_ablation(smoke=True)

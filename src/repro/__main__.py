@@ -18,6 +18,10 @@ Usage::
         [--workers W]               # parallel replay, byte-identical output
     python -m repro bench           # wall-clock perf benchmark
         [--smoke] [--repeat N] [--ablation] [--ablation-kernel] [--out FILE]
+        [--track] [--history FILE] [--window N]
+    python -m repro health routing  # metrics + SLO health verdict
+        [--seed N] [--clients N] [--shards S] [--batch K]
+        [--interval CYCLES] [--fault CLASS] [--out DIR]
 
 ``load`` drives the seeded open-loop workload engine (``repro.load``)
 against one of the case studies (``routing``, ``tor``, ``middlebox``)
@@ -41,6 +45,15 @@ trace reconciles exactly against the cost accountants, and writes the
 export: Chrome/Perfetto ``trace_event`` JSON (open in
 https://ui.perfetto.dev or chrome://tracing), folded stacks for
 flamegraph tooling, or Prometheus-style metrics text.
+
+``health`` runs one load scenario with the deterministic metrics
+registry sampling alongside the tracer, reconciles the series exactly,
+evaluates the scenario's SLO set (availability burn rate, fault
+recovery, p99 queueing latency, crossing budget) and exits nonzero on
+any breach.  ``--fault shard_crash --shards 1`` is the deliberate
+breach: the only shard crashes and every later event fails.
+``bench --track`` appends the run to ``BENCH_history.jsonl`` and fails
+on a noise-adjusted perf regression against the trailing baseline.
 
 Ablations and the full statistical harness live under ``benchmarks/``
 (``pytest benchmarks/ --benchmark-only -s``); this CLI is the quick,
@@ -110,14 +123,17 @@ def _load(args) -> None:
     from repro.errors import ReproError
     from repro.load.report import bench_json, validate_bench
 
+    clients = args.clients if args.clients is not None else 1000
+    shards = args.shards if args.shards is not None else 1
+    batch = args.batch if args.batch is not None else 1
     if args.workers is not None:
         from repro.load.parallel import run_load_parallel
 
         result = run_load_parallel(
             args.scenario,
-            n_clients=args.clients,
-            n_shards=args.shards,
-            batch=args.batch,
+            n_clients=clients,
+            n_shards=shards,
+            batch=batch,
             seed=args.seed,
             workers=args.workers,
         )
@@ -126,9 +142,9 @@ def _load(args) -> None:
 
         result = run_load_engine(
             args.scenario,
-            n_clients=args.clients,
-            n_shards=args.shards,
-            batch=args.batch,
+            n_clients=clients,
+            n_shards=shards,
+            batch=batch,
             seed=args.seed,
         )
     text = bench_json(result)
@@ -166,9 +182,54 @@ def _bench(args) -> None:
     with open(out, "w") as fh:
         fh.write(perfbench.perf_json(doc))
     print(f"wrote {out}", file=sys.stderr)
+    if args.track:
+        from repro.obs import regress
+
+        report = regress.track(
+            doc, history_path=args.history, window=args.window
+        )
+        print(regress.format_compare(report))
+        if not report.ok:
+            raise ReproError(
+                f"{len(report.regressions)} perf regression(s) vs "
+                f"{args.history} (run not appended)"
+            )
+        print(f"appended entry to {args.history}", file=sys.stderr)
 
 
-def _trace(scenario: str, fmt: str, out: str, n_ases: int, seed: int) -> None:
+def _health(args) -> None:
+    """Run the metrics + SLO health check; raise on any breach."""
+    from repro.errors import ReproError
+    from repro.obs.slo import (
+        export_health_timeseries,
+        format_health_report,
+        run_health,
+    )
+
+    report = run_health(
+        args.scenario,
+        seed=args.seed,
+        clients=args.clients,
+        shards=args.shards if args.shards is not None else 2,
+        batch=args.batch if args.batch is not None else 8,
+        interval=args.interval,
+        fault=args.fault,
+    )
+    print(format_health_report(report))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"metrics-{args.scenario}.om")
+        with open(path, "w") as fh:
+            fh.write(export_health_timeseries(report))
+        print(f"wrote {path}", file=sys.stderr)
+    if not report.healthy:
+        breaches = [r.spec.name for r in report.results if not r.ok]
+        raise ReproError("SLO breach: " + ", ".join(breaches))
+
+
+def _trace(
+    scenario: str, fmt: str, out: str, n_ases: int, seed: int, top: int
+) -> None:
     """Run ``scenario`` traced, reconcile exactly, emit the export."""
     from repro import obs
 
@@ -212,10 +273,11 @@ def _trace(scenario: str, fmt: str, out: str, n_ases: int, seed: int) -> None:
         f"= {tracer.cycles_at(sgx_clock, normal_clock):.0f} cycles]",
         file=sys.stderr,
     )
-    print("[top cost sites]", file=sys.stderr)
-    for name, kind, self_cycles, count in obs.top_cost_sites(tracer, n=5):
+    print(f"[top cost sites (n={top})]", file=sys.stderr)
+    for name, kind, self_cycles, count in obs.top_cost_sites(tracer, n=top):
+        unit = "event(s)" if kind == "event" else "span(s)"
         print(
-            f"  {name} ({kind}): {self_cycles:.0f} self-cycles over {count} span(s)",
+            f"  {name} ({kind}): {self_cycles:.0f} self-cycles over {count} {unit}",
             file=sys.stderr,
         )
 
@@ -230,35 +292,38 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=list(SCENARIOS) + ["all", "trace", "load", "bench"],
+        choices=list(SCENARIOS) + ["all", "trace", "load", "bench", "health"],
         help="which paper artifact to regenerate ('trace' records one, "
              "'load' runs the workload engine, 'bench' times wall-clock "
-             "fast paths)",
+             "fast paths, 'health' evaluates SLOs over sampled metrics)",
     )
     parser.add_argument(
         "scenario",
         nargs="?",
         choices=sorted(set(SCENARIOS) | set(experiments.LOAD_SCENARIOS)),
-        help="scenario to trace or load (required for 'trace' and 'load')",
+        help="scenario to trace, load or health-check (required for "
+             "'trace', 'load' and 'health')",
     )
     parser.add_argument(
         "--clients",
         type=int,
-        default=1000,
-        help="load: open-loop client population size (default: 1000)",
+        default=None,
+        help="load/health: open-loop client population size "
+             "(default: 1000 for load; per-scenario SLO shape for health)",
     )
     parser.add_argument(
         "--shards",
         type=int,
-        default=1,
-        help="load: controller shard count for the routing scenario "
-             "(default: 1 — unsharded)",
+        default=None,
+        help="load/health: controller shard count for the routing scenario "
+             "(default: 1 for load — unsharded; 2 for health)",
     )
     parser.add_argument(
         "--batch",
         type=int,
-        default=1,
-        help="load: requests amortized per enclave crossing (default: 1)",
+        default=None,
+        help="load/health: requests amortized per enclave crossing "
+             "(default: 1 for load; 8 for health)",
     )
     parser.add_argument(
         "--workers",
@@ -287,6 +352,42 @@ def main(argv=None) -> int:
         "--ablation-kernel",
         action="store_true",
         help="bench: run the A13 event-kernel x burst-charging grid instead",
+    )
+    parser.add_argument(
+        "--track",
+        action="store_true",
+        help="bench: compare against BENCH_history.jsonl and append the "
+             "run when no metric regressed (nonzero exit otherwise)",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        help="bench --track: history file (default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="bench --track: trailing baseline entries per metric (default: 5)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=10_000_000,
+        help="health: metrics sample interval in modeled cycles "
+             "(default: 10M)",
+    )
+    parser.add_argument(
+        "--fault",
+        default=None,
+        help="health: activate one repro.faults fault class for the run "
+             "(e.g. shard_crash — the deliberate SLO-breach lever)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="trace: cost sites to print in the summary (default: 5)",
     )
     parser.add_argument(
         "--ases",
@@ -319,21 +420,28 @@ def main(argv=None) -> int:
             parser.error("'trace' needs a scenario, e.g. python -m repro trace table4")
         if args.scenario not in SCENARIOS:
             parser.error(f"'trace' scenario must be one of {', '.join(SCENARIOS)}")
-    elif args.experiment == "load":
+    elif args.experiment in ("load", "health"):
         if args.scenario is None:
-            parser.error("'load' needs a scenario, e.g. python -m repro load routing")
+            parser.error(
+                f"'{args.experiment}' needs a scenario, e.g. "
+                f"python -m repro {args.experiment} routing"
+            )
         if args.scenario not in experiments.LOAD_SCENARIOS:
             parser.error(
-                "'load' scenario must be one of "
+                f"'{args.experiment}' scenario must be one of "
                 + ", ".join(experiments.LOAD_SCENARIOS)
             )
     elif args.scenario is not None:
         parser.error(f"unexpected positional {args.scenario!r} after {args.experiment!r}")
 
     if args.experiment != "bench" and (
-        args.smoke or args.ablation or args.ablation_kernel
+        args.smoke or args.ablation or args.ablation_kernel or args.track
     ):
-        parser.error("--smoke/--ablation only apply to 'bench'")
+        parser.error("--smoke/--ablation/--track only apply to 'bench'")
+    if args.track and (args.ablation or args.ablation_kernel):
+        parser.error("--track needs the default bench report, not an ablation")
+    if args.fault is not None and args.experiment != "health":
+        parser.error("--fault only applies to 'health'")
 
     jobs = {
         "table1": _table1,
@@ -345,15 +453,16 @@ def main(argv=None) -> int:
         "rings": _rings,
         "faults": lambda: _faults(args.seed),
         "trace": lambda: _trace(
-            args.scenario, args.format, args.out, args.ases, args.seed
+            args.scenario, args.format, args.out, args.ases, args.seed, args.top
         ),
         "load": lambda: _load(args),
         "bench": lambda: _bench(args),
+        "health": lambda: _health(args),
     }
-    if args.experiment in ("trace", "load", "bench"):
+    if args.experiment in ("trace", "load", "bench", "health"):
         selected = [args.experiment]
     elif args.experiment == "all":
-        selected = [s for s in jobs if s not in ("trace", "load", "bench")]
+        selected = [s for s in jobs if s not in ("trace", "load", "bench", "health")]
     else:
         selected = [args.experiment]
     for name in selected:

@@ -209,6 +209,10 @@ class CostAccountant:
             if counter is None:
                 counter = self.counter()
             counter.allocations += count
+            if self.tracer is not None:
+                self.tracer.on_field(
+                    "allocations", self.source, self._domain_stack[-1], count
+                )
 
     def charge_switchless(self, count: int = 1) -> None:
         """Record ``count`` boundary calls served without a crossing."""
@@ -234,6 +238,10 @@ class CostAccountant:
             if counter is None:
                 counter = self.counter()
             counter.faults_injected += count
+            if self.tracer is not None:
+                self.tracer.on_field(
+                    "faults_injected", self.source, self._domain_stack[-1], count
+                )
 
     def charge_burst(
         self,
@@ -277,6 +285,10 @@ class CostAccountant:
                 tracer.on_instant(
                     "switchless_hit", self.source, domain, count=switchless
                 )
+            if allocations:
+                tracer.on_field("allocations", self.source, domain, allocations)
+            if faults:
+                tracer.on_field("faults_injected", self.source, domain, faults)
 
     # -- reading results ---------------------------------------------------
 

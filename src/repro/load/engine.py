@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.model import DEFAULT_MODEL, cycles as counter_cycles
 from repro.errors import ReproError, ShardError
+from repro.obs.metrics import metric_count, metric_gauge, metric_observe
 from repro.load.clients import ClientEvent, event_log_fingerprint, generate_events
 from repro.load.shards import ShardedRoutingDeployment
 
@@ -583,8 +584,17 @@ class LoadEngine:
         # The dispatching slot is occupied for the whole exchange even
         # when the measured cost landed on other servers' clocks.
         self.busy_until[slot] = max(self.busy_until.get(slot, 0.0), completion)
+        metric_gauge(
+            "load_busy_slots",
+            sum(1 for t in self.busy_until.values() if t > start),
+        )
         for event in batch_events:
             outcome, payload = per_event[event.seq]
+            metric_count("load_events")
+            if outcome != "ok":
+                metric_count(f"load_events_{outcome}")
+            metric_observe("load_latency_cycles", completion - event.arrival)
+            metric_observe("load_queue_wait_cycles", start - event.arrival)
             if payload is not None:
                 self.payloads[event.seq] = payload
             self.records.append(

@@ -86,6 +86,8 @@ class SecureRecordChannel:
         """Encrypt (and MAC, for CTR) one application message."""
         seq = self._send_seq
         self._send_seq += 1
+        obs.metric_count("record_bytes_protected", len(plaintext))
+        obs.metric_count("records_protected")
         if self.cipher == "ecb":
             assert self._send_ecb is not None
             ciphertext = ecb_encrypt(self._send_ecb, plaintext)
@@ -125,6 +127,8 @@ class SecureRecordChannel:
     @obs.traced("channel:open", kind="channel")
     def open(self, record: bytes) -> bytes:
         """Verify and decrypt one record (strict in-order sequencing)."""
+        obs.metric_count("record_bytes_opened", len(record))
+        obs.metric_count("records_opened")
         if self.cipher == "ecb":
             reader = Reader(record)
             seq = reader.u64()

@@ -1,4 +1,4 @@
-"""Observability: cycle-accurate span tracing + exporters.
+"""Observability: cycle-accurate span tracing + metrics + exporters.
 
 Quick start::
 
@@ -8,6 +8,14 @@ Quick start::
     experiments.run_table2(trace=tracer)
     obs.reconcile(tracer)                   # exact, or ReconcileError
     open("t2.json", "w").write(obs.trace_event_json(tracer))
+
+Metrics ride along the same tracer (PR 8)::
+
+    registry = obs.MetricsRegistry(interval=10_000_000)
+    tracer = obs.Tracer(metrics=registry)
+    experiments.run_load("routing", trace=tracer)
+    obs.reconcile(tracer)                   # spans AND sampled series
+    open("ts.om", "w").write(obs.openmetrics_timeseries(registry))
 
 Tracing is opt-in and zero-cost when off; see :mod:`repro.obs.tracer`.
 """
@@ -23,6 +31,19 @@ from repro.obs.export import (
     trace_event_json,
     validate_trace_events,
 )
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_INTERVAL,
+    HISTOGRAM_BUCKETS,
+    MetricsRegistry,
+    MetricsReconcileError,
+    MetricsSample,
+    active_registry,
+    metric_count,
+    metric_gauge,
+    metric_observe,
+    openmetrics_timeseries,
+    reconcile_metrics,
+)
 from repro.obs.tracer import (
     Instant,
     Span,
@@ -36,15 +57,26 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CYCLES_PER_TRACE_US",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "HISTOGRAM_BUCKETS",
     "Instant",
+    "MetricsReconcileError",
+    "MetricsRegistry",
+    "MetricsSample",
     "ReconcileError",
     "Span",
     "Tracer",
+    "active_registry",
     "current_tracer",
     "folded_stacks",
     "instant",
+    "metric_count",
+    "metric_gauge",
+    "metric_observe",
+    "openmetrics_timeseries",
     "prometheus_text",
     "reconcile",
+    "reconcile_metrics",
     "span",
     "to_trace_events",
     "top_cost_sites",

@@ -265,13 +265,33 @@ def _labels(**labels: str) -> str:
     return "{" + inner + "}"
 
 
-def prometheus_text(tracer: Tracer) -> str:
-    """Aggregate the recording into Prometheus text exposition format."""
+def prometheus_text(tracer: Tracer, openmetrics: bool = False) -> str:
+    """Aggregate the recording into Prometheus text exposition format.
+
+    With ``openmetrics=True`` the output follows the OpenMetrics 1.0
+    text format instead: counter *family* names drop the ``_total``
+    suffix (it moves to the sample names, including
+    ``repro_trace_span_count_total``, which plain Prometheus mode keeps
+    bare for backward compatibility), cycle-valued families carry
+    ``# UNIT`` metadata, and the exposition ends with the mandatory
+    ``# EOF`` terminator.  The default output is byte-identical to what
+    this exporter has always produced.
+    """
     lines: List[str] = []
 
-    def header(name: str, help_text: str, kind: str) -> None:
-        lines.append(f"# HELP {name} {help_text}")
-        lines.append(f"# TYPE {name} {kind}")
+    def header(name: str, help_text: str, kind: str, unit: str = "") -> None:
+        family = name
+        if openmetrics and kind == "counter" and family.endswith("_total"):
+            family = family[: -len("_total")]
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+        if openmetrics and unit:
+            lines.append(f"# UNIT {family} {unit}")
+
+    def sample(name: str, kind: str) -> str:
+        if openmetrics and kind == "counter" and not name.endswith("_total"):
+            return name + "_total"
+        return name
 
     span_cycles: Dict[Tuple[str, str], float] = {}
     span_counts: Dict[Tuple[str, str], int] = {}
@@ -286,6 +306,7 @@ def prometheus_text(tracer: Tracer) -> str:
         "repro_trace_span_self_cycles_total",
         "Modeled cycles charged directly to spans with this name/kind.",
         "counter",
+        unit="cycles",
     )
     for (name, kind), value in sorted(span_cycles.items()):
         lines.append(
@@ -296,9 +317,10 @@ def prometheus_text(tracer: Tracer) -> str:
     header(
         "repro_trace_span_count", "Number of spans recorded per name/kind.", "counter"
     )
+    span_count_sample = sample("repro_trace_span_count", "counter")
     for (name, kind), value in sorted(span_counts.items()):
         lines.append(
-            "repro_trace_span_count" + _labels(name=name, kind=kind) + f" {value}"
+            span_count_sample + _labels(name=name, kind=kind) + f" {value}"
         )
 
     event_counts: Dict[str, int] = {}
@@ -316,6 +338,7 @@ def prometheus_text(tracer: Tracer) -> str:
         "repro_domain_sgx_instructions_total",
         "User-mode SGX instructions per accountant source and domain.",
         "counter",
+        unit="instructions",
     )
     sgx_lines: List[str] = []
     normal_lines: List[str] = []
@@ -337,6 +360,7 @@ def prometheus_text(tracer: Tracer) -> str:
         "repro_domain_normal_instructions_total",
         "Normal x86 instructions per accountant source and domain.",
         "counter",
+        unit="instructions",
     )
     lines.extend(normal_lines)
 
@@ -344,8 +368,11 @@ def prometheus_text(tracer: Tracer) -> str:
         "repro_trace_clock_cycles",
         "Final cycle-clock reading (total modeled cycles observed).",
         "gauge",
+        unit="cycles",
     )
     lines.append(f"repro_trace_clock_cycles {tracer.cycles_at(*tracer.clock):.1f}")
+    if openmetrics:
+        lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
@@ -355,10 +382,15 @@ def prometheus_text(tracer: Tracer) -> str:
 
 
 def top_cost_sites(tracer: Tracer, n: int = 5) -> List[Tuple[str, str, float, int]]:
-    """The ``n`` hottest span names by summed self-cycles.
+    """The ``n`` hottest sites: spans by self-cycles, then instants.
 
-    Returns (name, kind, self_cycles, span_count) tuples, hottest
-    first — the "top-5 cost sites" table of EXPERIMENTS.md ablation A10.
+    Returns (name, kind, self_cycles, count) tuples, hottest first —
+    the "top-N cost sites" table of EXPERIMENTS.md ablation A10.  Typed
+    instants (``ring_*``, ``fault``, ``retransmission``, ...) carry no
+    cycles of their own, so they rank below every nonzero span — by
+    descending total count — but are no longer invisible: a paging
+    storm or retransmit burst shows up here even when its cycles are
+    charged inside some broader span.
     """
     cycles: Dict[Tuple[str, str], float] = {}
     counts: Dict[Tuple[str, str], int] = {}
@@ -366,7 +398,13 @@ def top_cost_sites(tracer: Tracer, n: int = 5) -> List[Tuple[str, str, float, in
         key = (s.name, s.kind)
         cycles[key] = cycles.get(key, 0.0) + tracer.cycles_at(*s.self_instructions())
         counts[key] = counts.get(key, 0) + 1
-    ranked = sorted(cycles.items(), key=lambda kv: (-kv[1], kv[0]))
+    for i in tracer.instants:
+        key = (i.name, "event")
+        cycles.setdefault(key, 0.0)
+        counts[key] = counts.get(key, 0) + i.count
+    ranked = sorted(
+        cycles.items(), key=lambda kv: (-kv[1], -counts[kv[0]], kv[0])
+    )
     return [(name, kind, value, counts[(name, kind)]) for (name, kind), value in ranked[:n]]
 
 
@@ -382,6 +420,11 @@ def reconcile(tracer: Tracer) -> Dict[str, Dict[str, float]]:
 
     The return value maps ``source -> {domain: cycles}`` using the
     tracer's model — the same numbers the Table 1-4 reports print.
+
+    When the tracer carries a metrics registry, the sampled series are
+    reconciled against the same accountants too (see
+    :func:`repro.obs.metrics.reconcile_metrics`) — the time-series is
+    the table, redistributed over sample boundaries.
     """
     traced: Dict[Tuple[str, str], List[int]] = {}
 
@@ -451,4 +494,8 @@ def reconcile(tracer: Tracer) -> Dict[str, Dict[str, float]]:
             "trace does not reconcile with accountants:\n  "
             + "\n  ".join(mismatches)
         )
+    if tracer.metrics is not None:
+        from repro.obs.metrics import reconcile_metrics
+
+        reconcile_metrics(tracer.metrics, tracer)
     return totals

@@ -1,0 +1,291 @@
+"""Cross-run perf-regression tracking over ``BENCH_history.jsonl``.
+
+``BENCH_perf.json`` pins one run; this module gives the repo a
+*trajectory*.  Every tracked run flattens its perf report into scalar
+metrics and appends one schema-versioned JSON line to a history file;
+the next run compares itself against the median of a trailing baseline
+window with a noise-aware threshold and fails loudly when a metric
+moved the wrong way.
+
+Two noise regimes, chosen per metric:
+
+* **wall-clock** metrics (``*_median_s``, ``*_events_per_s``) jitter
+  with the machine — the floor is a generous 30% relative change, and
+  the spread of the baseline window (median absolute deviation) widens
+  it further on noisy hosts.
+* **modeled** metrics (``*_crossings_per_record``) are deterministic
+  integers divided by record counts — any change beyond 1% is a real
+  model change and should fail until the baseline is re-seeded
+  deliberately.
+
+Comparisons only ever read history entries with the same ``smoke``
+flag: a ``--smoke`` CI run must not be judged against the committed
+full-depth baseline, or vice versa.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import statistics
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_HISTORY_PATH",
+    "DEFAULT_WINDOW",
+    "HistoryError",
+    "MetricComparison",
+    "CompareReport",
+    "entry_from_perf",
+    "load_history",
+    "append_history",
+    "compare",
+    "format_compare",
+    "track",
+]
+
+HISTORY_SCHEMA = "repro.bench-history/1"
+DEFAULT_HISTORY_PATH = "BENCH_history.jsonl"
+#: Trailing entries the baseline median is computed over.
+DEFAULT_WINDOW = 5
+
+#: Relative-change floors per metric regime (see module docstring).
+WALL_CLOCK_MIN_REL = 0.30
+MODELED_MIN_REL = 0.01
+#: MAD multiplier widening the floor on noisy baselines.
+MAD_FACTOR = 3.0
+
+
+class HistoryError(ValueError):
+    """Malformed or wrong-schema history content."""
+
+
+def _direction(metric: str) -> str:
+    """'lower' or 'higher' = which way is better for this metric."""
+    if metric.endswith("events_per_s"):
+        return "higher"
+    return "lower"
+
+
+def _min_rel(metric: str) -> float:
+    if metric.endswith("crossings_per_record"):
+        return MODELED_MIN_REL
+    return WALL_CLOCK_MIN_REL
+
+
+def entry_from_perf(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten one ``repro.perfbench`` report into a history entry.
+
+    Tracks the tier-1-relevant axes: warm wall-clock medians per cached
+    scenario (routing load, record channel, ...), event-kernel
+    dispatch throughput, and the modeled A14 rings crossing grid.
+    """
+    metrics: Dict[str, float] = {}
+    for name, entry in sorted(doc.get("scenarios", {}).items()):
+        metrics[f"scenario:{name}:warm_median_s"] = float(entry["warm_median_s"])
+    for name, entry in sorted(doc.get("kernel", {}).items()):
+        metrics[f"kernel:{name}:events_per_s"] = float(entry["fast_events_per_s"])
+    rings = doc.get("rings") or {}
+    for cell in rings.get("grid", ()):
+        key = f"rings:{cell['mode']}@{cell['depth']}:crossings_per_record"
+        metrics[key] = float(cell["crossings_per_record"])
+    return {
+        "schema": HISTORY_SCHEMA,
+        "generated_by": doc.get("generated_by", "repro.perfbench"),
+        "smoke": bool(doc.get("smoke", False)),
+        "repeats": int(doc.get("repeats", 0)),
+        "env": doc.get("env", {}),
+        "metrics": metrics,
+    }
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Parse every entry of a JSONL history file (oldest first).
+
+    A missing file is an empty history; a malformed line or a foreign
+    schema raises :class:`HistoryError` — silent truncation here would
+    quietly shrink the baseline window.
+    """
+    if not os.path.exists(path):
+        return []
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for n, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise HistoryError(f"{path}:{n}: not JSON ({exc})") from exc
+            if entry.get("schema") != HISTORY_SCHEMA:
+                raise HistoryError(
+                    f"{path}:{n}: schema {entry.get('schema')!r} != "
+                    f"{HISTORY_SCHEMA!r}"
+                )
+            if not isinstance(entry.get("metrics"), dict):
+                raise HistoryError(f"{path}:{n}: missing metrics object")
+            entries.append(entry)
+    return entries
+
+
+def append_history(path: str, entry: Dict[str, Any]) -> None:
+    """Append one entry as a single sorted-key JSON line."""
+    if entry.get("schema") != HISTORY_SCHEMA:
+        raise HistoryError(f"refusing to append schema {entry.get('schema')!r}")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+@dataclasses.dataclass
+class MetricComparison:
+    """One metric judged against its baseline window."""
+
+    metric: str
+    value: float
+    baseline: float          # median of the window (nan if no history)
+    change_rel: float        # signed: positive = worse
+    threshold: float
+    window: int              # baseline entries actually used
+    status: str              # "ok" | "regression" | "improved" | "new"
+
+
+@dataclasses.dataclass
+class CompareReport:
+    comparisons: List[MetricComparison]
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [c for c in self.comparisons if c.status == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    entry: Dict[str, Any],
+    history: Sequence[Dict[str, Any]],
+    window: int = DEFAULT_WINDOW,
+) -> CompareReport:
+    """Judge ``entry`` against the trailing ``window`` of ``history``.
+
+    Baseline per metric = median over the last ``window`` same-smoke
+    entries carrying it.  The regression threshold is the metric's
+    regime floor widened by the window's own spread
+    (``MAD_FACTOR * MAD / median``), so one noisy historical run does
+    not make every future run fail.  Metrics with no history are
+    reported as ``new`` and never fail.
+    """
+    relevant = [
+        h for h in history if bool(h.get("smoke")) == bool(entry.get("smoke"))
+    ]
+    comparisons: List[MetricComparison] = []
+    for metric, value in sorted(entry["metrics"].items()):
+        series = [
+            float(h["metrics"][metric])
+            for h in relevant
+            if metric in h["metrics"]
+        ][-window:]
+        if not series:
+            comparisons.append(
+                MetricComparison(
+                    metric=metric,
+                    value=value,
+                    baseline=float("nan"),
+                    change_rel=0.0,
+                    threshold=0.0,
+                    window=0,
+                    status="new",
+                )
+            )
+            continue
+        baseline = statistics.median(series)
+        if baseline == 0.0:
+            # A zero baseline (e.g. switchless crossings_per_record)
+            # has no relative scale: any nonzero value is a regression
+            # for lower-better metrics.
+            worse = value > 0 if _direction(metric) == "lower" else value < 0
+            comparisons.append(
+                MetricComparison(
+                    metric=metric,
+                    value=value,
+                    baseline=baseline,
+                    change_rel=float("inf") if worse else 0.0,
+                    threshold=0.0,
+                    window=len(series),
+                    status="regression" if worse else "ok",
+                )
+            )
+            continue
+        mad = statistics.median(abs(v - baseline) for v in series)
+        threshold = max(_min_rel(metric), MAD_FACTOR * mad / abs(baseline))
+        if _direction(metric) == "lower":
+            change = (value - baseline) / abs(baseline)
+        else:
+            change = (baseline - value) / abs(baseline)
+        if change > threshold:
+            status = "regression"
+        elif change < -threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        comparisons.append(
+            MetricComparison(
+                metric=metric,
+                value=value,
+                baseline=baseline,
+                change_rel=change,
+                threshold=threshold,
+                window=len(series),
+                status=status,
+            )
+        )
+    return CompareReport(comparisons=comparisons)
+
+
+def format_compare(report: CompareReport) -> str:
+    """Deterministic text rendering for the ``bench --track`` CLI."""
+    lines = ["Perf trajectory vs baseline window:"]
+    for c in report.comparisons:
+        if c.status == "new":
+            lines.append(f"  [new       ] {c.metric}: {c.value:.6g} (no history)")
+            continue
+        arrow = "worse" if c.change_rel > 0 else "better"
+        lines.append(
+            f"  [{c.status:<10}] {c.metric}: {c.value:.6g} vs "
+            f"median {c.baseline:.6g} over {c.window} run(s) "
+            f"({abs(c.change_rel) * 100:.1f}% {arrow}, "
+            f"threshold {c.threshold * 100:.1f}%)"
+        )
+    lines.append(
+        "Result: "
+        + (
+            "no regressions"
+            if report.ok
+            else f"{len(report.regressions)} regression(s)"
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def track(
+    perf_doc: Dict[str, Any],
+    history_path: str = DEFAULT_HISTORY_PATH,
+    window: int = DEFAULT_WINDOW,
+    append: bool = True,
+) -> CompareReport:
+    """Compare one perf report against history; append it when clean.
+
+    A regressing run is *not* appended — a bad run must never poison
+    the baseline it just failed against.  Re-seeding after a deliberate
+    change means deleting stale lines (or the file) and tracking again.
+    """
+    entry = entry_from_perf(perf_doc)
+    history = load_history(history_path)
+    report = compare(entry, history, window=window)
+    if append and report.ok:
+        append_history(history_path, entry)
+    return report

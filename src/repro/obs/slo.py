@@ -1,0 +1,377 @@
+"""Declarative SLOs evaluated deterministically over sampled metrics.
+
+The health question — "would this run have paged someone?" — is asked
+of the *sampled timeline* a :class:`repro.obs.MetricsRegistry` records,
+never of wall time, so the verdict is a pure function of (scenario,
+seed, parameters) and reproduces bit-for-bit.
+
+Three spec kinds cover the paper-relevant health axes:
+
+* ``burn_rate`` — an error-budget SLO in the SRE style: ``bad/total``
+  counter families against an objective, alerted with multi-window
+  burn-rate rules (a long window for sustained burn plus a short
+  window to confirm it is still burning *now*).  Window lengths are
+  fractions of the run's modeled duration, so the same spec scales
+  from a 24-event Tor run to a million-client routing run.
+* ``quantile`` — a latency SLO over a log-bucket histogram family
+  (e.g. p99 queueing latency below a cycle bound).
+* ``ratio`` — an end-of-run budget on two counter families (e.g.
+  enclave crossings per served event — the paper's core currency).
+
+:func:`run_health` wires it together: trace one load scenario with a
+metrics registry, reconcile exactly, evaluate the scenario's SLO set,
+and return a report the ``python -m repro health`` CLI renders.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_SAMPLE_INTERVAL,
+    MetricsRegistry,
+    openmetrics_timeseries,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "BurnAlert",
+    "SloResult",
+    "SloSpec",
+    "HealthReport",
+    "DEFAULT_WINDOWS",
+    "default_slos",
+    "evaluate_slos",
+    "format_health_report",
+    "run_health",
+]
+
+#: Multi-window burn-rate alert rules as (long_frac, short_frac,
+#: factor): both the long and the short window must burn error budget
+#: faster than ``factor`` times the objective rate.  Fractions are of
+#: the run's modeled duration; the pairs mirror the classic 5%/..30d
+#: fast- and slow-burn page rules, rescaled to a simulated run.
+DEFAULT_WINDOWS: Tuple[Tuple[float, float, float], ...] = (
+    (0.25, 0.025, 2.0),
+    (0.05, 0.005, 10.0),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over metric families."""
+
+    name: str
+    kind: str  # "burn_rate" | "quantile" | "ratio"
+    description: str = ""
+    # burn_rate
+    bad: str = ""
+    total: str = ""
+    objective: float = 0.0
+    windows: Tuple[Tuple[float, float, float], ...] = DEFAULT_WINDOWS
+    # quantile
+    histogram: str = ""
+    q: float = 0.99
+    max_value: float = 0.0
+    # ratio
+    numerator: str = ""
+    denominator: str = ""
+    max_ratio: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BurnAlert:
+    """One fired multi-window burn-rate alert."""
+
+    at_cycles: float
+    long_frac: float
+    short_frac: float
+    factor: float
+    long_burn: float
+    short_burn: float
+
+
+@dataclasses.dataclass
+class SloResult:
+    """Verdict for one spec."""
+
+    spec: SloSpec
+    ok: bool
+    value: float  # overall ratio / quantile bound / end ratio
+    detail: str
+    alerts: List[BurnAlert] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class HealthReport:
+    """Everything one health run produced."""
+
+    scenario: str
+    seed: int
+    params: Dict[str, object]
+    fault: Optional[str]
+    results: List[SloResult]
+    registry: MetricsRegistry
+    tracer: Tracer
+
+    @property
+    def healthy(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+class _Series:
+    """Step-interpolated cumulative counter series (0 before first point)."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        self.times = [t for t, _ in points]
+        self.values = [v for _, v in points]
+
+    def at(self, t: float) -> float:
+        i = bisect.bisect_right(self.times, t)
+        return self.values[i - 1] if i else 0.0
+
+    def window(self, t: float, length: float) -> float:
+        return self.at(t) - self.at(t - length)
+
+
+def _eval_burn_rate(spec: SloSpec, registry: MetricsRegistry) -> SloResult:
+    bad = _Series(registry.series_points(spec.bad))
+    total = _Series(registry.series_points(spec.total))
+    duration = registry.clock_cycles
+    overall_total = total.at(duration)
+    overall_bad = bad.at(duration)
+    overall = overall_bad / overall_total if overall_total else 0.0
+    alerts: List[BurnAlert] = []
+    if duration > 0 and overall_total and spec.objective > 0:
+        for t in total.times:
+            for long_frac, short_frac, factor in spec.windows:
+                burns = []
+                for frac in (long_frac, short_frac):
+                    length = frac * duration
+                    denom = total.window(t, length)
+                    rate = bad.window(t, length) / denom if denom else 0.0
+                    burns.append(rate / spec.objective)
+                if burns[0] > factor and burns[1] > factor:
+                    alerts.append(
+                        BurnAlert(
+                            at_cycles=t,
+                            long_frac=long_frac,
+                            short_frac=short_frac,
+                            factor=factor,
+                            long_burn=burns[0],
+                            short_burn=burns[1],
+                        )
+                    )
+    ok = not alerts and overall <= spec.objective
+    detail = (
+        f"{overall_bad:.0f}/{overall_total:.0f} bad "
+        f"({overall:.4f} vs objective {spec.objective}), "
+        f"{len(alerts)} burn-rate alert(s)"
+    )
+    return SloResult(spec=spec, ok=ok, value=overall, detail=detail, alerts=alerts)
+
+
+def _eval_quantile(spec: SloSpec, registry: MetricsRegistry) -> SloResult:
+    hist = registry.histogram_total(spec.histogram)
+    value = hist.quantile(spec.q)
+    ok = value <= spec.max_value
+    detail = (
+        f"p{spec.q * 100:g} bucket {value:.3g} cycles vs "
+        f"max {spec.max_value:.3g} ({hist.count} observations)"
+    )
+    return SloResult(spec=spec, ok=ok, value=value, detail=detail)
+
+
+def _eval_ratio(spec: SloSpec, registry: MetricsRegistry) -> SloResult:
+    num = registry.total(spec.numerator)
+    den = registry.total(spec.denominator)
+    value = num / den if den else 0.0
+    ok = value <= spec.max_ratio
+    detail = (
+        f"{num:.0f}/{den:.0f} = {value:.3f} vs max {spec.max_ratio}"
+    )
+    return SloResult(spec=spec, ok=ok, value=value, detail=detail)
+
+
+_EVALUATORS = {
+    "burn_rate": _eval_burn_rate,
+    "quantile": _eval_quantile,
+    "ratio": _eval_ratio,
+}
+
+
+def evaluate_slos(
+    specs: Sequence[SloSpec], registry: MetricsRegistry
+) -> List[SloResult]:
+    """Evaluate every spec against a finalized registry, in order."""
+    registry.finalize()
+    return [_EVALUATORS[spec.kind](spec, registry) for spec in specs]
+
+
+# ---------------------------------------------------------------------------
+# Default per-scenario SLO sets
+# ---------------------------------------------------------------------------
+
+#: Healthy-baseline thresholds measured at the health CLI defaults
+#: (clients per _DEFAULT_CLIENTS, shards=2, batch=8, seeds 0/1) with
+#: one-to-two log-bucket headroom — tight enough that a crashed shard,
+#: a retry storm or a crossing regression pages, loose enough that
+#: seed-to-seed jitter does not.
+_P99_LATENCY_MAX = {
+    "routing": float(4 ** 13),     # measured p99 bucket 4^12
+    "tor": float(4 ** 21),         # measured 4^20
+    "middlebox": float(4 ** 19),   # measured 4^17
+}
+_CROSSINGS_PER_EVENT_MAX = {
+    "routing": 4.0,                # measured 2.13 (S=2 adds forwarding)
+    "tor": 160.0,                  # measured 122.1
+    "middlebox": 10.0,             # measured 6.67
+}
+
+
+def default_slos(scenario: str) -> Tuple[SloSpec, ...]:
+    """The built-in SLO set for one load scenario."""
+    return (
+        SloSpec(
+            name="availability",
+            kind="burn_rate",
+            description="served events that failed outright",
+            bad="load_events_failed",
+            total="load_events",
+            objective=0.01,
+        ),
+        SloSpec(
+            name="fault-recovery",
+            kind="ratio",
+            description="events that needed fault recovery to complete",
+            numerator="load_events_recovered",
+            denominator="load_events",
+            max_ratio=0.05,
+        ),
+        SloSpec(
+            name="p99-queueing-latency",
+            kind="quantile",
+            description="modeled end-to-end event latency",
+            histogram="load_latency_cycles",
+            q=0.99,
+            max_value=_P99_LATENCY_MAX[scenario],
+        ),
+        SloSpec(
+            name="crossing-budget",
+            kind="ratio",
+            description="enclave crossings spent per served event",
+            numerator="event:crossing",
+            denominator="load_events",
+            max_ratio=_CROSSINGS_PER_EVENT_MAX[scenario],
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The health runner
+# ---------------------------------------------------------------------------
+
+#: Load shapes the thresholds above were calibrated against.
+_DEFAULT_CLIENTS = {"routing": 200, "tor": 24, "middlebox": 24}
+
+
+def run_health(
+    scenario: str,
+    seed: int = 0,
+    clients: Optional[int] = None,
+    shards: int = 2,
+    batch: int = 8,
+    interval: int = DEFAULT_SAMPLE_INTERVAL,
+    fault: Optional[str] = None,
+    slos: Optional[Sequence[SloSpec]] = None,
+) -> HealthReport:
+    """Trace one load scenario with metrics and judge it against SLOs.
+
+    ``fault`` names a :data:`repro.faults.FAULT_CLASSES` class to
+    activate for the run (the deliberate-breach lever: e.g.
+    ``shard_crash`` with ``shards=1`` fails every event after the
+    crash and blows the availability budget).  The trace and sampled
+    series are reconciled exactly against the accountants before any
+    SLO is read — an unhealthy verdict is only trustworthy if the
+    metrics are.
+    """
+    from repro import experiments, faults
+    from repro.obs.export import reconcile
+
+    if clients is None:
+        clients = _DEFAULT_CLIENTS[scenario]
+    registry = MetricsRegistry(interval=interval)
+    tracer = Tracer(metrics=registry)
+    ctx = (
+        faults.active(faults.matrix_plan(fault, seed))
+        if fault is not None
+        else contextlib.nullcontext()
+    )
+    with ctx:
+        experiments.run_load(
+            scenario,
+            clients=clients,
+            shards=shards,
+            batch=batch,
+            seed=seed,
+            trace=tracer,
+        )
+    reconcile(tracer)
+    specs = tuple(slos) if slos is not None else default_slos(scenario)
+    results = evaluate_slos(specs, registry)
+    return HealthReport(
+        scenario=scenario,
+        seed=seed,
+        params={"clients": clients, "shards": shards, "batch": batch,
+                "interval": interval},
+        fault=fault,
+        results=results,
+        registry=registry,
+        tracer=tracer,
+    )
+
+
+def format_health_report(report: HealthReport) -> str:
+    """Deterministic text rendering for the health CLI."""
+    lines = [
+        f"Health: {report.scenario} (seed {report.seed}, "
+        f"clients {report.params['clients']}, shards {report.params['shards']}, "
+        f"batch {report.params['batch']}, "
+        f"sample interval {report.params['interval']} cycles"
+        + (f", fault {report.fault}" if report.fault else "")
+        + ")",
+        f"Samples: {len(report.registry.samples)} over "
+        f"{report.registry.clock_cycles:.0f} modeled cycles; "
+        "series reconcile exactly with the accountants.",
+        "",
+    ]
+    for r in report.results:
+        status = "OK    " if r.ok else "BREACH"
+        lines.append(f"  [{status}] {r.spec.name}: {r.detail}")
+        if r.spec.description:
+            lines.append(f"           ({r.spec.description})")
+        for alert in r.alerts[:3]:
+            lines.append(
+                f"           burn alert at {alert.at_cycles:.0f} cycles: "
+                f"{alert.long_burn:.1f}x/{alert.short_burn:.1f}x over "
+                f"{alert.long_frac:g}/{alert.short_frac:g} windows "
+                f"(page at {alert.factor:g}x)"
+            )
+        if len(r.alerts) > 3:
+            lines.append(f"           ... and {len(r.alerts) - 3} more alerts")
+    lines.append("")
+    verdict = "HEALTHY" if report.healthy else "UNHEALTHY"
+    breaches = sum(1 for r in report.results if not r.ok)
+    lines.append(
+        f"Verdict: {verdict}"
+        + ("" if report.healthy else f" ({breaches} SLO breach(es))")
+    )
+    return "\n".join(lines) + "\n"
+
+
+def export_health_timeseries(report: HealthReport) -> str:
+    """The run's sampled series as OpenMetrics text (see metrics module)."""
+    return openmetrics_timeseries(report.registry)

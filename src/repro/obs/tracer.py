@@ -107,8 +107,15 @@ class Tracer:
     ``CostAccountant.__init__`` while :func:`tracing` is active.
     """
 
-    def __init__(self, model: CostModel = DEFAULT_MODEL) -> None:
+    def __init__(
+        self, model: CostModel = DEFAULT_MODEL, metrics: Optional[Any] = None
+    ) -> None:
         self.model = model
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` riding
+        #: along: every charge/instant is mirrored into it and the
+        #: sample clock advances with this tracer's cycle clock.  Stays
+        #: ``None`` by default — the metrics layer is strictly opt-in.
+        self.metrics = metrics
         self.spans: List[Span] = []
         self.instants: List[Instant] = []
         self.accountants: List[CostAccountant] = []
@@ -296,6 +303,12 @@ class Tracer:
         else:
             cell[0] += sgx
             cell[1] += normal
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.observe_charge(source, domain, sgx, normal)
+            metrics.on_clock(
+                self.model.cycles(self._clock_sgx, self._clock_normal)
+            )
 
     def on_instant(
         self,
@@ -318,6 +331,22 @@ class Tracer:
                 args=args,
             )
         )
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.observe_instant(name, source, domain, count)
+
+    def on_field(self, field: str, source: str, domain: str, count: int) -> None:
+        """Mirror an instant-less counter field into the metrics registry.
+
+        ``faults_injected`` and ``allocations`` have no instant in the
+        trace stream (see ``charge_fault``'s docstring), so the
+        accountant forwards them here directly — the metrics layer can
+        then reconcile *every* Counter field, not just the traced ones.
+        No-op without a registry.
+        """
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.observe_field(field, source, domain, count)
 
     def on_reset(self, source: str) -> None:
         """Note that ``source`` discarded its counters (reconcile skips it)."""

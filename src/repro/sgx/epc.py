@@ -24,6 +24,7 @@ from typing import Dict, Optional
 from collections import OrderedDict
 
 from repro.cost import context as cost_context
+from repro.obs.metrics import metric_count, metric_gauge
 from repro.crypto.kdf import hkdf
 from repro.crypto.mac import hmac_sha256, hmac_verify
 from repro.crypto.modes import CtrStream
@@ -185,6 +186,8 @@ class EnclavePageCache:
             self._swapped[index] = self._pages[index].swap_out()
             del self._lru[index]
             self.evictions += 1
+            metric_count("epc_ewb")
+            metric_gauge("epc_resident_pages", len(self._lru))
             return
         raise SgxError("EPC exhausted (no evictable page)")
 
@@ -202,6 +205,8 @@ class EnclavePageCache:
         page.swap_in(self._swapped.pop(index))
         self.reloads += 1
         self._touch(index)
+        metric_count("epc_eldu")
+        metric_gauge("epc_resident_pages", len(self._lru))
 
     def allocate(
         self,

@@ -216,6 +216,7 @@ class RingPair:
                 self._spin_credit = self.spin_budget
                 self.stats.wakeups += 1
                 obs.instant("ring_worker_wake", ring=self.name)
+                obs.metric_count("ring_doorbells")
             if len(self._submission) >= self.capacity:
                 self._overflow()
             self._platform.accountant.charge_switchless()
@@ -229,6 +230,7 @@ class RingPair:
             self.stats.submitted += 1
             self.stats.max_depth = max(self.stats.max_depth, len(self._submission))
             obs.instant("ring_submit", ring=self.name, ticket=seq)
+            obs.metric_gauge("ring_occupancy", len(self._submission))
             self._subs_since_harvest += 1
             if self._worker_running:
                 if self._subs_since_harvest >= self.harvest_depth:
@@ -397,6 +399,7 @@ class RingPair:
                         entry.lost = True
                     else:
                         entry.done = True
+        obs.metric_gauge("ring_occupancy", len(self._submission))
 
     def _fallback_harvest(self) -> None:
         """No worker pass available: one genuine crossing drains the ring.
@@ -444,6 +447,7 @@ class RingPair:
                         entry.done = True
             with accountant.attribute(self.enclave_domain):
                 execute_user(leave)
+        obs.metric_gauge("ring_occupancy", len(self._submission))
 
     def _execute(self, entry: _Entry) -> None:
         from repro.errors import ReproError

@@ -183,6 +183,39 @@ class TestPrometheusText:
                 acct.charge_normal(1)
         assert 'name="we\\"ird"' in obs.prometheus_text(tracer)
 
+    def test_default_mode_has_no_openmetrics_artifacts(self):
+        tracer, _ = _small_recording()
+        text = obs.prometheus_text(tracer)
+        assert "# EOF" not in text
+        assert "# UNIT" not in text
+        assert "repro_trace_span_count_total" not in text
+
+
+class TestOpenMetricsMode:
+    def test_golden_exposition(self):
+        tracer, _ = _small_recording()
+        text = obs.prometheus_text(tracer, openmetrics=True)
+        # Family metadata drops _total; the unit rides along; samples
+        # keep (or gain) the _total suffix; the document terminates.
+        assert "# TYPE repro_trace_span_self_cycles counter" in text
+        assert "# UNIT repro_trace_span_self_cycles cycles" in text
+        assert "# UNIT repro_domain_sgx_instructions instructions" in text
+        assert (
+            'repro_trace_span_self_cycles_total{name="inner",kind="io"}'
+            in text
+        )
+        assert (
+            'repro_trace_span_count_total{name="inner",kind="io"} 1' in text
+        )
+        assert 'repro_trace_events_total{name="crossing"} 2' in text
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_trace_span_self_cycles_total" not in text
+
+    def test_same_recording_exports_identically(self):
+        a = obs.prometheus_text(_small_recording()[0], openmetrics=True)
+        b = obs.prometheus_text(_small_recording()[0], openmetrics=True)
+        assert a == b
+
 
 class TestTopCostSites:
     def test_ranked_by_self_cycles(self):
@@ -193,6 +226,16 @@ class TestTopCostSites:
         assert kind == "ecall"
         assert cycles == pytest.approx(DEFAULT_MODEL.cycles(2, 100))
         assert count == 1
+
+    def test_instants_rank_below_spans_by_count(self):
+        tracer, _ = _small_recording()
+        sites = obs.top_cost_sites(tracer, n=10)
+        # Typed instants carry no cycles of their own but are visible,
+        # after every nonzero span, as zero-cycle "event" rows.
+        assert ("crossing", "event", 0.0, 2) in sites
+        assert sites.index(("crossing", "event", 0.0, 2)) > sites.index(
+            ("inner", "io", pytest.approx(DEFAULT_MODEL.cycles(0, 50)), 1)
+        )
 
 
 class TestReconcile:

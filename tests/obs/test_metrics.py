@@ -1,0 +1,286 @@
+"""Unit tests for the deterministic metrics registry (DESIGN.md §10):
+instruments, the simulated-time sampler, exact reconciliation against
+accountants, hot-path no-ops, and the OpenMetrics time-series export."""
+
+import pytest
+
+from repro import obs
+from repro.cost import DEFAULT_MODEL, CostAccountant
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKETS,
+    MetricsReconcileError,
+    MetricsRegistry,
+    metric_count,
+    metric_gauge,
+    metric_observe,
+    openmetrics_timeseries,
+    reconcile_metrics,
+)
+
+
+def _metered_recording():
+    """One accountant exercising every reconciled Counter field."""
+    registry = MetricsRegistry(interval=1000)
+    tracer = obs.Tracer(metrics=registry)
+    with obs.tracing(tracer):
+        acct = CostAccountant(name="host")
+        with acct.attribute("enclave:e"):
+            acct.charge_sgx(3)
+            acct.charge_normal(500)
+            acct.charge_crossing(2)
+            acct.charge_switchless(4)
+            acct.charge_allocation(5)
+            acct.charge_fault(1)
+        acct.charge_normal(7)
+    return registry, tracer, acct
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        assert reg.total("hits") == 5
+
+    def test_label_order_is_canonicalized(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 1, b="2", a="1")
+        reg.inc("hits", 1, a="1", b="2")
+        assert reg.counters == {("hits", (("a", "1"), ("b", "2"))): 2}
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3.0)
+        reg.set_gauge("depth", 1.0)
+        assert reg.gauges[("depth", ())] == 1.0
+
+    def test_histogram_buckets_are_powers_of_four(self):
+        assert HISTOGRAM_BUCKETS[0] == 1
+        assert all(b == 4 ** k for k, b in enumerate(HISTOGRAM_BUCKETS))
+
+    def test_histogram_observe_and_quantile(self):
+        reg = MetricsRegistry()
+        for v in (1, 2, 5, 100):
+            reg.observe("lat", v)
+        hist = reg.histogram_total("lat")
+        assert hist.count == 4
+        assert hist.total == 108.0
+        # 1 falls on the first bound; 2 in (1,4]; 5 in (4,16]; 100 in
+        # (64,256].  p50 over 4 obs = 2nd value's upper bound.
+        assert hist.quantile(0.5) == 4.0
+        assert hist.quantile(0.99) == 256.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert MetricsRegistry().histogram_total("lat").quantile(0.99) == 0.0
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            MetricsRegistry(interval=0)
+
+
+class TestSampler:
+    def test_no_sample_before_first_boundary(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("x")
+        reg.on_clock(999.0)
+        assert reg.samples == []
+
+    def test_sample_at_boundary_snapshots_cumulative_state(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("x", 2)
+        reg.on_clock(1000.0)
+        assert len(reg.samples) == 1
+        sample = reg.samples[0]
+        assert sample.boundary == 1
+        assert sample.at_cycles == 1000.0
+        assert sample.counters == {("x", ()): 2}
+
+    def test_multi_boundary_jump_takes_one_sample(self):
+        # One big charge crossing boundaries 1..5 records a single
+        # sample at the last crossed boundary — the series is flat in
+        # between because the clock advances atomically per charge.
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("x")
+        reg.on_clock(5200.0)
+        assert [s.boundary for s in reg.samples] == [5]
+        assert reg.samples[0].at_cycles == 5000.0
+        reg.on_clock(5900.0)
+        assert len(reg.samples) == 1  # next boundary is 6000
+
+    def test_snapshots_are_isolated_copies(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("x")
+        reg.observe("h", 3)
+        reg.on_clock(1000.0)
+        reg.inc("x", 10)
+        reg.observe("h", 7)
+        assert reg.samples[0].counters == {("x", ()): 1}
+        assert reg.samples[0].histograms[("h", ())][1] == 1
+
+    def test_finalize_stamps_and_is_idempotent(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("x")
+        reg.on_clock(123.0)
+        final = reg.finalize()
+        assert final.boundary == -1
+        assert final.at_cycles == 123.0
+        assert reg.finalize() is final
+        assert len(reg.samples) == 1
+
+    def test_series_points_aggregate_families_and_end_live(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("x", 1, shard="0")
+        reg.on_clock(1000.0)
+        reg.inc("x", 2, shard="1")
+        reg.on_clock(1500.0)
+        assert reg.series_points("x") == [(1000.0, 1.0), (1500.0, 3.0)]
+        reg.finalize()
+        assert reg.series_points("x")[-1] == (1500.0, 3.0)
+
+
+class TestTracerIntegration:
+    def test_charges_mirror_into_labeled_counters(self):
+        registry, tracer, acct = _metered_recording()
+        labels = (("domain", "enclave:e"), ("source", "host"))
+        assert registry.counters[("sgx_instructions", labels)] == 3
+        assert registry.counters[("normal_instructions", labels)] == 500
+        assert registry.counters[("event:crossing", labels)] == 2
+        assert registry.counters[("event:switchless_hit", labels)] == 4
+        assert registry.counters[("allocations", labels)] == 5
+        assert registry.counters[("faults_injected", labels)] == 1
+        untrusted = (("domain", "untrusted"), ("source", "host"))
+        assert registry.counters[("normal_instructions", untrusted)] == 7
+
+    def test_sample_clock_tracks_cost_model_cycles(self):
+        registry, tracer, _ = _metered_recording()
+        assert registry.clock_cycles == DEFAULT_MODEL.cycles(3, 507)
+
+    def test_tracer_without_metrics_still_works(self):
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            acct.charge_normal(5)
+            acct.charge_fault()
+        assert tracer.metrics is None
+        obs.reconcile(tracer)
+
+
+class TestHotPathHelpers:
+    def test_noop_without_active_tracer(self):
+        metric_count("orphan")
+        metric_gauge("orphan", 1.0)
+        metric_observe("orphan", 1.0)
+
+    def test_noop_with_tracer_but_no_registry(self):
+        with obs.tracing(obs.Tracer()):
+            metric_count("orphan")
+            metric_gauge("orphan", 1.0)
+            metric_observe("orphan", 1.0)
+
+    def test_recorded_on_active_registry(self):
+        reg = MetricsRegistry()
+        with obs.tracing(obs.Tracer(metrics=reg)):
+            metric_count("hits", 2)
+            metric_gauge("depth", 4.0)
+            metric_observe("lat", 17.0)
+        assert reg.total("hits") == 2
+        assert reg.gauges[("depth", ())] == 4.0
+        assert reg.histogram_total("lat").count == 1
+
+
+class TestReconcileMetrics:
+    def test_exact_recording_reconciles(self):
+        registry, tracer, _ = _metered_recording()
+        reconcile_metrics(registry, tracer)
+
+    def test_tracer_level_reconcile_covers_metrics(self):
+        registry, tracer, _ = _metered_recording()
+        obs.reconcile(tracer)
+
+    def test_counter_tamper_detected(self):
+        registry, tracer, acct = _metered_recording()
+        acct.counter("enclave:e").allocations += 1
+        with pytest.raises(MetricsReconcileError, match="allocations"):
+            reconcile_metrics(registry, tracer)
+
+    def test_post_finalize_drift_detected(self):
+        registry, tracer, _ = _metered_recording()
+        registry.finalize()
+        registry.inc("hits")  # counters move after the final snapshot
+        with pytest.raises(MetricsReconcileError, match="final sample"):
+            reconcile_metrics(registry, tracer)
+
+    def test_reset_source_skipped(self):
+        reg = MetricsRegistry()
+        tracer = obs.Tracer(metrics=reg)
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="x")
+            acct.charge_normal(5)
+            acct.reset()
+            acct.charge_normal(3)
+        # Counters no longer cover the series history; the metrics
+        # reconcile must skip the source like the tracer-level one does.
+        reconcile_metrics(reg, tracer)
+
+    def test_disabled_ghost_accountant_skipped(self):
+        registry, tracer, _ = _metered_recording()
+        with obs.tracing(tracer):
+            ghost = CostAccountant(name="ghost")
+        ghost.enabled = False
+        ghost.counter("untrusted").normal_instructions = 999
+        assert ghost in tracer.accountants
+        reconcile_metrics(registry, tracer)
+
+
+class TestOpenMetricsTimeseries:
+    def test_ends_with_eof(self):
+        registry, _, _ = _metered_recording()
+        text = openmetrics_timeseries(registry)
+        assert text.endswith("# EOF\n")
+
+    def test_byte_identical_across_same_seed_runs(self):
+        a = openmetrics_timeseries(_metered_recording()[0])
+        b = openmetrics_timeseries(_metered_recording()[0])
+        assert a == b
+
+    def test_counter_series_with_timestamps(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("hits", 2, source="s")
+        reg.on_clock(1000.0)
+        reg.inc("hits", 3, source="s")
+        reg.on_clock(2000.0)
+        text = openmetrics_timeseries(reg)
+        assert "# TYPE repro_hits counter" in text
+        assert 'repro_hits_total{source="s"} 2 0.000001\n' in text
+        assert 'repro_hits_total{source="s"} 5 0.000002\n' in text
+
+    def test_unchanged_points_deduplicated(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.inc("hits")
+        for t in range(1, 6):
+            reg.on_clock(t * 1000.0)
+        text = openmetrics_timeseries(reg)
+        # Five flat samples collapse to the first point plus the
+        # finalize() point (always kept so series end on the run clock).
+        assert text.count("repro_hits_total") == 2
+
+    def test_histogram_exposition_is_cumulative(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.observe("lat", 1)
+        reg.observe("lat", 100)
+        reg.on_clock(1000.0)
+        text = openmetrics_timeseries(reg)
+        assert 'repro_lat_bucket{le="1"} 1 0.000001' in text
+        assert 'repro_lat_bucket{le="256"} 2 0.000001' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2 0.000001' in text
+        assert "repro_lat_count 2 0.000001" in text
+        assert "repro_lat_sum 101 0.000001" in text
+
+    def test_gauge_has_no_total_suffix(self):
+        reg = MetricsRegistry(interval=1000)
+        reg.set_gauge("depth", 4.0)
+        reg.on_clock(1000.0)
+        text = openmetrics_timeseries(reg)
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 4 0.000001" in text
+        assert "repro_depth_total" not in text

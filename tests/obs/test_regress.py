@@ -1,0 +1,237 @@
+"""Perf-regression tracker tests: perf-report flattening, history I/O
+strictness, noise-aware comparison (including the synthetic 2x-slowdown
+gate), and the track-and-append workflow."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import regress
+from repro.obs.regress import (
+    DEFAULT_WINDOW,
+    HISTORY_SCHEMA,
+    MODELED_MIN_REL,
+    WALL_CLOCK_MIN_REL,
+    HistoryError,
+    append_history,
+    compare,
+    entry_from_perf,
+    format_compare,
+    load_history,
+    track,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _perf_doc(routing_s=0.4, events_per_s=4_000_000.0, crossings=0.5):
+    """A minimal but representative perf report."""
+    return {
+        "generated_by": "python -m repro bench",
+        "smoke": False,
+        "repeats": 3,
+        "env": {"python": "3.11"},
+        "scenarios": {
+            "load_routing": {"warm_median_s": routing_s, "cold_s": 1.0},
+        },
+        "kernel": {
+            "kernel_events": {"fast_events_per_s": events_per_s},
+        },
+        "rings": {
+            "grid": [
+                {"mode": "rings", "depth": 2,
+                 "crossings_per_record": crossings},
+                {"mode": "switchless", "depth": 1,
+                 "crossings_per_record": 0.0},
+            ],
+        },
+    }
+
+
+class TestEntryFromPerf:
+    def test_flattens_the_three_axes(self):
+        entry = entry_from_perf(_perf_doc())
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["smoke"] is False
+        assert entry["metrics"] == {
+            "scenario:load_routing:warm_median_s": 0.4,
+            "kernel:kernel_events:events_per_s": 4_000_000.0,
+            "rings:rings@2:crossings_per_record": 0.5,
+            "rings:switchless@1:crossings_per_record": 0.0,
+        }
+
+    def test_committed_bench_perf_flattens(self):
+        doc = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+        entry = entry_from_perf(doc)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert any(
+            k.startswith("scenario:") for k in entry["metrics"]
+        ) and any(k.startswith("rings:") for k in entry["metrics"])
+
+    def test_committed_history_matches_committed_perf(self):
+        # The seeded history line IS the committed perf report,
+        # flattened — re-deriving it must agree metric for metric.
+        doc = json.loads((REPO_ROOT / "BENCH_perf.json").read_text())
+        (head,) = load_history(str(REPO_ROOT / "BENCH_history.jsonl"))
+        assert head["metrics"] == entry_from_perf(doc)["metrics"]
+        assert head["smoke"] is False
+
+
+class TestHistoryIO:
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        entry = entry_from_perf(_perf_doc())
+        append_history(path, entry)
+        append_history(path, entry)
+        assert load_history(path) == [entry, entry]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(HistoryError, match="not JSON"):
+            load_history(str(path))
+
+    def test_foreign_schema_raises(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps({"schema": "other/9", "metrics": {}}) + "\n")
+        with pytest.raises(HistoryError, match="schema"):
+            load_history(str(path))
+
+    def test_missing_metrics_raises(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text(json.dumps({"schema": HISTORY_SCHEMA}) + "\n")
+        with pytest.raises(HistoryError, match="metrics"):
+            load_history(str(path))
+
+    def test_append_refuses_foreign_schema(self, tmp_path):
+        with pytest.raises(HistoryError, match="refusing"):
+            append_history(str(tmp_path / "h.jsonl"), {"schema": "other/9"})
+
+
+class TestCompare:
+    def _history(self, n=3, **kwargs):
+        return [entry_from_perf(_perf_doc(**kwargs)) for _ in range(n)]
+
+    def test_identical_run_is_all_ok(self):
+        report = compare(entry_from_perf(_perf_doc()), self._history())
+        assert report.ok
+        assert {c.status for c in report.comparisons} == {"ok"}
+
+    def test_two_x_slowdown_is_a_regression(self):
+        report = compare(
+            entry_from_perf(_perf_doc(routing_s=0.8)), self._history()
+        )
+        assert not report.ok
+        (bad,) = report.regressions
+        assert bad.metric == "scenario:load_routing:warm_median_s"
+        assert bad.change_rel == pytest.approx(1.0)  # 100% worse
+        assert bad.threshold == pytest.approx(WALL_CLOCK_MIN_REL)
+
+    def test_throughput_drop_is_a_regression(self):
+        report = compare(
+            entry_from_perf(_perf_doc(events_per_s=1_000_000.0)),
+            self._history(),
+        )
+        assert [c.metric for c in report.regressions] == [
+            "kernel:kernel_events:events_per_s"
+        ]
+
+    def test_modeled_metric_uses_tight_floor(self):
+        # +2% crossings: tiny for wall clock, but modeled metrics are
+        # deterministic — past the 1% floor it must fail.
+        report = compare(
+            entry_from_perf(_perf_doc(crossings=0.51)), self._history()
+        )
+        (bad,) = report.regressions
+        assert bad.metric == "rings:rings@2:crossings_per_record"
+        assert bad.threshold == pytest.approx(MODELED_MIN_REL)
+
+    def test_big_improvement_reported_not_failed(self):
+        report = compare(
+            entry_from_perf(_perf_doc(routing_s=0.1)), self._history()
+        )
+        assert report.ok
+        statuses = {c.metric: c.status for c in report.comparisons}
+        assert statuses["scenario:load_routing:warm_median_s"] == "improved"
+
+    def test_unseen_metric_is_new_and_never_fails(self):
+        entry = entry_from_perf(_perf_doc())
+        entry["metrics"]["scenario:fresh:warm_median_s"] = 9.9
+        report = compare(entry, self._history())
+        assert report.ok
+        (new,) = [c for c in report.comparisons if c.status == "new"]
+        assert new.metric == "scenario:fresh:warm_median_s"
+
+    def test_zero_baseline_regresses_on_any_nonzero(self):
+        entry = entry_from_perf(_perf_doc())
+        entry["metrics"]["rings:switchless@1:crossings_per_record"] = 0.25
+        report = compare(entry, self._history())
+        (bad,) = report.regressions
+        assert bad.metric == "rings:switchless@1:crossings_per_record"
+        assert bad.change_rel == float("inf")
+
+    def test_smoke_entries_never_judge_full_runs(self):
+        smoke_history = self._history(routing_s=0.01)
+        for h in smoke_history:
+            h["smoke"] = True
+        # vs the fast smoke history this would be a 40x regression,
+        # but smoke entries are filtered out -> everything is "new".
+        report = compare(entry_from_perf(_perf_doc()), smoke_history)
+        assert report.ok
+        assert {c.status for c in report.comparisons} == {"new"}
+
+    def test_noisy_baseline_widens_threshold(self):
+        history = [
+            entry_from_perf(_perf_doc(routing_s=s))
+            for s in (0.2, 0.4, 0.6, 0.4, 0.2)
+        ]
+        report = compare(entry_from_perf(_perf_doc(routing_s=0.4)), history)
+        (c,) = [
+            x for x in report.comparisons
+            if x.metric == "scenario:load_routing:warm_median_s"
+        ]
+        # median 0.4, MAD 0.2 -> 3*0.2/0.4 = 1.5 beats the 30% floor.
+        assert c.threshold == pytest.approx(1.5)
+        assert c.window == DEFAULT_WINDOW
+
+    def test_format_names_the_damage(self):
+        report = compare(
+            entry_from_perf(_perf_doc(routing_s=0.8)), self._history()
+        )
+        text = format_compare(report)
+        assert "1 regression(s)" in text
+        assert "100.0% worse, threshold 30.0%" in text
+
+
+class TestTrack:
+    def test_first_run_seeds_history(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        report = track(_perf_doc(), history_path=path)
+        assert report.ok
+        assert {c.status for c in report.comparisons} == {"new"}
+        assert len(load_history(path)) == 1
+
+    def test_clean_run_appends(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        track(_perf_doc(), history_path=path)
+        report = track(_perf_doc(), history_path=path)
+        assert report.ok
+        assert len(load_history(path)) == 2
+
+    def test_regressing_run_is_not_appended(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        track(_perf_doc(), history_path=path)
+        report = track(_perf_doc(routing_s=0.8), history_path=path)
+        assert not report.ok
+        # The bad run must not poison the baseline it failed against.
+        assert len(load_history(path)) == 1
+
+    def test_append_false_only_compares(self, tmp_path):
+        path = str(tmp_path / "h.jsonl")
+        track(_perf_doc(), history_path=path)
+        track(_perf_doc(), history_path=path, append=False)
+        assert len(load_history(path)) == 1

@@ -1,0 +1,177 @@
+"""SLO/health engine tests: the three evaluator kinds on synthetic
+registries, the default per-scenario SLO sets, and end-to-end health
+runs (healthy baseline + deliberate fault-injected breach)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SloSpec,
+    default_slos,
+    evaluate_slos,
+    export_health_timeseries,
+    format_health_report,
+    run_health,
+)
+
+
+def _burn_spec(objective=0.01):
+    return SloSpec(
+        name="avail", kind="burn_rate", bad="bad", total="total",
+        objective=objective,
+    )
+
+
+def _steady_registry(bad_until=0, ticks=100, interval=100, bad_at=()):
+    """One 'total' per tick; 'bad' too for the first ``bad_until``
+    ticks and at each tick listed in ``bad_at``."""
+    reg = MetricsRegistry(interval=interval)
+    for t in range(1, ticks + 1):
+        reg.inc("total")
+        if t <= bad_until or t in bad_at:
+            reg.inc("bad")
+        reg.on_clock(t * float(interval))
+    return reg
+
+
+class TestBurnRate:
+    def test_clean_run_is_ok(self):
+        reg = _steady_registry(bad_until=0)
+        (result,) = evaluate_slos([_burn_spec()], reg)
+        assert result.ok
+        assert result.value == 0.0
+        assert result.alerts == []
+
+    def test_sustained_burn_pages_and_breaches(self):
+        reg = _steady_registry(bad_until=50)
+        (result,) = evaluate_slos([_burn_spec()], reg)
+        assert not result.ok
+        assert result.value == pytest.approx(0.5)
+        assert result.alerts  # both windows saw >factor*objective burn
+        alert = result.alerts[0]
+        assert alert.long_burn > alert.factor
+        assert alert.short_burn > alert.factor
+
+    def test_burn_within_objective_is_ok(self):
+        # One mid-run bad tick out of 1000 against a 5% objective:
+        # overall 0.001 and neither window rule sees both windows burn
+        # past its factor.  (An *early* bad tick would page — at run
+        # start the windows are tiny, which is the intended fast-burn
+        # sensitivity.)
+        reg = _steady_registry(ticks=1000, bad_at=(500,))
+        (result,) = evaluate_slos([_burn_spec(objective=0.05)], reg)
+        assert result.ok
+        assert result.value == pytest.approx(0.001)
+
+    def test_empty_total_series_is_vacuously_ok(self):
+        reg = MetricsRegistry(interval=100)
+        (result,) = evaluate_slos([_burn_spec()], reg)
+        assert result.ok
+        assert result.value == 0.0
+
+
+class TestQuantile:
+    def _spec(self, max_value):
+        return SloSpec(
+            name="p99", kind="quantile", histogram="lat", q=0.99,
+            max_value=max_value,
+        )
+
+    def test_quantile_below_bound_is_ok(self):
+        reg = MetricsRegistry()
+        for v in [10] * 99 + [100_000]:
+            reg.observe("lat", v)
+        (result,) = evaluate_slos([self._spec(max_value=float(4 ** 9))], reg)
+        assert result.ok  # p99 bucket 16 <= 4^9
+
+    def test_quantile_above_bound_breaches(self):
+        reg = MetricsRegistry()
+        for _ in range(100):
+            reg.observe("lat", 10_000_000)
+        (result,) = evaluate_slos([self._spec(max_value=1000.0)], reg)
+        assert not result.ok
+        assert result.value > 1000.0
+
+    def test_empty_histogram_is_ok(self):
+        (result,) = evaluate_slos([self._spec(max_value=1.0)],
+                                  MetricsRegistry())
+        assert result.ok
+        assert result.value == 0.0
+
+
+class TestRatio:
+    def _spec(self, max_ratio):
+        return SloSpec(
+            name="budget", kind="ratio", numerator="crossings",
+            denominator="events", max_ratio=max_ratio,
+        )
+
+    def test_ratio_under_budget_is_ok(self):
+        reg = MetricsRegistry()
+        reg.inc("crossings", 3)
+        reg.inc("events", 10)
+        (result,) = evaluate_slos([self._spec(max_ratio=0.5)], reg)
+        assert result.ok
+        assert result.value == pytest.approx(0.3)
+
+    def test_ratio_over_budget_breaches(self):
+        reg = MetricsRegistry()
+        reg.inc("crossings", 30)
+        reg.inc("events", 10)
+        (result,) = evaluate_slos([self._spec(max_ratio=0.5)], reg)
+        assert not result.ok
+
+    def test_zero_denominator_is_zero_ratio(self):
+        reg = MetricsRegistry()
+        reg.inc("crossings", 5)
+        (result,) = evaluate_slos([self._spec(max_ratio=0.5)], reg)
+        assert result.ok
+        assert result.value == 0.0
+
+
+class TestDefaultSlos:
+    @pytest.mark.parametrize("scenario", ["routing", "tor", "middlebox"])
+    def test_every_scenario_has_the_four_axes(self, scenario):
+        specs = default_slos(scenario)
+        assert [s.name for s in specs] == [
+            "availability",
+            "fault-recovery",
+            "p99-queueing-latency",
+            "crossing-budget",
+        ]
+        assert {s.kind for s in specs} == {"burn_rate", "quantile", "ratio"}
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            default_slos("bitcoin")
+
+
+class TestRunHealth:
+    def test_routing_baseline_is_healthy(self):
+        report = run_health("routing", seed=0)
+        assert report.healthy
+        assert len(report.results) == 4
+        assert report.params["clients"] == 200
+        # The registry sampled a real timeline and reconciled exactly.
+        assert report.registry.samples
+        assert report.registry.total("load_events") == 200.0
+
+    def test_shard_crash_breaches_availability(self):
+        report = run_health("routing", seed=0, shards=1, fault="shard_crash")
+        assert not report.healthy
+        breached = {r.spec.name for r in report.results if not r.ok}
+        assert "availability" in breached
+
+    def test_report_text_and_export(self):
+        report = run_health("middlebox", seed=0)
+        text = format_health_report(report)
+        assert "Verdict: HEALTHY" in text
+        assert "[OK    ] availability" in text
+        om = export_health_timeseries(report)
+        assert om.endswith("# EOF\n")
+        assert "repro_load_events_total" in om
+
+    def test_same_seed_runs_export_identically(self):
+        a = export_health_timeseries(run_health("middlebox", seed=0))
+        b = export_health_timeseries(run_health("middlebox", seed=0))
+        assert a == b

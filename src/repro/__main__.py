@@ -16,6 +16,8 @@ Usage::
     python -m repro load routing    # deterministic open-loop load run
         [--clients N] [--shards S] [--batch K] [--seed N] [--out FILE]
         [--workers W]               # parallel replay, byte-identical output
+        [--cohorts]                 # cohort tier: fold repeat dispatches
+        [--regions R] [--ases N]    # two-level shard tree over N ASes
     python -m repro bench           # wall-clock perf benchmark
         [--smoke] [--repeat N] [--ablation] [--ablation-kernel] [--out FILE]
         [--track] [--history FILE] [--window N]
@@ -29,7 +31,12 @@ against one of the case studies (``routing``, ``tor``, ``middlebox``)
 instances with K-request ecall batching — prints the summary table,
 and writes the machine-readable ``BENCH_load.json``.  Everything is
 clocked by the cost model, so the same seed yields a byte-identical
-report file.
+report file.  ``--cohorts`` switches to the cohort tier: statistically
+identical clients fold into dispatch-replay cohorts so million-client
+populations finish in minutes with the *byte-identical* report the
+per-client engine would have written.  ``--regions R`` deploys the
+routing shards as a two-level tree (region heads relay for members)
+over the ``--ases``-sized generated Internet topology.
 
 ``bench`` is the one wall-clock job: it times the hot scenarios cold
 (crypto caches disabled) and warm (caches enabled) in the same
@@ -126,6 +133,7 @@ def _load(args) -> None:
     clients = args.clients if args.clients is not None else 1000
     shards = args.shards if args.shards is not None else 1
     batch = args.batch if args.batch is not None else 1
+    n_ases = args.ases if args.ases is not None else 24
     if args.workers is not None:
         from repro.load.parallel import run_load_parallel
 
@@ -136,6 +144,21 @@ def _load(args) -> None:
             batch=batch,
             seed=args.seed,
             workers=args.workers,
+            n_ases=n_ases,
+            cohorts=args.cohorts,
+            regions=args.regions,
+        )
+    elif args.cohorts:
+        from repro.load.cohorts import run_load_cohorts
+
+        result = run_load_cohorts(
+            args.scenario,
+            n_clients=clients,
+            n_shards=shards,
+            batch=batch,
+            seed=args.seed,
+            n_ases=n_ases,
+            regions=args.regions,
         )
     else:
         from repro.load.engine import run_load_engine
@@ -146,6 +169,8 @@ def _load(args) -> None:
             n_shards=shards,
             batch=batch,
             seed=args.seed,
+            n_ases=n_ases,
+            regions=args.regions,
         )
     text = bench_json(result)
     problems = validate_bench(json.loads(text))
@@ -214,6 +239,7 @@ def _health(args) -> None:
         batch=args.batch if args.batch is not None else 8,
         interval=args.interval,
         fault=args.fault,
+        cohorts=args.cohorts,
     )
     print(format_health_report(report))
     if args.out:
@@ -333,6 +359,21 @@ def main(argv=None) -> int:
              "(byte-identical to the serial engine; default: serial)",
     )
     parser.add_argument(
+        "--cohorts",
+        action="store_true",
+        help="load/health: fold statistically identical clients into "
+             "cohorts — replay repeat dispatches from a cache instead of "
+             "re-executing (byte-identical report, minutes at 10^6 clients)",
+    )
+    parser.add_argument(
+        "--regions",
+        type=int,
+        default=None,
+        help="load: deploy the routing shards as a two-level tree with R "
+             "regions — region heads relay secure messages for members "
+             "(default: flat single-level sharding)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="bench: small problem sizes suitable for CI",
@@ -392,8 +433,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--ases",
         type=int,
-        default=30,
-        help="AS count for table4 (default: 30, as in the paper)",
+        default=None,
+        help="AS count: table4 topology (default: 30, as in the paper) or "
+             "the load scenario's routing population (default: 24)",
     )
     parser.add_argument(
         "--seed",
@@ -442,18 +484,27 @@ def main(argv=None) -> int:
         parser.error("--track needs the default bench report, not an ablation")
     if args.fault is not None and args.experiment != "health":
         parser.error("--fault only applies to 'health'")
+    if args.cohorts and args.experiment not in ("load", "health"):
+        parser.error("--cohorts only applies to 'load' and 'health'")
+    if args.regions is not None and args.experiment != "load":
+        parser.error("--regions only applies to 'load'")
 
     jobs = {
         "table1": _table1,
         "table2": _table2,
         "table3": _table3,
-        "table4": lambda: _table4(args.ases),
+        "table4": lambda: _table4(args.ases if args.ases is not None else 30),
         "figure3": _figure3,
         "switchless": _switchless,
         "rings": _rings,
         "faults": lambda: _faults(args.seed),
         "trace": lambda: _trace(
-            args.scenario, args.format, args.out, args.ases, args.seed, args.top
+            args.scenario,
+            args.format,
+            args.out,
+            args.ases if args.ases is not None else 30,
+            args.seed,
+            args.top,
         ),
         "load": lambda: _load(args),
         "bench": lambda: _bench(args),

@@ -27,10 +27,22 @@ class HmacDrbg:
             raise CryptoError("seed must be bytes")
         self._key = b"\x00" * 32
         self._value = b"\x01" * 32
+        self._keyed_for: bytes = b""
+        self._keyed = hmac.new(b"", digestmod=hashlib.sha256)
         self._update(bytes(seed) + personalization)
 
     def _hmac(self, key: bytes, data: bytes) -> bytes:
-        return hmac.new(key, data, hashlib.sha256).digest()
+        # Each key is reused for several consecutive HMACs (the stream
+        # step and the update rekey), so keying once and copying the
+        # primed object skips the per-call key schedule — a pure
+        # speedup, bit-identical output.  Million-event load streams
+        # draw from here four times per event; this is their hot path.
+        if key is not self._keyed_for:
+            self._keyed = hmac.new(key, digestmod=hashlib.sha256)
+            self._keyed_for = key
+        h = self._keyed.copy()
+        h.update(data)
+        return h.digest()
 
     def _update(self, provided: bytes = b"") -> None:
         self._key = self._hmac(self._key, self._value + b"\x00" + provided)

@@ -796,19 +796,26 @@ def run_load(
     events: Optional[int] = None,
     n_ases: int = 24,
     trace: Optional[obs.Tracer] = None,
+    cohorts: bool = False,
+    regions: Optional[int] = None,
 ) -> Dict[str, object]:
     """One deterministic load run; returns the BENCH_load.json document.
 
     The workload engine is clocked entirely by the cost model (see
     :mod:`repro.load.engine`): with a fixed seed the returned document
     is byte-identical run over run, so CI can diff two consecutive
-    invocations.
+    invocations.  ``cohorts`` folds statistically identical clients
+    through the dispatch-replay cache (:mod:`repro.load.cohorts`) —
+    pinned byte-identical to the per-client engine — and ``regions``
+    deploys the routing shards as a two-level tree.
     """
+    from repro.load.cohorts import run_load_cohorts
     from repro.load.engine import run_load_engine
     from repro.load.report import bench_doc
 
+    runner = run_load_cohorts if cohorts else run_load_engine
     with _traced(trace, "load"):
-        result = run_load_engine(
+        result = runner(
             scenario,
             n_clients=clients,
             n_shards=shards,
@@ -816,6 +823,7 @@ def run_load(
             seed=seed,
             n_events=events,
             n_ases=n_ases,
+            regions=regions,
         )
     return bench_doc(result)
 
@@ -893,4 +901,88 @@ def format_load_ablation(grid: Dict[Tuple[int, int], Dict[str, object]]) -> str:
          "crossings/event"],
         rows,
         title="Load ablation — scale-out (S) x crossing batch (K)",
+    )
+
+
+def run_load_cohort_ablation(
+    scenario: str = "routing",
+    client_counts: Tuple[int, ...] = (200, 1000),
+    shards: int = 4,
+    batch: int = 8,
+    seed: int = 0,
+    n_ases: int = 24,
+    region_counts: Tuple[Optional[int], ...] = (None, 2),
+    trace: Optional[obs.Tracer] = None,
+) -> Dict[Tuple[int, Optional[int], str], Dict[str, object]]:
+    """Cohort-vs-per-client tier grid (EXPERIMENTS A16).
+
+    For every client count x shard-tree depth (flat, or a two-level
+    tree with R regions) the grid holds both tiers' BENCH documents
+    plus their wall-clock cost, and each cohort cell records whether
+    its document equals the per-client twin's — the modeled numbers
+    are deterministic, only ``wall_seconds`` varies run to run.
+    """
+    import time as _time
+
+    grid: Dict[Tuple[int, Optional[int], str], Dict[str, object]] = {}
+    with _traced(trace, "load-cohort-ablation"):
+        for clients in client_counts:
+            for regions in region_counts:
+                for tier in ("per-client", "cohort"):
+                    start = _time.perf_counter()
+                    doc = run_load(
+                        scenario,
+                        clients=clients,
+                        shards=shards,
+                        batch=batch,
+                        seed=seed,
+                        n_ases=n_ases,
+                        cohorts=tier == "cohort",
+                        regions=regions,
+                    )
+                    grid[(clients, regions, tier)] = {
+                        "doc": doc,
+                        "wall_seconds": _time.perf_counter() - start,
+                    }
+    for (clients, regions, tier), cell in grid.items():
+        if tier == "cohort":
+            twin = grid[(clients, regions, "per-client")]["doc"]
+            cell["matches_per_client"] = cell["doc"] == twin
+    return grid
+
+
+def format_load_cohort_ablation(
+    grid: Dict[Tuple[int, Optional[int], str], Dict[str, object]]
+) -> str:
+    rows = []
+    order = sorted(
+        grid,
+        key=lambda k: (k[0], k[1] if k[1] is not None else 0, k[2]),
+    )
+    for key in order:
+        clients, regions, tier = key
+        cell = grid[key]
+        doc: Dict[str, object] = cell["doc"]  # type: ignore[assignment]
+        throughput: Dict[str, float] = doc["throughput"]  # type: ignore[assignment]
+        crossings: Dict[str, float] = doc["crossings"]  # type: ignore[assignment]
+        if tier == "cohort":
+            match = "yes" if cell["matches_per_client"] else "NO"
+        else:
+            match = "-"
+        rows.append(
+            [
+                clients,
+                "flat" if regions is None else f"{regions} regions",
+                tier,
+                f"{cell['wall_seconds']:.2f}",
+                f"{throughput['events_per_gcycle']:.2f}",
+                f"{crossings['per_event']:.2f}",
+                match,
+            ]
+        )
+    return format_table(
+        ["clients", "tree", "tier", "wall s", "events/Gcycle",
+         "crossings/event", "== per-client"],
+        rows,
+        title="Load cohorts — tier x shard-tree depth (A16)",
     )

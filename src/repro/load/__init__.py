@@ -15,12 +15,16 @@ Modules:
   channels, crash failover);
 * :mod:`repro.load.engine`  — the modeled-cycle queueing engine
   (per-shard busy clocks, ecall batching, latency percentiles);
+* :mod:`repro.load.cohorts` — the cohort tier: statistically identical
+  clients fold through a dispatch-replay cache, byte-identical to the
+  per-client engine at million-client populations;
 * :mod:`repro.load.parallel` — multi-process replay of the dispatch
   plan, byte-identical to the serial engine at any worker count;
 * :mod:`repro.load.report`  — the ``BENCH_load.json`` writer/validator.
 """
 
-from repro.load.clients import ClientEvent, generate_events
+from repro.load.clients import ClientEvent, generate_events, iter_events
+from repro.load.cohorts import run_load_cohorts
 from repro.load.engine import LoadEngine, LoadResult, run_load_engine
 from repro.load.parallel import run_load_parallel
 from repro.load.report import bench_json, validate_bench
@@ -29,9 +33,11 @@ from repro.load.shards import ShardedRoutingDeployment
 __all__ = [
     "ClientEvent",
     "generate_events",
+    "iter_events",
     "LoadEngine",
     "LoadResult",
     "run_load_engine",
+    "run_load_cohorts",
     "run_load_parallel",
     "bench_json",
     "validate_bench",

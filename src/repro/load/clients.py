@@ -13,12 +13,19 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 from repro.crypto.drbg import Rng
 from repro.errors import ReproError
 
-__all__ = ["ClientEvent", "generate_events", "event_log_fingerprint"]
+__all__ = [
+    "ClientEvent",
+    "FingerprintTap",
+    "generate_events",
+    "iter_events",
+    "event_log_fingerprint",
+    "streaming_fingerprint",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,6 +58,24 @@ def generate_events(
     ``mean_gap`` modeled cycles between arrivals, integer-only so the
     log is platform-independent.
     """
+    return list(
+        iter_events(scenario, n_clients, n_events, keys, seed, mean_gap)
+    )
+
+
+def iter_events(
+    scenario: str,
+    n_clients: int,
+    n_events: int,
+    keys: Sequence[int],
+    seed: int,
+    mean_gap: int = 200_000,
+) -> Iterator[ClientEvent]:
+    """Streaming form of :func:`generate_events` — same draws, same
+    events, O(1) memory.  The million-client cohort tier folds this
+    stream without ever materializing the log; ``generate_events`` is
+    exactly ``list(iter_events(...))``, so the two can never drift.
+    """
     if n_clients < 1:
         raise ReproError("need at least one client")
     if n_events < 1:
@@ -63,20 +88,16 @@ def generate_events(
     ops = _SCENARIO_OPS.get(scenario)
     if ops is None:
         raise ReproError(f"unknown load scenario '{scenario}'")
-    events: List[ClientEvent] = []
     clock = 0
     for seq in range(n_events):
         clock += rng.randint(1, 2 * mean_gap - 1)
-        events.append(
-            ClientEvent(
-                seq=seq,
-                client_id=rng.randint(0, n_clients - 1),
-                arrival=clock,
-                op=ops[rng.randint(0, len(ops) - 1)],
-                key=keys[rng.randint(0, len(keys) - 1)],
-            )
+        yield ClientEvent(
+            seq=seq,
+            client_id=rng.randint(0, n_clients - 1),
+            arrival=clock,
+            op=ops[rng.randint(0, len(ops) - 1)],
+            key=keys[rng.randint(0, len(keys) - 1)],
         )
-    return events
 
 
 #: Operation mix per scenario.  Routing clients overwhelmingly ask for
@@ -107,3 +128,51 @@ def event_log_fingerprint(events: Sequence[ClientEvent]) -> str:
         separators=(",", ":"),
     ).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+class FingerprintTap:
+    """Wrap an event stream, fingerprinting it as it drains.
+
+    Computes :func:`event_log_fingerprint` incrementally — the hash is
+    fed the identical canonical JSON serialization, one event at a
+    time — so the cohort tier's single pass over a million-event
+    generator yields the exact digest a per-client replay of the same
+    configuration reports, without a second generation pass.
+    """
+
+    def __init__(self, events: Iterable[ClientEvent]) -> None:
+        self._events = events
+        self._digest = hashlib.sha256()
+        self._digest.update(b"[")
+        self._first = True
+        self._drained = False
+
+    def __iter__(self) -> Iterator[ClientEvent]:
+        for event in self._events:
+            if not self._first:
+                self._digest.update(b",")
+            self._first = False
+            self._digest.update(
+                json.dumps(
+                    event.as_dict(), sort_keys=True, separators=(",", ":")
+                ).encode()
+            )
+            yield event
+        self._drained = True
+
+    def hexdigest(self) -> str:
+        if not self._drained:
+            raise ReproError(
+                "event fingerprint requested before the stream drained"
+            )
+        digest = self._digest.copy()
+        digest.update(b"]")
+        return digest.hexdigest()
+
+
+def streaming_fingerprint(events: Iterable[ClientEvent]) -> str:
+    """:func:`event_log_fingerprint` of a stream, in O(1) memory."""
+    tap = FingerprintTap(events)
+    for _event in tap:
+        pass
+    return tap.hexdigest()

@@ -37,6 +37,7 @@ __all__ = [
     "LoadResult",
     "LoadEngine",
     "run_load_engine",
+    "make_backend",
     "plan_dispatches",
     "population_keys",
     "default_n_events",
@@ -79,18 +80,50 @@ class LoadResult:
     shard_stats: Dict[int, Dict[str, int]]
     outcomes: Dict[str, int]
     payloads: Optional[Dict[int, bytes]] = None  # seq -> reply (tests only)
+    regions: Optional[int] = None  # two-level tree depth (None = flat)
+    #: Cohort-tier aggregates.  The streaming fold never materializes
+    #: per-event records, so it reports the served count and the sorted
+    #: (latency, count) multiset instead; per-client results leave both
+    #: unset and derive them from ``events``.
+    n_served: Optional[int] = None
+    latency_samples: Optional[List[Tuple[float, int]]] = None
 
     @property
     def latencies(self) -> List[float]:
         return sorted(e.latency_cycles for e in self.events)
 
+    @property
+    def served(self) -> int:
+        """Events that went through the engine (all outcome classes)."""
+        if self.n_served is not None:
+            return self.n_served
+        return len(self.events)
+
+    def weighted_latencies(self) -> List[Tuple[float, int]]:
+        """Sorted ``(latency, count)`` multiset of event latencies."""
+        if self.latency_samples is not None:
+            return list(self.latency_samples)
+        samples: List[Tuple[float, int]] = []
+        for latency in self.latencies:
+            if samples and samples[-1][0] == latency:
+                samples[-1] = (latency, samples[-1][1] + 1)
+            else:
+                samples.append((latency, 1))
+        return samples
+
     def percentile(self, p: float) -> float:
         """Deterministic nearest-rank percentile over event latencies."""
-        lats = self.latencies
-        if not lats:
+        samples = self.weighted_latencies()
+        n = sum(count for _latency, count in samples)
+        if n == 0:
             return 0.0
-        rank = max(1, -(-int(p * len(lats)) // 100))  # ceil(p*n/100)
-        return lats[min(rank, len(lats)) - 1]
+        rank = min(max(1, -(-int(p * n) // 100)), n)  # ceil(p*n/100)
+        seen = 0
+        for latency, count in samples:
+            seen += count
+            if seen >= rank:
+                return latency
+        return samples[-1][0]  # pragma: no cover - rank <= n always lands
 
 
 def _digest(payload: bytes) -> str:
@@ -131,13 +164,28 @@ class _RoutingBackend:
     #: seed-identical replicas sum to the serial totals.
     parallel_safe = True
 
-    def __init__(self, n_shards: int, batch: int, n_ases: int, seed: int) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        batch: int,
+        n_ases: int,
+        seed: int,
+        regions: Optional[int] = None,
+    ) -> None:
         self.dep = ShardedRoutingDeployment(
             n_shards,
             n_ases=n_ases,
             seed=b"load-routing-%d" % seed,
             batch=batch,
+            regions=regions,
         )
+        #: The two-level tree relays through region heads, so a
+        #: dispatch's charges depend on head liveness and relay-channel
+        #: positions — not interleaving-independent; and skip_dispatch's
+        #: flat session model does not apply.  Both the parallel runner
+        #: and the cohort cache check this instance attribute.
+        if regions is not None:
+            self.parallel_safe = False
         before = self._cycles()
         self.dep.register_all()
         self.dep.seal()
@@ -651,6 +699,7 @@ def package_result(
     steady_counters: Dict[str, int],
     shard_stats: Dict[int, Dict[str, int]],
     keep_payloads: bool,
+    regions: Optional[int] = None,
 ) -> LoadResult:
     """Assemble a :class:`LoadResult` from a finished engine run."""
     outcomes: Dict[str, int] = {}
@@ -674,7 +723,29 @@ def package_result(
         shard_stats=shard_stats,
         outcomes=outcomes,
         payloads=dict(engine.payloads) if keep_payloads else None,
+        regions=regions,
     )
+
+
+def make_backend(
+    scenario: str,
+    n_shards: int,
+    batch: int,
+    n_ases: int,
+    seed: int,
+    regions: Optional[int] = None,
+):
+    """Instantiate the scenario backend (regions = routing-only)."""
+    backend_class = _BACKENDS.get(scenario)
+    if backend_class is None:
+        raise ReproError(
+            f"unknown load scenario '{scenario}' (have {', '.join(LOAD_SCENARIOS)})"
+        )
+    if regions is not None and scenario != "routing":
+        raise ReproError("--regions only applies to the routing scenario")
+    if scenario == "routing":
+        return backend_class(n_shards, batch, n_ases, seed, regions=regions)
+    return backend_class(n_shards, batch, n_ases, seed)
 
 
 def run_load_engine(
@@ -686,16 +757,12 @@ def run_load_engine(
     n_events: Optional[int] = None,
     n_ases: int = 24,
     keep_payloads: bool = False,
+    regions: Optional[int] = None,
 ) -> LoadResult:
     """Build a backend, generate the event log, run it, package results."""
-    backend_class = _BACKENDS.get(scenario)
-    if backend_class is None:
-        raise ReproError(
-            f"unknown load scenario '{scenario}' (have {', '.join(LOAD_SCENARIOS)})"
-        )
     if n_events is None:
         n_events = default_n_events(scenario, n_clients)
-    backend = backend_class(n_shards, batch, n_ases, seed)
+    backend = make_backend(scenario, n_shards, batch, n_ases, seed, regions)
     events = generate_events(
         scenario, n_clients, n_events, backend.keys(), seed
     )
@@ -714,4 +781,5 @@ def run_load_engine(
         backend.steady_counters(),
         backend.shard_stats(),
         keep_payloads,
+        regions,
     )

@@ -117,6 +117,7 @@ def _worker_run(
     indices: List[int],
     traced: bool = False,
     fault_state: Optional[Tuple[Any, tuple, Dict[int, int]]] = None,
+    cohorts: bool = False,
 ) -> dict:
     """Executed in a worker process: replay one slice of the plan."""
     from repro import faults as faults_mod
@@ -138,6 +139,18 @@ def _worker_run(
             local_tracer = Tracer()
             accountant_mod.set_active_tracer(local_tracer)
         backend = _BACKENDS[scenario](n_shards, batch, n_ases, seed)
+        dispatcher = backend
+        if (
+            cohorts
+            and scenario == "routing"
+            and getattr(backend, "parallel_safe", False)
+        ):
+            # Repeat dispatches inside this worker's slice replay from
+            # the cohort cache; charges are position-independent, so
+            # the shipped per-dispatch results are unchanged.
+            from repro.load.cohorts import _CohortCache
+
+            dispatcher = _CohortCache(backend)
         events = generate_events(scenario, n_clients, n_events, backend.keys(), seed)
         plan = plan_dispatches(events, n_shards, batch)
         base_stats = backend.shard_stats()
@@ -163,7 +176,7 @@ def _worker_run(
         ghost_stats: Dict[int, Dict[str, int]] = {}
         for index, (slot, batch_events) in enumerate(plan):
             if index in mine:
-                dispatches[index] = backend.dispatch(slot, batch_events, index)
+                dispatches[index] = dispatcher.dispatch(slot, batch_events, index)
             elif forward is not None:
                 # Execute the foreign dispatch uncharged so fault
                 # decisions and replica state track the serial run;
@@ -270,6 +283,8 @@ def run_load_parallel(
     n_events: Optional[int] = None,
     n_ases: int = 24,
     keep_payloads: bool = False,
+    cohorts: bool = False,
+    regions: Optional[int] = None,
 ) -> LoadResult:
     """Partitioned replay of one load run, byte-identical to serial.
 
@@ -277,9 +292,14 @@ def run_load_parallel(
     the dispatch plan on their own backend replica; the parent merges.
     Traced runs and deterministic capped fault plans replay in
     parallel too (see the module docstring); Tor and probabilistic
-    fault plans fall back to the serial engine.
+    fault plans fall back to the serial engine.  ``cohorts`` turns on
+    the per-worker dispatch-replay cache — results stay byte-identical
+    either way.  Hierarchical deployments (``regions``) relay through
+    region heads, so their charges are interleaving-dependent; they
+    always run serially.
     """
     from repro import faults
+    from repro.load.cohorts import run_load_cohorts
     from repro.load.engine import run_load_engine
 
     backend_class = _BACKENDS.get(scenario)
@@ -295,9 +315,23 @@ def run_load_parallel(
         and _plan_parallel_safe(plan_active)
         and hasattr(backend_class, "fault_forward")
     )
-    if not backend_class.parallel_safe or (
-        plan_active is not None and not fault_parallel
+    if (
+        not backend_class.parallel_safe
+        or regions is not None
+        or (plan_active is not None and not fault_parallel)
     ):
+        if cohorts:
+            return run_load_cohorts(
+                scenario,
+                n_clients,
+                n_shards,
+                batch,
+                seed,
+                n_events=n_events,
+                n_ases=n_ases,
+                keep_payloads=keep_payloads,
+                regions=regions,
+            )
         return run_load_engine(
             scenario,
             n_clients,
@@ -307,6 +341,7 @@ def run_load_parallel(
             n_events=n_events,
             n_ases=n_ases,
             keep_payloads=keep_payloads,
+            regions=regions,
         )
     if n_events is None:
         n_events = default_n_events(scenario, n_clients)
@@ -342,6 +377,7 @@ def run_load_parallel(
             part,
             traced,
             fault_state,
+            cohorts,
         )
         for i, part in enumerate(partitions)
         if part or i == 0

@@ -9,12 +9,19 @@ job diffs two consecutive runs).
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.load.engine import LoadResult
 
-__all__ = ["SCHEMA", "bench_doc", "bench_json", "validate_bench"]
+__all__ = [
+    "SCHEMA",
+    "bench_doc",
+    "bench_json",
+    "validate_bench",
+    "weighted_mean",
+    "weighted_percentile",
+]
 
 SCHEMA = "repro.load/1"
 
@@ -32,15 +39,53 @@ _REQUIRED: Dict[str, type] = {
     "event_fingerprint": str,
 }
 
-_REQUIRED_CONFIG = ("clients", "shards", "batch", "seed", "events")
+_REQUIRED_CONFIG = ("clients", "shards", "batch", "seed", "events", "regions")
 _REQUIRED_LATENCY = ("p50", "p90", "p99", "max", "mean")
 _REQUIRED_THROUGHPUT = ("events", "makespan_cycles", "events_per_gcycle")
 
 
+def weighted_mean(samples: Sequence[Tuple[float, int]]) -> float:
+    """Mean over weighted ``(value, count)`` samples, sorted by value.
+
+    Float addition is not associative, so the accumulation walks the
+    *expanded* multiset in sorted order — the exact add sequence
+    ``sum(sorted_latencies)`` performs on a per-client result.  That
+    makes a cohort-weighted report bit-identical to its per-client
+    oracle, not merely close (the equivalence suite compares bytes).
+    """
+    total = 0.0
+    n = 0
+    for value, count in samples:
+        for _ in range(count):
+            total += value
+        n += count
+    return total / n if n else 0.0
+
+
+def weighted_percentile(samples: Sequence[Tuple[float, int]], p: float) -> float:
+    """Nearest-rank percentile over weighted ``(value, count)`` samples.
+
+    Identical to indexing the sorted expansion at
+    ``max(1, ceil(p*n/100)) - 1`` — rank arithmetic is all-integer, and
+    the cumulative-count walk lands on the same element without
+    materializing the expansion.
+    """
+    n = sum(count for _value, count in samples)
+    if n == 0:
+        return 0.0
+    rank = min(max(1, -(-int(p * n) // 100)), n)  # ceil(p*n/100), clamped
+    seen = 0
+    for value, count in samples:
+        seen += count
+        if seen >= rank:
+            return value
+    return samples[-1][0]  # pragma: no cover - rank <= n always lands
+
+
 def bench_doc(result: LoadResult) -> dict:
     """Shape a :class:`LoadResult` into the BENCH_load.json document."""
-    lats = result.latencies
-    mean = sum(lats) / len(lats) if lats else 0.0
+    samples = result.weighted_latencies()
+    served = result.served
     crossings = result.steady_counters.get("enclave_crossings", 0)
     makespan = result.makespan_cycles
     return {
@@ -52,24 +97,25 @@ def bench_doc(result: LoadResult) -> dict:
             "batch": result.batch,
             "seed": result.seed,
             "events": result.n_events,
+            "regions": result.regions,
         },
         "throughput": {
-            "events": len(result.events),
+            "events": served,
             "makespan_cycles": makespan,
             "events_per_gcycle": (
-                len(result.events) / (makespan / 1e9) if makespan > 0 else 0.0
+                served / (makespan / 1e9) if makespan > 0 else 0.0
             ),
         },
         "latency_cycles": {
-            "p50": result.percentile(50),
-            "p90": result.percentile(90),
-            "p99": result.percentile(99),
-            "max": lats[-1] if lats else 0.0,
-            "mean": mean,
+            "p50": weighted_percentile(samples, 50),
+            "p90": weighted_percentile(samples, 90),
+            "p99": weighted_percentile(samples, 99),
+            "max": samples[-1][0] if samples else 0.0,
+            "mean": weighted_mean(samples),
         },
         "crossings": {
             "total": crossings,
-            "per_event": crossings / len(result.events) if result.events else 0.0,
+            "per_event": crossings / served if served else 0.0,
         },
         "outcomes": dict(sorted(result.outcomes.items())),
         "shards": {

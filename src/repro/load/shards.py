@@ -29,7 +29,7 @@ from repro.core.app import SecureApplicationProgram
 from repro.routing import messages as msg
 from repro.routing.deployment import build_policies
 from repro.routing.policy import LocalPolicy
-from repro.routing.sharding import ShardCore, ShardRing
+from repro.routing.sharding import ShardCore, ShardRing, ShardTree
 from repro.sgx.attestation import IdentityPolicy
 from repro.sgx.measurement import measure_program
 from repro.sgx.platform import SgxPlatform
@@ -44,6 +44,12 @@ SMSG_POLICY = 10
 SMSG_SLICE = 11
 SMSG_QUERY = 12
 SMSG_REPLY = 13
+#: Relay envelope for the two-level (region -> shard) deployment:
+#: ``u8 tag | u64 dest_shard | u64 origin_shard | varbytes inner``.
+#: Shards without a direct session reach each other through region
+#: heads; each hop decrypts, re-encrypts and forwards along its
+#: configured route table, charging the relay work as it goes.
+SMSG_FWD = 14
 
 
 def _charge_serialize(n_bytes: int) -> None:
@@ -58,11 +64,23 @@ class ShardControllerProgram(SecureApplicationProgram):
         super().on_load(ctx)
         self._core: Optional[ShardCore] = None
         self._replies: Dict[int, bytes] = {}
+        self._fwd_routes: Dict[int, str] = {}
 
     # -- configuration ecalls ------------------------------------------------
 
     def configure_shard(self, shard_id: int) -> None:
         self._core = ShardCore(shard_id, alloc_hook=self.ctx.alloc)
+
+    def configure_forwarding(self, routes: Dict[int, str]) -> None:
+        """Install the next-hop table for the two-level deployment.
+
+        ``routes`` maps every reachable shard id to the session the
+        next hop rides on — a direct session where one exists, the
+        region head's otherwise.  The driver re-pushes tables after
+        failover; the table itself is public routing metadata (who can
+        reach whom), never policy content.
+        """
+        self._fwd_routes = dict(routes)
 
     def shard_stats(self) -> Dict[str, int]:
         core = self._require_core()
@@ -108,9 +126,17 @@ class ShardControllerProgram(SecureApplicationProgram):
 
     @obs.traced("shard:broadcast_policies", kind="app")
     def broadcast_policies(
-        self, session_ids: List[str], batch_size: int
+        self,
+        session_ids: List[str],
+        batch_size: int,
+        fwd: Optional[Dict[int, str]] = None,
     ) -> int:
-        """Send every owned policy to each peer session, batched."""
+        """Send every owned policy to each peer session, batched.
+
+        ``fwd`` (two-level deployments) maps shards *without* a direct
+        session to the next-hop session; their copies travel wrapped in
+        :data:`SMSG_FWD` envelopes and are relayed by region heads.
+        """
         core = self._require_core()
         payloads = []
         for asn in sorted(core.owned):
@@ -120,6 +146,10 @@ class ShardControllerProgram(SecureApplicationProgram):
             payloads.append(payload)
         for session_id in session_ids:
             self._send_payloads(session_id, payloads, batch_size)
+        if fwd:
+            for dest in sorted(fwd):
+                wrapped = [self._wrap_fwd(dest, p) for p in payloads]
+                self._send_payloads(fwd[dest], wrapped, batch_size)
         return len(payloads)
 
     @obs.traced("shard:compute_partition", kind="app")
@@ -135,14 +165,20 @@ class ShardControllerProgram(SecureApplicationProgram):
         session_by_shard: Dict[int, str],
         batch_size: int,
         only: Optional[List[int]] = None,
+        direct: Optional[List[int]] = None,
     ) -> int:
         """Route-slice exchange: ship each AS's routes to its owner.
 
         Our own slice merges locally; peers' slices travel as batched
         records.  ``only`` narrows to specific ASNs (failover replay).
+        ``direct`` (two-level deployments) lists peers reachable on a
+        direct session; slices for any other shard are wrapped in
+        :data:`SMSG_FWD` and relayed via ``session_by_shard``'s next
+        hop.
         """
         core = self._require_core()
         wanted = None if only is None else set(only)
+        relayed = None if direct is None else set(direct)
         sent = 0
         for peer_id, slices in sorted(core.slices_for(owner_map).items()):
             if wanted is not None:
@@ -167,6 +203,8 @@ class ShardControllerProgram(SecureApplicationProgram):
                     .getvalue()
                 )
                 _charge_serialize(len(payload))
+                if relayed is not None and peer_id not in relayed:
+                    payload = self._wrap_fwd(peer_id, payload)
                 payloads.append(payload)
                 sent += 1
             self._send_payloads(session_by_shard[peer_id], payloads, batch_size)
@@ -181,14 +219,20 @@ class ShardControllerProgram(SecureApplicationProgram):
         owner_map: Dict[int, int],
         session_by_shard: Dict[int, str],
         batch_size: int,
+        direct: Optional[List[int]] = None,
     ) -> Dict[int, bytes]:
         """Serve ``(req_id, asn)`` requests landing on this front shard.
 
         Owned ASes answer immediately; the rest become cross-shard
         queries, batched per owner session — the replies arrive via the
         record channel and are picked up with :meth:`take_replies`.
+        ``direct`` (two-level deployments) lists peers with a direct
+        session; queries for other owners ride :data:`SMSG_FWD`
+        envelopes through region heads, and their replies come back the
+        same way.
         """
         core = self._require_core()
+        relayed = None if direct is None else set(direct)
         served: Dict[int, bytes] = {}
         queries: Dict[str, List[bytes]] = {}
         for req_id, asn in requests:
@@ -205,6 +249,8 @@ class ShardControllerProgram(SecureApplicationProgram):
                 Writer().u8(SMSG_QUERY).u64(req_id).u64(asn).getvalue()
             )
             _charge_serialize(len(payload))
+            if relayed is not None and owner not in relayed:
+                payload = self._wrap_fwd(owner, payload)
             queries.setdefault(session_by_shard[owner], []).append(payload)
         for session_id in sorted(queries):
             self._send_payloads(session_id, queries[session_id], batch_size)
@@ -274,9 +320,44 @@ class ShardControllerProgram(SecureApplicationProgram):
             req_id = reader.u64()
             self._replies[req_id] = reader.varbytes()
             return None
+        if tag == SMSG_FWD:
+            dest = reader.u64()
+            origin = reader.u64()
+            inner = reader.varbytes()
+            if dest != core.shard_id:
+                # Relay hop: decrypt happened on receive, re-encrypt on
+                # the next-hop session — the envelope travels verbatim.
+                self._route_payload(dest, payload)
+                return None
+            reply = self._on_secure_message(session_id, inner)
+            if reply is not None:
+                # Replies to relayed queries retrace the route table
+                # rather than riding the synchronous reply slot (a
+                # relayed frame may be several hops from its origin).
+                self._route_payload(origin, self._wrap_fwd(origin, reply))
+            return None
         raise ProtocolError(f"unknown inter-shard message tag {tag}")
 
     # -- helpers -------------------------------------------------------------
+
+    def _wrap_fwd(self, dest: int, inner: bytes) -> bytes:
+        payload = (
+            Writer()
+            .u8(SMSG_FWD)
+            .u64(dest)
+            .u64(self._require_core().shard_id)
+            .varbytes(inner)
+            .getvalue()
+        )
+        _charge_serialize(len(payload))
+        return payload
+
+    def _route_payload(self, dest: int, payload: bytes) -> None:
+        session_id = self._fwd_routes.get(dest)
+        if session_id is None:
+            raise ShardError(f"no forwarding route to shard {dest}")
+        _charge_serialize(len(payload))
+        self._send_secure(session_id, payload)
 
     def _send_payloads(
         self, session_id: str, payloads: Sequence[bytes], batch_size: int
@@ -302,10 +383,20 @@ class ShardedRoutingDeployment:
     """S controller-shard enclaves plus the untrusted driver glue.
 
     Construction builds the platforms, loads the enclaves and
-    establishes the pairwise mutually attested inter-shard sessions
-    (one-time costs, like attestation in the Table experiments).
+    establishes the mutually attested inter-shard sessions (one-time
+    costs, like attestation in the Table experiments).
     ``register_all`` + ``seal`` run the policy phase; ``serve_batch``
     is the steady-state request path the load engine drives.
+
+    ``regions=None`` (the default) is the flat deployment: every shard
+    pair holds a direct session and AS ownership follows the flat
+    :class:`~repro.routing.sharding.ShardRing`.  ``regions=R`` deploys
+    the two-level tree instead: shard ``s`` lives in region ``s % R``,
+    sessions exist only within a region plus between region *heads*
+    (the lowest live shard id per region), ownership follows
+    :class:`~repro.routing.sharding.ShardTree`, and cross-region
+    traffic rides :data:`SMSG_FWD` relays through the heads — session
+    count drops from O(S^2) to O(S^2/R + R^2).
     """
 
     def __init__(
@@ -314,13 +405,28 @@ class ShardedRoutingDeployment:
         n_ases: int = 24,
         seed: bytes = b"load-routing",
         batch: int = 1,
+        regions: Optional[int] = None,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
+        if regions is not None and regions < 1:
+            raise ShardError("need at least one region")
         self.n_shards = n_shards
         self.batch = max(1, batch)
         self.topology, self.policies = build_policies(n_ases, seed)
-        self.ring = ShardRing(list(range(n_shards)))
+        self.hierarchical = regions is not None
+        if self.hierarchical:
+            n_regions = min(regions, n_shards)
+            self.region_of_shard = {
+                shard: shard % n_regions for shard in range(n_shards)
+            }
+            members: Dict[int, List[int]] = {}
+            for shard in range(n_shards):
+                members.setdefault(shard % n_regions, []).append(shard)
+            self.ring: object = ShardTree(members)
+        else:
+            self.region_of_shard = {shard: 0 for shard in range(n_shards)}
+            self.ring = ShardRing(list(range(n_shards)))
         self.dead: set = set()
         self._sealed = False
 
@@ -352,9 +458,28 @@ class ShardedRoutingDeployment:
 
         #: session id shared by a shard pair, symmetric lookup.
         self.sessions: Dict[Tuple[int, int], str] = {}
-        for i in range(n_shards):
-            for j in range(i + 1, n_shards):
-                self._establish(i, j)
+        if self.hierarchical:
+            pairs = set()
+            by_region: Dict[int, List[int]] = {}
+            for shard in range(n_shards):
+                by_region.setdefault(self.region_of_shard[shard], []).append(
+                    shard
+                )
+            for group in by_region.values():
+                for i, a in enumerate(group):
+                    for b in group[i + 1 :]:
+                        pairs.add((a, b))
+            heads = sorted(min(group) for group in by_region.values())
+            for i, a in enumerate(heads):
+                for b in heads[i + 1 :]:
+                    pairs.add((a, b))
+            for a, b in sorted(pairs):
+                self._establish(a, b)
+            self._push_routes()
+        else:
+            for i in range(n_shards):
+                for j in range(i + 1, n_shards):
+                    self._establish(i, j)
 
     # -- session plumbing ----------------------------------------------------
 
@@ -384,6 +509,66 @@ class ShardedRoutingDeployment:
             for (a, peer), sid in self.sessions.items()
             if a == shard_id and peer not in self.dead
         }
+
+    # -- two-level routing ---------------------------------------------------
+
+    def _head(self, region: int) -> int:
+        """The live region head: lowest live shard id in the region."""
+        members = [
+            shard
+            for shard in self._live_ids()
+            if self.region_of_shard[shard] == region
+        ]
+        if not members:
+            raise ShardError(f"region {region} has no live shards")
+        return min(members)
+
+    def _heads(self) -> List[int]:
+        live_regions = sorted(
+            {self.region_of_shard[shard] for shard in self._live_ids()}
+        )
+        return [self._head(region) for region in live_regions]
+
+    def _route_map(self, shard_id: int) -> Dict[int, str]:
+        """Dest shard id -> next-hop session id for every live dest.
+
+        Direct sessions route directly; everything else goes through
+        this shard's region head (members) or the destination region's
+        head (heads) — exactly the table pushed via
+        ``configure_forwarding``.
+        """
+        routes = self._session_map(shard_id)
+        my_head = self._head(self.region_of_shard[shard_id])
+        for dest in self._live_ids():
+            if dest == shard_id or dest in routes:
+                continue
+            if shard_id == my_head:
+                hop = self._head(self.region_of_shard[dest])
+            else:
+                hop = my_head
+            routes[dest] = self.sessions[(shard_id, hop)]
+        return routes
+
+    def _push_routes(self) -> None:
+        if not self.hierarchical or self.n_live <= 1:
+            return
+        for shard_id in self._live_ids():
+            self.enclaves[shard_id].ecall(
+                "configure_forwarding", self._route_map(shard_id)
+            )
+
+    def _sessions_for(
+        self, shard_id: int
+    ) -> Tuple[Dict[int, str], Optional[List[int]]]:
+        """(session_by_shard, direct peer list) for ecall plumbing.
+
+        Flat deployments return the plain session map and ``None`` —
+        the program-side ``direct`` default keeps their byte costs
+        untouched.
+        """
+        if not self.hierarchical:
+            return self._session_map(shard_id), None
+        return self._route_map(shard_id), sorted(self._session_map(shard_id))
 
     def _peer_of(self, shard_id: int, session_id: str) -> int:
         for (a, b), sid in self.sessions.items():
@@ -455,17 +640,42 @@ class ShardedRoutingDeployment:
         owner_map = self.owner_map()
         if self.n_live > 1:
             for shard_id in self._live_ids():
-                sids = sorted(self._session_map(shard_id).values())
-                self.enclaves[shard_id].ecall(
-                    "broadcast_policies", sids, self.batch
-                )
+                sids = sorted(set(self._session_map(shard_id).values()))
+                if self.hierarchical:
+                    session_by_shard, direct = self._sessions_for(shard_id)
+                    fwd = {
+                        dest: sid
+                        for dest, sid in session_by_shard.items()
+                        if dest not in set(direct or [])
+                    }
+                    self.enclaves[shard_id].ecall(
+                        "broadcast_policies", sids, self.batch, fwd
+                    )
+                else:
+                    self.enclaves[shard_id].ecall(
+                        "broadcast_policies", sids, self.batch
+                    )
             self.pump()
         for shard_id in self._live_ids():
             self.enclaves[shard_id].ecall("compute_partition")
         for shard_id in self._live_ids():
-            self.enclaves[shard_id].ecall(
-                "send_slices", owner_map, self._session_map(shard_id), self.batch
-            )
+            if self.hierarchical:
+                session_by_shard, direct = self._sessions_for(shard_id)
+                self.enclaves[shard_id].ecall(
+                    "send_slices",
+                    owner_map,
+                    session_by_shard,
+                    self.batch,
+                    None,
+                    direct,
+                )
+            else:
+                self.enclaves[shard_id].ecall(
+                    "send_slices",
+                    owner_map,
+                    self._session_map(shard_id),
+                    self.batch,
+                )
         self.pump()
         self._sealed = True
 
@@ -504,11 +714,28 @@ class ShardedRoutingDeployment:
         ]
 
         if route_reqs:
-            served.update(
-                front.ecall(
-                    "front_requests", route_reqs, owner_map, session_map, self.batch
+            if self.hierarchical:
+                session_by_shard, direct = self._sessions_for(front_shard)
+                served.update(
+                    front.ecall(
+                        "front_requests",
+                        route_reqs,
+                        owner_map,
+                        session_by_shard,
+                        self.batch,
+                        direct,
+                    )
                 )
-            )
+            else:
+                served.update(
+                    front.ecall(
+                        "front_requests",
+                        route_reqs,
+                        owner_map,
+                        session_map,
+                        self.batch,
+                    )
+                )
 
         # Re-registrations hit the owner shard directly (the client
         # re-attests to the shard that owns its AS — fronting the
@@ -570,6 +797,25 @@ class ShardedRoutingDeployment:
         if self.n_live == 0:
             raise ShardError("last controller shard crashed; no survivors")
         self.ring.remove_shard(shard_id)
+        if self.hierarchical:
+            region = self.region_of_shard[shard_id]
+            survivors = [
+                s
+                for s in self._live_ids()
+                if self.region_of_shard[s] == region
+            ]
+            if survivors and shard_id < min(survivors):
+                # The head died: its successor (new lowest live id)
+                # must hold sessions to every other region head before
+                # routes can be re-pushed.
+                new_head = min(survivors)
+                for other in self._heads():
+                    if other == new_head:
+                        continue
+                    pair = (min(new_head, other), max(new_head, other))
+                    if pair not in self.sessions:
+                        self._establish(*pair)
+            self._push_routes()
         if not self._sealed:
             return rehomed
         return self._recover(rehomed)
@@ -596,13 +842,24 @@ class ShardedRoutingDeployment:
             enclave.ecall_batch(calls)
             enclave.ecall("compute_extra", sorted(asns))
         for shard_id in self._live_ids():
-            self.enclaves[shard_id].ecall(
-                "send_slices",
-                owner_map,
-                self._session_map(shard_id),
-                self.batch,
-                sorted(rehomed),
-            )
+            if self.hierarchical:
+                session_by_shard, direct = self._sessions_for(shard_id)
+                self.enclaves[shard_id].ecall(
+                    "send_slices",
+                    owner_map,
+                    session_by_shard,
+                    self.batch,
+                    sorted(rehomed),
+                    direct,
+                )
+            else:
+                self.enclaves[shard_id].ecall(
+                    "send_slices",
+                    owner_map,
+                    self._session_map(shard_id),
+                    self.batch,
+                    sorted(rehomed),
+                )
         self.pump()
         return sorted(rehomed)
 

@@ -287,6 +287,7 @@ def run_health(
     interval: int = DEFAULT_SAMPLE_INTERVAL,
     fault: Optional[str] = None,
     slos: Optional[Sequence[SloSpec]] = None,
+    cohorts: bool = False,
 ) -> HealthReport:
     """Trace one load scenario with metrics and judge it against SLOs.
 
@@ -318,6 +319,7 @@ def run_health(
             batch=batch,
             seed=seed,
             trace=tracer,
+            cohorts=cohorts,
         )
     reconcile(tracer)
     specs = tuple(slos) if slos is not None else default_slos(scenario)

@@ -136,6 +136,29 @@ def _load_middlebox(smoke: bool):
     return _load_scenario("middlebox", smoke)
 
 
+@_scenario("load_routing_cohorts")
+def _load_routing_cohorts(smoke: bool):
+    """The cohort tier at a population the per-client engine won't see.
+
+    Repeat dispatches replay from the cohort cache, so the crypto
+    caches are only exercised by the cold dispatches — the warm/cold
+    speedup documents that the fold stays cache-friendly at scale.
+    """
+    from repro.load.cohorts import run_load_cohorts
+
+    n_clients = 500 if smoke else 10_000
+    n_shards = 2
+    batch = 8
+
+    def body():
+        return run_load_cohorts(
+            "routing", n_clients=n_clients, n_shards=n_shards, batch=batch,
+            seed=0,
+        )
+
+    return body, {"clients": n_clients, "shards": n_shards, "batch": batch}
+
+
 # ---------------------------------------------------------------------------
 # Kernel micro-benchmarks (bench-kernel)
 # ---------------------------------------------------------------------------

@@ -43,6 +43,7 @@ from repro.routing.policy import LocalPolicy
 
 __all__ = [
     "ShardRing",
+    "ShardTree",
     "ShardStats",
     "ShardCore",
     "ShardedInterDomainController",
@@ -68,6 +69,9 @@ class ShardRing:
         self.vnodes = vnodes
         self._points: List[tuple] = []
         self._shards: Set[int] = set()
+        #: asn -> owner memo; pure cache over the (membership-keyed)
+        #: ring walk, flushed on any membership change.
+        self._owner_cache: Dict[int, int] = {}
         for shard_id in shard_ids:
             self.add_shard(shard_id)
 
@@ -82,6 +86,7 @@ class ShardRing:
         for v in range(self.vnodes):
             self._points.append((_ring_hash(f"shard{shard_id}#v{v}"), shard_id))
         self._points.sort()
+        self._owner_cache.clear()
 
     def remove_shard(self, shard_id: int) -> None:
         if shard_id not in self._shards:
@@ -90,15 +95,22 @@ class ShardRing:
             raise ShardError("cannot remove the last shard")
         self._shards.remove(shard_id)
         self._points = [p for p in self._points if p[1] != shard_id]
+        self._owner_cache.clear()
 
     def owner(self, asn: int) -> int:
         """The shard owning ``asn``: first vnode clockwise of its hash."""
+        cached = self._owner_cache.get(asn)
+        if cached is not None:
+            return cached
         key = _ring_hash(f"as{asn}")
         # First point with hash > key; wrap to the smallest point.
         for point_hash, shard_id in self._points:
             if point_hash > key:
-                return shard_id
-        return self._points[0][1]
+                break
+        else:
+            shard_id = self._points[0][1]
+        self._owner_cache[asn] = shard_id
+        return shard_id
 
     def partition(self, asns: List[int]) -> Dict[int, List[int]]:
         """Owner map for a whole AS set (each AS to exactly one shard)."""
@@ -106,6 +118,112 @@ class ShardRing:
         for asn in sorted(asns):
             out[self.owner(asn)].append(asn)
         return out
+
+
+class ShardTree:
+    """Two-level consistent hashing: region ring, then per-region ring.
+
+    At Internet scale (10^4-10^5 ASes from
+    :func:`repro.routing.topology.generate_internet_topology`) a flat
+    ring makes every shard a direct peer of every other — S*(S-1)/2
+    attested sessions and a policy broadcast that crosses every pair.
+    The tree bounds the fan-out: an AS hashes first onto a *region*
+    (``region{r}#v{v}`` vnode labels), then onto a shard *within* that
+    region's ring.  Inter-region traffic flows through region heads
+    only, so session count drops from O(S^2) to O(S^2/R + R^2).
+
+    The inner rings are plain :class:`ShardRing` instances with the
+    same ``shard{id}#v{v}`` vnode labels, which pins the compatibility
+    property the shard-tree tests rely on: a one-region tree maps every
+    ASN to exactly the shard the flat ring would — byte for byte.
+
+    Shards may be removed (crash failover); a region whose last shard
+    dies leaves the region ring and its ASes re-home to surviving
+    regions, exactly like a shard leaving a flat ring.
+    """
+
+    def __init__(self, regions: Dict[int, List[int]], vnodes: int = VNODES) -> None:
+        if not regions:
+            raise ShardError("a shard tree needs at least one region")
+        all_shards = [s for members in regions.values() for s in members]
+        if len(set(all_shards)) != len(all_shards):
+            raise ShardError("a shard may belong to only one region")
+        self.vnodes = vnodes
+        self._region_ring = ShardRing(sorted(regions), vnodes=vnodes)
+        # Region ids hash under their own label family so region
+        # placement is independent of any shard id collision.
+        self._region_ring._points = sorted(
+            (_ring_hash(f"region{region_id}#v{v}"), region_id)
+            for region_id in regions
+            for v in range(vnodes)
+        )
+        self._rings: Dict[int, ShardRing] = {
+            region_id: ShardRing(sorted(members), vnodes=vnodes)
+            for region_id, members in regions.items()
+        }
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def region_ids(self) -> List[int]:
+        return sorted(self._rings)
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(s for ring in self._rings.values() for s in ring.shard_ids)
+
+    def members(self, region_id: int) -> List[int]:
+        ring = self._rings.get(region_id)
+        if ring is None:
+            raise ShardError(f"no region {region_id}")
+        return ring.shard_ids
+
+    def region_of_shard(self, shard_id: int) -> int:
+        for region_id, ring in self._rings.items():
+            if shard_id in ring.shard_ids:
+                return region_id
+        raise ShardError(f"shard {shard_id} is not in the tree")
+
+    # -- lookup --------------------------------------------------------------
+
+    def region_of(self, asn: int) -> int:
+        """The region an ASN hashes onto (level one of the tree)."""
+        return self._region_ring.owner(asn)
+
+    def owner(self, asn: int) -> int:
+        """The owning shard: region ring first, then the region's ring."""
+        return self._rings[self._region_ring.owner(asn)].owner(asn)
+
+    def partition(self, asns: List[int]) -> Dict[int, List[int]]:
+        """Owner map for a whole AS set (each AS to exactly one shard)."""
+        out: Dict[int, List[int]] = {shard_id: [] for shard_id in self.shard_ids}
+        for asn in sorted(asns):
+            out[self.owner(asn)].append(asn)
+        return out
+
+    # -- membership changes (failover) --------------------------------------
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Drop a crashed shard; an emptied region leaves the tree.
+
+        Within a surviving region the re-homing is ring-local (only the
+        dead shard's ASes move, to region siblings); when the last
+        shard of a region dies the whole region's ASes re-hash onto the
+        remaining regions.
+        """
+        region_id = self.region_of_shard(shard_id)
+        ring = self._rings[region_id]
+        if len(ring.shard_ids) == 1:
+            if len(self._rings) == 1:
+                raise ShardError("cannot remove the last shard")
+            del self._rings[region_id]
+            self._region_ring._shards.discard(region_id)
+            self._region_ring._points = [
+                p for p in self._region_ring._points if p[1] != region_id
+            ]
+            self._region_ring._owner_cache.clear()
+            return
+        ring.remove_shard(shard_id)
 
 
 @dataclasses.dataclass

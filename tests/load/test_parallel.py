@@ -58,6 +58,32 @@ class TestByteIdentity:
         kwargs = dict(n_clients=12, n_shards=1, batch=2, seed=0)
         assert _parallel("tor", 4, **kwargs) == _serial("tor", **kwargs)
 
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_cohort_cache_composes_with_workers(self, workers):
+        # --workers x --cohorts: each worker replays repeat dispatches
+        # from its private cohort cache; the merged report must still
+        # be the serial per-client engine's, byte for byte.
+        serial = _serial("routing", **ROUTING_KW)
+        parallel = bench_json(
+            run_load_parallel(
+                "routing", workers=workers, cohorts=True, **ROUTING_KW
+            )
+        )
+        assert parallel == serial
+
+    def test_cohorts_with_regions_falls_back_serially(self):
+        # A hierarchical tree relays through region heads, so its
+        # charges are interleaving-dependent: the runner must refuse
+        # to partition it and serve the cohort-tier answer instead.
+        kwargs = dict(n_clients=30, n_shards=4, batch=2, seed=0)
+        serial = bench_json(run_load_engine("routing", regions=2, **kwargs))
+        parallel = bench_json(
+            run_load_parallel(
+                "routing", workers=3, cohorts=True, regions=2, **kwargs
+            )
+        )
+        assert parallel == serial
+
     def test_deterministic_fault_plan_replays_in_parallel(self):
         # A capped rate-1.0 shard_crash plan is parallel-safe: every
         # worker fault-forwards foreign dispatches, so crash decisions

@@ -1,0 +1,160 @@
+"""Property suite for the Internet-scale topology generator.
+
+:func:`repro.routing.topology.generate_internet_topology` feeds the
+million-client load runs, so its structural promises are pinned at the
+scale they are actually used (10^4 ASes in tier-1; the ``slow``-marked
+sweep runs 10^5):
+
+* **determinism** — same seed, same graph, byte-for-byte;
+* **connectedness** — every AS reaches the tier-1 clique through its
+  provider chain (providers are always earlier in growth order, so the
+  customer-provider digraph is acyclic and rooted in the clique);
+* **degree distribution** — preferential attachment yields the heavy
+  tail measured AS graphs have: a small max-degree floor, a tiny
+  median, and a top-1% share far above uniform;
+* **region partition** — every ASN gets a region in range, no region
+  is empty, and the first ``n_regions`` ASes seed one region each.
+"""
+
+import pytest
+
+from repro.crypto.drbg import Rng
+from repro.errors import PolicyError
+from repro.routing.topology import generate_internet_topology
+
+N = 10_000
+REGIONS = 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    topology, regions = generate_internet_topology(
+        N, Rng(b"topo-props"), n_regions=REGIONS
+    )
+    return topology, regions
+
+
+def _fingerprint(topology, regions):
+    return (
+        tuple(topology.asns),
+        tuple(sorted((a, b, r.name) for a, nbrs in topology.rel.items()
+                     for b, r in nbrs.items())),
+        tuple(sorted(regions.items())),
+    )
+
+
+class TestDeterminism:
+    def test_seeded_regeneration_is_identical(self, graph):
+        topology, regions = graph
+        again = generate_internet_topology(
+            N, Rng(b"topo-props"), n_regions=REGIONS
+        )
+        assert _fingerprint(topology, regions) == _fingerprint(*again)
+
+    def test_different_seed_different_graph(self):
+        a = generate_internet_topology(200, Rng(b"seed-a"))
+        b = generate_internet_topology(200, Rng(b"seed-b"))
+        assert _fingerprint(*a) != _fingerprint(*b)
+
+
+class TestConnectedness:
+    def test_every_as_reaches_tier1(self, graph):
+        topology, _ = graph
+        # Walk provider chains: every AS must reach a tier-1 (an AS
+        # with no providers) in finitely many hops, with no cycles.
+        for asn in topology.asns:
+            seen = set()
+            frontier = asn
+            while topology.providers(frontier):
+                assert frontier not in seen, f"provider cycle at AS{asn}"
+                seen.add(frontier)
+                frontier = min(topology.providers(frontier))
+        # and the graph is a single component under plain adjacency:
+        root = topology.asns[0]
+        visited = {root}
+        stack = [root]
+        while stack:
+            for nbr in topology.rel[stack.pop()]:
+                if nbr not in visited:
+                    visited.add(nbr)
+                    stack.append(nbr)
+        assert len(visited) == N
+
+    def test_providers_are_earlier_in_growth_order(self, graph):
+        topology, _ = graph
+        for asn in topology.asns:
+            for provider in topology.providers(asn):
+                assert provider < asn
+
+
+class TestDegreeDistribution:
+    def test_heavy_tail(self, graph):
+        topology, _ = graph
+        degrees = sorted(
+            (len(topology.rel[asn]) for asn in topology.asns), reverse=True
+        )
+        n_edges = sum(degrees) // 2
+        # Growth adds 1-2 provider edges per AS beyond the clique.
+        assert N - 1 <= n_edges <= 2 * N + REGIONS * REGIONS
+        # Heavy tail: the best-connected carrier dwarfs the median ...
+        assert degrees[0] >= 50
+        assert degrees[N // 2] <= 4
+        # ... and the top 1% of ASes hold a grossly super-uniform
+        # share of all edge endpoints (uniform would be ~1%).
+        top_share = sum(degrees[: N // 100]) / sum(degrees)
+        assert top_share > 0.10
+
+    def test_bounded_by_population(self, graph):
+        topology, _ = graph
+        for asn in topology.asns:
+            assert 1 <= len(topology.rel[asn]) < N
+
+
+class TestRegionPartition:
+    def test_total_in_range_and_nonempty(self, graph):
+        topology, regions = graph
+        assert set(regions) == set(topology.asns)
+        assert set(regions.values()) == set(range(REGIONS))
+
+    def test_seed_ases_pin_their_regions(self, graph):
+        _, regions = graph
+        for asn in range(1, REGIONS + 1):
+            assert regions[asn] == asn - 1
+
+    def test_regions_are_roughly_balanced(self, graph):
+        _, regions = graph
+        sizes = [0] * REGIONS
+        for region in regions.values():
+            sizes[region] += 1
+        # Geography-biased attachment must not collapse into one
+        # region: no region holds more than half the Internet, none
+        # is anywhere near empty.
+        assert max(sizes) < N // 2
+        assert min(sizes) > N // 1000
+
+    def test_validation_errors(self):
+        with pytest.raises(PolicyError):
+            generate_internet_topology(1, Rng(b"x"))
+        with pytest.raises(PolicyError):
+            generate_internet_topology(10, Rng(b"x"), n_regions=0)
+        with pytest.raises(PolicyError):
+            generate_internet_topology(10, Rng(b"x"), n_regions=11)
+        with pytest.raises(PolicyError):
+            generate_internet_topology(10, Rng(b"x"), prefixes_per_as=0)
+
+
+@pytest.mark.slow
+class TestInternetScale:
+    """The 10^5 sweep nightly CI runs (slow-marked out of tier-1)."""
+
+    def test_hundred_thousand_ases(self):
+        topology, regions = generate_internet_topology(
+            100_000, Rng(b"topo-xl"), n_regions=16
+        )
+        assert len(topology.asns) == 100_000
+        assert set(regions.values()) == set(range(16))
+        degrees = sorted(
+            (len(topology.rel[asn]) for asn in topology.asns), reverse=True
+        )
+        assert degrees[0] >= 150
+        assert degrees[len(degrees) // 2] <= 4

@@ -159,6 +159,7 @@ class TestLoadCli:
         assert validate_bench(doc) == []
         assert doc["config"] == {
             "clients": 20, "shards": 2, "batch": 4, "seed": 0, "events": 20,
+            "regions": None,
         }
 
     def test_load_out_flag_and_determinism(self, tmp_path):
@@ -184,3 +185,43 @@ class TestLoadCli:
         text = experiments.format_load_ablation(grid)
         assert "Load ablation" in text
         assert "crossings/event" in text
+
+    def test_load_cohorts_flag_byte_identical(self, tmp_path):
+        a, b = tmp_path / "client.json", tmp_path / "cohort.json"
+        base = ["load", "routing", "--clients", "30", "--shards", "2",
+                "--batch", "2", "--seed", "3"]
+        assert main(base + ["--out", str(a)]) == 0
+        assert main(base + ["--cohorts", "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_regions_flag_writes_tree_config(self, tmp_path):
+        out = tmp_path / "tree.json"
+        assert main(
+            ["load", "routing", "--clients", "20", "--shards", "4",
+             "--regions", "2", "--cohorts", "--out", str(out)]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert doc["config"]["regions"] == 2
+
+    def test_cohorts_and_regions_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--cohorts"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--regions", "2"])
+
+    def test_load_cohort_ablation_formats(self):
+        grid = experiments.run_load_cohort_ablation(
+            "routing", client_counts=(20,), shards=2, batch=2,
+            region_counts=(None, 2),
+        )
+        assert set(grid) == {
+            (20, None, "per-client"), (20, None, "cohort"),
+            (20, 2, "per-client"), (20, 2, "cohort"),
+        }
+        assert all(
+            cell["matches_per_client"]
+            for key, cell in grid.items() if key[2] == "cohort"
+        )
+        text = experiments.format_load_cohort_ablation(grid)
+        assert "Load cohorts" in text
+        assert "== per-client" in text

@@ -158,3 +158,46 @@ def test_matrix_rejects_unknown_fault_class():
 
     with pytest.raises(ReproError, match="unknown fault class"):
         faults.matrix_plan("cosmic_ray")
+
+
+# -- cohort tier under faults -------------------------------------------------
+#
+# The cohort tier's dispatch-replay cache must stay a pure optimization
+# even while a fault plan is live: caching is bypassed until the plan
+# exhausts (decisions consume plan state), then resumes.  Crash
+# recovery and the go-back-N network recovery must therefore be
+# byte-identical between tiers — report bytes AND the FaultLog the
+# plan accumulated.
+
+COHORT_FAULT_CLASSES = ("shard_crash",) + NETWORK_CLASSES
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("fault_class", COHORT_FAULT_CLASSES)
+def test_cohort_tier_fault_equivalence(fault_class, seed):
+    from repro.load.cohorts import run_load_cohorts
+    from repro.load.engine import run_load_engine
+    from repro.load.report import bench_json
+
+    texts, digests = [], []
+    for runner in (run_load_engine, run_load_cohorts):
+        plan = faults.matrix_plan(fault_class, seed=seed)
+        with faults.active(plan):
+            result = runner("routing", 40, 3, 2, seed)
+        texts.append(bench_json(result))
+        digests.append(plan.log.digest())
+    assert texts[0] == texts[1], f"{fault_class} seed {seed}: tiers diverged"
+    assert digests[0] == digests[1]
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_cohort_crash_recovery_reproducible(seed):
+    from repro.load.cohorts import run_load_cohorts
+    from repro.load.report import bench_json
+
+    texts = []
+    for _ in range(2):
+        plan = faults.matrix_plan("shard_crash", seed=seed)
+        with faults.active(plan):
+            texts.append(bench_json(run_load_cohorts("routing", 40, 3, 2, seed)))
+    assert texts[0] == texts[1]

@@ -10,6 +10,8 @@ Usage::
     python -m repro switchless      # switchless-transition ablation
     python -m repro rings           # sync-vs-async crossing grid (A14)
     python -m repro faults          # fault-injection matrix (--seed N)
+    python -m repro epcstress       # EPC working-set stress sweep (A17)
+        [--seed N] [--smoke] [--frames N] [--layout L] [--out FILE]
     python -m repro all             # everything above, in order
     python -m repro trace table4    # run traced, emit a cycle-accurate trace
         [--format json|folded|prom] [--out DIR]
@@ -61,6 +63,12 @@ any breach.  ``--fault shard_crash --shards 1`` is the deliberate
 breach: the only shard crashes and every later event fails.
 ``bench --track`` appends the run to ``BENCH_history.jsonl`` and fails
 on a noise-adjusted perf regression against the trailing baseline.
+
+``epcstress`` sweeps the DPI automaton's working-set size across the
+EPC boundary crossed with the boundary regimes (ecall, batch,
+switchless, rings) on a paging-enabled platform with ``--frames`` EPC
+frames, prints the sweep table and writes the byte-stable
+``BENCH_epcstress.json`` (everything modeled — two runs diff clean).
 
 Ablations and the full statistical harness live under ``benchmarks/``
 (``pytest benchmarks/ --benchmark-only -s``); this CLI is the quick,
@@ -222,6 +230,32 @@ def _bench(args) -> None:
         print(f"appended entry to {args.history}", file=sys.stderr)
 
 
+def _epcstress(args) -> None:
+    """Run the A17 EPC working-set sweep and write the report."""
+    from repro.errors import ReproError
+    from repro.sgx import epcstress
+
+    doc = epcstress.run_epcstress(
+        seed=args.seed,
+        smoke=args.smoke,
+        frames=(
+            args.frames if args.frames is not None
+            else epcstress.DEFAULT_FRAMES
+        ),
+        layout=args.layout,
+    )
+    problems = epcstress.validate_epcstress(doc)
+    if problems:
+        raise ReproError(
+            "epcstress report fails validation: " + "; ".join(problems)
+        )
+    print(epcstress.format_epcstress(doc))
+    out = args.out or "BENCH_epcstress.json"
+    with open(out, "w") as fh:
+        fh.write(epcstress.epcstress_json(doc))
+    print(f"wrote {out}", file=sys.stderr)
+
+
 def _health(args) -> None:
     """Run the metrics + SLO health check; raise on any breach."""
     from repro.errors import ReproError
@@ -318,10 +352,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=list(SCENARIOS) + ["all", "trace", "load", "bench", "health"],
+        choices=list(SCENARIOS)
+        + ["all", "trace", "load", "bench", "health", "epcstress"],
         help="which paper artifact to regenerate ('trace' records one, "
              "'load' runs the workload engine, 'bench' times wall-clock "
-             "fast paths, 'health' evaluates SLOs over sampled metrics)",
+             "fast paths, 'health' evaluates SLOs over sampled metrics, "
+             "'epcstress' sweeps DPI working sets across the EPC boundary)",
     )
     parser.add_argument(
         "scenario",
@@ -376,7 +412,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="bench: small problem sizes suitable for CI",
+        help="bench/epcstress: small problem sizes suitable for CI",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="epcstress: EPC frames on the stress platform (default: 512)",
+    )
+    parser.add_argument(
+        "--layout",
+        choices=("hot-first", "insertion"),
+        default="hot-first",
+        help="epcstress: automaton row layout in EPC pages "
+             "(default: hot-first — shallow states packed first)",
     )
     parser.add_argument(
         "--repeat",
@@ -476,10 +525,14 @@ def main(argv=None) -> int:
     elif args.scenario is not None:
         parser.error(f"unexpected positional {args.scenario!r} after {args.experiment!r}")
 
+    if args.smoke and args.experiment not in ("bench", "epcstress"):
+        parser.error("--smoke only applies to 'bench' and 'epcstress'")
     if args.experiment != "bench" and (
-        args.smoke or args.ablation or args.ablation_kernel or args.track
+        args.ablation or args.ablation_kernel or args.track
     ):
-        parser.error("--smoke/--ablation/--track only apply to 'bench'")
+        parser.error("--ablation/--track only apply to 'bench'")
+    if args.frames is not None and args.experiment != "epcstress":
+        parser.error("--frames only applies to 'epcstress'")
     if args.track and (args.ablation or args.ablation_kernel):
         parser.error("--track needs the default bench report, not an ablation")
     if args.fault is not None and args.experiment != "health":
@@ -509,11 +562,15 @@ def main(argv=None) -> int:
         "load": lambda: _load(args),
         "bench": lambda: _bench(args),
         "health": lambda: _health(args),
+        "epcstress": lambda: _epcstress(args),
     }
-    if args.experiment in ("trace", "load", "bench", "health"):
+    if args.experiment in ("trace", "load", "bench", "health", "epcstress"):
         selected = [args.experiment]
     elif args.experiment == "all":
-        selected = [s for s in jobs if s not in ("trace", "load", "bench", "health")]
+        selected = [
+            s for s in jobs
+            if s not in ("trace", "load", "bench", "health", "epcstress")
+        ]
     else:
         selected = [args.experiment]
     for name in selected:

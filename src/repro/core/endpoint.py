@@ -35,16 +35,21 @@ class EnclaveNode:
         rng: Optional[Rng] = None,
         model: Optional[CostModel] = None,
         accountant: Optional[CostAccountant] = None,
+        epc_frames: Optional[int] = None,
+        epc_paging: bool = False,
     ) -> None:
         self.network = network
         self.name = name
         self.host: Host = network.add_host(name)
+        platform_kwargs = {} if epc_frames is None else {"epc_frames": epc_frames}
         self.platform = SgxPlatform(
             name,
             authority,
             rng=rng if rng is not None else Rng(name, "node"),
             accountant=accountant,
             model=model,
+            epc_paging=epc_paging,
+            **platform_kwargs,
         )
 
     @property

@@ -133,6 +133,16 @@ class CostModel:
     epc_evict_normal: int = 22_000
     epc_load_normal: int = 22_000
 
+    # ---- DPI scan (the middlebox data plane): one compiled-automaton
+    # transition per payload byte plus per-match reporting.  Charged
+    # identically by the compiled engine and the frozen reference
+    # walker so the conformance suite can hold their cost counters
+    # integer-equal (the wall-clock difference between them is real;
+    # the *modeled* cost is a property of the input, not the engine).
+    dpi_scan_fixed_normal: int = 300          # per-record setup/flow lookup
+    dpi_scan_byte_normal: int = 24            # one goto-table transition
+    dpi_match_normal: int = 180               # report one signature hit
+
     # ---- application work units (calibrated: Table 4 "w/o SGX") ----
     route_update_normal: int = 30_000         # process one announcement
     policy_eval_normal: int = 4_200           # evaluate one export/pref rule

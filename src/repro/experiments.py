@@ -705,13 +705,17 @@ def run_fault_scenario(scenario: str) -> str:
         # stall (the provisioning pump rides the call queue);
         # rings=True moves the per-record inspect ecalls onto the
         # worker-less async rings, whose completion writes the
-        # lost_completion class can lose.
+        # lost_completion class can lose; epc_dpi=True backs the DPI
+        # automaton with real EPC pages so the paging_storm class has
+        # resident rows to evict (the scan must then fault them back
+        # in, byte-identically, mid-flow).
         result = MiddleboxScenario(
             n_middleboxes=2,
             rules=[("r", b"NOMATCH", "alert")],
             seed=b"fault-matrix-mbox",
             switchless=True,
             rings=True,
+            epc_dpi=True,
         ).run([b"hello", b"fault-injection"])
         return _fingerprint((result.replies, result.blocked))
     raise ReproError(f"unknown fault scenario {scenario!r}")

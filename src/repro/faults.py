@@ -71,7 +71,7 @@ __all__ = [
     "DROP", "DUPLICATE", "REORDER", "DELAY", "CORRUPT",
     "OCALL_FAIL", "AEX_STORM", "EGETKEY_FAIL", "QUOTE_REJECT",
     "WORKER_STALL", "RING_WORKER_STALL", "LOST_COMPLETION",
-    "MAC_CORRUPT", "SHARD_CRASH",
+    "MAC_CORRUPT", "SHARD_CRASH", "PAGING_STORM",
     "NETWORK_KINDS", "ALL_KINDS", "FAULT_CLASSES",
     "FaultRule", "FaultEvent", "FaultLog", "FaultPlan",
     "activate", "deactivate", "current_plan", "active", "matrix_plan",
@@ -93,11 +93,13 @@ RING_WORKER_STALL = "ring_worker_stall"
 LOST_COMPLETION = "lost_completion"
 MAC_CORRUPT = "mac_corrupt"
 SHARD_CRASH = "shard_crash"
+PAGING_STORM = "paging_storm"
 
 NETWORK_KINDS = (DROP, DUPLICATE, REORDER, DELAY, CORRUPT)
 ALL_KINDS = NETWORK_KINDS + (
     OCALL_FAIL, AEX_STORM, EGETKEY_FAIL, QUOTE_REJECT, WORKER_STALL,
     RING_WORKER_STALL, LOST_COMPLETION, MAC_CORRUPT, SHARD_CRASH,
+    PAGING_STORM,
 )
 
 
@@ -362,6 +364,13 @@ FAULT_CLASSES: Dict[str, List[FaultRule]] = {
     # engine (repro.load) has shards, so this class is a no-op for the
     # single-controller app scenarios.
     "shard_crash": [FaultRule(SHARD_CRASH, max_count=1)],
+    # EPC pressure: a decided event force-evicts a burst of LRU pages
+    # (param = burst size) right before a DPI scan replays its page
+    # touches, so the scan pays a storm of ELDU reloads + AEX exits.
+    # Eviction is transparent — swapped pages reload bit-exact — so
+    # every scenario must recover byte-identically; scenarios without
+    # an EPC-resident ruleset see no opportunities.
+    "paging_storm": [FaultRule(PAGING_STORM, rate=0.25, max_count=20, param=8)],
 }
 
 

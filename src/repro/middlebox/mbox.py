@@ -95,12 +95,26 @@ class MiddleboxProgram(SecureApplicationProgram):
         self,
         rules: List[Tuple[str, bytes, str]],
         require_both_endpoints: bool = False,
+        epc_resident: bool = False,
+        layout: str = "hot-first",
+        max_flows: Optional[int] = None,
     ) -> int:
         """Install DPI rules [(id, pattern, "alert"|"block")]; returns
-        the automaton size (a build sanity signal)."""
+        the automaton size (a build sanity signal).
+
+        ``epc_resident=True`` backs the automaton's goto rows with
+        real EnclavePageCache pages, so a ruleset bigger than EPC pays
+        the modeled paging tax on every scan (the working-set stress
+        experiments); ``layout`` picks the row order the pages hold.
+        """
+        kwargs = {} if max_flows is None else {"max_flows": max_flows}
         engine = DpiEngine(
-            [DpiRule(rule_id, pattern, DpiAction(action)) for rule_id, pattern, action in rules]
+            [DpiRule(rule_id, pattern, DpiAction(action)) for rule_id, pattern, action in rules],
+            layout=layout,
+            **kwargs,
         )
+        if epc_resident:
+            engine.attach_epc(self.ctx)
         self._dpi = engine
         self._require_both = require_both_endpoints
         return engine._automaton.node_count
@@ -184,7 +198,34 @@ class MiddleboxProgram(SecureApplicationProgram):
             for flow_id, direction, record in records
         ]
 
+    def end_flow(self, flow_id: str, direction: Optional[str] = None) -> None:
+        """Drop a flow direction's DPI streaming state on connection
+        close (both directions when ``direction`` is None).
+
+        Keys and observer channels are kept — a reconnecting peer
+        reuses its provisioned flow id — but the automaton state is
+        per-connection and must not leak across long runs.
+        """
+        if self._dpi is not None:
+            self._dpi.end_flow(flow_id, direction)
+
     # -- telemetry ----------------------------------------------------------------------
+
+    def dpi_telemetry(self) -> Dict[str, int]:
+        """Flow-table and EPC-residency counters (0s when not enabled)."""
+        dpi = self._dpi
+        if dpi is None:
+            return {"flows": 0, "flows_evicted": 0, "table_pages": 0,
+                    "pages_touched": 0, "reloads": 0, "aex_events": 0}
+        tables = dpi.epc_tables
+        return {
+            "flows": dpi.flow_count,
+            "flows_evicted": dpi.flows_evicted,
+            "table_pages": tables.n_pages if tables else 0,
+            "pages_touched": tables.pages_touched if tables else 0,
+            "reloads": tables.reloads if tables else 0,
+            "aex_events": tables.aex_events if tables else 0,
+        }
 
     def stats(self) -> Dict[str, int]:
         return {

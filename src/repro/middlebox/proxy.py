@@ -109,6 +109,7 @@ class MiddleboxNode:
             message = yield source.recv_message()
             if message is None:
                 sink.close()
+                self._end_flow(flow_id, direction)
                 return
             try:
                 verdict, _alerts = self._hot_ecall(
@@ -125,6 +126,7 @@ class MiddleboxNode:
                 # Kill both legs of the flow.
                 source.close()
                 sink.close()
+                self._end_flow(flow_id, None)
                 return
             sink.send_message(message)
 
@@ -161,6 +163,7 @@ class MiddleboxNode:
             if message is None:
                 if self._flush_verdicts(batch, source, sink):
                     sink.close()
+                self._end_flow(flow_id, direction)
                 return
             ticket = self.enclave.ecall_submit(
                 "inspect_record", flow_id, direction, message
@@ -170,6 +173,18 @@ class MiddleboxNode:
                 if not self._flush_verdicts(batch, source, sink):
                     return
                 batch = []
+
+    def _end_flow(self, flow_id: str, direction: Optional[str]) -> None:
+        """Tell the enclave a flow direction closed (DPI state cleanup).
+
+        Rides the hot call path (switchless queue when enabled) so a
+        flow end costs at most what one record costs; a failure here
+        is ignored — the engine's LRU flow bound is the backstop.
+        """
+        try:
+            self._hot_ecall("end_flow", flow_id, direction)
+        except ReproError:
+            pass
 
     def _flush_verdicts(self, batch, source, sink) -> bool:
         """Reap a batch's verdicts in order; False when the flow died."""

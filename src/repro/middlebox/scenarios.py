@@ -78,6 +78,8 @@ class MiddleboxScenario:
         failure_policy: str = "closed",
         rings: bool = False,
         ring_depth: int = 4,
+        epc_dpi: bool = False,
+        epc_frames: Optional[int] = None,
     ) -> None:
         self.sim = create_simulator()
         self.network = Network(
@@ -117,8 +119,16 @@ class MiddleboxScenario:
         upstream = (self.SERVER_NAME, self.SERVER_PORT)
         for index in reversed(range(n_middleboxes)):
             name = f"mbox{index}"
+            # epc_dpi backs each box's DPI automaton with real EPC
+            # pages (and lets the cache page under pressure), so the
+            # paging_storm fault class has live eviction targets.
             node = EnclaveNode(
-                self.network, name, self.sgx_authority, rng=Rng(seed, name)
+                self.network,
+                name,
+                self.sgx_authority,
+                rng=Rng(seed, name),
+                epc_frames=epc_frames,
+                epc_paging=epc_dpi,
             )
             program_class = (
                 ExfiltratingMiddleboxProgram
@@ -126,7 +136,12 @@ class MiddleboxScenario:
                 else MiddleboxProgram
             )
             enclave = node.load(program_class(), author_key=self._author, name="mbox")
-            enclave.ecall("configure_dpi", self.rules, bilateral)
+            if epc_dpi:
+                enclave.ecall("configure_dpi", self.rules, bilateral, True)
+            else:
+                # Arg list kept verbatim so the non-EPC scenarios'
+                # marshalled ecall bytes (and charges) are unchanged.
+                enclave.ecall("configure_dpi", self.rules, bilateral)
             enclave.ecall(
                 "configure_trust", self.sgx_authority.verification_info()
             )

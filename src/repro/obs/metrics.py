@@ -348,6 +348,32 @@ def reconcile_metrics(registry: MetricsRegistry, tracer) -> None:
                         f"{acct.source}/{domain}: metric {family}={got} != "
                         f"counter {field}={fields[field]}"
                     )
+    # EPC occupancy: the epc_ewb/epc_eldu counter families must equal
+    # the page caches' own eviction/reload counters, summed over every
+    # cache the tracer saw — and with a single cache, the final gauges
+    # must equal its live occupancy.  Skipped when charges arrived
+    # from absorbed parallel workers or reset sources (their caches
+    # are gone, so the live sum is not the whole story).
+    epcs = list(getattr(tracer, "epcs", ()))
+    all_live = all(a.enabled for a in tracer.accountants) and not tracer.reset_sources
+    if epcs and all_live:
+        for family, field in (("epc_ewb", "evictions"), ("epc_eldu", "reloads")):
+            got = registry.total(family)
+            want = sum(getattr(epc, field) for epc in epcs)
+            if got != want:
+                mismatches.append(
+                    f"epc: metric {family}={got} != sum of cache {field}={want}"
+                )
+        if len(epcs) == 1:
+            for family, want in (
+                ("epc_resident_pages", epcs[0].resident_count),
+                ("epc_free_frames", epcs[0].free_frames),
+            ):
+                gauge = registry.gauges.get((family, ()))
+                if gauge is not None and int(gauge) != want:
+                    mismatches.append(
+                        f"epc: gauge {family}={gauge} != live {want}"
+                    )
     final = registry.finalize()
     if final.counters != registry.counters:
         mismatches.append("final sample disagrees with cumulative counters")

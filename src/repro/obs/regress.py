@@ -64,7 +64,7 @@ class HistoryError(ValueError):
 
 def _direction(metric: str) -> str:
     """'lower' or 'higher' = which way is better for this metric."""
-    if metric.endswith("events_per_s"):
+    if metric.endswith("events_per_s") or metric.endswith("speedup"):
         return "higher"
     return "lower"
 
@@ -91,6 +91,9 @@ def entry_from_perf(doc: Dict[str, Any]) -> Dict[str, Any]:
     for cell in rings.get("grid", ()):
         key = f"rings:{cell['mode']}@{cell['depth']}:crossings_per_record"
         metrics[key] = float(cell["crossings_per_record"])
+    dpi = doc.get("dpi") or {}
+    if "speedup" in dpi:
+        metrics["dpi:bulk_scan:speedup"] = float(dpi["speedup"])
     return {
         "schema": HISTORY_SCHEMA,
         "generated_by": doc.get("generated_by", "repro.perfbench"),

@@ -120,6 +120,12 @@ class Tracer:
         self.instants: List[Instant] = []
         self.accountants: List[CostAccountant] = []
         self.reset_sources: Set[str] = set()
+        #: Live :class:`repro.sgx.epc.EnclavePageCache` objects created
+        #: while this tracer was active — transient (never serialized
+        #: by :meth:`to_state`), consumed by ``reconcile_metrics`` to
+        #: hold the ``epc_*`` metric families equal to the caches'
+        #: own eviction/reload counters.
+        self.epcs: List[Any] = []
         #: Charges recorded while no span was open, per (source, domain).
         self.orphans: Dict[Tuple[str, str], List[int]] = {}
         self._stack: List[Span] = []

@@ -39,6 +39,7 @@ __all__ = [
     "run_kernel_bench",
     "run_kernel_ablation",
     "run_rings_section",
+    "run_dpi_section",
     "validate_perf",
     "format_perf",
     "perf_json",
@@ -312,6 +313,73 @@ def run_kernel_bench(smoke: bool = False, repeats: int = 3) -> Dict[str, dict]:
     return out
 
 
+def run_dpi_section(smoke: bool = False, repeats: int = 3) -> dict:
+    """A17: compiled vs reference Aho-Corasick on the bulk-scan path.
+
+    Both engines scan the same generated Snort-like corpus over the
+    same synthesized traffic; the compiled engine's flat goto tables
+    (plus the linked-row accelerator) must beat the frozen dict walker
+    — CI fails the perf job if ``speedup`` ever drops below 1.0, the
+    local target is >= 3x.  Match lists are also cross-checked here so
+    a bench run can never time two engines that disagree (the full
+    differential suite lives in the conformance tests).
+    """
+    from repro.middlebox.dpi import AhoCorasick
+    from repro.middlebox.dpi_reference import ReferenceAhoCorasick
+    from repro.middlebox.rulegen import generate_ruleset, synthesize_traffic
+
+    n_rules = 150 if smoke else 1200
+    n_records = 40 if smoke else 160
+    record_len = 512
+    rules = generate_ruleset(n_rules, seed=0)
+    patterns = {rule_id: pattern for rule_id, pattern, _ in rules}
+    records = synthesize_traffic(
+        rules, n_records, record_len=record_len, hit_rate=0.05, seed=0
+    )
+    compiled = AhoCorasick(patterns)
+    reference = ReferenceAhoCorasick(patterns)
+    n_matches = sum(len(compiled.search(r)[0]) for r in records)
+    if n_matches != sum(len(reference.search(r)[0]) for r in records):
+        raise ValueError("compiled and reference engines disagree on matches")
+
+    def body(engine) -> Callable:
+        def run() -> int:
+            hits = 0
+            for record in records:
+                hits += len(engine.search(record)[0])
+            return hits
+
+        return run
+
+    fast = _time_body(body(compiled), repeats)
+    ref = _time_body(body(reference), repeats)
+    fast_median = statistics.median(fast)
+    ref_median = statistics.median(ref)
+    n_bytes = n_records * record_len
+    return {
+        "ablation": "A17",
+        "params": {
+            "rules": n_rules,
+            "records": n_records,
+            "record_len": record_len,
+            "states": compiled.node_count,
+            "table_pages": compiled.table_pages,
+            "matches": n_matches,
+        },
+        "compiled_seconds": [round(s, 6) for s in fast],
+        "reference_seconds": [round(s, 6) for s in ref],
+        "compiled_median_s": round(fast_median, 6),
+        "reference_median_s": round(ref_median, 6),
+        "compiled_mb_per_s": (
+            round(n_bytes / fast_median / 1e6, 2) if fast_median else 0.0
+        ),
+        "reference_mb_per_s": (
+            round(n_bytes / ref_median / 1e6, 2) if ref_median else 0.0
+        ),
+        "speedup": round(ref_median / fast_median, 3) if fast_median else 0.0,
+    }
+
+
 def run_rings_section(smoke: bool = False) -> dict:
     """A14: the sync-vs-async crossing grid, as a BENCH_perf section.
 
@@ -416,6 +484,9 @@ def run_perf(
         # The A14 crossing grid rides along too — modeled, so it is
         # the one deterministic section of this report.
         "rings": run_rings_section(smoke=smoke),
+        # A17: the compiled DPI engine must keep beating the frozen
+        # reference walker on the bulk-scan path.
+        "dpi": run_dpi_section(smoke=smoke, repeats=repeats),
     }
 
 
@@ -618,6 +689,25 @@ def validate_perf(doc: dict) -> List[str]:
                 problems.append(f"scenarios.{name}.{field} not positive")
         if len(entry.get("cold_seconds", [])) != len(entry.get("warm_seconds", [])):
             problems.append(f"scenarios.{name} repeat counts differ")
+    dpi = doc.get("dpi")
+    if not isinstance(dpi, dict) or not dpi:
+        problems.append("dpi section missing or empty")
+    else:
+        for field in (
+            "params",
+            "compiled_median_s",
+            "reference_median_s",
+            "compiled_mb_per_s",
+            "reference_mb_per_s",
+            "speedup",
+        ):
+            if field not in dpi:
+                problems.append(f"dpi.{field} missing")
+        speedup = dpi.get("speedup")
+        if isinstance(speedup, (int, float)) and speedup < 1.0:
+            # The A17 contract: the compiled engine never loses to the
+            # frozen reference walker.
+            problems.append(f"dpi speedup {speedup} < 1.0x")
     rings = doc.get("rings")
     if not isinstance(rings, dict) or not rings.get("grid"):
         problems.append("rings section missing or empty")
@@ -697,6 +787,26 @@ def format_perf(doc: dict) -> str:
                 f"{entry['fast_median_s']:>10.3f} "
                 f"{entry['fast_events_per_s']:>12,} {entry['speedup']:>8.2f}x"
             )
+    if doc.get("dpi"):
+        dpi = doc["dpi"]
+        params = dpi["params"]
+        lines.append("")
+        lines.append(
+            f"DPI bulk scan (A17) — {params['rules']} rules / "
+            f"{params['states']} states, {params['records']} x "
+            f"{params['record_len']}B records"
+        )
+        lines.append(
+            f"{'engine':<14} {'median (s)':>11} {'MB/s':>9}"
+        )
+        lines.append(
+            f"{'reference':<14} {dpi['reference_median_s']:>11.4f} "
+            f"{dpi['reference_mb_per_s']:>9.1f}"
+        )
+        lines.append(
+            f"{'compiled':<14} {dpi['compiled_median_s']:>11.4f} "
+            f"{dpi['compiled_mb_per_s']:>9.1f}  {dpi['speedup']:.2f}x"
+        )
     if doc.get("rings"):
         rings = doc["rings"]
         lines.append("")

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 from collections import OrderedDict
 
 from repro.cost import context as cost_context
+from repro.cost import accountant as _accountant_mod
 from repro.obs.metrics import metric_count, metric_gauge
 from repro.crypto.kdf import hkdf
 from repro.crypto.mac import hmac_sha256, hmac_verify
@@ -157,6 +158,12 @@ class EnclavePageCache:
         self._swapped: Dict[int, bytes] = {}
         self.evictions = 0
         self.reloads = 0
+        # Register with the active tracer (if any) so obs.reconcile()
+        # can hold the epc_* metric families integer-equal to these
+        # live counters at end of run.
+        tracer = _accountant_mod.active_tracer()
+        if tracer is not None:
+            getattr(tracer, "epcs", []).append(self)
 
     @property
     def resident_count(self) -> int:
@@ -188,6 +195,7 @@ class EnclavePageCache:
             self.evictions += 1
             metric_count("epc_ewb")
             metric_gauge("epc_resident_pages", len(self._lru))
+            metric_gauge("epc_free_frames", self._frames - len(self._lru))
             return
         raise SgxError("EPC exhausted (no evictable page)")
 
@@ -207,6 +215,7 @@ class EnclavePageCache:
         self._touch(index)
         metric_count("epc_eldu")
         metric_gauge("epc_resident_pages", len(self._lru))
+        metric_gauge("epc_free_frames", self._frames - len(self._lru))
 
     def allocate(
         self,
@@ -231,7 +240,28 @@ class EnclavePageCache:
             pending=pending,
         )
         self._touch(index)
+        metric_gauge("epc_resident_pages", len(self._lru))
+        metric_gauge("epc_free_frames", self._frames - len(self._lru))
         return page
+
+    def pressure_evict(self, count: int) -> int:
+        """Force-evict up to ``count`` LRU regular pages (fault hook).
+
+        Models an eviction burst under memory pressure (the kernel's
+        EPC reclaimer stealing frames): each eviction is a normal EWB
+        — MEE-encrypted, integrity-protected — so the data survives
+        and later accesses transparently reload it.  Returns how many
+        pages were actually evicted (SECS/TCS are never victims; an
+        empty or unevictable cache simply yields fewer).
+        """
+        evicted = 0
+        for _ in range(count):
+            try:
+                self._evict_one()
+            except SgxError:
+                break
+            evicted += 1
+        return evicted
 
     def entry(self, index: int) -> EpcmEntry:
         if index not in self._epcm:
@@ -300,4 +330,7 @@ class EnclavePageCache:
             del self._epcm[index]
             self._lru.pop(index, None)
             self._swapped.pop(index, None)
+        if doomed:
+            metric_gauge("epc_resident_pages", len(self._lru))
+            metric_gauge("epc_free_frames", self._frames - len(self._lru))
         return len(doomed)

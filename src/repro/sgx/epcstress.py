@@ -1,0 +1,326 @@
+"""EPC working-set stress harness (``python -m repro epcstress``).
+
+The paper's Section 2 worry made concrete: commodity SGX gives an
+enclave ~93 MB of usable EPC, and a middlebox's DPI automaton is
+exactly the kind of state that outgrows it.  This harness loads a
+:class:`DpiStressProgram` enclave on a platform with a deliberately
+small, paging-enabled :class:`~repro.sgx.epc.EnclavePageCache`, backs
+the compiled Aho-Corasick goto tables with real EPC pages
+(``DpiEngine.attach_epc``), and sweeps the generated ruleset size
+across the EPC boundary crossed with the boundary regimes
+{ecall, batch, switchless, rings}.
+
+Every number is *modeled* (crossings, cycles, EWB/ELDU paging events,
+AEX storms) so the report is byte-identical across machines and runs —
+CI diffs two back-to-back runs.  The expected shape is the EPC cliff:
+working sets that fit pay zero scan-time paging; past the boundary the
+scan path starts faulting evicted rows back in (one modeled
+EWB/ELDU pair + AEX resume apiece) and the paging charges grow
+monotonically with the overhang, in every boundary regime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.cost import Counter, cycles, format_table
+from repro.crypto.drbg import Rng
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.errors import ReproError
+from repro.middlebox.dpi import DpiAction, DpiEngine, DpiRule
+from repro.middlebox.rulegen import generate_ruleset, synthesize_traffic
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.runtime import EnclaveProgram
+
+__all__ = [
+    "SCHEMA",
+    "MODES",
+    "DpiStressProgram",
+    "run_epcstress",
+    "format_epcstress",
+    "validate_epcstress",
+    "epcstress_json",
+]
+
+SCHEMA = "repro.epcstress/1"
+
+
+@contextlib.contextmanager
+def _traced(trace: Optional[obs.Tracer], name: str):
+    """Optional-tracer pass-through (same contract as experiments')."""
+    if trace is None:
+        yield
+        return
+    with obs.tracing(trace), trace.span(name, kind="scenario"):
+        yield
+
+#: Boundary regimes the sweep crosses with working-set size.
+MODES = ("ecall", "batch", "switchless", "rings")
+
+#: Ruleset sizes (rules) for the smoke and full sweeps.  Chosen so the
+#: automaton's table pages land on both sides of the default
+#: ``--frames`` boundary (the cliff must be *in* the sweep).
+SMOKE_SIZES = (24, 96, 384)
+FULL_SIZES = (24, 96, 384, 1536)
+
+DEFAULT_FRAMES = 512
+RING_DEPTH = 8
+
+
+class DpiStressProgram(EnclaveProgram):
+    """Minimal enclave program: a DPI engine and nothing else.
+
+    The middlebox proper (:class:`~repro.middlebox.mbox.MiddleboxProgram`)
+    wraps the engine in provisioning and record channels; this program
+    strips all of that away so the sweep measures the automaton's EPC
+    behaviour, not the crypto around it.
+    """
+
+    def on_load(self, ctx) -> None:
+        super().on_load(ctx)
+        self._dpi: Optional[DpiEngine] = None
+
+    def configure(
+        self,
+        rules: List[Tuple[str, bytes, str]],
+        epc_resident: bool = True,
+        layout: str = "hot-first",
+    ) -> Dict[str, int]:
+        engine = DpiEngine(
+            [DpiRule(rid, pat, DpiAction(act)) for rid, pat, act in rules],
+            layout=layout,
+        )
+        if epc_resident:
+            engine.attach_epc(self.ctx)
+        self._dpi = engine
+        return {
+            "states": engine._automaton.node_count,
+            "table_pages": engine._automaton.table_pages,
+        }
+
+    def scan(self, flow_id: str, data: bytes) -> int:
+        """Inspect one record on ``flow_id``; returns the alert count."""
+        assert self._dpi is not None
+        return len(self._dpi.inspect(flow_id, "c2s", data).alerts)
+
+    def scan_batch(self, records: List[Tuple[str, bytes]]) -> List[int]:
+        """Inspect a batch under the single crossing this ecall costs."""
+        return [self.scan(flow_id, data) for flow_id, data in records]
+
+    def telemetry(self) -> Dict[str, int]:
+        dpi = self._dpi
+        tables = dpi.epc_tables if dpi else None
+        return {
+            "flows": dpi.flow_count if dpi else 0,
+            "pages_touched": tables.pages_touched if tables else 0,
+            "reloads": tables.reloads if tables else 0,
+            "aex_events": tables.aex_events if tables else 0,
+        }
+
+
+def _run_cell(
+    mode: str,
+    rules,
+    records: List[bytes],
+    frames: int,
+    layout: str,
+) -> Dict[str, object]:
+    """One sweep cell: fresh platform, fresh enclave, one scan pass."""
+    platform = SgxPlatform(
+        "epcstress-host",
+        rng=Rng(b"epcstress", mode),
+        epc_frames=frames,
+        epc_paging=True,
+    )
+    author = generate_rsa_keypair(512, Rng(b"epcstress-author"))
+    enclave = platform.load_enclave(DpiStressProgram(), author_key=author)
+    free_before = platform.epc.free_frames
+    shape = enclave.ecall("configure", rules, True, layout)
+    if mode == "switchless":
+        enclave.enable_switchless_ecalls()
+    elif mode == "rings":
+        enclave.enable_ring_ecalls(
+            capacity=max(64, RING_DEPTH), harvest_depth=RING_DEPTH
+        )
+    evictions_before = platform.epc.evictions
+    reloads_before = platform.epc.reloads
+    before = platform.accountant.snapshot()
+    if mode == "ecall":
+        for record in records:
+            enclave.ecall("scan", "flow", record)
+    elif mode == "batch":
+        enclave.ecall("scan_batch", [("flow", record) for record in records])
+    elif mode == "switchless":
+        for record in records:
+            enclave.ecall_switchless("scan", "flow", record)
+    elif mode == "rings":
+        for start in range(0, len(records), RING_DEPTH):
+            for record in records[start : start + RING_DEPTH]:
+                enclave.ecall_submit("scan", "flow", record)
+            enclave.ecall_reap_all()
+    else:
+        raise ReproError(f"unknown epcstress mode {mode!r}")
+    counter = Counter()
+    for domain_counter in platform.accountant.delta(before).values():
+        counter += domain_counter
+    telemetry = enclave.ecall("telemetry")
+    n_bytes = sum(len(record) for record in records)
+    total_cycles = round(cycles(counter))
+    return {
+        "mode": mode,
+        "depth": RING_DEPTH if mode == "rings" else 1,
+        "n_rules": len(rules),
+        "states": shape["states"],
+        "table_pages": shape["table_pages"],
+        "fits_epc": shape["table_pages"] <= free_before,
+        "records": len(records),
+        "bytes": n_bytes,
+        "crossings": counter.enclave_crossings,
+        "sgx": counter.sgx_instructions,
+        "normal": round(counter.normal_instructions),
+        "cycles": total_cycles,
+        "cycles_per_byte": round(total_cycles / n_bytes, 2),
+        "scan_evictions": platform.epc.evictions - evictions_before,
+        "scan_reloads": platform.epc.reloads - reloads_before,
+        "pages_touched": telemetry["pages_touched"],
+        "aex_events": telemetry["aex_events"],
+    }
+
+
+def run_epcstress(
+    seed: object = 0,
+    smoke: bool = True,
+    frames: int = DEFAULT_FRAMES,
+    layout: str = "hot-first",
+    n_records: Optional[int] = None,
+    trace: Optional[obs.Tracer] = None,
+) -> Dict[str, object]:
+    """The A17 working-set sweep; returns the (deterministic) report.
+
+    For each generated ruleset size the same synthesized traffic
+    transits the scan path under each boundary regime; paging counters
+    are deltas across the scan pass only (table *installation* always
+    pages when the table exceeds EPC — the interesting number is what
+    steady-state scanning pays).
+    """
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    n_records = n_records or (24 if smoke else 96)
+    grid: List[Dict[str, object]] = []
+    with _traced(trace, "epcstress"):
+        for n_rules in sizes:
+            rules = generate_ruleset(n_rules, seed=seed)
+            records = synthesize_traffic(
+                rules, n_records, record_len=256, hit_rate=0.08, seed=seed
+            )
+            for mode in MODES:
+                grid.append(_run_cell(mode, rules, records, frames, layout))
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m repro epcstress",
+        "ablation": "A17",
+        "seed": seed,
+        "smoke": smoke,
+        "epc_frames": frames,
+        "layout": layout,
+        "sizes": list(sizes),
+        "modes": list(MODES),
+        "n_records": n_records,
+        "grid": grid,
+    }
+
+
+def validate_epcstress(doc: Dict[str, object]) -> List[str]:
+    """Schema + EPC-cliff shape check; returns a list of problems."""
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    grid = doc.get("grid")
+    if not isinstance(grid, list) or not grid:
+        problems.append("grid missing or empty")
+        return problems
+    fields = (
+        "mode", "n_rules", "states", "table_pages", "fits_epc", "records",
+        "bytes", "crossings", "sgx", "normal", "cycles", "cycles_per_byte",
+        "scan_evictions", "scan_reloads", "pages_touched", "aex_events",
+    )
+    for i, cell in enumerate(grid):
+        for field in fields:
+            if field not in cell:
+                problems.append(f"grid[{i}].{field} missing")
+    if problems:
+        return problems
+    by_mode: Dict[str, List[dict]] = {}
+    for cell in grid:
+        by_mode.setdefault(cell["mode"], []).append(cell)
+    expected_modes = set(doc.get("modes", MODES))
+    if set(by_mode) != expected_modes:
+        problems.append(
+            f"grid modes {sorted(by_mode)} != declared {sorted(expected_modes)}"
+        )
+    over_anywhere = False
+    for mode, cells in sorted(by_mode.items()):
+        cells = sorted(cells, key=lambda c: c["table_pages"])
+        last_reloads = -1
+        for cell in cells:
+            if cell["fits_epc"] and cell["scan_reloads"]:
+                problems.append(
+                    f"{mode}/{cell['n_rules']}: table fits EPC but the scan "
+                    f"paid {cell['scan_reloads']} reloads"
+                )
+            if not cell["fits_epc"]:
+                over_anywhere = True
+                if cell["scan_reloads"] <= 0:
+                    problems.append(
+                        f"{mode}/{cell['n_rules']}: table exceeds EPC but the "
+                        "scan paid no reloads (no cliff)"
+                    )
+                if cell["aex_events"] <= 0:
+                    problems.append(
+                        f"{mode}/{cell['n_rules']}: paging without AEX storms"
+                    )
+            if cell["scan_reloads"] < last_reloads:
+                problems.append(
+                    f"{mode}: scan_reloads not monotone across working-set "
+                    f"sizes at {cell['n_rules']} rules"
+                )
+            last_reloads = cell["scan_reloads"]
+    if not over_anywhere:
+        problems.append("no cell crosses the EPC boundary — widen the sweep")
+    return problems
+
+
+def epcstress_json(doc: Dict[str, object]) -> str:
+    """Canonical serialization (stable key order, trailing newline)."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def format_epcstress(doc: Dict[str, object]) -> str:
+    """Human-readable sweep table."""
+    rows = []
+    for cell in doc["grid"]:
+        rows.append(
+            [
+                cell["mode"],
+                cell["n_rules"],
+                cell["table_pages"],
+                "yes" if cell["fits_epc"] else "NO",
+                cell["crossings"],
+                cell["scan_reloads"],
+                cell["aex_events"],
+                f"{cell['cycles_per_byte']:.2f}",
+            ]
+        )
+    return format_table(
+        [
+            "regime", "rules", "pages", "fits", "crossings",
+            "reloads", "aex", "cyc/byte",
+        ],
+        rows,
+        title=(
+            f"EPC working-set stress (A17) — {doc['epc_frames']} frames, "
+            f"{doc['n_records']} records/cell, layout={doc['layout']}"
+        ),
+    )

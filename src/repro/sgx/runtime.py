@@ -342,6 +342,44 @@ class EnclaveContext:
             cost_context.charge_normal(cost_context.current_model().trampoline_normal)
         return self._heap_used
 
+    def alloc_table_region(self, n_pages: int) -> List[int]:
+        """Commit ``n_pages`` dedicated REG pages and return their EPC
+        indices.
+
+        Unlike :meth:`alloc`, the pages are *not* part of the byte
+        heap: they back large flat data structures (the DPI goto
+        table) whose residency the owner manages page-by-page through
+        :meth:`touch_table_page`.  Costs mirror a heap growth of the
+        same size — EAUG+EACCEPT per page, one trampoline round trip.
+        """
+        if n_pages < 1:
+            raise SgxError("table region needs at least one page")
+        cost_context.charge_allocation()
+        indices: List[int] = []
+        for _ in range(n_pages):
+            page = self._platform.grow_enclave_heap(self._enclave)
+            indices.append(page.index)
+            execute_user(UserInstruction.EACCEPT)
+        execute_user(UserInstruction.EEXIT)
+        execute_user(UserInstruction.ERESUME)
+        self._platform.accountant.charge_crossing()
+        cost_context.charge_normal(cost_context.current_model().trampoline_normal)
+        return indices
+
+    def write_table_page(self, index: int, data: bytes) -> None:
+        """Fill one table-region page (by EPC index) with ``data``."""
+        self._platform.epc.write(self._enclave.enclave_id, index, data, 0)
+
+    def touch_table_page(self, index: int) -> None:
+        """Read one table-region page — transparently reloading (and
+        charging ELDB) if the page cache evicted it."""
+        self._platform.epc.read(self._enclave.enclave_id, index, 0, 1)
+
+    @property
+    def epc(self):
+        """The platform's page cache (for residency introspection)."""
+        return self._platform.epc
+
     # -- heap page access (exercises EPC residency / paging) -----------------
 
     @property

@@ -151,3 +151,61 @@ class TestDpiEngine:
     def test_empty_rules_rejected(self):
         with pytest.raises(MiddleboxError):
             DpiEngine([])
+
+
+class TestFlowLifetime:
+    """The flow-table regression suite: streaming state must not leak."""
+
+    def make_engine(self, max_flows=4):
+        return DpiEngine(
+            [DpiRule("alert-1", b"SECRET", DpiAction.ALERT)],
+            max_flows=max_flows,
+        )
+
+    def test_flow_table_bounded_by_max_flows(self):
+        engine = self.make_engine(max_flows=4)
+        for i in range(32):
+            engine.inspect(f"f{i}", "c2s", b"data")
+        assert engine.flow_count == 4
+        assert engine.flows_evicted == 28
+
+    def test_lru_eviction_keeps_recently_active_flows(self):
+        engine = self.make_engine(max_flows=2)
+        engine.inspect("old", "c2s", b"SEC")
+        engine.inspect("hot", "c2s", b"SEC")
+        engine.inspect("old", "c2s", b"")  # touch: old is now newest
+        engine.inspect("new", "c2s", b"x")  # evicts hot, not old
+        # old kept its partial-match state across the eviction...
+        assert engine.inspect("old", "c2s", b"RET").alerts == ["alert-1"]
+        # ...hot lost its state (fresh flow on return).
+        engine.inspect("hot", "c2s", b"RET")
+        assert engine.flows_evicted >= 1
+
+    def test_end_flow_single_direction(self):
+        engine = self.make_engine()
+        engine.inspect("f", "c2s", b"SEC")
+        engine.inspect("f", "s2c", b"SEC")
+        engine.end_flow("f", "c2s")
+        assert engine.inspect("f", "c2s", b"RET").clean
+        assert engine.inspect("f", "s2c", b"RET").alerts == ["alert-1"]
+
+    def test_end_flow_unknown_flow_is_noop(self):
+        engine = self.make_engine()
+        engine.end_flow("never-seen")
+        engine.end_flow("never-seen", "c2s")
+        assert engine.flow_count == 0
+
+    def test_flow_count_tracks_ends(self):
+        engine = self.make_engine()
+        engine.inspect("a", "c2s", b"x")
+        engine.inspect("a", "s2c", b"x")
+        engine.inspect("b", "c2s", b"x")
+        assert engine.flow_count == 3
+        engine.end_flow("a")
+        assert engine.flow_count == 1
+        engine.end_flow("b", "c2s")
+        assert engine.flow_count == 0
+
+    def test_invalid_max_flows_rejected(self):
+        with pytest.raises(MiddleboxError):
+            DpiEngine([DpiRule("r", b"x")], max_flows=0)

@@ -1,0 +1,95 @@
+"""The seeded Snort-like corpus generator feeding A17 and epcstress."""
+
+import pytest
+
+from repro.errors import MiddleboxError
+from repro.middlebox.dpi import DpiEngine, DpiRule, DpiAction
+from repro.middlebox.rulegen import (
+    generate_ruleset,
+    rules_as_tuples,
+    synthesize_traffic,
+)
+
+
+class TestRuleset:
+    def test_deterministic_per_seed(self):
+        assert generate_ruleset(64, seed=3) == generate_ruleset(64, seed=3)
+        assert generate_ruleset(64, seed=3) != generate_ruleset(64, seed=4)
+
+    def test_patterns_unique_and_bounded(self):
+        rules = generate_ruleset(256, seed=0)
+        patterns = [pattern for _, pattern, _ in rules]
+        assert len(set(patterns)) == len(patterns) == 256
+        assert all(4 <= len(p) <= 32 for p in patterns)
+
+    def test_rule_ids_sort_in_generation_order(self):
+        rules = generate_ruleset(128, seed=1)
+        ids = [rule_id for rule_id, _, _ in rules]
+        assert ids == sorted(ids)
+
+    def test_block_fraction_interleaved(self):
+        rules = generate_ruleset(200, seed=0, block_fraction=0.02)
+        blocks = [r for r in rules if r[2] == "block"]
+        assert len(blocks) == 4  # every 50th rule
+        assert all(a in ("alert", "block") for _, _, a in rules)
+
+    def test_shared_prefixes_exist(self):
+        # The stems must actually produce trie fan-out: many rules
+        # sharing a first byte, not 256 disjoint chains.
+        rules = generate_ruleset(256, seed=0)
+        first_bytes = {pattern[0] for _, pattern, _ in rules}
+        assert len(first_bytes) < 64
+
+    def test_rejects_empty_request(self):
+        with pytest.raises(MiddleboxError):
+            generate_ruleset(0)
+
+    def test_round_trips_through_the_engine_rule_form(self):
+        rules = generate_ruleset(32, seed=0)
+        objects = [DpiRule(i, p, DpiAction(a)) for i, p, a in rules]
+        DpiEngine(objects)  # loads without duplicate-id complaints
+        assert rules_as_tuples(objects) == rules
+
+
+class TestTraffic:
+    def test_deterministic_per_seed(self):
+        rules = generate_ruleset(32, seed=0)
+        a = synthesize_traffic(rules, 16, seed=5)
+        b = synthesize_traffic(rules, 16, seed=5)
+        assert a == b
+        assert a != synthesize_traffic(rules, 16, seed=6)
+
+    def test_record_shape(self):
+        rules = generate_ruleset(8, seed=0)
+        records = synthesize_traffic(rules, 10, record_len=128)
+        assert len(records) == 10
+        assert all(len(r) == 128 for r in records)
+
+    def test_hit_rate_embeds_real_signatures(self):
+        rules = generate_ruleset(64, seed=0)
+        records = synthesize_traffic(
+            rules, 200, record_len=256, hit_rate=0.5, seed=0
+        )
+        hits = sum(
+            1
+            for record in records
+            if any(pattern in record for _, pattern, _ in rules)
+        )
+        # ~50% of 200 records carry an embedded signature; clean
+        # records are overwhelmingly unlikely to contain one by chance.
+        assert 60 <= hits <= 140
+
+    def test_zero_hit_rate_scans_clean(self):
+        rules = generate_ruleset(64, seed=0)
+        records = synthesize_traffic(
+            rules, 50, record_len=256, hit_rate=0.0, seed=0
+        )
+        assert not any(
+            pattern in record
+            for record in records
+            for _, pattern, _ in rules
+        )
+
+    def test_rejects_empty_request(self):
+        with pytest.raises(MiddleboxError):
+            synthesize_traffic([], 0)

@@ -106,3 +106,57 @@ class TestBilateralConsent:
         consents = scenario.middleboxes[0].enclave.ecall("flow_consents", "client")
         assert consents == ["client", "server"]
         assert result.stats["mbox0"]["inspected"] == 2
+
+
+class TestFlowLifecycle:
+    """Connection closes must reach the enclave's DPI flow table."""
+
+    def test_block_teardown_drains_flow_state(self):
+        scenario = MiddleboxScenario(
+            n_middleboxes=1,
+            rules=[("kill", b"DROP-ME", "block")],
+            seed=b"flow-block",
+        )
+        result = scenario.run([b"ok", b"please DROP-ME", b"after"])
+        assert result.blocked
+        telemetry = scenario.middleboxes[0].enclave.ecall("dpi_telemetry")
+        assert telemetry["flows"] == 0
+
+    def test_live_connections_hold_exactly_their_flow_state(self):
+        scenario = MiddleboxScenario(n_middleboxes=2, seed=b"flow-live")
+        scenario.run([b"one", b"two", b"three"])
+        for box in scenario.middleboxes:
+            telemetry = box.enclave.ecall("dpi_telemetry")
+            # One still-open connection, two directions — no leak, no
+            # unbounded growth, nothing evicted by the LRU bound.
+            assert telemetry["flows"] == 2
+            assert telemetry["flows_evicted"] == 0
+
+    def test_epc_dpi_scenario_matches_plain_results(self):
+        payloads = [b"hello", b"SECRET-TOKEN here", b"bye"]
+        plain = MiddleboxScenario(n_middleboxes=1, seed=b"epc-knob").run(
+            payloads
+        )
+        paged = MiddleboxScenario(
+            n_middleboxes=1, seed=b"epc-knob", epc_dpi=True
+        ).run(payloads)
+        assert paged.replies == plain.replies
+        assert paged.alerts == plain.alerts
+        assert paged.stats == plain.stats
+
+    def test_epc_dpi_small_frames_pages_on_the_scan_path(self):
+        from repro.middlebox.rulegen import generate_ruleset
+
+        scenario = MiddleboxScenario(
+            n_middleboxes=1,
+            rules=generate_ruleset(96, seed=7),
+            seed=b"epc-page",
+            epc_dpi=True,
+            epc_frames=96,
+        )
+        result = scenario.run([b"x" * 200, b"y" * 200])
+        assert result.replies  # traffic still flows, just slower
+        telemetry = scenario.middleboxes[0].enclave.ecall("dpi_telemetry")
+        assert telemetry["table_pages"] > 96
+        assert telemetry["reloads"] > 0
+        assert telemetry["aex_events"] > 0

@@ -284,3 +284,56 @@ class TestOpenMetricsTimeseries:
         assert "# TYPE repro_depth gauge" in text
         assert "repro_depth 4 0.000001" in text
         assert "repro_depth_total" not in text
+
+
+class TestEpcReconciliation:
+    """epc_* metric families must mirror the live page caches exactly."""
+
+    def _paging_workload(self):
+        from repro.cost import context as cost_context
+        from repro.sgx.epc import EnclavePageCache, PageType
+
+        registry = MetricsRegistry(interval=1000)
+        tracer = obs.Tracer(metrics=registry)
+        with obs.tracing(tracer):
+            acct = CostAccountant(name="host")
+            with cost_context.use_accountant(acct, DEFAULT_MODEL):
+                epc = EnclavePageCache(b"k" * 16, frames=3, allow_paging=True)
+                pages = [
+                    epc.allocate(1, PageType.REG) for _ in range(5)
+                ]  # 2 allocation-time evictions
+                for page in pages:
+                    epc.read(1, page.index)  # reload the evicted tail
+                epc.pressure_evict(2)  # the paging_storm hook
+        return registry, tracer, epc
+
+    def test_paging_workload_reconciles_exactly(self):
+        registry, tracer, epc = self._paging_workload()
+        reconcile_metrics(registry, tracer)
+        assert epc.evictions > 0 and epc.reloads > 0
+        assert registry.total("epc_ewb") == epc.evictions
+        assert registry.total("epc_eldu") == epc.reloads
+        assert int(registry.gauges[("epc_resident_pages", ())]) == (
+            epc.resident_count
+        )
+        assert int(registry.gauges[("epc_free_frames", ())]) == (
+            epc.free_frames
+        )
+
+    def test_cache_registers_with_active_tracer(self):
+        registry, tracer, epc = self._paging_workload()
+        assert tracer.epcs == [epc]
+
+    def test_counter_drift_is_detected(self):
+        registry, tracer, epc = self._paging_workload()
+        registry.inc("epc_ewb")  # one phantom eviction
+        with pytest.raises(MetricsReconcileError, match="epc_ewb"):
+            reconcile_metrics(registry, tracer)
+
+    def test_gauge_drift_is_detected(self):
+        registry, tracer, epc = self._paging_workload()
+        registry.set_gauge(
+            "epc_resident_pages", float(epc.resident_count + 1)
+        )
+        with pytest.raises(MetricsReconcileError, match="epc_resident_pages"):
+            reconcile_metrics(registry, tracer)

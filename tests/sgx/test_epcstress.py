@@ -1,0 +1,161 @@
+"""The A17 EPC working-set stress harness: determinism, schema, cliff."""
+
+import json
+
+import pytest
+
+from repro.sgx.epcstress import (
+    DEFAULT_FRAMES,
+    MODES,
+    epcstress_json,
+    format_epcstress,
+    run_epcstress,
+    validate_epcstress,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    return run_epcstress(seed=0, smoke=True)
+
+
+class TestReport:
+    def test_schema_valid(self, smoke_doc):
+        assert validate_epcstress(smoke_doc) == []
+
+    def test_serialization_round_trips(self, smoke_doc):
+        text = epcstress_json(smoke_doc)
+        assert text.endswith("\n")
+        assert json.loads(text) == json.loads(epcstress_json(smoke_doc))
+
+    def test_every_mode_at_every_size(self, smoke_doc):
+        cells = {(c["mode"], c["n_rules"]) for c in smoke_doc["grid"]}
+        assert cells == {
+            (mode, size) for mode in MODES for size in smoke_doc["sizes"]
+        }
+
+    def test_byte_identical_across_runs(self, smoke_doc):
+        again = run_epcstress(seed=0, smoke=True)
+        assert epcstress_json(smoke_doc) == epcstress_json(again)
+
+    def test_seed_changes_the_traffic_not_the_shape(self, smoke_doc):
+        other = run_epcstress(seed=1, smoke=True)
+        assert validate_epcstress(other) == []
+        assert epcstress_json(other) != epcstress_json(smoke_doc)
+        # Same ruleset sizes -> same automata shapes either way.
+        shapes = lambda doc: [  # noqa: E731
+            (c["n_rules"], c["states"], c["table_pages"])
+            for c in doc["grid"]
+        ]
+        assert {s[0] for s in shapes(other)} == {
+            s[0] for s in shapes(smoke_doc)
+        }
+
+    def test_format_mentions_every_regime(self, smoke_doc):
+        text = format_epcstress(smoke_doc)
+        for mode in MODES:
+            assert mode in text
+
+
+class TestCliff:
+    def test_sweep_crosses_the_boundary(self, smoke_doc):
+        fits = [c["fits_epc"] for c in smoke_doc["grid"]]
+        assert any(fits) and not all(fits)
+
+    def test_fitting_working_sets_pay_zero_scan_paging(self, smoke_doc):
+        for cell in smoke_doc["grid"]:
+            if cell["fits_epc"]:
+                assert cell["scan_reloads"] == 0
+                assert cell["aex_events"] == 0
+
+    def test_oversized_working_sets_page_and_storm(self, smoke_doc):
+        over = [c for c in smoke_doc["grid"] if not c["fits_epc"]]
+        assert over
+        for cell in over:
+            assert cell["scan_reloads"] > 0
+            assert cell["aex_events"] > 0
+            # Every reload is a modeled AEX resume on the scan path.
+            assert cell["aex_events"] == cell["scan_reloads"]
+
+    def test_paging_charges_grow_monotonically(self, smoke_doc):
+        for mode in MODES:
+            cells = sorted(
+                (c for c in smoke_doc["grid"] if c["mode"] == mode),
+                key=lambda c: c["table_pages"],
+            )
+            reloads = [c["scan_reloads"] for c in cells]
+            assert reloads == sorted(reloads)
+
+    def test_paging_dominates_cycles_past_the_cliff(self, smoke_doc):
+        for mode in MODES:
+            cells = {c["n_rules"]: c for c in smoke_doc["grid"]
+                     if c["mode"] == mode}
+            sizes = sorted(cells)
+            fit, over = cells[sizes[0]], cells[sizes[-1]]
+            assert not over["fits_epc"]
+            assert over["cycles_per_byte"] > 5 * fit["cycles_per_byte"]
+
+    def test_batching_regimes_cut_crossings_not_paging(self, smoke_doc):
+        by_mode = {}
+        for cell in smoke_doc["grid"]:
+            if not cell["fits_epc"]:
+                by_mode[cell["mode"]] = cell
+        assert by_mode["batch"]["crossings"] < by_mode["ecall"]["crossings"]
+        assert by_mode["rings"]["crossings"] < by_mode["ecall"]["crossings"]
+        # The paging tax is orthogonal to the boundary regime.
+        reloads = {c["scan_reloads"] for c in by_mode.values()}
+        assert len(reloads) == 1
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, smoke_doc):
+        bad = dict(smoke_doc, schema="repro.other/1")
+        assert any("schema" in p for p in validate_epcstress(bad))
+
+    def test_rejects_missing_grid(self):
+        assert validate_epcstress({"schema": "repro.epcstress/1"})
+
+    def test_rejects_cliffless_sweep(self, smoke_doc):
+        clipped = dict(
+            smoke_doc,
+            grid=[c for c in smoke_doc["grid"] if c["fits_epc"]],
+        )
+        assert any("boundary" in p for p in validate_epcstress(clipped))
+
+    def test_rejects_paging_below_boundary(self, smoke_doc):
+        doctored = json.loads(epcstress_json(smoke_doc))
+        for cell in doctored["grid"]:
+            if cell["fits_epc"]:
+                cell["scan_reloads"] = 5
+                break
+        assert any("fits EPC" in p for p in validate_epcstress(doctored))
+
+    def test_frames_knob_moves_the_cliff(self):
+        roomy = run_epcstress(seed=0, smoke=True, frames=4 * DEFAULT_FRAMES)
+        # With 4x the frames every smoke working set fits — that is a
+        # validation failure by design (the sweep must show the cliff).
+        assert all(c["fits_epc"] for c in roomy["grid"])
+        assert any("boundary" in p for p in validate_epcstress(roomy))
+
+
+class TestLayouts:
+    def test_insertion_layout_also_valid_and_distinct(self):
+        hot = run_epcstress(seed=0, smoke=True, layout="hot-first")
+        ins = run_epcstress(seed=0, smoke=True, layout="insertion")
+        assert validate_epcstress(ins) == []
+        # Same shapes (states/pages), different page-touch behaviour.
+        assert [c["table_pages"] for c in hot["grid"]] == [
+            c["table_pages"] for c in ins["grid"]
+        ]
+        hot_touch = sum(c["pages_touched"] for c in hot["grid"])
+        ins_touch = sum(c["pages_touched"] for c in ins["grid"])
+        assert hot_touch != ins_touch
+
+    def test_hot_first_touches_fewer_pages(self):
+        """The optimization lever: BFS hot-rows-first packing keeps the
+        scan working set denser than insertion order."""
+        hot = run_epcstress(seed=0, smoke=True, layout="hot-first")
+        ins = run_epcstress(seed=0, smoke=True, layout="insertion")
+        assert sum(c["pages_touched"] for c in hot["grid"]) <= sum(
+            c["pages_touched"] for c in ins["grid"]
+        )

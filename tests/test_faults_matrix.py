@@ -153,6 +153,25 @@ def test_fault_log_reproducible_across_runs(scenario):
     assert counts[0] == counts[1]
 
 
+def test_paging_storm_really_injected_and_absorbed(matrix):
+    # The middlebox scenario runs with EPC-resident DPI tables, so the
+    # paging_storm class has live eviction targets on the scan path;
+    # the evicted rows must fault back in byte-identically (outcome
+    # "ok" = result matched the fault-free fingerprint exactly).
+    cell = matrix["matrix"][("middlebox", "paging_storm")]
+    assert cell["faults_injected"] > 0
+    assert cell["outcome"] == "ok", cell
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_paging_storm_never_diverges(matrix, scenario):
+    # Routing and Tor don't attach DPI tables to the EPC (zero
+    # injection opportunities — a vacuous ok); the middlebox cell is
+    # the live one.  None may diverge.
+    cell = matrix["matrix"][(scenario, "paging_storm")]
+    assert cell["outcome"] == "ok", cell
+
+
 def test_matrix_rejects_unknown_fault_class():
     from repro.errors import ReproError
 

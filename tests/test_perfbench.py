@@ -187,6 +187,56 @@ class TestRingsSection:
         assert "rings" in text
 
 
+class TestDpiSection:
+    @pytest.fixture(scope="class")
+    def dpi_section(self):
+        return perfbench.run_dpi_section(smoke=True, repeats=1)
+
+    def test_section_shape(self, dpi_section):
+        assert dpi_section["ablation"] == "A17"
+        params = dpi_section["params"]
+        assert params["rules"] > 0
+        assert params["states"] > params["rules"]
+        assert dpi_section["compiled_median_s"] > 0
+        assert dpi_section["reference_median_s"] > 0
+        assert dpi_section["compiled_mb_per_s"] > 0
+        assert dpi_section["speedup"] > 0
+        assert len(dpi_section["compiled_seconds"]) == len(
+            dpi_section["reference_seconds"]
+        )
+
+    def test_compiled_engine_is_faster(self, dpi_section):
+        # The tentpole claim.  Smoke corpora are small, so the CI gate
+        # in validate_perf only demands >= 1.0x; the full-depth run
+        # committed in BENCH_perf.json shows ~3x.
+        assert dpi_section["speedup"] >= 1.0
+
+    def test_validate_catches_missing_dpi_section(self, smoke_doc):
+        doc = dict(smoke_doc)
+        del doc["dpi"]
+        assert any("dpi" in p for p in perfbench.validate_perf(doc))
+
+    def test_validate_catches_regressed_speedup(self, smoke_doc):
+        dpi = dict(smoke_doc["dpi"], speedup=0.8)
+        doc = dict(smoke_doc, dpi=dpi)
+        problems = perfbench.validate_perf(doc)
+        assert any("dpi speedup" in p for p in problems)
+
+    def test_format_prints_dpi_table(self, smoke_doc):
+        text = perfbench.format_perf(smoke_doc)
+        assert "A17" in text
+        assert "DPI bulk scan" in text
+
+    def test_regress_tracker_picks_up_the_speedup(self, smoke_doc):
+        from repro.obs import regress
+
+        entry = regress.entry_from_perf(smoke_doc)
+        assert entry["metrics"]["dpi:bulk_scan:speedup"] == (
+            smoke_doc["dpi"]["speedup"]
+        )
+        assert regress._direction("dpi:bulk_scan:speedup") == "higher"
+
+
 class TestKernelAblation:
     def test_a13_grid_shape_and_validation(self):
         doc = perfbench.run_kernel_ablation(smoke=True)
